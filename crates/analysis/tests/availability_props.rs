@@ -1,0 +1,80 @@
+//! Property tests for the §3.2 availability formulas: probabilistic
+//! sanity (bounds, monotonicity in p, N, and M) and consistency
+//! identities.
+
+use proptest::prelude::*;
+
+use dlog_analysis::availability::{
+    generator_availability, init_availability, prob_at_most_down, read_availability,
+    write_availability,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn all_probabilities_in_unit_interval(m in 1u64..12, n_seed in 1u64..12, p in 0.0f64..1.0) {
+        let n = 1 + n_seed % m;
+        for v in [
+            write_availability(m, n, p),
+            init_availability(m, n, p),
+            read_availability(n, p),
+            generator_availability(m, p),
+        ] {
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&v), "{v} out of range");
+        }
+    }
+
+    /// Higher per-server failure probability never raises availability.
+    #[test]
+    fn monotone_decreasing_in_p(m in 1u64..10, n_seed in 1u64..10, p in 0.0f64..0.95) {
+        let n = 1 + n_seed % m;
+        let q = p + 0.05;
+        prop_assert!(write_availability(m, n, p) >= write_availability(m, n, q) - 1e-12);
+        prop_assert!(init_availability(m, n, p) >= init_availability(m, n, q) - 1e-12);
+        prop_assert!(read_availability(n, p) >= read_availability(n, q) - 1e-12);
+        prop_assert!(generator_availability(m, p) >= generator_availability(m, q) - 1e-12);
+    }
+
+    /// Adding a server helps writes and hurts initialization — the
+    /// Figure 3-4 trade-off, for every (M, N, p).
+    #[test]
+    fn figure_3_4_tradeoff(m in 2u64..10, n_seed in 1u64..10, p in 0.01f64..0.5) {
+        let n = 1 + n_seed % m;
+        prop_assert!(write_availability(m + 1, n, p) >= write_availability(m, n, p) - 1e-12);
+        prop_assert!(init_availability(m + 1, n, p) <= init_availability(m, n, p) + 1e-12);
+    }
+
+    /// More copies help reads, hurt writes, help initialization.
+    #[test]
+    fn monotone_in_n(m in 2u64..10, n_seed in 1u64..10, p in 0.01f64..0.5) {
+        let n = 1 + n_seed % (m - 1); // n + 1 <= m
+        prop_assert!(read_availability(n + 1, p) >= read_availability(n, p) - 1e-12);
+        prop_assert!(write_availability(m, n + 1, p) <= write_availability(m, n, p) + 1e-12);
+        prop_assert!(init_availability(m, n + 1, p) >= init_availability(m, n, p) - 1e-12);
+    }
+
+    /// Identity: write availability for (M, N) equals init availability
+    /// for (M, M−N+1) — both are "at most M−N down".
+    #[test]
+    fn write_init_duality(m in 1u64..12, n_seed in 1u64..12, p in 0.0f64..1.0) {
+        let n = 1 + n_seed % m;
+        let dual = m - n + 1;
+        let a = write_availability(m, n, p);
+        let b = init_availability(m, dual, p);
+        prop_assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+
+    /// The CDF is consistent: P(≤ k down) is nondecreasing in k and hits
+    /// 1 at k = n.
+    #[test]
+    fn cdf_consistency(n in 1u64..12, p in 0.0f64..1.0) {
+        let mut prev = 0.0;
+        for k in 0..=n {
+            let c = prob_at_most_down(n, k, p);
+            prop_assert!(c + 1e-12 >= prev);
+            prev = c;
+        }
+        prop_assert!((prev - 1.0).abs() < 1e-9);
+    }
+}

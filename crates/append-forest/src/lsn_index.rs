@@ -1,0 +1,227 @@
+//! The paper's intended use of the append forest (§4.3): indexing one
+//! client's log records by LSN, where "the keys will be ranges of log
+//! sequence numbers" and "each node of the append forest will contain
+//! pointers to each log record in its range".
+
+use dlog_types::Lsn;
+
+use crate::AppendForest;
+
+/// A page-sized batch of record pointers covering one LSN range.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct RangeNode {
+    /// First LSN covered by the node.
+    lo: Lsn,
+    /// Storage position (e.g. byte offset in the log stream) of each record
+    /// in `lo..=lo + positions.len() - 1`.
+    positions: Vec<u64>,
+}
+
+/// An LSN → storage-position index built on an [`AppendForest`] keyed by
+/// the *high* LSN of each range node.
+///
+/// Records are added in strictly increasing LSN order (the order the log
+/// stream is written); every `fanout` records the open node is sealed and
+/// appended to the forest. Lookups find the sealed or open node covering an
+/// LSN with `O(log n)` traversals and then index directly into it.
+#[derive(Clone, Debug)]
+pub struct LsnIndex {
+    forest: AppendForest<u64, RangeNode>,
+    /// Records accumulating toward the next sealed node.
+    open: Option<RangeNode>,
+    /// Records per sealed node ("each page sized node of the tree can index
+    /// one thousand or more records").
+    fanout: usize,
+    next_lsn: Option<Lsn>,
+}
+
+impl LsnIndex {
+    /// An empty index sealing nodes of `fanout` records.
+    ///
+    /// # Panics
+    /// Panics if `fanout` is zero.
+    #[must_use]
+    pub fn new(fanout: usize) -> Self {
+        assert!(fanout > 0, "fanout must be positive");
+        LsnIndex {
+            forest: AppendForest::new(),
+            open: None,
+            fanout,
+            next_lsn: None,
+        }
+    }
+
+    /// Number of records indexed.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.forest
+            .iter()
+            .map(|(_, n)| n.positions.len())
+            .sum::<usize>()
+            + self.open.as_ref().map_or(0, |n| n.positions.len())
+    }
+
+    /// True when no record has been indexed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Record that the record at `lsn` lives at `position` in the stream.
+    ///
+    /// # Errors
+    /// Returns `Err(lsn)` when `lsn` is not the successor of the last
+    /// indexed LSN (the index covers one gap-free sequence; gaps start a
+    /// new index in the storage layer).
+    pub fn append(&mut self, lsn: Lsn, position: u64) -> Result<(), Lsn> {
+        if let Some(expected) = self.next_lsn {
+            if lsn != expected {
+                return Err(lsn);
+            }
+        }
+        let node = self.open.get_or_insert_with(|| RangeNode {
+            lo: lsn,
+            positions: Vec::new(),
+        });
+        node.positions.push(position);
+        self.next_lsn = Some(lsn.next());
+        if node.positions.len() >= self.fanout {
+            let sealed = self.open.take().expect("open node exists");
+            let hi = sealed.lo.0 + sealed.positions.len() as u64 - 1;
+            self.forest
+                .append(hi, sealed)
+                .expect("high LSNs are strictly increasing");
+        }
+        Ok(())
+    }
+
+    /// Look up the storage position of the record at `lsn`.
+    #[must_use]
+    pub fn lookup(&self, lsn: Lsn) -> Option<u64> {
+        if let Some(open) = &self.open {
+            if lsn >= open.lo {
+                let idx = (lsn.0 - open.lo.0) as usize;
+                return open.positions.get(idx).copied();
+            }
+        }
+        // The sealed node covering `lsn` is the one with the smallest high
+        // key ≥ lsn; since nodes tile the LSN space, it is also the
+        // predecessor-or-self of `lsn + fanout`, but a direct walk is
+        // simpler: find the first node whose high key ≥ lsn.
+        let (hi, node) = self.forest_node_covering(lsn)?;
+        if lsn.0 > *hi || lsn < node.lo {
+            return None;
+        }
+        node.positions.get((lsn.0 - node.lo.0) as usize).copied()
+    }
+
+    /// First and last LSN currently indexed.
+    #[must_use]
+    pub fn bounds(&self) -> Option<(Lsn, Lsn)> {
+        let last = self.next_lsn?.prev()?;
+        let first = self
+            .forest
+            .iter()
+            .next()
+            .map(|(_, n)| n.lo)
+            .or_else(|| self.open.as_ref().map(|n| n.lo))?;
+        Some((first, last))
+    }
+
+    /// All indexed positions in LSN order (used for checkpoint encoding).
+    #[must_use]
+    pub fn positions(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.len());
+        for (_, node) in self.forest.iter() {
+            out.extend_from_slice(&node.positions);
+        }
+        if let Some(open) = &self.open {
+            out.extend_from_slice(&open.positions);
+        }
+        out
+    }
+
+    /// Rebuild an index from its first LSN and the positions of each
+    /// consecutive record (checkpoint decoding).
+    ///
+    /// # Panics
+    /// Panics if `fanout` is zero.
+    #[must_use]
+    pub fn from_parts(fanout: usize, lo: Lsn, positions: &[u64]) -> Self {
+        let mut idx = LsnIndex::new(fanout);
+        for (i, &p) in positions.iter().enumerate() {
+            idx.append(Lsn(lo.0 + i as u64), p)
+                .expect("consecutive LSNs");
+        }
+        idx
+    }
+
+    fn forest_node_covering(&self, lsn: Lsn) -> Option<(&u64, &RangeNode)> {
+        // All sealed nodes have hi = lo + fanout - 1 and tile the space, so
+        // the covering node has hi in [lsn, lsn + fanout - 1]: use floor on
+        // lsn + fanout - 1 (capped to avoid overflow).
+        let probe = lsn.0.saturating_add(self.fanout as u64 - 1);
+        let (hi, node) = self.forest.floor(&probe)?;
+        (*hi >= lsn.0).then_some((hi, node))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_and_lookup() {
+        let mut idx = LsnIndex::new(8);
+        for i in 1..=100u64 {
+            idx.append(Lsn(i), i * 1000).unwrap();
+        }
+        assert_eq!(idx.len(), 100);
+        for i in 1..=100u64 {
+            assert_eq!(idx.lookup(Lsn(i)), Some(i * 1000), "lsn {i}");
+        }
+        assert_eq!(idx.lookup(Lsn(0)), None);
+        assert_eq!(idx.lookup(Lsn(101)), None);
+        assert_eq!(idx.bounds(), Some((Lsn(1), Lsn(100))));
+    }
+
+    #[test]
+    fn starts_anywhere() {
+        let mut idx = LsnIndex::new(4);
+        for i in 50..=60u64 {
+            idx.append(Lsn(i), i).unwrap();
+        }
+        assert_eq!(idx.lookup(Lsn(49)), None);
+        assert_eq!(idx.lookup(Lsn(50)), Some(50));
+        assert_eq!(idx.lookup(Lsn(60)), Some(60));
+        assert_eq!(idx.bounds(), Some((Lsn(50), Lsn(60))));
+    }
+
+    #[test]
+    fn rejects_gaps() {
+        let mut idx = LsnIndex::new(4);
+        idx.append(Lsn(1), 0).unwrap();
+        assert_eq!(idx.append(Lsn(3), 0), Err(Lsn(3)));
+        assert_eq!(idx.append(Lsn(1), 0), Err(Lsn(1)));
+        idx.append(Lsn(2), 0).unwrap();
+    }
+
+    #[test]
+    fn fanout_one() {
+        let mut idx = LsnIndex::new(1);
+        for i in 1..=20u64 {
+            idx.append(Lsn(i), i + 7).unwrap();
+        }
+        for i in 1..=20u64 {
+            assert_eq!(idx.lookup(Lsn(i)), Some(i + 7));
+        }
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = LsnIndex::new(16);
+        assert!(idx.is_empty());
+        assert_eq!(idx.lookup(Lsn(1)), None);
+        assert_eq!(idx.bounds(), None);
+    }
+}

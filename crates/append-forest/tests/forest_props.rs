@@ -1,0 +1,96 @@
+//! Property tests: the append forest agrees with a `BTreeMap` reference
+//! model and maintains its structural invariants after every append.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use append_forest::{AppendForest, LsnIndex};
+use dlog_types::Lsn;
+
+/// Strictly increasing keys produced from positive gaps.
+fn arb_keys() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(1u64..20, 0..300).prop_map(|gaps| {
+        let mut k = 0;
+        gaps.into_iter()
+            .map(|g| {
+                k += g;
+                k
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn forest_matches_btreemap(keys in arb_keys(), probes in proptest::collection::vec(0u64..6000, 0..50)) {
+        let mut forest = AppendForest::new();
+        let mut model = BTreeMap::new();
+        for &k in &keys {
+            forest.append(k, k * 3).unwrap();
+            model.insert(k, k * 3);
+        }
+        forest.check_invariants().unwrap();
+        prop_assert_eq!(forest.len(), model.len());
+
+        for &k in &keys {
+            prop_assert_eq!(forest.get(&k), model.get(&k));
+        }
+        for &p in &probes {
+            prop_assert_eq!(forest.get(&p), model.get(&p), "probe {}", p);
+            let expected_floor = model.range(..=p).next_back();
+            prop_assert_eq!(forest.floor(&p), expected_floor, "floor {}", p);
+        }
+
+        // Iteration yields key order.
+        let iterated: Vec<u64> = forest.iter().map(|(k, _)| *k).collect();
+        let expected: Vec<u64> = model.keys().copied().collect();
+        prop_assert_eq!(iterated, expected);
+    }
+
+    /// Invariants hold after *every* intermediate append, not just at the
+    /// end — appends never transiently break the structure.
+    #[test]
+    fn invariants_hold_incrementally(n in 1usize..200) {
+        let mut forest = AppendForest::new();
+        for k in 1..=n as u64 {
+            forest.append(k, ()).unwrap();
+            forest.check_invariants().unwrap();
+        }
+    }
+
+    /// Search cost stays within 2·log₂(n) + 2 pointer traversals.
+    #[test]
+    fn search_cost_bounded(keys in arb_keys()) {
+        prop_assume!(!keys.is_empty());
+        let mut forest = AppendForest::new();
+        for &k in &keys {
+            forest.append(k, ()).unwrap();
+        }
+        let bound = 2 * (64 - (keys.len() as u64).leading_zeros() as usize) + 2;
+        for &k in &keys {
+            let (hit, stats) = forest.get_with_stats(&k);
+            prop_assert!(hit.is_some());
+            prop_assert!(stats.total() <= bound, "{} traversals > bound {}", stats.total(), bound);
+        }
+    }
+
+    /// The LSN index resolves every appended record and nothing else.
+    #[test]
+    fn lsn_index_model(start in 1u64..1000, count in 0u64..400, fanout in 1usize..40) {
+        let mut idx = LsnIndex::new(fanout);
+        for i in 0..count {
+            idx.append(Lsn(start + i), (start + i) * 7).unwrap();
+        }
+        prop_assert_eq!(idx.len() as u64, count);
+        for i in 0..count {
+            prop_assert_eq!(idx.lookup(Lsn(start + i)), Some((start + i) * 7));
+        }
+        if start > 1 {
+            prop_assert_eq!(idx.lookup(Lsn(start - 1)), None);
+        }
+        prop_assert_eq!(idx.lookup(Lsn(start + count)), None);
+    }
+}

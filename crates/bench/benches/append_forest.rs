@@ -1,0 +1,103 @@
+//! **E7 — §4.3 append forest**: constant-time append and logarithmic
+//! search, against a `BTreeMap` baseline and a naive scan, in memory and
+//! on disk.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use append_forest::{AppendForest, LsnIndex};
+use dlog_types::Lsn;
+use std::collections::BTreeMap;
+
+fn bench_append(c: &mut Criterion) {
+    let mut g = c.benchmark_group("append");
+    for n in [1_000u64, 100_000] {
+        g.bench_with_input(BenchmarkId::new("append_forest", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut f = AppendForest::with_capacity(n as usize);
+                for k in 1..=n {
+                    f.append(k, k).unwrap();
+                }
+                black_box(f.len())
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("btreemap", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut m = BTreeMap::new();
+                for k in 1..=n {
+                    m.insert(k, k);
+                }
+                black_box(m.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("search");
+    for n in [1_000u64, 100_000, 1_000_000] {
+        let mut forest = AppendForest::with_capacity(n as usize);
+        let mut map = BTreeMap::new();
+        for k in 1..=n {
+            forest.append(k, k).unwrap();
+            map.insert(k, k);
+        }
+        let probes: Vec<u64> = (0..512).map(|i| (i * 2_654_435_761u64) % n + 1).collect();
+        g.bench_with_input(BenchmarkId::new("append_forest", n), &n, |b, _| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for p in &probes {
+                    acc += *forest.get(p).unwrap();
+                }
+                black_box(acc)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("btreemap", n), &n, |b, _| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for p in &probes {
+                    acc += *map.get(p).unwrap();
+                }
+                black_box(acc)
+            });
+        });
+        // The O(n) strawman the paper's design avoids: scanning interval
+        // runs linearly. Only at the small size (it is hopeless above).
+        if n <= 1_000 {
+            let runs: Vec<(u64, u64)> = (1..=n).map(|k| (k, k)).collect();
+            g.bench_with_input(BenchmarkId::new("linear_scan", n), &n, |b, _| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for p in &probes {
+                        acc += runs.iter().find(|(k, _)| k == p).unwrap().1;
+                    }
+                    black_box(acc)
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_lsn_index(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lsn_index");
+    let n = 1_000_000u64;
+    let mut idx = LsnIndex::new(1024);
+    for i in 1..=n {
+        idx.append(Lsn(i), i * 100).unwrap();
+    }
+    g.bench_function("lookup_1m", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..512u64 {
+                let lsn = Lsn((i * 7_919) % n + 1);
+                acc += idx.lookup(lsn).unwrap();
+            }
+            black_box(acc)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_append, bench_search, bench_lsn_index);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! **E8 (micro) — group commit / NVRAM**: per-force cost of the log
+//! store under the two durability policies, and the frame/CRC encoding
+//! cost per record.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dlog_storage::crc::crc32;
+use dlog_storage::frame::Frame;
+use dlog_storage::store::{Durability, LogStore, StoreOptions};
+use dlog_storage::NvramDevice;
+use dlog_types::{ClientId, Epoch, LogRecord, Lsn};
+
+fn bench_store_force(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_force");
+    g.sample_size(20);
+    for (name, durability) in [
+        ("nvram", Durability::Nvram),
+        ("fsync_per_force", Durability::FsyncPerForce),
+    ] {
+        g.bench_function(name, |b| {
+            let dir =
+                std::env::temp_dir().join(format!("dlog-bench-gc-{name}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let opts = StoreOptions {
+                durability,
+                fsync: true,
+                checkpoint_every: 0,
+                ..StoreOptions::default()
+            };
+            let mut store = LogStore::open(&dir, opts, NvramDevice::new(1 << 20)).unwrap();
+            let mut lsn = 1u64;
+            b.iter(|| {
+                for _ in 0..7 {
+                    let rec = LogRecord::present(Lsn(lsn), Epoch(1), vec![5u8; 100]);
+                    store.write(ClientId(1), &rec).unwrap();
+                    lsn += 1;
+                }
+                store.force(ClientId(1)).unwrap();
+                black_box(lsn)
+            });
+            let _ = std::fs::remove_dir_all(&dir);
+        });
+    }
+    g.finish();
+}
+
+fn bench_frame(c: &mut Criterion) {
+    let frame = Frame::Record {
+        client: ClientId(1),
+        record: LogRecord::present(Lsn(1), Epoch(1), vec![7u8; 700]),
+        staged: false,
+    };
+    let mut buf = Vec::new();
+    frame.encode_into(&mut buf);
+    c.bench_function("frame_encode_700b", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(800);
+            black_box(frame.encode_into(&mut out))
+        });
+    });
+    c.bench_function("frame_decode_700b", |b| {
+        b.iter(|| black_box(Frame::decode(&buf).unwrap()));
+    });
+    let data = vec![0xA5u8; 16 * 1024];
+    c.bench_function("crc32_16k", |b| b.iter(|| black_box(crc32(&data))));
+}
+
+criterion_group!(benches, bench_store_force, bench_frame);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! End-to-end replicated-log force latency over the in-process cluster:
+//! the E4 measurement in microbenchmark form (one ET1 transaction's
+//! records per iteration).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dlog_bench::{payload, Cluster, ClusterOptions};
+
+fn bench_force(c: &mut Criterion) {
+    let mut g = c.benchmark_group("replicated_force");
+    g.sample_size(20);
+    for n in [2usize, 3] {
+        g.bench_function(format!("n{n}_m3_et1_txn"), |b| {
+            let cluster = Cluster::start(&format!("bench-force-{n}"), ClusterOptions::new(3));
+            let mut log = cluster.client(1, n, 16);
+            log.initialize().unwrap();
+            let mut i = 0u64;
+            b.iter(|| {
+                for _ in 0..7 {
+                    i += 1;
+                    log.write(payload(i, 100)).unwrap();
+                }
+                black_box(log.force().unwrap())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_read(c: &mut Criterion) {
+    let cluster = Cluster::start("bench-read", ClusterOptions::new(3));
+    let mut log = cluster.client(1, 2, 16);
+    log.initialize().unwrap();
+    for i in 1..=1000u64 {
+        log.write(payload(i, 100)).unwrap();
+    }
+    log.force().unwrap();
+    c.bench_function("replicated_read_cached", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i % 1000 + 1;
+            black_box(log.read(dlog_types::Lsn(i)).unwrap())
+        });
+    });
+}
+
+criterion_group!(benches, bench_force, bench_read);
+criterion_main!(benches);

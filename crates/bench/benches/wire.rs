@@ -1,0 +1,43 @@
+//! Packet encode/decode cost: §4.1 budgets ~1000 instructions per packet
+//! for "network and RPC implementation processing"; this measures our
+//! share of that budget.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dlog_net::wire::{Message, Packet};
+use dlog_types::{ClientId, Epoch, LogData, Lsn};
+
+fn et1_force_packet() -> Packet {
+    // Seven ET1 records grouped into one ForceLog: the common case.
+    let records: Vec<(Lsn, LogData)> = (1..=7u64)
+        .map(|i| (Lsn(i), LogData::from(vec![i as u8; 100])))
+        .collect();
+    Packet::bare(Message::ForceLog {
+        client: ClientId(3),
+        epoch: Epoch(2),
+        records,
+    })
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let pkt = et1_force_packet();
+    let bytes = pkt.encode();
+    c.bench_function("encode_et1_force", |b| {
+        b.iter(|| black_box(pkt.encode()));
+    });
+    c.bench_function("decode_et1_force", |b| {
+        b.iter(|| black_box(Packet::decode(&bytes).unwrap()));
+    });
+    let ack = Packet::bare(Message::NewHighLsn {
+        client: ClientId(3),
+        lsn: Lsn(7),
+    });
+    let ack_bytes = ack.encode();
+    c.bench_function("encode_ack", |b| b.iter(|| black_box(ack.encode())));
+    c.bench_function("decode_ack", |b| {
+        b.iter(|| black_box(Packet::decode(&ack_bytes).unwrap()));
+    });
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! **E13 — §5.5 common commit coordination**: commit-path messages and
+//! synchronous forces for distributed transactions, comparing 2PC over
+//! replicated logs, 2PC over local duplexed logs, and the shared-server
+//! common-commit optimization the section sketches — quantifying why
+//! "if multi node transactions are frequent then common commit
+//! coordination is an argument against replicated logging".
+//!
+//! Regenerate with: `cargo run -p dlog-bench --bin commit_coordination`
+
+use dlog_analysis::commit::CommitModel;
+use dlog_analysis::table::Table;
+
+fn main() {
+    println!("E13: commit-path costs for P-participant distributed transactions (N = 2)\n");
+    let mut t = Table::new(vec![
+        "P",
+        "2PC+replicated msgs",
+        "2PC+replicated forces",
+        "2PC+local msgs",
+        "2PC+local forces",
+        "common-commit msgs",
+        "common-commit forces",
+    ]);
+    for p in [1u64, 2, 3, 4, 6, 8] {
+        let m = CommitModel {
+            participants: p,
+            n: 2,
+        };
+        let r = m.two_phase_replicated();
+        let l = m.two_phase_local();
+        let c = m.common_commit();
+        t.row(vec![
+            p.to_string(),
+            r.messages.to_string(),
+            r.forces.to_string(),
+            l.messages.to_string(),
+            l.forces.to_string(),
+            c.messages.to_string(),
+            c.forces.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "The shared mirrored-disk server turns P+1 forces into one group force and\n\
+         collapses the vote round into the prepare-record writes. The paper's verdict\n\
+         stands: for single-node transactions (P = 1, the ET1 case) replicated logging\n\
+         loses little, but frequent multi-node transactions favour a common\n\
+         coordinator — \"an argument against replicated logging\" (Sec 5.5). Note the\n\
+         §4.1 mitigation also applies: with low-latency non-volatile buffers, each of\n\
+         those forces is a memory-speed operation, shrinking the absolute gap."
+    );
+}

@@ -1,0 +1,89 @@
+//! **E14 — §3.2 response degradation**: "Response to WriteLog operations
+//! may degrade, as fewer servers remain to carry the load, but such
+//! failures will hardly ever render WriteLog operations unavailable."
+//!
+//! Analytic M/D/1 response times for the §4.1 target load as servers
+//! fail, next to *measured* force latencies on the live in-process
+//! cluster with the same fraction of servers down.
+//!
+//! Regenerate with: `cargo run -p dlog-bench --bin degradation --release`
+
+use std::time::Instant;
+
+use dlog_analysis::queueing::DegradationModel;
+use dlog_analysis::table::{fmt2, Table};
+use dlog_bench::{payload, Cluster, ClusterOptions};
+use dlog_types::ServerId;
+
+fn main() {
+    // Analytic: the paper's target load.
+    let model = DegradationModel::paper_target();
+    println!(
+        "E14: WriteLog response vs failed servers (analytic M/D/1, {} clients x {}/s, N={}, M={})\n",
+        model.clients, model.force_rate, model.n, model.m
+    );
+    let mut t = Table::new(vec![
+        "servers down",
+        "live",
+        "per-server forces/s",
+        "response (us)",
+    ]);
+    for down in 0..=model.m {
+        let live = model.m - down;
+        let row = match model.response_with_down(down) {
+            Some(us) => fmt2(us),
+            None if live >= model.n => "saturated".to_string(),
+            None => "UNAVAILABLE (< N live)".to_string(),
+        };
+        let per_server = if live > 0 {
+            model.clients as f64 * model.force_rate * model.n as f64 / live as f64
+        } else {
+            f64::INFINITY
+        };
+        t.row(vec![
+            down.to_string(),
+            live.to_string(),
+            fmt2(per_server),
+            row,
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Measured: force latency on a live 6-server cluster as servers die.
+    println!("Measured mean force latency (one client, 6-server in-process cluster):\n");
+    let mut cluster = Cluster::start("e14", ClusterOptions::new(6));
+    let mut log = cluster.client(1, 2, 16);
+    log.initialize().unwrap();
+    let mut t = Table::new(vec!["servers down", "mean force (us)"]);
+    let mut lsn = 0u64;
+    for down in 0..=3u64 {
+        if down > 0 {
+            cluster.kill_server(ServerId(down));
+        }
+        // Warm up (absorb any switch), then measure.
+        for _ in 0..5 {
+            lsn += 1;
+            log.write(payload(lsn, 100)).unwrap();
+        }
+        log.force().unwrap();
+        let rounds = 50;
+        let start = Instant::now();
+        for _ in 0..rounds {
+            for _ in 0..7 {
+                lsn += 1;
+                log.write(payload(lsn, 100)).unwrap();
+            }
+            log.force().unwrap();
+        }
+        let us = start.elapsed().as_secs_f64() * 1e6 / f64::from(rounds);
+        t.row(vec![down.to_string(), fmt2(us)]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Shape check (analytic): response rises as survivors absorb the displaced\n\
+         load, yet the log stays writable until fewer than N servers remain — the\n\
+         Sec 3.2 claim. The measured single-client run is far below saturation, so\n\
+         its latencies reflect failover transients rather than queueing; the\n\
+         queueing effect needs the full 50-client load of the analytic model."
+    );
+}

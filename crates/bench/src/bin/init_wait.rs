@@ -1,0 +1,43 @@
+//! **E2b — §3.2 closing observation**: client initialization does not
+//! need M − N + 1 servers up *simultaneously*; the client polls until
+//! enough distinct servers have answered. This bin contrasts the
+//! instantaneous availability with the polling success rate and waiting
+//! times, under failure/repair processes realizing p = 0.05.
+//!
+//! Regenerate with: `cargo run -p dlog-bench --bin init_wait --release`
+
+use dlog_analysis::availability::init_availability;
+use dlog_analysis::table::{fmt2, fmt_prob, Table};
+use dlog_sim::initwait::InitWaitParams;
+
+fn main() {
+    println!("E2b: instantaneous vs polling client initialization (p = 0.05)\n");
+    println!("(times in multiples of the mean server repair time x20; cycle = 100, MTTR = 5)\n");
+    let mut t = Table::new(vec![
+        "M",
+        "N",
+        "instant (analytic)",
+        "instant (sim)",
+        "eventual (sim)",
+        "mean wait",
+        "p99 wait",
+    ]);
+    for (m, n) in [(3usize, 2usize), (5, 2), (7, 2), (5, 3), (8, 3)] {
+        let r = InitWaitParams::new(m, n).run();
+        t.row(vec![
+            m.to_string(),
+            n.to_string(),
+            fmt_prob(init_availability(m as u64, n as u64, 0.05)),
+            fmt_prob(r.instant_availability),
+            fmt_prob(r.eventual_success),
+            fmt2(r.mean_wait),
+            fmt2(r.p99_wait),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Polling turns the occasional init-quorum outage into a short wait (a fraction\n\
+         of one repair time), instead of a failure — the paper's point that the\n\
+         instantaneous model understates practical initialization availability."
+    );
+}

@@ -1,0 +1,217 @@
+//! In-process cluster harness.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dlog_core::assign::AssignStrategy;
+use dlog_core::client::{ClientOptions, ReplicatedLog};
+use dlog_core::net::ClientNet;
+use dlog_net::wire::NodeAddr;
+use dlog_net::{FaultPlan, MemEndpoint, MemNetwork};
+use dlog_server::gen::GenStore;
+use dlog_server::runner::ServerRunner;
+use dlog_server::{LogServer, ServerConfig, ServerStats};
+use dlog_storage::store::Durability;
+use dlog_storage::{LogStore, NvramDevice, StoreOptions, StoreStats};
+use dlog_types::{ClientId, ReplicationConfig, ServerId};
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+/// Server addresses are their ids; clients live at 1000 + id.
+#[must_use]
+pub fn server_addr(s: ServerId) -> NodeAddr {
+    NodeAddr(s.0)
+}
+
+/// Client node address.
+#[must_use]
+pub fn client_addr(c: ClientId) -> NodeAddr {
+    NodeAddr(1000 + c.0)
+}
+
+/// Cluster construction knobs.
+#[derive(Clone, Debug)]
+pub struct ClusterOptions {
+    /// Log servers to start.
+    pub servers: u64,
+    /// Network fault plan.
+    pub plan: FaultPlan,
+    /// `fsync` server segment files (on for durability benchmarks, off
+    /// for protocol tests on tmp dirs).
+    pub fsync: bool,
+    /// Force durability policy (NVRAM vs fsync-per-force; E8).
+    pub durability: Durability,
+    /// NVRAM device capacity per server.
+    pub nvram_bytes: usize,
+    /// Track size (NVRAM flush threshold).
+    pub track_bytes: usize,
+    /// Where to place server directories (`None`: a temp dir).
+    pub root: Option<PathBuf>,
+}
+
+impl ClusterOptions {
+    /// Defaults: reliable network, no fsync, NVRAM durability.
+    #[must_use]
+    pub fn new(servers: u64) -> Self {
+        ClusterOptions {
+            servers,
+            plan: FaultPlan::reliable(),
+            fsync: false,
+            durability: Durability::Nvram,
+            nvram_bytes: 1 << 20,
+            track_bytes: 64 * 1024,
+            root: None,
+        }
+    }
+}
+
+/// A running in-process cluster.
+pub struct Cluster {
+    /// The network (partition / down control lives here).
+    pub net: MemNetwork,
+    /// The servers' ids.
+    pub servers: Vec<ServerId>,
+    opts: ClusterOptions,
+    runners: HashMap<ServerId, ServerRunner>,
+    nvrams: HashMap<ServerId, NvramDevice>,
+    root: PathBuf,
+    cleanup: bool,
+}
+
+impl Cluster {
+    /// Start a cluster.
+    #[must_use]
+    pub fn start(tag: &str, opts: ClusterOptions) -> Cluster {
+        let case = CASE.fetch_add(1, Ordering::Relaxed);
+        let (root, cleanup) = match &opts.root {
+            Some(r) => (r.clone(), false),
+            None => (
+                std::env::temp_dir()
+                    .join("dlog-bench")
+                    .join(format!("{tag}-{}-{case}", std::process::id())),
+                true,
+            ),
+        };
+        let _ = std::fs::remove_dir_all(&root);
+        let net = MemNetwork::new(opts.plan);
+        let mut cluster = Cluster {
+            net,
+            servers: (1..=opts.servers).map(ServerId).collect(),
+            opts,
+            runners: HashMap::new(),
+            nvrams: HashMap::new(),
+            root,
+            cleanup,
+        };
+        for sid in cluster.servers.clone() {
+            cluster
+                .nvrams
+                .insert(sid, NvramDevice::new(cluster.opts.nvram_bytes));
+            cluster.boot_server(sid);
+        }
+        cluster
+    }
+
+    fn server_dir(&self, sid: ServerId) -> PathBuf {
+        self.root.join(format!("server-{}", sid.0))
+    }
+
+    /// (Re)start a server from its on-disk + NVRAM state.
+    pub fn boot_server(&mut self, sid: ServerId) {
+        let dir = self.server_dir(sid);
+        let store_opts = StoreOptions {
+            fsync: self.opts.fsync,
+            durability: self.opts.durability,
+            track_bytes: self.opts.track_bytes,
+            checkpoint_every: 0,
+            ..StoreOptions::default()
+        };
+        let nvram = self.nvrams.get(&sid).expect("registered").clone();
+        let store = LogStore::open(&dir, store_opts, nvram).expect("open store");
+        let gens = GenStore::open(dir.join("gens")).expect("open gens");
+        let server = LogServer::new(ServerConfig::new(sid), store, gens).expect("server");
+        let ep = self.net.endpoint(server_addr(sid));
+        self.net.set_down(server_addr(sid), false);
+        self.runners.insert(sid, ServerRunner::spawn(server, ep));
+    }
+
+    /// Replace a server's NVRAM device with a fresh (empty) one —
+    /// models battery loss or a board swap alongside media events.
+    pub fn nvram_reset(&mut self, sid: ServerId) {
+        self.nvrams
+            .insert(sid, NvramDevice::new(self.opts.nvram_bytes));
+    }
+
+    /// Take a server down hard.
+    pub fn kill_server(&mut self, sid: ServerId) {
+        self.net.set_down(server_addr(sid), true);
+        if let Some(r) = self.runners.remove(&sid) {
+            r.crash();
+        }
+    }
+
+    /// Stop a server gracefully and return it (for stats inspection).
+    pub fn stop_server(&mut self, sid: ServerId) -> Option<LogServer> {
+        self.net.set_down(server_addr(sid), true);
+        self.runners.remove(&sid).map(ServerRunner::stop)
+    }
+
+    /// Stop every server and collect `(protocol stats, storage stats)`.
+    pub fn stop_all(&mut self) -> Vec<(ServerId, ServerStats, StoreStats)> {
+        let mut out = Vec::new();
+        for sid in self.servers.clone() {
+            if let Some(server) = self.stop_server(sid) {
+                out.push((sid, server.stats(), server.store_stats()));
+            }
+        }
+        out
+    }
+
+    /// Build a replicated-log client over this cluster.
+    #[must_use]
+    pub fn client(&self, id: u64, n: usize, delta: u64) -> ReplicatedLog<MemEndpoint> {
+        self.client_with(id, n, delta, AssignStrategy::Striped)
+    }
+
+    /// Build a client with an explicit assignment strategy.
+    #[must_use]
+    pub fn client_with(
+        &self,
+        id: u64,
+        n: usize,
+        delta: u64,
+        strategy: AssignStrategy,
+    ) -> ReplicatedLog<MemEndpoint> {
+        let cid = ClientId(id);
+        let ep = self.net.endpoint(client_addr(cid));
+        let addrs: HashMap<ServerId, NodeAddr> =
+            self.servers.iter().map(|&s| (s, server_addr(s))).collect();
+        let net = ClientNet::new(ep, addrs);
+        let config = ReplicationConfig::new(self.servers.clone(), n, delta).expect("config");
+        let mut copts = ClientOptions::new(config);
+        copts.strategy = strategy;
+        ReplicatedLog::new(cid, copts, net)
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for (_, r) in self.runners.drain() {
+            drop(r);
+        }
+        if self.cleanup {
+            let _ = std::fs::remove_dir_all(&self.root);
+        }
+    }
+}
+
+/// A recognizable payload per LSN.
+#[must_use]
+pub fn payload(i: u64, len: usize) -> Vec<u8> {
+    let mut v = vec![(i % 251) as u8; len];
+    if let Some(first) = v.first_mut() {
+        *first = (i % 127) as u8;
+    }
+    v
+}

@@ -1,0 +1,10 @@
+//! Shared harness for the experiment binaries, criterion benches, and
+//! repo-level integration tests: builds in-process clusters of real log
+//! servers (threaded, storage-backed) and replicated-log clients over
+//! them, on either the fault-injectable in-memory network or real UDP.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+
+pub use harness::{payload, Cluster, ClusterOptions};

@@ -1,0 +1,161 @@
+//! `dlog` — the replicated-log client, on the command line.
+//!
+//! ```text
+//! dlog --servers H:P,H:P,H:P [--client 1] [--n 2] [--delta 8] COMMAND ...
+//!
+//! commands:
+//!   append TEXT...      WriteLog + force each TEXT, print the LSNs
+//!   read LSN            print the record at LSN
+//!   tail [K]            print the last K (default 10) records
+//!   end                 print EndOfLog
+//!   repair              re-replicate under-replicated records (§5.3)
+//!   status              print each server's operational counters
+//!   bench [TXNS]        run ET1 transactions (default 100), print TPS
+//! ```
+//!
+//! Each invocation is one client *incarnation*: it runs the §3.1.2
+//! restart procedure (drawing a fresh crash epoch and masking δ LSNs)
+//! before touching the log — which is exactly what the paper's client
+//! node does every time it boots.
+
+use std::process::exit;
+
+use dlog_cli::{parse_server_list, udp_client, Args};
+use dlog_types::{DlogError, Lsn};
+use dlog_workload::recovery::LogMode;
+use dlog_workload::{BankDb, Et1Config, Et1Generator, RecoveryManager};
+
+fn usage() -> &'static str {
+    "usage: dlog --servers H:P,H:P,... [--client N] [--n 2] [--delta 8] COMMAND\n\
+     commands: append TEXT... | read LSN | tail [K] | end | repair | status | bench [TXNS]"
+}
+
+fn run() -> Result<(), String> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw
+        .iter()
+        .any(|a| a == "help" || a == "--help" || a == "-h")
+    {
+        println!("{}", usage());
+        return Ok(());
+    }
+    let args = Args::parse(raw.into_iter())?;
+    let servers = parse_server_list(&args.require::<String>("servers")?)?;
+    let client: u64 = args.get_or("client", 1)?;
+    let n: usize = args.get_or("n", 2.min(servers.len()))?;
+    let delta: u64 = args.get_or("delta", 8)?;
+
+    let mut log = udp_client(client, &servers, n, delta)?;
+    let cmd = args.positional.first().map(String::as_str).unwrap_or("end");
+    if cmd == "status" {
+        // Status needs no log initialization (and works even when the
+        // init quorum is unavailable).
+        use dlog_net::wire::Response;
+        for (i, sock) in servers.iter().enumerate() {
+            let sid = dlog_types::ServerId(i as u64 + 1);
+            match log.server_status(sid) {
+                Ok(Response::Status {
+                    records_stored,
+                    duplicates_ignored,
+                    naks_sent,
+                    writes_shed,
+                    rpcs,
+                    forces_acked,
+                    clients,
+                    on_disk_bytes,
+                    tracks_flushed,
+                }) => println!(
+                    "{sock}: {records_stored} records, {clients} clients, {on_disk_bytes} bytes on disk, {tracks_flushed} tracks, {forces_acked} forces acked, {rpcs} rpcs, {naks_sent} naks, {duplicates_ignored} dups ignored, {writes_shed} shed"
+                ),
+                Ok(other) => println!("{sock}: unexpected reply {other:?}"),
+                Err(e) => println!("{sock}: unreachable ({e})"),
+            }
+        }
+        return Ok(());
+    }
+    log.initialize().map_err(|e| format!("initialize: {e}"))?;
+    match cmd {
+        "append" => {
+            if args.positional.len() < 2 {
+                return Err("append needs at least one TEXT argument".into());
+            }
+            for text in &args.positional[1..] {
+                let lsn = log.write(text.as_bytes()).map_err(|e| e.to_string())?;
+                println!("{lsn}");
+            }
+            log.force().map_err(|e| format!("force: {e}"))?;
+        }
+        "read" => {
+            let lsn: u64 = args
+                .positional
+                .get(1)
+                .ok_or("read needs an LSN")?
+                .parse()
+                .map_err(|e| format!("bad LSN: {e}"))?;
+            match log.read(Lsn(lsn)) {
+                Ok(d) => println!("{}", String::from_utf8_lossy(d.as_bytes())),
+                Err(DlogError::NotPresent { .. }) => println!("(not present)"),
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+        "tail" => {
+            let k: u64 = args
+                .positional
+                .get(1)
+                .map_or(Ok(10), |s| s.parse())
+                .unwrap_or(10);
+            let end = log.end_of_log().map_err(|e| e.to_string())?;
+            let lo = end.0.saturating_sub(k).saturating_add(1).max(1);
+            for l in lo..=end.0 {
+                match log.read(Lsn(l)) {
+                    Ok(d) => println!("{l}: {}", String::from_utf8_lossy(d.as_bytes())),
+                    Err(DlogError::NotPresent { .. }) => println!("{l}: (not present)"),
+                    Err(e) => println!("{l}: <error: {e}>"),
+                }
+            }
+        }
+        "end" => {
+            println!("{}", log.end_of_log().map_err(|e| e.to_string())?);
+        }
+        "repair" => {
+            let report = log.repair().map_err(|e| e.to_string())?;
+            println!(
+                "live servers: {}, examined: {}, under-replicated: {}, copied: {}",
+                report.live_servers,
+                report.records_examined,
+                report.under_replicated,
+                report.records_copied
+            );
+        }
+        "bench" => {
+            let txns: u64 = args
+                .positional
+                .get(1)
+                .map_or(Ok(100), |s| s.parse())
+                .unwrap_or(100);
+            let db = BankDb::new(10_000, 100, 10);
+            let mut mgr = RecoveryManager::new(log, db, LogMode::Classic, 1 << 20);
+            let mut gen = Et1Generator::new(Et1Config::small(client));
+            let start = std::time::Instant::now();
+            for _ in 0..txns {
+                mgr.run_et1(&gen.next_txn()).map_err(|e| e.to_string())?;
+            }
+            let dt = start.elapsed();
+            println!(
+                "{txns} ET1 transactions in {:.1} ms = {:.0} TPS",
+                dt.as_secs_f64() * 1e3,
+                txns as f64 / dt.as_secs_f64()
+            );
+        }
+        other => return Err(format!("unknown command {other:?}")),
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("dlog: {e}");
+        eprintln!("{}", usage());
+        exit(1);
+    }
+}

@@ -1,0 +1,918 @@
+//! The replicated log client (§3.1, §4.2).
+//!
+//! One instance serves one transaction-processing node. It implements
+//! `WriteLog` / `ReadLog` / `EndOfLog` over N-of-M log servers, the
+//! client-initialization (crash recovery) procedure of §3.1.2 with the
+//! δ-record generalization of §4.2, record grouping, ack/NAK handling,
+//! and server switching.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::time::Duration;
+
+use dlog_net::wire::{codes, Message, Request, Response};
+use dlog_net::Endpoint;
+use dlog_types::interval::MergedView;
+use dlog_types::{
+    ClientId, DlogError, Epoch, IntervalList, LogData, LogRecord, Lsn, ReplicationConfig, Result,
+    ServerId,
+};
+
+use crate::assign::AssignStrategy;
+use crate::epoch::EpochGenerator;
+use crate::net::ClientNet;
+
+/// Client tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ClientOptions {
+    /// The M servers, the replication degree N, and the in-flight bound δ.
+    pub config: ReplicationConfig,
+    /// How targets are chosen (§5.4).
+    pub strategy: AssignStrategy,
+    /// Generator state representatives for epoch numbers (Appendix I);
+    /// defaults to all M servers when empty.
+    pub epoch_representatives: Vec<ServerId>,
+    /// How long to wait for acknowledgments before re-forcing.
+    pub ack_timeout: Duration,
+    /// Re-force attempts per server before switching away from it
+    /// ("it retries a number of times before moving to a different
+    /// server", §4.2).
+    pub force_retries: u32,
+    /// Records requested per read RPC (read-ahead for recovery scans).
+    pub read_ahead: u32,
+}
+
+impl ClientOptions {
+    /// Sensible defaults for a configuration.
+    #[must_use]
+    pub fn new(config: ReplicationConfig) -> Self {
+        ClientOptions {
+            config,
+            strategy: AssignStrategy::Striped,
+            epoch_representatives: Vec::new(),
+            ack_timeout: Duration::from_millis(120),
+            force_retries: 3,
+            read_ahead: 64,
+        }
+    }
+}
+
+/// Client-side operation counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Records accepted by `write`.
+    pub records_written: u64,
+    /// Payload bytes accepted.
+    pub bytes_written: u64,
+    /// `force` calls.
+    pub forces: u64,
+    /// Records re-sent after NAKs or timeouts.
+    pub resends: u64,
+    /// Target switches (§5.4 failover).
+    pub switches: u64,
+    /// `read` calls served.
+    pub reads: u64,
+    /// Reads served from the local read-ahead cache or write buffer.
+    pub read_cache_hits: u64,
+    /// Client initializations performed.
+    pub initializations: u64,
+    /// Records rewritten by the recovery procedure (CopyLog).
+    pub recovery_copies: u64,
+}
+
+/// The replicated log abstraction (§3.1): an append-only record sequence
+/// with `WriteLog`, `ReadLog`, and `EndOfLog`, durable on N of M servers.
+pub struct ReplicatedLog<E: Endpoint> {
+    id: ClientId,
+    opts: ClientOptions,
+    net: ClientNet<E>,
+    view: MergedView,
+    epoch: Epoch,
+    initialized: bool,
+    /// Current N write targets.
+    targets: Vec<ServerId>,
+    /// Per server: the LSN from which it holds our current write stream
+    /// (acks below this LSN on that server count toward older records
+    /// already noted in the view).
+    covers_from: HashMap<ServerId, Lsn>,
+    next_lsn: Lsn,
+    /// Assigned but unsent records (grouping, §4.1).
+    buffer: VecDeque<(Lsn, LogData)>,
+    /// Sent, not yet on N servers. Never exceeds δ records.
+    in_flight: VecDeque<(Lsn, LogData)>,
+    /// Read-ahead cache.
+    read_cache: BTreeMap<Lsn, LogRecord>,
+    stats: ClientStats,
+}
+
+impl<E: Endpoint> ReplicatedLog<E> {
+    /// Create an uninitialized client; call
+    /// [`ReplicatedLog::initialize`] before any log operation.
+    #[must_use]
+    pub fn new(id: ClientId, opts: ClientOptions, net: ClientNet<E>) -> Self {
+        ReplicatedLog {
+            id,
+            opts,
+            net,
+            view: MergedView::new(),
+            epoch: Epoch::ZERO,
+            initialized: false,
+            targets: Vec::new(),
+            covers_from: HashMap::new(),
+            next_lsn: Lsn::FIRST,
+            buffer: VecDeque::new(),
+            in_flight: VecDeque::new(),
+            read_cache: BTreeMap::new(),
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// This client's id.
+    #[must_use]
+    pub fn client_id(&self) -> ClientId {
+        self.id
+    }
+
+    /// The crash epoch in use (valid after initialization).
+    #[must_use]
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Current write targets.
+    #[must_use]
+    pub fn targets(&self) -> &[ServerId] {
+        &self.targets
+    }
+
+    /// Client counters.
+    #[must_use]
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Network counters.
+    #[must_use]
+    pub fn net_stats(&self) -> crate::net::NetClientStats {
+        self.net.stats()
+    }
+
+    /// The merged read view (exposed for tests and experiments).
+    #[must_use]
+    pub fn view(&self) -> &MergedView {
+        &self.view
+    }
+
+    /// Client initialization (§3.1.2): gather interval lists from at least
+    /// `M − N + 1` servers, merge them, obtain a fresh epoch, and perform
+    /// the atomicity rewrite of the last δ records.
+    ///
+    /// # Errors
+    /// [`DlogError::QuorumUnavailable`] when too few servers respond.
+    pub fn initialize(&mut self) -> Result<()> {
+        self.stats.initializations += 1;
+        let need = self.opts.config.init_quorum();
+
+        // 1. Gather interval lists. §3.2: "the client process can poll
+        // until it receives responses from enough servers" — servers need
+        // not all answer in one round, so stragglers get retried before
+        // the quorum is declared unavailable.
+        let mut lists: Vec<(ServerId, IntervalList)> = Vec::new();
+        for round in 0..3 {
+            for &s in &self.opts.config.servers.clone() {
+                if lists.iter().any(|(got, _)| *got == s) {
+                    continue;
+                }
+                if let Ok(Response::Intervals { intervals }) =
+                    self.net.rpc(s, Request::IntervalList { client: self.id })
+                {
+                    lists.push((s, intervals));
+                }
+            }
+            if lists.len() >= need {
+                break;
+            }
+            if round < 2 {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+        if lists.len() < need {
+            return Err(DlogError::QuorumUnavailable {
+                operation: "client initialization",
+                needed: need,
+                available: lists.len(),
+            });
+        }
+        self.view = MergedView::merge(&lists);
+
+        // 2. Fresh epoch from the Appendix I generator. The identifier is
+        // unique and increasing across this client's restarts; still, be
+        // defensive against a view holding a higher epoch (e.g. restored
+        // from foreign state) by drawing again.
+        let reps = if self.opts.epoch_representatives.is_empty() {
+            self.opts.config.servers.clone()
+        } else {
+            self.opts.epoch_representatives.clone()
+        };
+        let generator = EpochGenerator::new(self.id.0, reps);
+        let max_seen = self
+            .view
+            .segments()
+            .iter()
+            .map(|s| s.epoch)
+            .max()
+            .unwrap_or(Epoch::ZERO);
+        let mut epoch = generator.new_epoch(&mut self.net)?;
+        while epoch <= max_seen {
+            epoch = generator.new_epoch(&mut self.net)?;
+        }
+        self.epoch = epoch;
+
+        // 3. Choose targets.
+        self.targets =
+            self.opts
+                .strategy
+                .initial(self.id, &self.opts.config.servers, self.opts.config.n);
+        self.covers_from.clear();
+
+        // 4. Atomicity rewrite: copy the last δ records with the new
+        // epoch, append δ not-present records, InstallCopies.
+        let end = self.view.end_of_log();
+        let delta = self.opts.config.delta;
+        if end > Lsn::ZERO {
+            let copy_lo = Lsn(end.0.saturating_sub(delta - 1).max(1));
+            let mut copies: Vec<LogRecord> = Vec::new();
+            for lsn in copy_lo.0..=end.0 {
+                let original = self.fetch_remote(Lsn(lsn))?;
+                copies.push(LogRecord {
+                    lsn: Lsn(lsn),
+                    epoch: self.epoch,
+                    present: original.present,
+                    data: original.data,
+                });
+            }
+            for i in 1..=delta {
+                copies.push(LogRecord::not_present(Lsn(end.0 + i), self.epoch));
+            }
+            self.stats.recovery_copies += copies.len() as u64;
+            self.install_on_targets(&copies, &mut lists)?;
+            self.view = MergedView::merge(&lists);
+            self.next_lsn = Lsn(end.0 + delta + 1);
+            for &t in &self.targets.clone() {
+                self.covers_from.insert(t, copy_lo);
+            }
+        } else {
+            // Empty log: nothing could have been reported written, so
+            // reporting the log empty is consistent (§3.1.2); fresh writes
+            // carry the new epoch and win any merge against strays.
+            self.next_lsn = Lsn::FIRST;
+            for &t in &self.targets.clone() {
+                self.covers_from.insert(t, Lsn::FIRST);
+            }
+        }
+
+        self.buffer.clear();
+        self.in_flight.clear();
+        self.read_cache.clear();
+        self.initialized = true;
+        Ok(())
+    }
+
+    /// Stage the recovery copies on every target and install them,
+    /// switching targets on failure. Updates `lists` with the installed
+    /// interval so the view can be re-merged.
+    fn install_on_targets(
+        &mut self,
+        copies: &[LogRecord],
+        lists: &mut Vec<(ServerId, IntervalList)>,
+    ) -> Result<()> {
+        let lo = copies.first().expect("copies nonempty").lsn;
+        let hi = copies.last().expect("copies nonempty").lsn;
+        let mut installed = 0usize;
+        let mut idx = 0usize;
+        while installed < self.targets.len() {
+            if idx >= self.targets.len() {
+                return Err(DlogError::QuorumUnavailable {
+                    operation: "recovery InstallCopies",
+                    needed: self.opts.config.n,
+                    available: installed,
+                });
+            }
+            let t = self.targets[idx];
+            match self.stage_and_install(t, copies) {
+                Ok(()) => {
+                    installed += 1;
+                    idx += 1;
+                    let entry = lists.iter_mut().find(|(s, _)| *s == t);
+                    let iv = dlog_types::Interval::new(self.epoch, lo, hi);
+                    match entry {
+                        Some((_, list)) => {
+                            list.push(iv).map_err(DlogError::Protocol)?;
+                        }
+                        None => {
+                            let mut list = IntervalList::new();
+                            list.push(iv).map_err(DlogError::Protocol)?;
+                            lists.push((t, list));
+                        }
+                    }
+                }
+                Err(_) => {
+                    // Switch to a replacement target and try it instead.
+                    let Some(replacement) = self.opts.strategy.replacement(
+                        self.id,
+                        &self.opts.config.servers,
+                        &self.targets,
+                        t,
+                    ) else {
+                        return Err(DlogError::QuorumUnavailable {
+                            operation: "recovery InstallCopies",
+                            needed: self.opts.config.n,
+                            available: installed,
+                        });
+                    };
+                    self.stats.switches += 1;
+                    self.targets[idx] = replacement;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn stage_and_install(&mut self, server: ServerId, copies: &[LogRecord]) -> Result<()> {
+        // Chunk the copies to fit packets.
+        let mut chunk: Vec<LogRecord> = Vec::new();
+        let mut bytes = 0usize;
+        let flush_chunk = |net: &mut ClientNet<E>, chunk: &mut Vec<LogRecord>| -> Result<()> {
+            if chunk.is_empty() {
+                return Ok(());
+            }
+            let resp = net.rpc(
+                server,
+                Request::CopyLog {
+                    client: self.id,
+                    epoch: self.epoch,
+                    records: std::mem::take(chunk),
+                },
+            )?;
+            match resp {
+                Response::Ok => Ok(()),
+                Response::Err { code, detail } if code == codes::STALE_EPOCH => Err(
+                    DlogError::Protocol(format!("stale epoch at {server}: {detail}")),
+                ),
+                other => Err(DlogError::Protocol(format!(
+                    "CopyLog: unexpected {other:?}"
+                ))),
+            }
+        };
+        for rec in copies {
+            let cost = rec.data.len() + 32;
+            if bytes + cost > dlog_net::MAX_PACKET_BYTES - 256 && !chunk.is_empty() {
+                flush_chunk(&mut self.net, &mut chunk)?;
+                bytes = 0;
+            }
+            chunk.push(rec.clone());
+            bytes += cost;
+        }
+        flush_chunk(&mut self.net, &mut chunk)?;
+        match self.net.rpc(
+            server,
+            Request::InstallCopies {
+                client: self.id,
+                epoch: self.epoch,
+            },
+        )? {
+            Response::Ok => Ok(()),
+            other => Err(DlogError::Protocol(format!(
+                "InstallCopies: unexpected {other:?}"
+            ))),
+        }
+    }
+
+    /// `WriteLog` (§3.1): append a record, returning its LSN. The record
+    /// is buffered locally — group records and call
+    /// [`ReplicatedLog::force`] when durability is required, exactly as a
+    /// recovery manager distinguishes buffered from forced writes (§4.1).
+    ///
+    /// # Errors
+    /// [`DlogError::NotInitialized`] before initialization.
+    pub fn write(&mut self, data: impl Into<LogData>) -> Result<Lsn> {
+        if !self.initialized {
+            return Err(DlogError::NotInitialized);
+        }
+        let data = data.into();
+        let lsn = self.next_lsn;
+        self.next_lsn = lsn.next();
+        self.stats.records_written += 1;
+        self.stats.bytes_written += data.len() as u64;
+        self.buffer.push_back((lsn, data));
+        Ok(lsn)
+    }
+
+    /// Send buffered records as asynchronous `WriteLog` messages without
+    /// waiting for full replication (except when the δ window forces
+    /// flow-control waits).
+    ///
+    /// # Errors
+    /// Propagates quorum loss and transport failures.
+    pub fn flush(&mut self) -> Result<()> {
+        if !self.initialized {
+            return Err(DlogError::NotInitialized);
+        }
+        self.pump(false)
+    }
+
+    /// Force: every record written so far is on N servers when this
+    /// returns. Returns the highest durable LSN.
+    ///
+    /// # Errors
+    /// [`DlogError::QuorumUnavailable`] when fewer than N servers can be
+    /// made to hold the records.
+    pub fn force(&mut self) -> Result<Lsn> {
+        if !self.initialized {
+            return Err(DlogError::NotInitialized);
+        }
+        self.stats.forces += 1;
+        self.pump(true)?;
+        Ok(Lsn(self.next_lsn.0 - 1))
+    }
+
+    /// `EndOfLog` (§3.1): the LSN of the most recently written record.
+    ///
+    /// # Errors
+    /// [`DlogError::NotInitialized`] before initialization.
+    pub fn end_of_log(&self) -> Result<Lsn> {
+        if !self.initialized {
+            return Err(DlogError::NotInitialized);
+        }
+        Ok(Lsn(self.next_lsn.0 - 1))
+    }
+
+    /// `ReadLog` (§3.1): fetch the record at `lsn` using a single server
+    /// (plus failover), the read cache, or the local write buffer.
+    ///
+    /// # Errors
+    /// [`DlogError::NoSuchRecord`] for never-written LSNs,
+    /// [`DlogError::NotPresent`] for records masked by recovery,
+    /// [`DlogError::QuorumUnavailable`] when no holder responds.
+    pub fn read(&mut self, lsn: Lsn) -> Result<LogData> {
+        if !self.initialized {
+            return Err(DlogError::NotInitialized);
+        }
+        self.stats.reads += 1;
+        if lsn == Lsn::ZERO || lsn >= self.next_lsn {
+            return Err(DlogError::NoSuchRecord { lsn });
+        }
+        // Local sources first: write buffer, in-flight window, cache.
+        if let Some((_, d)) = self.buffer.iter().find(|(l, _)| *l == lsn) {
+            self.stats.read_cache_hits += 1;
+            return Ok(d.clone());
+        }
+        if let Some((_, d)) = self.in_flight.iter().find(|(l, _)| *l == lsn) {
+            self.stats.read_cache_hits += 1;
+            return Ok(d.clone());
+        }
+        if let Some(rec) = self.read_cache.get(&lsn) {
+            self.stats.read_cache_hits += 1;
+            return if rec.present {
+                Ok(rec.data.clone())
+            } else {
+                Err(DlogError::NotPresent { lsn })
+            };
+        }
+        let rec = self.fetch_remote(lsn)?;
+        if rec.present {
+            Ok(rec.data)
+        } else {
+            Err(DlogError::NotPresent { lsn })
+        }
+    }
+
+    /// `ReadLogBackward` (§4.2): fetch up to `max` records ending at
+    /// `lsn`, in descending LSN order, packed per server round trip — the
+    /// access pattern of a recovery manager scanning from `EndOfLog`.
+    /// Records masked *not present* are included (the caller skips them);
+    /// the scan stops at LSN 1 or at a never-written LSN.
+    ///
+    /// # Errors
+    /// Propagates server unavailability; an out-of-range starting `lsn`
+    /// yields [`DlogError::NoSuchRecord`].
+    pub fn read_backward(&mut self, lsn: Lsn, max: u32) -> Result<Vec<LogRecord>> {
+        if !self.initialized {
+            return Err(DlogError::NotInitialized);
+        }
+        if lsn == Lsn::ZERO || lsn >= self.next_lsn {
+            return Err(DlogError::NoSuchRecord { lsn });
+        }
+        let mut out: Vec<LogRecord> = Vec::new();
+        let mut cursor = Some(lsn);
+        while let Some(cur) = cursor {
+            if out.len() as u32 >= max || cur == Lsn::ZERO {
+                break;
+            }
+            // Local window first (buffered/in-flight records).
+            if let Some((_, d)) = self
+                .buffer
+                .iter()
+                .chain(self.in_flight.iter())
+                .find(|(l, _)| *l == cur)
+            {
+                out.push(LogRecord::present(cur, self.epoch, d.clone()));
+                cursor = cur.prev();
+                continue;
+            }
+            let Some((servers, _)) = self.view.locate(cur) else {
+                break;
+            };
+            let candidates: Vec<ServerId> = servers.to_vec();
+            let mut got_any = false;
+            for s in candidates {
+                let want = (max - out.len() as u32).min(self.opts.read_ahead);
+                match self.net.rpc(
+                    s,
+                    Request::ReadLogBackward {
+                        client: self.id,
+                        lsn: cur,
+                        max_records: want,
+                    },
+                ) {
+                    Ok(Response::Records { records }) if !records.is_empty() => {
+                        // The server packs descending records but only
+                        // holds its own intervals; accept the contiguous
+                        // descending prefix starting at the cursor.
+                        let mut expected = cur;
+                        for rec in records {
+                            if rec.lsn != expected {
+                                break;
+                            }
+                            self.read_cache.insert(rec.lsn, rec.clone());
+                            out.push(rec);
+                            got_any = true;
+                            match expected.prev() {
+                                Some(p) => expected = p,
+                                None => break,
+                            }
+                        }
+                        if got_any {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if !got_any {
+                break;
+            }
+            cursor = out.last().and_then(|r| r.lsn.prev());
+        }
+        Ok(out)
+    }
+
+    /// Fetch a record from one of the servers the view names for it,
+    /// populating the read-ahead cache.
+    fn fetch_remote(&mut self, lsn: Lsn) -> Result<LogRecord> {
+        let Some((servers, _epoch)) = self.view.locate(lsn) else {
+            return Err(DlogError::NoSuchRecord { lsn });
+        };
+        let candidates: Vec<ServerId> = servers.to_vec();
+        let mut last_err: Option<DlogError> = None;
+        for s in candidates {
+            match self.net.rpc(
+                s,
+                Request::ReadLogForward {
+                    client: self.id,
+                    lsn,
+                    max_records: self.opts.read_ahead,
+                },
+            ) {
+                Ok(Response::Records { records }) => {
+                    let mut hit: Option<LogRecord> = None;
+                    for rec in records {
+                        if rec.lsn == lsn {
+                            hit = Some(rec.clone());
+                        }
+                        self.read_cache.insert(rec.lsn, rec);
+                    }
+                    // Bound the cache.
+                    while self.read_cache.len() > 4096 {
+                        let k = *self.read_cache.keys().next().expect("nonempty");
+                        self.read_cache.remove(&k);
+                    }
+                    if let Some(rec) = hit {
+                        return Ok(rec);
+                    }
+                    // Server no longer stores it (shed/garbage-collected):
+                    // try the next candidate.
+                }
+                Ok(other) => {
+                    last_err = Some(DlogError::Protocol(format!("read: unexpected {other:?}")));
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or(DlogError::QuorumUnavailable {
+            operation: "ReadLog",
+            needed: 1,
+            available: 0,
+        }))
+    }
+
+    /// Move buffered records through the δ window to the targets; when
+    /// `drain` is set, do not return until everything is on N servers.
+    fn pump(&mut self, drain: bool) -> Result<()> {
+        loop {
+            // Admit buffered records into the δ window.
+            let mut fresh: Vec<(Lsn, LogData)> = Vec::new();
+            while (self.in_flight.len() as u64) < self.opts.config.delta {
+                match self.buffer.pop_front() {
+                    Some(r) => {
+                        self.in_flight.push_back(r.clone());
+                        fresh.push(r);
+                    }
+                    None => break,
+                }
+            }
+            let window_full =
+                (self.in_flight.len() as u64) >= self.opts.config.delta && !self.buffer.is_empty();
+            let need_ack = drain || window_full;
+            if !fresh.is_empty() {
+                self.transmit(&fresh, need_ack)?;
+            }
+            if need_ack {
+                // Fully drain only on the final round of a force; flow
+                // control just waits until the window dips below δ.
+                self.await_acks(drain && self.buffer.is_empty())?;
+            } else {
+                // Asynchronous flush: absorb whatever acks arrived.
+                let _ = self.net.poll(Duration::ZERO)?;
+                self.harvest_completions();
+            }
+            if self.buffer.is_empty() && (!drain || self.in_flight.is_empty()) {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Send records to every target, as `ForceLog` when an ack is needed.
+    fn transmit(&mut self, records: &[(Lsn, LogData)], force: bool) -> Result<()> {
+        let batches = dlog_net::wire::pack_batches(records);
+        for batch in batches {
+            for &t in &self.targets.clone() {
+                let msg = if force {
+                    Message::ForceLog {
+                        client: self.id,
+                        epoch: self.epoch,
+                        records: batch.clone(),
+                    }
+                } else {
+                    Message::WriteLog {
+                        client: self.id,
+                        epoch: self.epoch,
+                        records: batch.clone(),
+                    }
+                };
+                self.net.send(t, msg)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Block until the window drains (`drain`: fully; otherwise: below δ).
+    fn await_acks(&mut self, drain: bool) -> Result<()> {
+        let mut attempts: HashMap<ServerId, u32> = HashMap::new();
+        // With most servers unreachable, target switching would otherwise
+        // ping-pong among dead candidates forever; bound the churn per
+        // wait and report the quorum loss instead.
+        let mut switch_budget = 2 * self.opts.config.m() as u32 + 2;
+        loop {
+            self.harvest_completions();
+            let done = if drain {
+                self.in_flight.is_empty()
+            } else {
+                (self.in_flight.len() as u64) < self.opts.config.delta
+            };
+            if done {
+                return Ok(());
+            }
+            let progressed = self.net.poll(self.opts.ack_timeout)?;
+            self.process_naks()?;
+            self.harvest_completions();
+            if progressed {
+                continue;
+            }
+            // Timeout: re-force to laggards, eventually switching. A
+            // laggard has not acknowledged the newest *sent* record (or
+            // does not cover the window head at all).
+            let newest_sent = self.in_flight.back().expect("in-flight nonempty").0;
+            let laggards: Vec<ServerId> = self
+                .targets
+                .iter()
+                .copied()
+                .filter(|&t| self.net.acked(t) < newest_sent)
+                .collect();
+            for t in laggards {
+                let n = attempts.entry(t).or_insert(0);
+                *n += 1;
+                if *n > self.opts.force_retries {
+                    if switch_budget == 0 {
+                        return Err(DlogError::QuorumUnavailable {
+                            operation: "WriteLog",
+                            needed: self.opts.config.n,
+                            available: self
+                                .targets
+                                .iter()
+                                .filter(|&&t| self.net.acked(t) >= newest_sent)
+                                .count(),
+                        });
+                    }
+                    switch_budget -= 1;
+                    self.switch_target(t)?;
+                    attempts.remove(&t);
+                } else {
+                    self.resend_in_flight(t, true)?;
+                }
+            }
+        }
+    }
+
+    /// Apply pending NAKs: the server is told to start a new interval at
+    /// our oldest incomplete record and receives the window again.
+    fn process_naks(&mut self) -> Result<()> {
+        while let Some(nak) = self.net.take_nak() {
+            let start = self.in_flight.front().map_or(self.next_lsn, |(l, _)| *l);
+            if nak.lo < start {
+                // The gap predates the window: those records are already
+                // on N other servers; skip them on this one.
+                self.net.send(
+                    nak.server,
+                    Message::NewInterval {
+                        client: self.id,
+                        epoch: self.epoch,
+                        starting_lsn: start,
+                    },
+                )?;
+                self.covers_from.insert(nak.server, start);
+            }
+            self.resend_in_flight(nak.server, true)?;
+        }
+        Ok(())
+    }
+
+    fn resend_in_flight(&mut self, server: ServerId, force: bool) -> Result<()> {
+        if self.in_flight.is_empty() {
+            return Ok(());
+        }
+        let records: Vec<(Lsn, LogData)> = self.in_flight.iter().cloned().collect();
+        self.stats.resends += records.len() as u64;
+        for batch in dlog_net::wire::pack_batches(&records) {
+            let msg = if force {
+                Message::ForceLog {
+                    client: self.id,
+                    epoch: self.epoch,
+                    records: batch,
+                }
+            } else {
+                Message::WriteLog {
+                    client: self.id,
+                    epoch: self.epoch,
+                    records: batch,
+                }
+            };
+            self.net.send(server, msg)?;
+        }
+        Ok(())
+    }
+
+    /// Replace a failed target ("clients will simply assume that the
+    /// server has failed and will take their logging elsewhere", §4.2).
+    fn switch_target(&mut self, failed: ServerId) -> Result<()> {
+        let Some(replacement) = self.opts.strategy.replacement(
+            self.id,
+            &self.opts.config.servers,
+            &self.targets,
+            failed,
+        ) else {
+            return Err(DlogError::QuorumUnavailable {
+                operation: "WriteLog",
+                needed: self.opts.config.n,
+                available: self.targets.len() - 1,
+            });
+        };
+        self.stats.switches += 1;
+        if let Some(slot) = self.targets.iter_mut().find(|t| **t == failed) {
+            *slot = replacement;
+        }
+        let start = self.in_flight.front().map_or(self.next_lsn, |(l, _)| *l);
+        self.net.send(
+            replacement,
+            Message::NewInterval {
+                client: self.id,
+                epoch: self.epoch,
+                starting_lsn: start,
+            },
+        )?;
+        self.covers_from.insert(replacement, start);
+        self.resend_in_flight(replacement, true)?;
+        Ok(())
+    }
+
+    /// Query a server's operational status snapshot (the `Status` RPC);
+    /// works before initialization — observability must not depend on a
+    /// healthy quorum.
+    ///
+    /// # Errors
+    /// [`DlogError::ServerUnavailable`] when the server does not answer.
+    pub fn server_status(&mut self, server: ServerId) -> Result<Response> {
+        self.net.rpc(server, Request::Status)
+    }
+
+    // ---- helpers for the repair module (§5.3) ----
+
+    pub(crate) fn ensure_initialized(&self) -> Result<()> {
+        if self.initialized {
+            Ok(())
+        } else {
+            Err(DlogError::NotInitialized)
+        }
+    }
+
+    pub(crate) fn has_pending_records(&self) -> bool {
+        !self.buffer.is_empty() || !self.in_flight.is_empty()
+    }
+
+    pub(crate) fn options(&self) -> &ClientOptions {
+        &self.opts
+    }
+
+    pub(crate) fn net_mut(&mut self) -> &mut ClientNet<E> {
+        &mut self.net
+    }
+
+    /// Fetch one record from any of `holders` (for re-replication).
+    pub(crate) fn fetch_for_repair(&mut self, lsn: Lsn, holders: &[ServerId]) -> Result<LogRecord> {
+        for &s in holders {
+            if let Ok(Response::Records { records }) = self.net.rpc(
+                s,
+                Request::ReadLogForward {
+                    client: self.id,
+                    lsn,
+                    max_records: 1,
+                },
+            ) {
+                if let Some(rec) = records.into_iter().find(|r| r.lsn == lsn) {
+                    return Ok(rec);
+                }
+            }
+        }
+        Err(DlogError::Corrupt(format!(
+            "record {lsn} has lost every copy; media recovery from dumps required"
+        )))
+    }
+
+    /// After a repair pass: adopt the repair epoch, refresh the view, and
+    /// re-anchor the write stream on the current targets.
+    pub(crate) fn adopt_epoch_after_repair(&mut self, epoch: Epoch) -> Result<()> {
+        self.epoch = epoch;
+        // Refresh the merged view from live servers.
+        let mut lists: Vec<(ServerId, IntervalList)> = Vec::new();
+        for &s in &self.opts.config.servers.clone() {
+            if let Ok(Response::Intervals { intervals }) =
+                self.net.rpc(s, Request::IntervalList { client: self.id })
+            {
+                lists.push((s, intervals));
+            }
+        }
+        self.view = MergedView::merge(&lists);
+        self.read_cache.clear();
+        // Future records start a declared fresh interval on each target.
+        for &t in &self.targets.clone() {
+            self.net.send(
+                t,
+                Message::NewInterval {
+                    client: self.id,
+                    epoch,
+                    starting_lsn: self.next_lsn,
+                },
+            )?;
+            self.covers_from.insert(t, self.next_lsn);
+        }
+        Ok(())
+    }
+
+    /// Pop fully replicated records off the window head and note them in
+    /// the view.
+    fn harvest_completions(&mut self) {
+        while let Some(&(lsn, _)) = self.in_flight.front() {
+            let holders: Vec<ServerId> = self
+                .covers_from
+                .iter()
+                .filter(|(s, &from)| from <= lsn && self.net.acked(**s) >= lsn)
+                .map(|(s, _)| *s)
+                .collect();
+            if holders.len() >= self.opts.config.n {
+                self.view.note_write(lsn, self.epoch, &holders);
+                self.in_flight.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}

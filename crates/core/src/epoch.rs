@@ -1,0 +1,147 @@
+//! The replicated increasing unique-identifier generator of Appendix I,
+//! used to assign crash **epoch numbers**.
+//!
+//! The generator's state is an integer replicated on R *generator state
+//! representatives* (hosted on log-server nodes). `NewID`:
+//!
+//! 1. reads the state from ⌈(R+1)/2⌉ representatives;
+//! 2. writes a value **higher than any read** to ⌈R/2⌉ representatives;
+//! 3. returns the written value.
+//!
+//! Any read set intersects every earlier write set
+//! (⌈(R+1)/2⌉ + ⌈R/2⌉ > R), so issued identifiers strictly increase. A
+//! crash between phases may skip values — permitted, since only
+//! uniqueness and monotonicity matter for epochs.
+
+use dlog_net::wire::{Request, Response};
+use dlog_net::Endpoint;
+use dlog_types::{DlogError, Epoch, Result, ServerId};
+
+use crate::net::ClientNet;
+
+/// Read-quorum size: ⌈(R+1)/2⌉.
+#[must_use]
+pub fn read_quorum(r: usize) -> usize {
+    (r + 2) / 2
+}
+
+/// Write-quorum size: ⌈R/2⌉.
+#[must_use]
+pub fn write_quorum(r: usize) -> usize {
+    r.div_ceil(2)
+}
+
+/// A handle on one replicated identifier generator.
+#[derive(Clone, Debug)]
+pub struct EpochGenerator {
+    /// Generator identity (clients each use their own generator, keyed by
+    /// their client id).
+    pub generator: u64,
+    /// The representative nodes.
+    pub representatives: Vec<ServerId>,
+}
+
+impl EpochGenerator {
+    /// A generator whose representatives live on the given servers.
+    #[must_use]
+    pub fn new(generator: u64, representatives: Vec<ServerId>) -> Self {
+        EpochGenerator {
+            generator,
+            representatives,
+        }
+    }
+
+    /// `NewID`: produce an identifier greater than every identifier any
+    /// previous invocation returned.
+    ///
+    /// # Errors
+    /// [`DlogError::QuorumUnavailable`] when too few representatives
+    /// respond for either phase.
+    pub fn new_id<E: Endpoint>(&self, net: &mut ClientNet<E>) -> Result<u64> {
+        let r = self.representatives.len();
+        let need_read = read_quorum(r);
+        let need_write = write_quorum(r);
+
+        // Phase 1: read ⌈(R+1)/2⌉ representatives.
+        let mut highest = 0u64;
+        let mut reads = 0usize;
+        for &rep in &self.representatives {
+            if let Ok(Response::GenValue { value }) = net.rpc(
+                rep,
+                Request::GenRead {
+                    generator: self.generator,
+                },
+            ) {
+                highest = highest.max(value);
+                reads += 1;
+                if reads >= need_read {
+                    break;
+                }
+            }
+        }
+        if reads < need_read {
+            return Err(DlogError::QuorumUnavailable {
+                operation: "NewID read phase",
+                needed: need_read,
+                available: reads,
+            });
+        }
+
+        // Phase 2: write a higher value to ⌈R/2⌉ representatives. "Any
+        // overlapping assignment of reads and writes can be used."
+        let value = highest + 1;
+        let mut writes = 0usize;
+        for &rep in &self.representatives {
+            if let Ok(Response::Ok) = net.rpc(
+                rep,
+                Request::GenWrite {
+                    generator: self.generator,
+                    value,
+                },
+            ) {
+                writes += 1;
+                if writes >= need_write {
+                    break;
+                }
+            }
+        }
+        if writes < need_write {
+            return Err(DlogError::QuorumUnavailable {
+                operation: "NewID write phase",
+                needed: need_write,
+                available: writes,
+            });
+        }
+        Ok(value)
+    }
+
+    /// Convenience: `NewID` as an [`Epoch`].
+    ///
+    /// # Errors
+    /// As [`EpochGenerator::new_id`].
+    pub fn new_epoch<E: Endpoint>(&self, net: &mut ClientNet<E>) -> Result<Epoch> {
+        Ok(Epoch(self.new_id(net)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_sizes() {
+        // (R, read, write) triples; read + write must exceed R.
+        for (r, rd, wr) in [
+            (1, 1, 1),
+            (2, 2, 1),
+            (3, 2, 2),
+            (4, 3, 2),
+            (5, 3, 3),
+            (6, 4, 3),
+        ] {
+            assert_eq!(read_quorum(r), rd, "read quorum for R={r}");
+            assert_eq!(write_quorum(r), wr, "write quorum for R={r}");
+            assert!(read_quorum(r) + write_quorum(r) > r, "no overlap for R={r}");
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Shared harness: an in-process cluster of log servers behind a
+//! fault-injectable network, plus client construction helpers.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dlog_core::assign::AssignStrategy;
+use dlog_core::client::{ClientOptions, ReplicatedLog};
+use dlog_core::net::ClientNet;
+use dlog_net::wire::NodeAddr;
+use dlog_net::{FaultPlan, MemEndpoint, MemNetwork};
+use dlog_server::gen::GenStore;
+use dlog_server::runner::ServerRunner;
+use dlog_server::{LogServer, ServerConfig};
+use dlog_storage::{LogStore, NvramDevice, StoreOptions};
+use dlog_types::{ClientId, ReplicationConfig, ServerId};
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+/// Server addresses are their ids; clients live at 1000+.
+pub fn server_addr(s: ServerId) -> NodeAddr {
+    NodeAddr(s.0)
+}
+
+pub fn client_addr(c: ClientId) -> NodeAddr {
+    NodeAddr(1000 + c.0)
+}
+
+pub struct Cluster {
+    pub net: MemNetwork,
+    pub dirs: Vec<PathBuf>,
+    pub servers: Vec<ServerId>,
+    pub runners: HashMap<ServerId, ServerRunner>,
+    pub nvrams: HashMap<ServerId, NvramDevice>,
+    root: PathBuf,
+}
+
+impl Cluster {
+    /// Start `m` servers on a network with the given fault plan.
+    pub fn start(tag: &str, m: u64, plan: FaultPlan) -> Cluster {
+        let case = CASE.fetch_add(1, Ordering::Relaxed);
+        let root = std::env::temp_dir()
+            .join("dlog-core-it")
+            .join(format!("{tag}-{}-{case}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let net = MemNetwork::new(plan);
+        let mut cluster = Cluster {
+            net,
+            dirs: Vec::new(),
+            servers: (1..=m).map(ServerId).collect(),
+            runners: HashMap::new(),
+            nvrams: HashMap::new(),
+            root,
+        };
+        for i in 1..=m {
+            let sid = ServerId(i);
+            let dir = cluster.root.join(format!("server-{i}"));
+            cluster.dirs.push(dir.clone());
+            let nvram = NvramDevice::new(1 << 20);
+            cluster.nvrams.insert(sid, nvram.clone());
+            cluster.boot_server(sid);
+        }
+        cluster
+    }
+
+    fn server_dir(&self, sid: ServerId) -> PathBuf {
+        self.root.join(format!("server-{}", sid.0))
+    }
+
+    /// (Re)start one server from its on-disk + NVRAM state.
+    pub fn boot_server(&mut self, sid: ServerId) {
+        let dir = self.server_dir(sid);
+        let opts = StoreOptions {
+            fsync: false,
+            checkpoint_every: 0,
+            ..StoreOptions::default()
+        };
+        let nvram = self.nvrams.get(&sid).expect("nvram registered").clone();
+        let store = LogStore::open(&dir, opts, nvram).expect("open store");
+        let gens = GenStore::open(dir.join("gens")).expect("open gens");
+        let server = LogServer::new(ServerConfig::new(sid), store, gens).expect("construct server");
+        let ep = self.net.endpoint(server_addr(sid));
+        self.net.set_down(server_addr(sid), false);
+        self.runners.insert(sid, ServerRunner::spawn(server, ep));
+    }
+
+    /// Take a server down (network drop + thread stop).
+    pub fn kill_server(&mut self, sid: ServerId) {
+        self.net.set_down(server_addr(sid), true);
+        if let Some(r) = self.runners.remove(&sid) {
+            r.crash();
+        }
+    }
+
+    /// Build a client over this cluster with the given N and δ.
+    pub fn client(&self, id: u64, n: usize, delta: u64) -> ReplicatedLog<MemEndpoint> {
+        let cid = ClientId(id);
+        let ep = self.net.endpoint(client_addr(cid));
+        let addrs: HashMap<ServerId, NodeAddr> =
+            self.servers.iter().map(|&s| (s, server_addr(s))).collect();
+        let net = ClientNet::new(ep, addrs);
+        let config = ReplicationConfig::new(self.servers.clone(), n, delta).expect("valid config");
+        let mut opts = ClientOptions::new(config);
+        opts.strategy = AssignStrategy::Fixed; // deterministic targets for tests
+        ReplicatedLog::new(cid, opts, net)
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for (_, r) in self.runners.drain() {
+            drop(r);
+        }
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+/// Payload helper: a recognizable pattern per LSN.
+pub fn payload(i: u64, len: usize) -> Vec<u8> {
+    let mut v = vec![(i % 251) as u8; len];
+    if let Some(first) = v.first_mut() {
+        *first = (i % 127) as u8;
+    }
+    v
+}

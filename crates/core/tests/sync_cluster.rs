@@ -1,0 +1,269 @@
+//! Deterministic protocol tests: the client runs against *synchronous*
+//! sans-I/O log servers (no threads, no timing), with scripted fault
+//! switches — pinpointing the NAK/resend/switch logic that the threaded
+//! integration tests exercise under real concurrency.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use dlog_core::assign::AssignStrategy;
+use dlog_core::client::{ClientOptions, ReplicatedLog};
+use dlog_core::net::ClientNet;
+use dlog_net::wire::{NodeAddr, Packet};
+use dlog_net::Endpoint;
+use dlog_server::gen::GenStore;
+use dlog_server::{LogServer, ServerConfig};
+use dlog_storage::{LogStore, NvramDevice, StoreOptions};
+use dlog_types::{ClientId, DlogError, Lsn, ReplicationConfig, ServerId};
+
+/// Shared scripted-cluster state.
+struct SyncClusterState {
+    servers: HashMap<ServerId, LogServer>,
+    /// Packets queued for the client.
+    inbox: VecDeque<(NodeAddr, Packet)>,
+    /// Servers currently unreachable.
+    muted: HashSet<ServerId>,
+    /// Drop the next `n` client->server packets (loss injection).
+    drop_next: u32,
+}
+
+#[derive(Clone)]
+struct SyncCluster {
+    state: Arc<Mutex<SyncClusterState>>,
+    root: PathBuf,
+}
+
+/// Endpoint that dispatches to the servers synchronously.
+struct SyncEndpoint {
+    cluster: SyncCluster,
+}
+
+impl Endpoint for SyncEndpoint {
+    fn local_addr(&self) -> NodeAddr {
+        NodeAddr(1000)
+    }
+
+    fn send(&self, to: NodeAddr, packet: &Packet) -> io::Result<()> {
+        let mut st = self.cluster.state.lock().unwrap();
+        if st.drop_next > 0 {
+            st.drop_next -= 1;
+            return Ok(());
+        }
+        let sid = ServerId(to.0);
+        if st.muted.contains(&sid) {
+            return Ok(()); // silently lost
+        }
+        // Round-trip through the wire format for fidelity.
+        let decoded = Packet::decode(&packet.encode()).expect("wire roundtrip");
+        let Some(server) = st.servers.get_mut(&sid) else {
+            return Ok(());
+        };
+        let replies = server.handle(NodeAddr(1000), &decoded);
+        for (addr, reply) in replies {
+            st.inbox.push_back((
+                to,
+                Packet::decode(&reply.encode()).expect("reply roundtrip"),
+            ));
+            debug_assert_eq!(addr, NodeAddr(1000));
+        }
+        Ok(())
+    }
+
+    fn recv(&self, _timeout: Duration) -> io::Result<Option<(NodeAddr, Packet)>> {
+        Ok(self.cluster.state.lock().unwrap().inbox.pop_front())
+    }
+}
+
+impl SyncCluster {
+    fn start(tag: &str, m: u64) -> SyncCluster {
+        let root = std::env::temp_dir()
+            .join("dlog-sync-cluster")
+            .join(format!("{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut servers = HashMap::new();
+        for i in 1..=m {
+            let sid = ServerId(i);
+            let dir = root.join(format!("server-{i}"));
+            let opts = StoreOptions {
+                fsync: false,
+                checkpoint_every: 0,
+                ..StoreOptions::default()
+            };
+            let store = LogStore::open(&dir, opts, NvramDevice::new(1 << 20)).unwrap();
+            let gens = GenStore::open(dir.join("gens")).unwrap();
+            servers.insert(
+                sid,
+                LogServer::new(ServerConfig::new(sid), store, gens).unwrap(),
+            );
+        }
+        SyncCluster {
+            state: Arc::new(Mutex::new(SyncClusterState {
+                servers,
+                inbox: VecDeque::new(),
+                muted: HashSet::new(),
+                drop_next: 0,
+            })),
+            root,
+        }
+    }
+
+    fn client(&self, n: usize, delta: u64) -> ReplicatedLog<SyncEndpoint> {
+        let m = self.state.lock().unwrap().servers.len() as u64;
+        let ids: Vec<ServerId> = (1..=m).map(ServerId).collect();
+        let addrs: HashMap<ServerId, NodeAddr> = ids.iter().map(|&s| (s, NodeAddr(s.0))).collect();
+        let ep = SyncEndpoint {
+            cluster: self.clone(),
+        };
+        let mut net = ClientNet::new(ep, addrs);
+        // Everything is synchronous: zero waiting.
+        net.rpc_timeout = Duration::from_millis(1);
+        net.rpc_retries = 1;
+        let config = ReplicationConfig::new(ids, n, delta).unwrap();
+        let mut opts = ClientOptions::new(config);
+        opts.strategy = AssignStrategy::Fixed;
+        opts.ack_timeout = Duration::from_millis(1);
+        opts.force_retries = 1;
+        ReplicatedLog::new(ClientId(1), opts, net)
+    }
+
+    fn mute(&self, s: ServerId) {
+        self.state.lock().unwrap().muted.insert(s);
+    }
+
+    fn unmute(&self, s: ServerId) {
+        self.state.lock().unwrap().muted.remove(&s);
+    }
+
+    fn drop_next(&self, n: u32) {
+        self.state.lock().unwrap().drop_next = n;
+    }
+
+    fn server_stats(&self, s: ServerId) -> dlog_server::ServerStats {
+        self.state.lock().unwrap().servers.get(&s).unwrap().stats()
+    }
+}
+
+impl Drop for SyncCluster {
+    fn drop(&mut self) {
+        if Arc::strong_count(&self.state) == 1 {
+            let _ = std::fs::remove_dir_all(&self.root);
+        }
+    }
+}
+
+#[test]
+fn deterministic_roundtrip() {
+    let cluster = SyncCluster::start("roundtrip", 3);
+    let mut log = cluster.client(2, 4);
+    log.initialize().unwrap();
+    for i in 1..=10u64 {
+        log.write(vec![i as u8; 30]).unwrap();
+    }
+    assert_eq!(log.force().unwrap(), Lsn(10));
+    for i in 1..=10u64 {
+        assert_eq!(
+            log.read(Lsn(i)).unwrap().as_bytes(),
+            vec![i as u8; 30].as_slice()
+        );
+    }
+}
+
+#[test]
+fn lost_batch_is_naked_and_resent() {
+    let cluster = SyncCluster::start("nak", 3);
+    let mut log = cluster.client(2, 4);
+    log.initialize().unwrap();
+    log.write(vec![1u8; 20]).unwrap();
+    log.force().unwrap();
+
+    // Lose the next batch to BOTH targets (2 packets), then the following
+    // force triggers the gap NAK path on the servers.
+    cluster.drop_next(2);
+    log.write(vec![2u8; 20]).unwrap();
+    log.flush().unwrap(); // silently lost
+    log.write(vec![3u8; 20]).unwrap();
+    log.force().unwrap(); // servers see a gap, NAK, client resends
+
+    let naks =
+        cluster.server_stats(ServerId(1)).naks_sent + cluster.server_stats(ServerId(2)).naks_sent;
+    assert!(naks >= 1, "servers must NAK the gap");
+    assert!(log.stats().resends >= 1, "client must resend");
+    for i in 1..=3u64 {
+        assert_eq!(
+            log.read(Lsn(i)).unwrap().as_bytes(),
+            vec![i as u8; 20].as_slice()
+        );
+    }
+}
+
+#[test]
+fn silent_server_causes_switch_with_new_interval() {
+    let cluster = SyncCluster::start("switch", 3);
+    let mut log = cluster.client(2, 4);
+    log.initialize().unwrap();
+    log.write(vec![1u8; 20]).unwrap();
+    log.force().unwrap();
+    let victim = log.targets()[1];
+
+    cluster.mute(victim);
+    log.write(vec![2u8; 20]).unwrap();
+    log.force().unwrap();
+    assert!(log.stats().switches >= 1);
+    assert!(!log.targets().contains(&victim));
+    // The replacement (server 3) holds a fresh interval (NewInterval path).
+    let s3 = ServerId(3);
+    assert!(log.targets().contains(&s3));
+    assert!(cluster.server_stats(s3).records_stored >= 1);
+
+    cluster.unmute(victim);
+    for i in 1..=2u64 {
+        assert_eq!(
+            log.read(Lsn(i)).unwrap().as_bytes(),
+            vec![i as u8; 20].as_slice()
+        );
+    }
+}
+
+#[test]
+fn duplicate_force_is_idempotent() {
+    let cluster = SyncCluster::start("dupforce", 3);
+    let mut log = cluster.client(2, 4);
+    log.initialize().unwrap();
+    log.write(vec![1u8; 20]).unwrap();
+    log.force().unwrap();
+    log.force().unwrap(); // nothing new: no-op
+    log.force().unwrap();
+    let stored = cluster.server_stats(ServerId(1)).records_stored
+        + cluster.server_stats(ServerId(2)).records_stored;
+    assert_eq!(stored, 2, "one record on two servers, no duplicates");
+}
+
+#[test]
+fn below_write_quorum_errors_cleanly() {
+    let cluster = SyncCluster::start("noquorum", 3);
+    let mut log = cluster.client(2, 4);
+    log.initialize().unwrap();
+    log.write(vec![1u8; 20]).unwrap();
+    log.force().unwrap();
+
+    // Mute two servers: only one remains — below N = 2.
+    cluster.mute(ServerId(2));
+    cluster.mute(ServerId(3));
+    log.write(vec![2u8; 20]).unwrap();
+    match log.force() {
+        Err(DlogError::QuorumUnavailable { .. }) => {}
+        other => panic!("expected quorum failure, got {other:?}"),
+    }
+
+    // Healing lets a later force complete (the record is still queued).
+    cluster.unmute(ServerId(2));
+    cluster.unmute(ServerId(3));
+    log.force().unwrap();
+    assert_eq!(
+        log.read(Lsn(2)).unwrap().as_bytes(),
+        vec![2u8; 20].as_slice()
+    );
+}

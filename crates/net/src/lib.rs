@@ -1,0 +1,67 @@
+//! The specialized low-level log-server protocol of §4.2.
+//!
+//! The paper rejects layering the log service on "expensive general
+//! purpose protocols": simple error-free operations must take a single
+//! packet each way, multiple log records are packed per packet, writes are
+//! **asynchronous messages** (`WriteLog`, `ForceLog`) acknowledged by
+//! `NewHighLSN`, losses are detected by the *server* from LSN
+//! discontinuities and reported promptly with `MissingInterval`, and only
+//! infrequent operations (reads, interval lists, recovery copies) are
+//! strict RPCs.
+//!
+//! This crate provides:
+//!
+//! * [`wire`] — the packet format: every Figure 4-1 message, CRC-framed,
+//!   packed to a configurable packet size;
+//! * [`conn`] — the Watson-style connection machinery the paper describes
+//!   (three-way handshake, permanently unique sequence numbers,
+//!   moving-window flow control with allocations, the pause-then-exceed
+//!   deadlock escape), as a sans-I/O state machine;
+//! * [`mem`] — an in-process datagram network with deterministic,
+//!   seed-driven fault injection (loss, duplication, reordering, delay,
+//!   partitions) used by tests and simulations;
+//! * [`udp`] — the same endpoint interface over real `std::net` UDP
+//!   sockets, demonstrating the protocol on an actual network.
+//!
+//! The paper also notes (§4.2, final paragraphs) that when records are
+//! smaller than a packet, "the log sequence numbers themselves can be used
+//! efficiently for duplicate detection and flow control", eliminating
+//! connection establishment. The client/server crates use that LSN-based
+//! mode for the logging stream, while [`conn`] realizes the general
+//! mechanism and is exercised by its own tests and the UDP example.
+
+#![warn(missing_docs)]
+
+pub mod conn;
+pub mod mem;
+pub mod udp;
+pub mod wire;
+
+pub use mem::{FaultPlan, MemEndpoint, MemNetwork};
+pub use wire::{Message, NodeAddr, Packet, Request, Response, MAX_PACKET_BYTES};
+
+use std::io;
+use std::time::Duration;
+
+/// A datagram endpoint: unreliable, unordered, message-oriented.
+///
+/// Both the in-memory network and the UDP transport implement this; all
+/// protocol logic above is transport-agnostic.
+pub trait Endpoint: Send {
+    /// This endpoint's address.
+    fn local_addr(&self) -> NodeAddr;
+
+    /// Send one datagram (best effort; may be silently dropped by the
+    /// network).
+    ///
+    /// # Errors
+    /// Only on local failures (unknown peer, socket error) — loss is not an
+    /// error.
+    fn send(&self, to: NodeAddr, packet: &Packet) -> io::Result<()>;
+
+    /// Receive the next datagram, waiting up to `timeout`.
+    ///
+    /// # Errors
+    /// Propagates socket errors; a timeout yields `Ok(None)`.
+    fn recv(&self, timeout: Duration) -> io::Result<Option<(NodeAddr, Packet)>>;
+}

@@ -1,0 +1,437 @@
+//! Deterministic in-process datagram network with fault injection.
+//!
+//! Tests and simulations run whole client/server clusters inside one
+//! process; the network delivers encoded packets between endpoints and
+//! injects faults — loss, duplication, reordering, partitions, downed
+//! nodes — from a seeded RNG, so every failure schedule is reproducible.
+//!
+//! Every packet is round-tripped through the real wire encoding
+//! ([`Packet::encode`] / [`Packet::decode`]), so the in-memory network
+//! exercises exactly the bytes UDP would carry.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::wire::{NodeAddr, Packet, MAX_PACKET_BYTES};
+use crate::Endpoint;
+
+/// Fault-injection parameters. All probabilities are per-packet.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    /// Probability a packet is silently dropped.
+    pub loss: f64,
+    /// Probability a packet is delivered twice.
+    pub duplicate: f64,
+    /// Probability a packet is held and delivered after its successor.
+    pub reorder: f64,
+    /// RNG seed; identical seeds give identical fault schedules.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// A perfectly reliable network.
+    #[must_use]
+    pub fn reliable() -> Self {
+        FaultPlan {
+            loss: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// A mildly misbehaving LAN (1% loss, 0.5% duplication, 2% reorder).
+    #[must_use]
+    pub fn flaky(seed: u64) -> Self {
+        FaultPlan {
+            loss: 0.01,
+            duplicate: 0.005,
+            reorder: 0.02,
+            seed,
+        }
+    }
+
+    /// A severely misbehaving network for stress tests.
+    #[must_use]
+    pub fn hostile(seed: u64) -> Self {
+        FaultPlan {
+            loss: 0.15,
+            duplicate: 0.05,
+            reorder: 0.10,
+            seed,
+        }
+    }
+}
+
+/// Network-wide delivery counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Packets offered to the network.
+    pub sent: u64,
+    /// Packets actually enqueued for delivery (including duplicates).
+    pub delivered: u64,
+    /// Packets dropped by loss, partitions, or downed nodes.
+    pub dropped: u64,
+    /// Extra copies injected.
+    pub duplicated: u64,
+    /// Packets delivered out of order.
+    pub reordered: u64,
+    /// Total encoded bytes offered.
+    pub bytes: u64,
+}
+
+struct Hub {
+    queues: HashMap<NodeAddr, VecDeque<(NodeAddr, Vec<u8>)>>,
+    /// Held packet per destination, released after the next send to it.
+    held: HashMap<NodeAddr, (NodeAddr, Vec<u8>)>,
+    partitions: HashSet<(NodeAddr, NodeAddr)>,
+    down: HashSet<NodeAddr>,
+    rng: StdRng,
+    plan: FaultPlan,
+    stats: NetStats,
+}
+
+/// A shared in-process network. Clone handles freely.
+#[derive(Clone)]
+pub struct MemNetwork {
+    hub: Arc<(Mutex<Hub>, Condvar)>,
+}
+
+impl MemNetwork {
+    /// Create a network with the given fault plan.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> Self {
+        MemNetwork {
+            hub: Arc::new((
+                Mutex::new(Hub {
+                    queues: HashMap::new(),
+                    held: HashMap::new(),
+                    partitions: HashSet::new(),
+                    down: HashSet::new(),
+                    rng: StdRng::seed_from_u64(plan.seed),
+                    plan,
+                    stats: NetStats::default(),
+                }),
+                Condvar::new(),
+            )),
+        }
+    }
+
+    /// Register an endpoint at `addr` (replacing any previous queue).
+    #[must_use]
+    pub fn endpoint(&self, addr: NodeAddr) -> MemEndpoint {
+        let (hub, _) = &*self.hub;
+        hub.lock().queues.insert(addr, VecDeque::new());
+        MemEndpoint {
+            net: self.clone(),
+            addr,
+        }
+    }
+
+    /// Sever both directions between `a` and `b`.
+    pub fn partition(&self, a: NodeAddr, b: NodeAddr) {
+        let (hub, _) = &*self.hub;
+        let mut h = hub.lock();
+        h.partitions.insert((a, b));
+        h.partitions.insert((b, a));
+    }
+
+    /// Restore connectivity between `a` and `b`.
+    pub fn heal(&self, a: NodeAddr, b: NodeAddr) {
+        let (hub, _) = &*self.hub;
+        let mut h = hub.lock();
+        h.partitions.remove(&(a, b));
+        h.partitions.remove(&(b, a));
+    }
+
+    /// Mark a node down (all its traffic is dropped) or back up.
+    pub fn set_down(&self, addr: NodeAddr, down: bool) {
+        let (hub, _) = &*self.hub;
+        let mut h = hub.lock();
+        if down {
+            h.down.insert(addr);
+            // A downed node loses anything in flight to it.
+            if let Some(q) = h.queues.get_mut(&addr) {
+                q.clear();
+            }
+        } else {
+            h.down.remove(&addr);
+        }
+    }
+
+    /// True if the node is currently marked down.
+    #[must_use]
+    pub fn is_down(&self, addr: NodeAddr) -> bool {
+        let (hub, _) = &*self.hub;
+        hub.lock().down.contains(&addr)
+    }
+
+    /// Delivery counters.
+    #[must_use]
+    pub fn stats(&self) -> NetStats {
+        let (hub, _) = &*self.hub;
+        hub.lock().stats
+    }
+
+    fn send_impl(&self, from: NodeAddr, to: NodeAddr, packet: &Packet) -> io::Result<()> {
+        let bytes = packet.encode().to_vec();
+        if bytes.len() > MAX_PACKET_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "packet of {} bytes exceeds MTU {MAX_PACKET_BYTES}",
+                    bytes.len()
+                ),
+            ));
+        }
+        let (hub, cv) = &*self.hub;
+        let mut h = hub.lock();
+        h.stats.sent += 1;
+        h.stats.bytes += bytes.len() as u64;
+
+        if h.down.contains(&from) || h.down.contains(&to) || h.partitions.contains(&(from, to)) {
+            h.stats.dropped += 1;
+            return Ok(());
+        }
+        if !h.queues.contains_key(&to) {
+            h.stats.dropped += 1; // no such node: a LAN just loses it
+            return Ok(());
+        }
+        let plan = h.plan;
+        if h.rng.gen_bool(plan.loss) {
+            h.stats.dropped += 1;
+            return Ok(());
+        }
+        let duplicate = plan.duplicate > 0.0 && h.rng.gen_bool(plan.duplicate);
+        let hold = plan.reorder > 0.0 && h.rng.gen_bool(plan.reorder);
+
+        // Release a previously held packet *after* this one (reordering).
+        let mut deliveries: Vec<(NodeAddr, Vec<u8>)> = Vec::with_capacity(3);
+        if hold && !h.held.contains_key(&to) {
+            h.held.insert(to, (from, bytes.clone()));
+        } else {
+            deliveries.push((from, bytes.clone()));
+        }
+        if let Some((hf, hb)) = h.held.remove(&to) {
+            if !deliveries.is_empty() || !hold {
+                h.stats.reordered += 1;
+                deliveries.push((hf, hb));
+            } else {
+                h.held.insert(to, (hf, hb));
+            }
+        }
+        if duplicate {
+            h.stats.duplicated += 1;
+            deliveries.push((from, bytes));
+        }
+        if !deliveries.is_empty() {
+            h.stats.delivered += deliveries.len() as u64;
+            let q = h.queues.get_mut(&to).expect("checked above");
+            for d in deliveries {
+                q.push_back(d);
+            }
+            cv.notify_all();
+        }
+        Ok(())
+    }
+
+    fn recv_impl(
+        &self,
+        addr: NodeAddr,
+        timeout: Duration,
+    ) -> io::Result<Option<(NodeAddr, Packet)>> {
+        let (hub, cv) = &*self.hub;
+        let deadline = Instant::now() + timeout;
+        let mut h = hub.lock();
+        loop {
+            if let Some(q) = h.queues.get_mut(&addr) {
+                if let Some((from, bytes)) = q.pop_front() {
+                    drop(h);
+                    return match Packet::decode(&bytes) {
+                        Ok(p) => Ok(Some((from, p))),
+                        // A corrupt datagram is dropped, as a NIC would.
+                        Err(_) => Ok(None),
+                    };
+                }
+            } else {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    "endpoint unregistered",
+                ));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            cv.wait_until(&mut h, deadline);
+        }
+    }
+}
+
+/// An endpoint on a [`MemNetwork`].
+pub struct MemEndpoint {
+    net: MemNetwork,
+    addr: NodeAddr,
+}
+
+impl Endpoint for MemEndpoint {
+    fn local_addr(&self) -> NodeAddr {
+        self.addr
+    }
+
+    fn send(&self, to: NodeAddr, packet: &Packet) -> io::Result<()> {
+        self.net.send_impl(self.addr, to, packet)
+    }
+
+    fn recv(&self, timeout: Duration) -> io::Result<Option<(NodeAddr, Packet)>> {
+        self.net.recv_impl(self.addr, timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::Message;
+    use dlog_types::{ClientId, Lsn};
+
+    fn ping(lsn: u64) -> Packet {
+        Packet::bare(Message::NewHighLsn {
+            client: ClientId(1),
+            lsn: Lsn(lsn),
+        })
+    }
+
+    #[test]
+    fn reliable_delivery() {
+        let net = MemNetwork::new(FaultPlan::reliable());
+        let a = net.endpoint(NodeAddr(1));
+        let b = net.endpoint(NodeAddr(2));
+        a.send(NodeAddr(2), &ping(5)).unwrap();
+        let (from, p) = b.recv(Duration::from_millis(100)).unwrap().unwrap();
+        assert_eq!(from, NodeAddr(1));
+        assert_eq!(p, ping(5));
+        // Nothing else arrives.
+        assert!(b.recv(Duration::from_millis(10)).unwrap().is_none());
+    }
+
+    #[test]
+    fn loss_is_deterministic_per_seed() {
+        let mut outcomes = Vec::new();
+        for _ in 0..2 {
+            let net = MemNetwork::new(FaultPlan {
+                loss: 0.5,
+                duplicate: 0.0,
+                reorder: 0.0,
+                seed: 42,
+            });
+            let a = net.endpoint(NodeAddr(1));
+            let b = net.endpoint(NodeAddr(2));
+            let mut got = Vec::new();
+            for i in 0..50 {
+                a.send(NodeAddr(2), &ping(i)).unwrap();
+            }
+            while let Some((_, p)) = b.recv(Duration::from_millis(5)).unwrap() {
+                if let Message::NewHighLsn { lsn, .. } = p.msg {
+                    got.push(lsn.0);
+                }
+            }
+            outcomes.push(got);
+        }
+        assert_eq!(outcomes[0], outcomes[1]);
+        assert!(outcomes[0].len() < 50, "some packets must drop at 50% loss");
+        assert!(!outcomes[0].is_empty(), "some packets must survive");
+    }
+
+    #[test]
+    fn partition_blocks_both_ways() {
+        let net = MemNetwork::new(FaultPlan::reliable());
+        let a = net.endpoint(NodeAddr(1));
+        let b = net.endpoint(NodeAddr(2));
+        net.partition(NodeAddr(1), NodeAddr(2));
+        a.send(NodeAddr(2), &ping(1)).unwrap();
+        b.send(NodeAddr(1), &ping(2)).unwrap();
+        assert!(b.recv(Duration::from_millis(10)).unwrap().is_none());
+        assert!(a.recv(Duration::from_millis(10)).unwrap().is_none());
+        net.heal(NodeAddr(1), NodeAddr(2));
+        a.send(NodeAddr(2), &ping(3)).unwrap();
+        assert!(b.recv(Duration::from_millis(100)).unwrap().is_some());
+    }
+
+    #[test]
+    fn down_node_loses_traffic_and_queue() {
+        let net = MemNetwork::new(FaultPlan::reliable());
+        let a = net.endpoint(NodeAddr(1));
+        let b = net.endpoint(NodeAddr(2));
+        a.send(NodeAddr(2), &ping(1)).unwrap();
+        net.set_down(NodeAddr(2), true);
+        a.send(NodeAddr(2), &ping(2)).unwrap();
+        net.set_down(NodeAddr(2), false);
+        // Both the queued and the in-flight packet are gone.
+        assert!(b.recv(Duration::from_millis(10)).unwrap().is_none());
+        a.send(NodeAddr(2), &ping(3)).unwrap();
+        let (_, p) = b.recv(Duration::from_millis(100)).unwrap().unwrap();
+        assert_eq!(p, ping(3));
+    }
+
+    #[test]
+    fn duplicates_and_reorders_happen() {
+        let net = MemNetwork::new(FaultPlan {
+            loss: 0.0,
+            duplicate: 0.3,
+            reorder: 0.3,
+            seed: 7,
+        });
+        let a = net.endpoint(NodeAddr(1));
+        let b = net.endpoint(NodeAddr(2));
+        let n = 200;
+        for i in 0..n {
+            a.send(NodeAddr(2), &ping(i)).unwrap();
+        }
+        let mut got = Vec::new();
+        while let Some((_, p)) = b.recv(Duration::from_millis(5)).unwrap() {
+            if let Message::NewHighLsn { lsn, .. } = p.msg {
+                got.push(lsn.0);
+            }
+        }
+        assert!(got.len() as u64 > n, "duplicates should inflate the count");
+        let sorted = {
+            let mut s = got.clone();
+            s.sort_unstable();
+            s
+        };
+        assert_ne!(got, sorted, "reordering should scramble delivery order");
+        let stats = net.stats();
+        assert!(stats.duplicated > 0);
+        assert!(stats.reordered > 0);
+    }
+
+    #[test]
+    fn unknown_destination_is_dropped() {
+        let net = MemNetwork::new(FaultPlan::reliable());
+        let a = net.endpoint(NodeAddr(1));
+        a.send(NodeAddr(99), &ping(1)).unwrap();
+        assert_eq!(net.stats().dropped, 1);
+    }
+
+    #[test]
+    fn oversized_packet_rejected() {
+        let net = MemNetwork::new(FaultPlan::reliable());
+        let a = net.endpoint(NodeAddr(1));
+        let _b = net.endpoint(NodeAddr(2));
+        let big = Packet::bare(Message::WriteLog {
+            client: ClientId(1),
+            epoch: dlog_types::Epoch(1),
+            records: vec![(
+                Lsn(1),
+                dlog_types::LogData::from(vec![0u8; MAX_PACKET_BYTES]),
+            )],
+        });
+        assert!(a.send(NodeAddr(2), &big).is_err());
+    }
+}

@@ -1,0 +1,800 @@
+//! The log-server node: protocol handling on top of the storage engine.
+//!
+//! A log server implements the interface of Figure 4-1 (§4.2):
+//!
+//! * asynchronous `WriteLog` / `ForceLog` messages carrying batches of log
+//!   records, acknowledged (for forces) by `NewHighLSN`;
+//! * **gap detection**: a batch whose LSNs are not contiguous with the
+//!   client's stored records is refused and answered with a prompt
+//!   `MissingInterval` NAK; the client either resends the gap or
+//!   authorizes a fresh interval with `NewInterval`;
+//! * **duplicate suppression by LSN**: re-delivered records at or below
+//!   the stored high LSN are ignored, which is the paper's lightweight
+//!   alternative to connection state for small records;
+//! * strict RPCs for the rare operations: `IntervalList`,
+//!   `ReadLogForward` / `ReadLogBackward`, and the recovery pair
+//!   `CopyLog` / `InstallCopies`;
+//! * **load shedding**: an overloaded server "is free to ignore ForceLog
+//!   and WriteLog messages", but always answers reads and interval lists;
+//! * hosting of **generator state representatives** (Appendix I) so the
+//!   replicated epoch generator needs no extra nodes.
+//!
+//! [`LogServer::handle`] is sans-I/O — it maps one incoming packet to a
+//! list of outgoing packets — so the full protocol is unit-testable
+//! without threads; [`runner::ServerRunner`] drives it over any
+//! [`dlog_net::Endpoint`].
+
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod runner;
+
+use std::collections::HashMap;
+
+use dlog_net::wire::{codes, Message, NodeAddr, Packet, Request, Response, MAX_PACKET_BYTES};
+use dlog_storage::LogStore;
+use dlog_types::{ClientId, DlogError, Epoch, LogData, LogRecord, Lsn, Result, ServerId};
+
+use crate::gen::GenStore;
+
+/// Per-client protocol state kept by the server.
+#[derive(Debug, Default)]
+struct Session {
+    /// A `NewInterval` authorization: the next noncontiguous record the
+    /// server will accept as the start of a fresh interval.
+    pending_interval: Option<(Epoch, Lsn)>,
+    /// Where acknowledgments should be sent (last address seen).
+    last_addr: Option<NodeAddr>,
+}
+
+/// Server behaviour knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// This server's identity.
+    pub id: ServerId,
+    /// Push an unsolicited `NewHighLSN` after this many buffered (unforced)
+    /// records from a client ("asynchronously requested positive
+    /// acknowledgments", §4.2). 0 disables.
+    pub ack_every: u64,
+    /// Cap on records packed into a read response.
+    pub read_batch: u32,
+}
+
+impl ServerConfig {
+    /// Defaults for a server with the given id.
+    #[must_use]
+    pub fn new(id: ServerId) -> Self {
+        ServerConfig {
+            id,
+            ack_every: 64,
+            read_batch: 512,
+        }
+    }
+}
+
+/// Protocol-level counters (fed into the E3 capacity experiment).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Packets handled.
+    pub packets_in: u64,
+    /// Packets emitted.
+    pub packets_out: u64,
+    /// Records accepted and stored.
+    pub records_stored: u64,
+    /// Duplicate records ignored (LSN-based duplicate suppression).
+    pub duplicates_ignored: u64,
+    /// `MissingInterval` NAKs sent.
+    pub naks_sent: u64,
+    /// Write/force messages dropped by load shedding.
+    pub writes_shed: u64,
+    /// RPC requests served.
+    pub rpcs: u64,
+    /// Forces acknowledged.
+    pub forces_acked: u64,
+}
+
+/// A log-server node.
+pub struct LogServer {
+    config: ServerConfig,
+    store: LogStore,
+    gens: GenStore,
+    sessions: HashMap<ClientId, Session>,
+    /// Unforced records per client since the last ack.
+    unacked: HashMap<ClientId, u64>,
+    shedding: bool,
+    stats: ServerStats,
+}
+
+impl LogServer {
+    /// Wrap a recovered [`LogStore`] with protocol state.
+    ///
+    /// # Errors
+    /// Propagates generator-state load failures.
+    pub fn new(config: ServerConfig, store: LogStore, gens: GenStore) -> Result<LogServer> {
+        Ok(LogServer {
+            config,
+            store,
+            gens,
+            sessions: HashMap::new(),
+            unacked: HashMap::new(),
+            shedding: false,
+            stats: ServerStats::default(),
+        })
+    }
+
+    /// This server's id.
+    #[must_use]
+    pub fn id(&self) -> ServerId {
+        self.config.id
+    }
+
+    /// Protocol counters.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Storage counters.
+    #[must_use]
+    pub fn store_stats(&self) -> dlog_storage::StoreStats {
+        self.store.stats()
+    }
+
+    /// Direct store access (tests and experiments).
+    pub fn store_mut(&mut self) -> &mut LogStore {
+        &mut self.store
+    }
+
+    /// Enable or disable load shedding: while shedding, `WriteLog` and
+    /// `ForceLog` are silently ignored (§4.2); reads, interval lists, and
+    /// recovery RPCs are still served.
+    pub fn set_shedding(&mut self, on: bool) {
+        self.shedding = on;
+    }
+
+    /// Handle one packet; returns the packets to transmit.
+    pub fn handle(&mut self, from: NodeAddr, pkt: &Packet) -> Vec<(NodeAddr, Packet)> {
+        self.stats.packets_in += 1;
+        let mut out: Vec<(NodeAddr, Packet)> = Vec::new();
+        match &pkt.msg {
+            Message::WriteLog {
+                client,
+                epoch,
+                records,
+            } => {
+                if self.shedding {
+                    self.stats.writes_shed += 1;
+                } else {
+                    self.ingest(from, *client, *epoch, records, false, &mut out);
+                }
+            }
+            Message::ForceLog {
+                client,
+                epoch,
+                records,
+            } => {
+                if self.shedding {
+                    self.stats.writes_shed += 1;
+                } else {
+                    self.ingest(from, *client, *epoch, records, true, &mut out);
+                }
+            }
+            Message::NewInterval {
+                client,
+                epoch,
+                starting_lsn,
+            } => {
+                let session = self.sessions.entry(*client).or_default();
+                session.pending_interval = Some((*epoch, *starting_lsn));
+                session.last_addr = Some(from);
+            }
+            Message::Request { id, body } => {
+                self.stats.rpcs += 1;
+                let body = self.serve(body);
+                out.push((from, Packet::bare(Message::Response { id: *id, body })));
+            }
+            // Handshake traffic and client-bound messages are not for the
+            // data-plane server; ignore.
+            _ => {}
+        }
+        self.stats.packets_out += out.len() as u64;
+        out
+    }
+
+    /// Ingest a write/force batch, producing NAKs or acks.
+    fn ingest(
+        &mut self,
+        from: NodeAddr,
+        client: ClientId,
+        epoch: Epoch,
+        records: &[(Lsn, LogData)],
+        force: bool,
+        out: &mut Vec<(NodeAddr, Packet)>,
+    ) {
+        let session = self.sessions.entry(client).or_default();
+        session.last_addr = Some(from);
+        let pending = session.pending_interval;
+
+        let mut naked = false;
+        for (lsn, data) in records {
+            let last = self.store.last_interval(client);
+            let accept = match last {
+                None => true, // first record ever: any start is fine
+                Some(iv) => {
+                    if epoch < iv.epoch {
+                        // Stale epoch: a pre-crash straggler. Ignore.
+                        self.stats.duplicates_ignored += 1;
+                        continue;
+                    }
+                    if epoch == iv.epoch && *lsn <= iv.hi {
+                        // LSN-based duplicate suppression (§4.2).
+                        self.stats.duplicates_ignored += 1;
+                        continue;
+                    }
+                    if epoch == iv.epoch && iv.hi.precedes(*lsn) {
+                        true // contiguous extension
+                    } else {
+                        // Noncontiguous: only a NewInterval authorization
+                        // admits it.
+                        pending == Some((epoch, *lsn))
+                    }
+                }
+            };
+            if accept {
+                let record = LogRecord::present(*lsn, epoch, data.clone());
+                match self.store.write(client, &record) {
+                    Ok(()) => {
+                        self.stats.records_stored += 1;
+                        if pending == Some((epoch, *lsn)) {
+                            self.sessions.entry(client).or_default().pending_interval = None;
+                        }
+                    }
+                    Err(e) => {
+                        // Storage order violations cannot happen for
+                        // accepted records; treat as fatal corruption.
+                        panic!("store rejected validated record: {e}");
+                    }
+                }
+            } else if !naked {
+                // Prompt NAK for the first gap (§4.2: "it notifies the
+                // client of the missing interval immediately").
+                let gap_lo = self
+                    .store
+                    .last_interval(client)
+                    .map_or(Lsn::FIRST, |iv| iv.hi.next());
+                let gap_hi = lsn.prev().unwrap_or(Lsn::FIRST);
+                out.push((
+                    from,
+                    Packet::bare(Message::MissingInterval {
+                        client,
+                        lo: gap_lo,
+                        hi: gap_hi,
+                    }),
+                ));
+                self.stats.naks_sent += 1;
+                naked = true;
+            }
+        }
+
+        if force {
+            if let Err(e) = self.store.force(client) {
+                // A force that cannot reach stable storage is fatal for a
+                // log server.
+                panic!("force failed: {e}");
+            }
+            self.stats.forces_acked += 1;
+            self.unacked.insert(client, 0);
+            if let Some(iv) = self.store.last_interval(client) {
+                out.push((
+                    from,
+                    Packet::bare(Message::NewHighLsn { client, lsn: iv.hi }),
+                ));
+            }
+        } else if self.config.ack_every > 0 {
+            let n = self.unacked.entry(client).or_insert(0);
+            *n += records.len() as u64;
+            if *n >= self.config.ack_every {
+                *n = 0;
+                if let Some(iv) = self.store.last_interval(client) {
+                    out.push((
+                        from,
+                        Packet::bare(Message::NewHighLsn { client, lsn: iv.hi }),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Serve a strict RPC.
+    fn serve(&mut self, req: &Request) -> Response {
+        match req {
+            Request::IntervalList { client } => Response::Intervals {
+                intervals: self.store.interval_list(*client),
+            },
+            Request::ReadLogForward {
+                client,
+                lsn,
+                max_records,
+            } => self.read_batch(*client, *lsn, *max_records, true),
+            Request::ReadLogBackward {
+                client,
+                lsn,
+                max_records,
+            } => self.read_batch(*client, *lsn, *max_records, false),
+            Request::CopyLog {
+                client,
+                epoch,
+                records,
+            } => {
+                for r in records {
+                    if r.epoch != *epoch {
+                        return Response::Err {
+                            code: codes::PROTOCOL,
+                            detail: format!(
+                                "CopyLog record epoch {} differs from call epoch {epoch}",
+                                r.epoch
+                            ),
+                        };
+                    }
+                    match self.store.stage_copy(*client, r) {
+                        Ok(()) => {}
+                        Err(DlogError::StaleEpoch { current, .. }) => {
+                            return Response::Err {
+                                code: codes::STALE_EPOCH,
+                                detail: format!("server already at epoch {current}"),
+                            }
+                        }
+                        Err(e) => {
+                            return Response::Err {
+                                code: codes::STORAGE,
+                                detail: e.to_string(),
+                            }
+                        }
+                    }
+                }
+                Response::Ok
+            }
+            Request::InstallCopies { client, epoch } => {
+                match self.store.install_copies(*client, *epoch) {
+                    Ok(()) => Response::Ok,
+                    Err(_)
+                        if self
+                            .store
+                            .last_interval(*client)
+                            .is_some_and(|iv| iv.epoch == *epoch) =>
+                    {
+                        // Retried install after a lost response: the epoch
+                        // is already installed. Idempotent success.
+                        Response::Ok
+                    }
+                    Err(e) => Response::Err {
+                        code: codes::STORAGE,
+                        detail: e.to_string(),
+                    },
+                }
+            }
+            Request::Status => {
+                let st = self.stats;
+                Response::Status {
+                    records_stored: st.records_stored,
+                    duplicates_ignored: st.duplicates_ignored,
+                    naks_sent: st.naks_sent,
+                    writes_shed: st.writes_shed,
+                    rpcs: st.rpcs,
+                    forces_acked: st.forces_acked,
+                    clients: self.store.clients().len() as u64,
+                    on_disk_bytes: self.store.on_disk_bytes(),
+                    tracks_flushed: self.store.stats().tracks_flushed,
+                }
+            }
+            Request::GenRead { generator } => Response::GenValue {
+                value: self.gens.read(*generator),
+            },
+            Request::GenWrite { generator, value } => match self.gens.write(*generator, *value) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Err {
+                    code: codes::STORAGE,
+                    detail: e.to_string(),
+                },
+            },
+        }
+    }
+
+    fn read_batch(&mut self, client: ClientId, lsn: Lsn, max: u32, forward: bool) -> Response {
+        let mut records = Vec::new();
+        let mut bytes = 0usize;
+        let mut cursor = lsn;
+        // "A log server does not respond to ServerReadLog requests for
+        // records that it does not store" (§3.1.1) — at the batch level an
+        // empty response tells the client to ask elsewhere, while records
+        // marked not-present ARE returned.
+        loop {
+            if records.len() as u32 >= max.min(self.config.read_batch) {
+                break;
+            }
+            match self.store.read(client, cursor) {
+                Ok(Some(rec)) => {
+                    bytes += rec.data.len() + 32;
+                    if bytes > MAX_PACKET_BYTES - 128 && !records.is_empty() {
+                        break;
+                    }
+                    records.push(rec);
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    return Response::Err {
+                        code: codes::STORAGE,
+                        detail: e.to_string(),
+                    }
+                }
+            }
+            cursor = if forward {
+                cursor.next()
+            } else {
+                match cursor.prev() {
+                    Some(p) if p > Lsn::ZERO => p,
+                    _ => break,
+                }
+            };
+        }
+        Response::Records { records }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlog_storage::{NvramDevice, StoreOptions};
+    use std::path::PathBuf;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir()
+            .join("dlog-server-tests")
+            .join(format!("{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn server(name: &str) -> LogServer {
+        let dir = tmpdir(name);
+        let opts = StoreOptions {
+            fsync: false,
+            checkpoint_every: 0,
+            ..StoreOptions::default()
+        };
+        let store = LogStore::open(&dir, opts, NvramDevice::new(1 << 20)).unwrap();
+        let gens = GenStore::open(dir.join("gens")).unwrap();
+        LogServer::new(ServerConfig::new(ServerId(1)), store, gens).unwrap()
+    }
+
+    fn batch(lo: u64, hi: u64) -> Vec<(Lsn, LogData)> {
+        (lo..=hi)
+            .map(|i| (Lsn(i), LogData::from(vec![i as u8; 50])))
+            .collect()
+    }
+
+    const CL: ClientId = ClientId(7);
+    const FROM: NodeAddr = NodeAddr(99);
+
+    fn force(s: &mut LogServer, epoch: u64, lo: u64, hi: u64) -> Vec<(NodeAddr, Packet)> {
+        s.handle(
+            FROM,
+            &Packet::bare(Message::ForceLog {
+                client: CL,
+                epoch: Epoch(epoch),
+                records: batch(lo, hi),
+            }),
+        )
+    }
+
+    #[test]
+    fn force_acks_with_new_high_lsn() {
+        let mut s = server("ack");
+        let out = force(&mut s, 1, 1, 7);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, FROM);
+        assert_eq!(
+            out[0].1.msg,
+            Message::NewHighLsn {
+                client: CL,
+                lsn: Lsn(7)
+            },
+        );
+        assert_eq!(s.stats().records_stored, 7);
+        assert_eq!(s.stats().forces_acked, 1);
+    }
+
+    #[test]
+    fn gap_triggers_missing_interval_nak() {
+        let mut s = server("nak");
+        force(&mut s, 1, 1, 3);
+        // Records 4..5 lost; 6..7 arrive.
+        let out = force(&mut s, 1, 6, 7);
+        // First reply: the NAK; then the ack for what IS stored (3).
+        assert_eq!(
+            out[0].1.msg,
+            Message::MissingInterval {
+                client: CL,
+                lo: Lsn(4),
+                hi: Lsn(5)
+            }
+        );
+        assert_eq!(
+            out[1].1.msg,
+            Message::NewHighLsn {
+                client: CL,
+                lsn: Lsn(3)
+            }
+        );
+        assert_eq!(s.stats().naks_sent, 1);
+        // Resending the full gap completes the log.
+        let out = force(&mut s, 1, 4, 7);
+        assert_eq!(
+            out.last().unwrap().1.msg,
+            Message::NewHighLsn {
+                client: CL,
+                lsn: Lsn(7)
+            }
+        );
+    }
+
+    #[test]
+    fn duplicates_ignored_by_lsn() {
+        let mut s = server("dup");
+        force(&mut s, 1, 1, 5);
+        let out = force(&mut s, 1, 3, 5); // retransmission
+        assert_eq!(s.stats().duplicates_ignored, 3);
+        assert_eq!(s.stats().records_stored, 5);
+        assert_eq!(
+            out.last().unwrap().1.msg,
+            Message::NewHighLsn {
+                client: CL,
+                lsn: Lsn(5)
+            }
+        );
+    }
+
+    #[test]
+    fn new_interval_authorizes_gap() {
+        let mut s = server("newint");
+        force(&mut s, 1, 1, 3);
+        s.handle(
+            FROM,
+            &Packet::bare(Message::NewInterval {
+                client: CL,
+                epoch: Epoch(1),
+                starting_lsn: Lsn(10),
+            }),
+        );
+        let out = force(&mut s, 1, 10, 12);
+        assert_eq!(
+            out.last().unwrap().1.msg,
+            Message::NewHighLsn {
+                client: CL,
+                lsn: Lsn(12)
+            }
+        );
+        assert_eq!(s.stats().naks_sent, 0);
+        // Two intervals now.
+        let resp = s.serve(&Request::IntervalList { client: CL });
+        match resp {
+            Response::Intervals { intervals } => assert_eq!(intervals.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shedding_drops_writes_but_serves_reads() {
+        let mut s = server("shed");
+        force(&mut s, 1, 1, 3);
+        s.set_shedding(true);
+        let out = force(&mut s, 1, 4, 5);
+        assert!(out.is_empty(), "shed writes get no reply at all");
+        assert_eq!(s.stats().writes_shed, 1);
+        // Reads still work.
+        let out = s.handle(
+            FROM,
+            &Packet::bare(Message::Request {
+                id: 1,
+                body: Request::ReadLogForward {
+                    client: CL,
+                    lsn: Lsn(1),
+                    max_records: 10,
+                },
+            }),
+        );
+        match &out[0].1.msg {
+            Message::Response {
+                body: Response::Records { records },
+                ..
+            } => {
+                assert_eq!(records.len(), 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_forward_and_backward() {
+        let mut s = server("read");
+        force(&mut s, 1, 1, 20);
+        match s.serve(&Request::ReadLogForward {
+            client: CL,
+            lsn: Lsn(5),
+            max_records: 3,
+        }) {
+            Response::Records { records } => {
+                let lsns: Vec<u64> = records.iter().map(|r| r.lsn.0).collect();
+                assert_eq!(lsns, vec![5, 6, 7]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match s.serve(&Request::ReadLogBackward {
+            client: CL,
+            lsn: Lsn(5),
+            max_records: 3,
+        }) {
+            Response::Records { records } => {
+                let lsns: Vec<u64> = records.iter().map(|r| r.lsn.0).collect();
+                assert_eq!(lsns, vec![5, 4, 3]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Unstored LSN: empty response.
+        match s.serve(&Request::ReadLogForward {
+            client: CL,
+            lsn: Lsn(21),
+            max_records: 3,
+        }) {
+            Response::Records { records } => assert!(records.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn copylog_install_flow() {
+        let mut s = server("copy");
+        force(&mut s, 1, 1, 5);
+        // Recovery: copy LSN 5 with epoch 3, append not-present 6.
+        let records = vec![
+            LogRecord::present(Lsn(5), Epoch(3), vec![9u8; 10]),
+            LogRecord::not_present(Lsn(6), Epoch(3)),
+        ];
+        let r = s.serve(&Request::CopyLog {
+            client: CL,
+            epoch: Epoch(3),
+            records,
+        });
+        assert_eq!(r, Response::Ok);
+        let r = s.serve(&Request::InstallCopies {
+            client: CL,
+            epoch: Epoch(3),
+        });
+        assert_eq!(r, Response::Ok);
+        // Idempotent retry.
+        let r = s.serve(&Request::InstallCopies {
+            client: CL,
+            epoch: Epoch(3),
+        });
+        assert_eq!(r, Response::Ok);
+        // The rewrite is visible.
+        match s.serve(&Request::ReadLogForward {
+            client: CL,
+            lsn: Lsn(5),
+            max_records: 2,
+        }) {
+            Response::Records { records } => {
+                assert_eq!(records[0].epoch, Epoch(3));
+                assert!(!records[1].present);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn copylog_stale_epoch_rejected() {
+        let mut s = server("copystale");
+        force(&mut s, 5, 1, 3);
+        let r = s.serve(&Request::CopyLog {
+            client: CL,
+            epoch: Epoch(4),
+            records: vec![LogRecord::present(Lsn(3), Epoch(4), vec![1])],
+        });
+        assert!(matches!(
+            r,
+            Response::Err {
+                code: codes::STALE_EPOCH,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn copylog_epoch_mismatch_rejected() {
+        let mut s = server("copymis");
+        let r = s.serve(&Request::CopyLog {
+            client: CL,
+            epoch: Epoch(4),
+            records: vec![LogRecord::present(Lsn(3), Epoch(5), vec![1])],
+        });
+        assert!(matches!(
+            r,
+            Response::Err {
+                code: codes::PROTOCOL,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn stale_epoch_writes_ignored() {
+        let mut s = server("stale");
+        force(&mut s, 5, 1, 3);
+        let out = force(&mut s, 4, 4, 5); // pre-crash stragglers
+        assert_eq!(s.stats().duplicates_ignored, 2);
+        assert_eq!(s.stats().records_stored, 3);
+        // Force still acks the stored high.
+        assert_eq!(
+            out.last().unwrap().1.msg,
+            Message::NewHighLsn {
+                client: CL,
+                lsn: Lsn(3)
+            }
+        );
+    }
+
+    #[test]
+    fn unsolicited_acks_every_n_buffered_records() {
+        let mut s = server("periodic");
+        s.config.ack_every = 10;
+        let mut acks = 0;
+        for chunk in 0..5u64 {
+            let lo = chunk * 5 + 1;
+            let out = s.handle(
+                FROM,
+                &Packet::bare(Message::WriteLog {
+                    client: CL,
+                    epoch: Epoch(1),
+                    records: batch(lo, lo + 4),
+                }),
+            );
+            acks += out.len();
+        }
+        // 25 buffered records with ack_every=10: the counter crosses the
+        // threshold (and resets) after batches 2 and 4 → 2 unsolicited acks.
+        assert_eq!(acks, 2);
+    }
+
+    #[test]
+    fn generator_rpcs() {
+        let mut s = server("gen");
+        assert_eq!(
+            s.serve(&Request::GenRead { generator: 1 }),
+            Response::GenValue { value: 0 }
+        );
+        assert_eq!(
+            s.serve(&Request::GenWrite {
+                generator: 1,
+                value: 42
+            }),
+            Response::Ok
+        );
+        assert_eq!(
+            s.serve(&Request::GenRead { generator: 1 }),
+            Response::GenValue { value: 42 }
+        );
+        // Writes are monotonic: a lower write does not regress the value.
+        assert_eq!(
+            s.serve(&Request::GenWrite {
+                generator: 1,
+                value: 17
+            }),
+            Response::Ok
+        );
+        assert_eq!(
+            s.serve(&Request::GenRead { generator: 1 }),
+            Response::GenValue { value: 42 }
+        );
+    }
+}

@@ -1,0 +1,263 @@
+//! Load-assignment simulation (§5.4, experiment E10).
+//!
+//! "If the only technique for detecting overloaded servers is for a
+//! client to recognize degraded performance with a short timeout, then
+//! clients might change servers too frequently resulting in very long
+//! interval lists. If servers shed load by ignoring clients, then clients
+//! of failed servers might try one server after another without success."
+//!
+//! The simulation puts C clients (each writing to N targets) over M
+//! servers with a per-server capacity. Overloaded servers shed their
+//! highest-numbered surplus clients each tick; a client switches a target
+//! after `patience` consecutive shed ticks. Occasional server failures
+//! force mass migrations. Measured: switch counts, interval-list lengths
+//! (one new interval per switch), and load imbalance — per strategy and
+//! patience setting.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dlog_core::assign::AssignStrategy;
+use dlog_types::{ClientId, ServerId};
+
+/// Simulation parameters.
+#[derive(Clone, Debug)]
+pub struct AssignSimParams {
+    /// Client count.
+    pub clients: u64,
+    /// Server count M.
+    pub servers: u64,
+    /// Targets per client N.
+    pub n: usize,
+    /// Clients a server can carry before shedding.
+    pub capacity: u64,
+    /// Consecutive shed ticks a client tolerates before switching.
+    pub patience: u32,
+    /// Simulation ticks.
+    pub ticks: u64,
+    /// Probability a server fails on a given tick (down for
+    /// `repair_ticks`).
+    pub fail_prob: f64,
+    /// Ticks a failed server stays down.
+    pub repair_ticks: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl AssignSimParams {
+    /// A moderately overloaded cluster: 50 clients × 2 targets over 6
+    /// servers of capacity 20 (the §4.1 configuration, pressed).
+    #[must_use]
+    pub fn paper_cluster() -> Self {
+        AssignSimParams {
+            clients: 50,
+            servers: 6,
+            n: 2,
+            capacity: 20,
+            patience: 3,
+            ticks: 2_000,
+            fail_prob: 0.001,
+            repair_ticks: 50,
+            seed: 11,
+        }
+    }
+}
+
+/// Simulation outcome.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AssignSimReport {
+    /// Total target switches across all clients.
+    pub switches: u64,
+    /// Mean interval-list length per (server, client) pair that ever held
+    /// data — each switch opens a new interval on the destination.
+    pub mean_interval_list_len: f64,
+    /// Longest interval list any server accumulated for one client.
+    pub max_interval_list_len: u64,
+    /// Mean over ticks of (max server load / mean server load).
+    pub imbalance: f64,
+    /// Fraction of client-ticks spent being shed (a response-time proxy).
+    pub shed_fraction: f64,
+}
+
+/// Run the simulation for one strategy.
+#[must_use]
+pub fn run(params: &AssignSimParams, strategy: &AssignStrategy) -> AssignSimReport {
+    let servers: Vec<ServerId> = (1..=params.servers).map(ServerId).collect();
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    // Per client: current targets and consecutive-shed counters.
+    let mut targets: Vec<Vec<ServerId>> = (0..params.clients)
+        .map(|c| strategy.initial(ClientId(c), &servers, params.n))
+        .collect();
+    let mut shed_streak: Vec<Vec<u32>> = vec![vec![0; params.n]; params.clients as usize];
+    // Interval lists: (server, client) -> interval count.
+    let mut intervals: HashMap<(ServerId, ClientId), u64> = HashMap::new();
+    for (c, ts) in targets.iter().enumerate() {
+        for &t in ts {
+            intervals.insert((t, ClientId(c as u64)), 1);
+        }
+    }
+    let mut down_until: HashMap<ServerId, u64> = HashMap::new();
+    let mut switches = 0u64;
+    let mut shed_events = 0u64;
+    let mut imbalance_acc = 0.0f64;
+
+    for tick in 0..params.ticks {
+        // Failures.
+        for &s in &servers {
+            if !down_until.contains_key(&s) && rng.gen_bool(params.fail_prob) {
+                down_until.insert(s, tick + params.repair_ticks);
+            }
+        }
+        down_until.retain(|_, until| *until > tick);
+
+        // Loads.
+        let mut load: HashMap<ServerId, u64> = HashMap::new();
+        for ts in &targets {
+            for &t in ts {
+                *load.entry(t).or_insert(0) += 1;
+            }
+        }
+        let loads: Vec<u64> = servers
+            .iter()
+            .map(|s| load.get(s).copied().unwrap_or(0))
+            .collect();
+        let live: Vec<u64> = servers
+            .iter()
+            .zip(&loads)
+            .filter(|(s, _)| !down_until.contains_key(s))
+            .map(|(_, &l)| l)
+            .collect();
+        if !live.is_empty() {
+            let max = *live.iter().max().expect("nonempty") as f64;
+            let mean = live.iter().sum::<u64>() as f64 / live.len() as f64;
+            if mean > 0.0 {
+                imbalance_acc += max / mean;
+            } else {
+                imbalance_acc += 1.0;
+            }
+        }
+
+        // Shedding: a server over capacity sheds its surplus clients —
+        // deterministically, the highest-numbered ones using it.
+        let mut shed_now: HashMap<ServerId, u64> = HashMap::new();
+        for (i, &s) in servers.iter().enumerate() {
+            if loads[i] > params.capacity {
+                shed_now.insert(s, loads[i] - params.capacity);
+            }
+        }
+        for c in (0..params.clients as usize).rev() {
+            for slot in 0..params.n {
+                let t = targets[c][slot];
+                let dead = down_until.contains_key(&t);
+                let shed = if dead {
+                    true
+                } else if let Some(remaining) = shed_now.get_mut(&t) {
+                    if *remaining > 0 {
+                        *remaining -= 1;
+                        true
+                    } else {
+                        false
+                    }
+                } else {
+                    false
+                };
+                if shed {
+                    shed_events += 1;
+                    shed_streak[c][slot] += 1;
+                    if shed_streak[c][slot] >= params.patience {
+                        // Switch this slot.
+                        let current = targets[c].clone();
+                        if let Some(repl) =
+                            strategy.replacement(ClientId(c as u64), &servers, &current, t)
+                        {
+                            targets[c][slot] = repl;
+                            switches += 1;
+                            *intervals.entry((repl, ClientId(c as u64))).or_insert(0) += 1;
+                        }
+                        shed_streak[c][slot] = 0;
+                    }
+                } else {
+                    shed_streak[c][slot] = 0;
+                }
+            }
+        }
+    }
+
+    let list_lens: Vec<u64> = intervals.values().copied().collect();
+    let mean_len = if list_lens.is_empty() {
+        0.0
+    } else {
+        list_lens.iter().sum::<u64>() as f64 / list_lens.len() as f64
+    };
+    AssignSimReport {
+        switches,
+        mean_interval_list_len: mean_len,
+        max_interval_list_len: list_lens.iter().copied().max().unwrap_or(0),
+        imbalance: imbalance_acc / params.ticks as f64,
+        shed_fraction: shed_events as f64
+            / (params.ticks * params.clients * params.n as u64) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn striped_beats_fixed_hotspot() {
+        let params = AssignSimParams::paper_cluster();
+        let fixed = run(&params, &AssignStrategy::Fixed);
+        let striped = run(&params, &AssignStrategy::Striped);
+        // Fixed piles every client on servers 1..N: massive shedding and
+        // imbalance. Striping spreads the load.
+        assert!(
+            striped.shed_fraction < fixed.shed_fraction,
+            "striped {} !< fixed {}",
+            striped.shed_fraction,
+            fixed.shed_fraction
+        );
+        assert!(striped.imbalance <= fixed.imbalance + 1e-9);
+    }
+
+    #[test]
+    fn short_patience_grows_interval_lists() {
+        // The §5.4 warning: switching on a hair trigger lengthens
+        // interval lists.
+        let mut eager = AssignSimParams::paper_cluster();
+        eager.patience = 1;
+        eager.capacity = 15; // keep the system under visible pressure
+        let mut patient = eager.clone();
+        patient.patience = 8;
+        let e = run(&eager, &AssignStrategy::Striped);
+        let p = run(&patient, &AssignStrategy::Striped);
+        assert!(
+            e.switches > p.switches,
+            "eager switches {} !> patient {}",
+            e.switches,
+            p.switches
+        );
+        assert!(e.mean_interval_list_len >= p.mean_interval_list_len);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let params = AssignSimParams::paper_cluster();
+        let a = run(&params, &AssignStrategy::Random { seed: 3 });
+        let b = run(&params, &AssignStrategy::Random { seed: 3 });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_overload_no_switches() {
+        let mut params = AssignSimParams::paper_cluster();
+        params.capacity = 1000;
+        params.fail_prob = 0.0;
+        let r = run(&params, &AssignStrategy::Striped);
+        assert_eq!(r.switches, 0);
+        assert_eq!(r.shed_fraction, 0.0);
+        assert!((r.mean_interval_list_len - 1.0).abs() < 1e-9);
+    }
+}

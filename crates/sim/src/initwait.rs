@@ -1,0 +1,167 @@
+//! Expected time for client initialization to *complete* (§3.2, closing
+//! paragraph).
+//!
+//! Instantaneous availability understates initialization success: the
+//! client "can poll until it receives responses from enough servers to
+//! find the sites that store its log records". Initialization completes
+//! once M − N + 1 *distinct* servers have each been up at some instant
+//! after the client started polling — they need not be up simultaneously.
+//! The completion time from a random start is therefore the
+//! (M − N + 1)-th order statistic of the per-server "first up time".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::process::UpDownTimeline;
+
+/// Parameters for the polling-initialization experiment.
+#[derive(Clone, Debug)]
+pub struct InitWaitParams {
+    /// Server count M.
+    pub m: usize,
+    /// Copies per record N (quorum = M − N + 1).
+    pub n: usize,
+    /// Per-server unavailability p.
+    pub p: f64,
+    /// Mean failure+repair cycle length.
+    pub cycle: f64,
+    /// Simulated horizon.
+    pub horizon: f64,
+    /// Random client start instants sampled.
+    pub trials: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Results of the polling experiment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InitWaitReport {
+    /// Fraction of trials where the quorum was up *simultaneously* at the
+    /// start instant (the §3.2 instantaneous availability).
+    pub instant_availability: f64,
+    /// Fraction of trials where polling completed within the horizon.
+    pub eventual_success: f64,
+    /// Mean waiting time over successful trials (0 when instantly
+    /// available).
+    pub mean_wait: f64,
+    /// 99th-percentile waiting time.
+    pub p99_wait: f64,
+}
+
+impl InitWaitParams {
+    /// Defaults for an (M, N) configuration at p = 0.05.
+    #[must_use]
+    pub fn new(m: usize, n: usize) -> Self {
+        InitWaitParams {
+            m,
+            n,
+            p: 0.05,
+            cycle: 100.0,
+            horizon: 200_000.0,
+            trials: 20_000,
+            seed: 7,
+        }
+    }
+
+    /// Run the experiment.
+    #[must_use]
+    pub fn run(&self) -> InitWaitReport {
+        assert!(self.n >= 1 && self.n <= self.m);
+        let quorum = self.m - self.n + 1;
+        let mttr = self.p * self.cycle;
+        let mttf = (1.0 - self.p) * self.cycle;
+        let timelines: Vec<UpDownTimeline> = (0..self.m)
+            .map(|i| {
+                UpDownTimeline::generate(
+                    self.seed
+                        .wrapping_add(i as u64 + 1)
+                        .wrapping_mul(0x51_7C_C1_B7),
+                    mttf,
+                    mttr,
+                    self.horizon,
+                )
+            })
+            .collect();
+
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x1234);
+        let mut instant = 0usize;
+        let mut success = 0usize;
+        let mut waits: Vec<f64> = Vec::with_capacity(self.trials);
+        for _ in 0..self.trials {
+            // Leave head room at the horizon tail so waits are observable.
+            let t0 = rng.gen_range(0.0..self.horizon * 0.8);
+            let up_now = timelines.iter().filter(|tl| tl.up_at(t0)).count();
+            if up_now >= quorum {
+                instant += 1;
+                success += 1;
+                waits.push(0.0);
+                continue;
+            }
+            // First-up times per server; completion = quorum-th smallest.
+            let mut first_up: Vec<f64> = timelines
+                .iter()
+                .filter_map(|tl| tl.next_up(t0))
+                .map(|t| t - t0)
+                .collect();
+            if first_up.len() < quorum {
+                continue; // not enough servers recover within the horizon
+            }
+            first_up.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            success += 1;
+            waits.push(first_up[quorum - 1]);
+        }
+        waits.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mean = if waits.is_empty() {
+            0.0
+        } else {
+            waits.iter().sum::<f64>() / waits.len() as f64
+        };
+        let p99 = waits
+            .get(((waits.len() as f64 * 0.99) as usize).min(waits.len().saturating_sub(1)))
+            .copied()
+            .unwrap_or(0.0);
+        InitWaitReport {
+            instant_availability: instant as f64 / self.trials as f64,
+            eventual_success: success as f64 / self.trials as f64,
+            mean_wait: mean,
+            p99_wait: p99,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlog_analysis::availability as formulas;
+
+    #[test]
+    fn instant_matches_formula_and_polling_beats_it() {
+        let params = InitWaitParams::new(5, 2); // quorum = 4 of 5
+        let r = params.run();
+        let expected = formulas::init_availability(5, 2, 0.05);
+        assert!(
+            (r.instant_availability - expected).abs() < 0.02,
+            "instant {} vs formula {expected}",
+            r.instant_availability
+        );
+        // Polling must dominate the instantaneous probability.
+        assert!(r.eventual_success > r.instant_availability);
+        assert!(
+            r.eventual_success > 0.999,
+            "eventual {}",
+            r.eventual_success
+        );
+        // Mean wait is far below one repair time (most trials need none).
+        assert!(r.mean_wait < 5.0, "mean wait {}", r.mean_wait);
+        assert!(r.p99_wait <= params.cycle, "p99 {}", r.p99_wait);
+    }
+
+    #[test]
+    fn larger_quorum_waits_longer() {
+        // N=2 (quorum 4/5) must wait longer than N=3 (quorum 3/5).
+        let strict = InitWaitParams::new(5, 2).run();
+        let loose = InitWaitParams::new(5, 3).run();
+        assert!(strict.mean_wait >= loose.mean_wait);
+        assert!(strict.instant_availability <= loose.instant_availability + 0.02);
+    }
+}

@@ -1,0 +1,140 @@
+//! Continuous-time failure–repair processes.
+//!
+//! Each server alternates exponentially distributed up (MTTF) and down
+//! (MTTR) periods; the long-run unavailability is `MTTR / (MTTF + MTTR)`,
+//! which experiments tune to the paper's p = 0.05.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sample an exponential with the given mean via inverse transform.
+fn exponential(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -mean * u.ln()
+}
+
+/// A server's precomputed up/down timeline over `[0, horizon)`.
+#[derive(Clone, Debug)]
+pub struct UpDownTimeline {
+    /// Alternating period boundaries: `starts[i]..starts[i+1]` is up when
+    /// `i` is even (timelines begin up).
+    boundaries: Vec<f64>,
+    horizon: f64,
+}
+
+impl UpDownTimeline {
+    /// Generate a timeline with exponential up periods of mean `mttf` and
+    /// down periods of mean `mttr`.
+    #[must_use]
+    pub fn generate(seed: u64, mttf: f64, mttr: f64, horizon: f64) -> Self {
+        assert!(mttf > 0.0 && mttr > 0.0 && horizon > 0.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut boundaries = vec![0.0];
+        let mut t = 0.0;
+        let mut up = true;
+        while t < horizon {
+            let mean = if up { mttf } else { mttr };
+            t += exponential(&mut rng, mean);
+            boundaries.push(t.min(horizon));
+            up = !up;
+        }
+        UpDownTimeline {
+            boundaries,
+            horizon,
+        }
+    }
+
+    /// Is the server up at time `t`?
+    #[must_use]
+    pub fn up_at(&self, t: f64) -> bool {
+        debug_assert!(t >= 0.0 && t <= self.horizon);
+        // boundaries[i] <= t < boundaries[i+1]; up iff i is even.
+        let idx = self.boundaries.partition_point(|&b| b <= t);
+        (idx - 1) % 2 == 0
+    }
+
+    /// First time at or after `t` when the server is up (itself if
+    /// already up); `None` if it stays down past the horizon.
+    #[must_use]
+    pub fn next_up(&self, t: f64) -> Option<f64> {
+        if self.up_at(t) {
+            return Some(t);
+        }
+        let idx = self.boundaries.partition_point(|&b| b <= t);
+        // Currently inside a down period; the next boundary starts an up
+        // period (boundaries alternate).
+        let next = *self.boundaries.get(idx)?;
+        (next < self.horizon).then_some(next)
+    }
+
+    /// Fraction of `[0, horizon)` spent down.
+    #[must_use]
+    pub fn downtime_fraction(&self) -> f64 {
+        let mut down = 0.0;
+        for i in (1..self.boundaries.len()).step_by(2) {
+            let end = self.boundaries.get(i + 1).copied().unwrap_or(self.horizon);
+            down += (end - self.boundaries[i]).max(0.0);
+        }
+        down / self.horizon
+    }
+
+    /// The timeline horizon.
+    #[must_use]
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// All period boundaries (for merging event lists).
+    #[must_use]
+    pub fn boundaries(&self) -> &[f64] {
+        &self.boundaries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_begins_up_and_alternates() {
+        let t = UpDownTimeline::generate(1, 100.0, 10.0, 10_000.0);
+        assert!(t.up_at(0.0));
+        // Check alternation at period midpoints.
+        let b = t.boundaries().to_vec();
+        for i in 0..b.len() - 1 {
+            let mid = (b[i] + b[i + 1]) / 2.0;
+            if mid < t.horizon() {
+                assert_eq!(t.up_at(mid), i % 2 == 0, "period {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn long_run_unavailability_matches_ratio() {
+        // MTTF=95, MTTR=5 ⇒ p = 5/100 = 0.05.
+        let mut total = 0.0;
+        let runs = 20;
+        for seed in 0..runs {
+            let t = UpDownTimeline::generate(seed, 95.0, 5.0, 200_000.0);
+            total += t.downtime_fraction();
+        }
+        let p = total / runs as f64;
+        assert!((p - 0.05).abs() < 0.005, "estimated p = {p}");
+    }
+
+    #[test]
+    fn next_up_semantics() {
+        let t = UpDownTimeline::generate(7, 50.0, 50.0, 10_000.0);
+        // From an up instant, next_up is immediate.
+        assert_eq!(t.next_up(0.0), Some(0.0));
+        // From inside a down period, next_up is the period's end.
+        let b = t.boundaries().to_vec();
+        if b.len() >= 3 {
+            let mid_down = (b[1] + b[2]) / 2.0;
+            if mid_down < t.horizon() && !t.up_at(mid_down) {
+                let nu = t.next_up(mid_down).unwrap();
+                assert!((nu - b[2]).abs() < 1e-9);
+            }
+        }
+    }
+}

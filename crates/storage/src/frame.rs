@@ -1,0 +1,299 @@
+//! Frame encoding for the on-disk log stream.
+//!
+//! The stream interleaves records from many clients (§4.1), so every frame
+//! is self-describing: a length, a CRC-32 over the frame body, a kind tag,
+//! and a kind-specific body. Recovery scans frames sequentially and stops
+//! at the first frame whose length or CRC is invalid — everything after a
+//! torn track write is discarded.
+
+use dlog_types::{ClientId, DlogError, Epoch, LogData, LogRecord, Lsn, Result};
+
+use crate::crc::crc32;
+
+/// Upper bound on a single frame body; protects recovery scans from
+/// reading absurd lengths out of corrupt headers.
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Byte overhead of the frame envelope (`len` + `crc`).
+pub const ENVELOPE_BYTES: usize = 8;
+
+const KIND_RECORD: u8 = 1;
+const KIND_INSTALL: u8 = 2;
+const KIND_CHECKPOINT: u8 = 3;
+
+const FLAG_PRESENT: u8 = 0b01;
+const FLAG_STAGED: u8 = 0b10;
+
+/// A frame in the log stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// A log record stored for `client`. `staged` marks `CopyLog` rewrites
+    /// that only take effect once an [`Frame::Install`] frame with the same
+    /// epoch is seen (§4.2).
+    Record {
+        /// Owning client node.
+        client: ClientId,
+        /// The stored record.
+        record: LogRecord,
+        /// True for CopyLog frames awaiting InstallCopies.
+        staged: bool,
+    },
+    /// Commit marker for all staged records `client` wrote with `epoch`.
+    Install {
+        /// Owning client node.
+        client: ClientId,
+        /// Epoch whose staged records become visible.
+        epoch: Epoch,
+    },
+    /// An interval-table checkpoint embedded in the stream (the write-once
+    /// medium option of §4.3); the payload is produced by
+    /// [`crate::intervals::IntervalTable::encode`].
+    Checkpoint(Vec<u8>),
+}
+
+impl Frame {
+    /// Serialize the frame (envelope included) onto `out`, returning the
+    /// encoded length.
+    pub fn encode_into(&self, out: &mut Vec<u8>) -> usize {
+        let start = out.len();
+        out.extend_from_slice(&[0u8; ENVELOPE_BYTES]); // len + crc, patched below
+        match self {
+            Frame::Record {
+                client,
+                record,
+                staged,
+            } => {
+                out.push(KIND_RECORD);
+                out.extend_from_slice(&client.0.to_le_bytes());
+                out.extend_from_slice(&record.lsn.0.to_le_bytes());
+                out.extend_from_slice(&record.epoch.0.to_le_bytes());
+                let mut flags = 0u8;
+                if record.present {
+                    flags |= FLAG_PRESENT;
+                }
+                if *staged {
+                    flags |= FLAG_STAGED;
+                }
+                out.push(flags);
+                out.extend_from_slice(&(record.data.len() as u32).to_le_bytes());
+                out.extend_from_slice(record.data.as_bytes());
+            }
+            Frame::Install { client, epoch } => {
+                out.push(KIND_INSTALL);
+                out.extend_from_slice(&client.0.to_le_bytes());
+                out.extend_from_slice(&epoch.0.to_le_bytes());
+            }
+            Frame::Checkpoint(payload) => {
+                out.push(KIND_CHECKPOINT);
+                out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                out.extend_from_slice(payload);
+            }
+        }
+        let body_len = out.len() - start - ENVELOPE_BYTES;
+        let crc = crc32(&out[start + ENVELOPE_BYTES..]);
+        out[start..start + 4].copy_from_slice(&(body_len as u32).to_le_bytes());
+        out[start + 4..start + 8].copy_from_slice(&crc.to_le_bytes());
+        out.len() - start
+    }
+
+    /// Serialized size of the frame, envelope included.
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        ENVELOPE_BYTES
+            + match self {
+                Frame::Record { record, .. } => 1 + 8 + 8 + 8 + 1 + 4 + record.data.len(),
+                Frame::Install { .. } => 1 + 8 + 8,
+                Frame::Checkpoint(p) => 1 + 4 + p.len(),
+            }
+    }
+
+    /// Decode one frame from the front of `buf`.
+    ///
+    /// Returns `Ok(None)` when `buf` does not begin with a complete, valid
+    /// frame — recovery treats that as the end of the usable stream.
+    ///
+    /// # Errors
+    /// Returns [`DlogError::Corrupt`] only for *structurally impossible*
+    /// content within a CRC-valid frame (which indicates a software bug or
+    /// deliberate tampering rather than a torn write).
+    pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>> {
+        if buf.len() < ENVELOPE_BYTES {
+            return Ok(None);
+        }
+        let body_len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+        if body_len == 0 || body_len > MAX_FRAME_BYTES {
+            return Ok(None);
+        }
+        let expected_crc = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+        let total = ENVELOPE_BYTES + body_len;
+        if buf.len() < total {
+            return Ok(None);
+        }
+        let body = &buf[ENVELOPE_BYTES..total];
+        if crc32(body) != expected_crc {
+            return Ok(None);
+        }
+        let frame = Self::decode_body(body)?;
+        Ok(Some((frame, total)))
+    }
+
+    fn decode_body(body: &[u8]) -> Result<Frame> {
+        let corrupt = |msg: &str| DlogError::Corrupt(msg.to_string());
+        let kind = *body.first().ok_or_else(|| corrupt("empty frame body"))?;
+        let rest = &body[1..];
+        match kind {
+            KIND_RECORD => {
+                if rest.len() < 8 + 8 + 8 + 1 + 4 {
+                    return Err(corrupt("short record frame"));
+                }
+                let client = ClientId(u64::from_le_bytes(rest[0..8].try_into().unwrap()));
+                let lsn = Lsn(u64::from_le_bytes(rest[8..16].try_into().unwrap()));
+                let epoch = Epoch(u64::from_le_bytes(rest[16..24].try_into().unwrap()));
+                let flags = rest[24];
+                let data_len = u32::from_le_bytes(rest[25..29].try_into().unwrap()) as usize;
+                if rest.len() != 29 + data_len {
+                    return Err(corrupt("record frame length mismatch"));
+                }
+                let data = LogData::from(&rest[29..29 + data_len]);
+                let record = LogRecord {
+                    lsn,
+                    epoch,
+                    present: flags & FLAG_PRESENT != 0,
+                    data,
+                };
+                Ok(Frame::Record {
+                    client,
+                    record,
+                    staged: flags & FLAG_STAGED != 0,
+                })
+            }
+            KIND_INSTALL => {
+                if rest.len() != 16 {
+                    return Err(corrupt("bad install frame length"));
+                }
+                let client = ClientId(u64::from_le_bytes(rest[0..8].try_into().unwrap()));
+                let epoch = Epoch(u64::from_le_bytes(rest[8..16].try_into().unwrap()));
+                Ok(Frame::Install { client, epoch })
+            }
+            KIND_CHECKPOINT => {
+                if rest.len() < 4 {
+                    return Err(corrupt("short checkpoint frame"));
+                }
+                let len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
+                if rest.len() != 4 + len {
+                    return Err(corrupt("checkpoint frame length mismatch"));
+                }
+                Ok(Frame::Checkpoint(rest[4..].to_vec()))
+            }
+            other => Err(corrupt(&format!("unknown frame kind {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record_frame(lsn: u64, staged: bool) -> Frame {
+        Frame::Record {
+            client: ClientId(7),
+            record: LogRecord::present(Lsn(lsn), Epoch(3), vec![0xAB; 100]),
+            staged,
+        }
+    }
+
+    #[test]
+    fn roundtrip_record() {
+        for staged in [false, true] {
+            let f = record_frame(42, staged);
+            let mut buf = Vec::new();
+            let n = f.encode_into(&mut buf);
+            assert_eq!(n, buf.len());
+            assert_eq!(n, f.encoded_len());
+            let (decoded, consumed) = Frame::decode(&buf).unwrap().unwrap();
+            assert_eq!(consumed, n);
+            assert_eq!(decoded, f);
+        }
+    }
+
+    #[test]
+    fn roundtrip_not_present() {
+        let f = Frame::Record {
+            client: ClientId(1),
+            record: LogRecord::not_present(Lsn(10), Epoch(4)),
+            staged: false,
+        };
+        let mut buf = Vec::new();
+        f.encode_into(&mut buf);
+        let (decoded, _) = Frame::decode(&buf).unwrap().unwrap();
+        assert_eq!(decoded, f);
+    }
+
+    #[test]
+    fn roundtrip_install_and_checkpoint() {
+        for f in [
+            Frame::Install {
+                client: ClientId(9),
+                epoch: Epoch(12),
+            },
+            Frame::Checkpoint(vec![1, 2, 3, 4, 5]),
+            Frame::Checkpoint(vec![]),
+        ] {
+            let mut buf = Vec::new();
+            f.encode_into(&mut buf);
+            let (decoded, consumed) = Frame::decode(&buf).unwrap().unwrap();
+            assert_eq!(decoded, f);
+            assert_eq!(consumed, buf.len());
+        }
+    }
+
+    #[test]
+    fn multiple_frames_in_sequence() {
+        let frames = [
+            record_frame(1, false),
+            record_frame(2, true),
+            record_frame(3, false),
+        ];
+        let mut buf = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut buf);
+        }
+        let mut off = 0;
+        for f in &frames {
+            let (decoded, n) = Frame::decode(&buf[off..]).unwrap().unwrap();
+            assert_eq!(&decoded, f);
+            off += n;
+        }
+        assert_eq!(off, buf.len());
+        assert!(Frame::decode(&buf[off..]).unwrap().is_none());
+    }
+
+    #[test]
+    fn torn_write_detected() {
+        let f = record_frame(1, false);
+        let mut buf = Vec::new();
+        f.encode_into(&mut buf);
+        // Truncations anywhere are detected as end-of-stream, not garbage.
+        for cut in 0..buf.len() {
+            assert!(
+                Frame::decode(&buf[..cut]).unwrap().is_none(),
+                "cut at {cut}"
+            );
+        }
+        // Bit flips in the body fail the CRC.
+        for i in ENVELOPE_BYTES..buf.len() {
+            buf[i] ^= 0x01;
+            assert!(Frame::decode(&buf).unwrap().is_none(), "flip at {i}");
+            buf[i] ^= 0x01;
+        }
+    }
+
+    #[test]
+    fn zero_and_absurd_lengths_stop_scan() {
+        let zeros = [0u8; 64];
+        assert!(Frame::decode(&zeros).unwrap().is_none());
+        let mut absurd = vec![0u8; 64];
+        absurd[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Frame::decode(&absurd).unwrap().is_none());
+    }
+}

@@ -1,0 +1,397 @@
+//! Simulated low-latency non-volatile memory (§4.1, §5.1).
+//!
+//! The paper's log servers buffer incoming log records in battery-backed
+//! CMOS memory so that (a) a force can be acknowledged at memory speed and
+//! (b) the disk is written **a track at a time**. The essential property is
+//! that an insert is durable the moment it completes, without any disk
+//! I/O.
+//!
+//! [`NvramDevice`] simulates the device: a cheaply clonable handle to a
+//! bounded buffer whose contents survive a *simulated node crash* — tests
+//! crash a [`crate::LogStore`] by dropping it while keeping the device
+//! handle, exactly as a machine with standby power keeps its CMOS contents
+//! across an OS crash. The buffer tracks the log-stream position its
+//! pending bytes begin at, so recovery can replay them idempotently.
+//!
+//! The device also offers a small separate area for the *active interval*
+//! snapshot (§4.3: "unless there is sufficient low latency non volatile
+//! memory to store active intervals"), and the **guarded write** check of
+//! §5.1: "data in directly addressable non volatile memory may be more
+//! prone to corruption by software error. Needham et al. have suggested
+//! that a solution ... is to provide hardware to help check that each new
+//! value for the non volatile memory was computed from a previous value."
+//! [`NvramDevice::insert_guarded`] models that hardware: every insert must
+//! present the device's current *seal* (a digest of its contents), which
+//! only code that read the previous state can know — a wild store from a
+//! stray pointer fails the check and leaves the memory untouched.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Error returned when an insert does not fit the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NvramFull {
+    /// Bytes the caller tried to insert.
+    pub requested: usize,
+    /// Bytes currently free.
+    pub available: usize,
+}
+
+impl std::fmt::Display for NvramFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "nvram full: requested {} bytes, {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for NvramFull {}
+
+/// Error returned by a guarded insert whose seal does not match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SealMismatch {
+    /// The seal the caller presented.
+    pub presented: u64,
+    /// The device's actual seal.
+    pub current: u64,
+}
+
+impl std::fmt::Display for SealMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "nvram guard rejected write: presented seal {:#x}, device seal {:#x}",
+            self.presented, self.current
+        )
+    }
+}
+
+impl std::error::Error for SealMismatch {}
+
+/// Error of a guarded insert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardError {
+    /// The presented seal is not the device's current seal.
+    Mismatch(SealMismatch),
+    /// The bytes do not fit the device.
+    Full(NvramFull),
+}
+
+impl std::fmt::Display for GuardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GuardError::Mismatch(m) => m.fmt(f),
+            GuardError::Full(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for GuardError {}
+
+#[derive(Debug, Default)]
+struct NvramState {
+    /// Pending log-stream bytes not yet known to be on disk.
+    track: Vec<u8>,
+    /// Log-stream position at which `track` begins.
+    base_pos: u64,
+    /// Snapshot area for active interval ends.
+    intervals: Option<Vec<u8>>,
+    /// The §5.1 guard seal: a running digest over every state transition,
+    /// which a legitimate writer learns only by reading the device.
+    seal: u64,
+}
+
+impl NvramState {
+    fn advance_seal(&mut self, bytes: &[u8]) {
+        // FNV-1a over (old seal, operation bytes): cheap and stateful.
+        let mut h = self.seal ^ 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        self.seal = h;
+    }
+}
+
+/// A simulated battery-backed memory device.
+///
+/// Clones share the same underlying memory; keep a clone across a simulated
+/// crash to model the survival of the physical device.
+#[derive(Clone, Debug)]
+pub struct NvramDevice {
+    state: Arc<Mutex<NvramState>>,
+    capacity: usize,
+}
+
+impl NvramDevice {
+    /// A device holding at most `capacity` pending bytes (one or a few disk
+    /// tracks; the paper suggests track-sized buffering).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "nvram capacity must be positive");
+        NvramDevice {
+            state: Arc::new(Mutex::new(NvramState::default())),
+            capacity,
+        }
+    }
+
+    /// Device capacity in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently pending (inserted but not yet retired).
+    #[must_use]
+    pub fn pending_len(&self) -> usize {
+        self.state.lock().track.len()
+    }
+
+    /// Free space.
+    #[must_use]
+    pub fn available(&self) -> usize {
+        self.capacity - self.pending_len()
+    }
+
+    /// Stream position at which the pending bytes begin.
+    #[must_use]
+    pub fn base_pos(&self) -> u64 {
+        self.state.lock().base_pos
+    }
+
+    /// Durably insert `bytes` at the tail of the pending track.
+    ///
+    /// This is the log server's force point: once `insert` returns, the
+    /// bytes survive a crash.
+    ///
+    /// # Errors
+    /// [`NvramFull`] when the bytes do not fit; the caller must retire a
+    /// track to disk first.
+    pub fn insert(&self, bytes: &[u8]) -> Result<(), NvramFull> {
+        let mut st = self.state.lock();
+        let available = self.capacity - st.track.len();
+        if bytes.len() > available {
+            return Err(NvramFull {
+                requested: bytes.len(),
+                available,
+            });
+        }
+        st.track.extend_from_slice(bytes);
+        st.advance_seal(bytes);
+        Ok(())
+    }
+
+    /// The device's current guard seal (§5.1). A caller intending a
+    /// guarded insert reads this first; a stray writer cannot know it.
+    #[must_use]
+    pub fn seal(&self) -> u64 {
+        self.state.lock().seal
+    }
+
+    /// Guarded insert (§5.1, after Needham et al.): succeeds only when the
+    /// caller presents the device's current seal, proving the new value
+    /// "was computed from a previous value". Returns the new seal.
+    ///
+    /// # Errors
+    /// [`GuardError::Mismatch`] (memory untouched) for a wrong seal;
+    /// [`GuardError::Full`] when the bytes do not fit.
+    pub fn insert_guarded(&self, presented_seal: u64, bytes: &[u8]) -> Result<u64, GuardError> {
+        let mut st = self.state.lock();
+        if presented_seal != st.seal {
+            return Err(GuardError::Mismatch(SealMismatch {
+                presented: presented_seal,
+                current: st.seal,
+            }));
+        }
+        let available = self.capacity - st.track.len();
+        if bytes.len() > available {
+            return Err(GuardError::Full(NvramFull {
+                requested: bytes.len(),
+                available,
+            }));
+        }
+        st.track.extend_from_slice(bytes);
+        st.advance_seal(bytes);
+        Ok(st.seal)
+    }
+
+    /// Snapshot the pending track for writing to disk: returns the stream
+    /// position it begins at and a copy of the bytes. The data stays in the
+    /// device until [`NvramDevice::retire`] confirms it reached disk —
+    /// a crash between the write and the retire loses nothing.
+    #[must_use]
+    pub fn pending(&self) -> (u64, Vec<u8>) {
+        let st = self.state.lock();
+        (st.base_pos, st.track.clone())
+    }
+
+    /// Read `len` bytes at stream position `pos` out of the pending track,
+    /// if that range is (fully) buffered. Lets the store serve reads of
+    /// records that have not reached disk yet.
+    #[must_use]
+    pub fn read_at(&self, pos: u64, len: usize) -> Option<Vec<u8>> {
+        let st = self.state.lock();
+        let start = pos.checked_sub(st.base_pos)? as usize;
+        let end = start.checked_add(len)?;
+        st.track.get(start..end).map(<[u8]>::to_vec)
+    }
+
+    /// Retire the first `n` pending bytes: they are confirmed on disk and
+    /// their space is reclaimed.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds the pending length (a store logic error).
+    pub fn retire(&self, n: usize) {
+        let mut st = self.state.lock();
+        assert!(n <= st.track.len(), "retiring more than pending");
+        st.track.drain(..n);
+        st.base_pos += n as u64;
+        let n64 = (n as u64).to_le_bytes();
+        st.advance_seal(&n64);
+    }
+
+    /// Reset the device for a freshly formatted store beginning at
+    /// stream position `pos`.
+    pub fn format(&self, pos: u64) {
+        let mut st = self.state.lock();
+        st.track.clear();
+        st.base_pos = pos;
+        st.intervals = None;
+        let p = pos.to_le_bytes();
+        st.advance_seal(&p);
+    }
+
+    /// Store the active-interval snapshot.
+    pub fn store_intervals(&self, bytes: Vec<u8>) {
+        self.state.lock().intervals = Some(bytes);
+    }
+
+    /// Fetch the active-interval snapshot, if any.
+    #[must_use]
+    pub fn load_intervals(&self) -> Option<Vec<u8>> {
+        self.state.lock().intervals.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_pending_retire() {
+        let dev = NvramDevice::new(16);
+        assert_eq!(dev.available(), 16);
+        dev.insert(b"abcd").unwrap();
+        dev.insert(b"efgh").unwrap();
+        assert_eq!(dev.pending_len(), 8);
+        let (pos, bytes) = dev.pending();
+        assert_eq!(pos, 0);
+        assert_eq!(bytes, b"abcdefgh");
+        dev.retire(4);
+        assert_eq!(dev.base_pos(), 4);
+        assert_eq!(dev.pending(), (4, b"efgh".to_vec()));
+    }
+
+    #[test]
+    fn rejects_overflow() {
+        let dev = NvramDevice::new(8);
+        dev.insert(b"12345").unwrap();
+        let err = dev.insert(b"6789").unwrap_err();
+        assert_eq!(
+            err,
+            NvramFull {
+                requested: 4,
+                available: 3
+            }
+        );
+        // Contents unchanged by the failed insert.
+        assert_eq!(dev.pending().1, b"12345");
+    }
+
+    #[test]
+    fn survives_clone_like_a_device() {
+        let dev = NvramDevice::new(64);
+        dev.insert(b"persist me").unwrap();
+        let surviving_handle = dev.clone();
+        drop(dev); // the "node" crashes
+        assert_eq!(surviving_handle.pending().1, b"persist me");
+    }
+
+    #[test]
+    fn read_at_bounds() {
+        let dev = NvramDevice::new(64);
+        dev.format(100);
+        dev.insert(b"0123456789").unwrap();
+        assert_eq!(dev.read_at(100, 4), Some(b"0123".to_vec()));
+        assert_eq!(dev.read_at(106, 4), Some(b"6789".to_vec()));
+        assert_eq!(dev.read_at(106, 5), None); // runs past the tail
+        assert_eq!(dev.read_at(99, 1), None); // before the base
+    }
+
+    #[test]
+    fn interval_snapshot_area() {
+        let dev = NvramDevice::new(8);
+        assert_eq!(dev.load_intervals(), None);
+        dev.store_intervals(vec![9, 9, 9]);
+        assert_eq!(dev.load_intervals(), Some(vec![9, 9, 9]));
+        dev.format(0);
+        assert_eq!(dev.load_intervals(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "retiring more than pending")]
+    fn retire_overflow_panics() {
+        let dev = NvramDevice::new(8);
+        dev.insert(b"ab").unwrap();
+        dev.retire(3);
+    }
+
+    #[test]
+    fn guarded_insert_requires_current_seal() {
+        let dev = NvramDevice::new(64);
+        let seal0 = dev.seal();
+        let seal1 = dev.insert_guarded(seal0, b"first").unwrap();
+        assert_ne!(seal0, seal1);
+        // A wild writer replaying the old seal is rejected, untouched.
+        let before = dev.pending();
+        match dev.insert_guarded(seal0, b"stray") {
+            Err(GuardError::Mismatch(m)) => {
+                assert_eq!(m.presented, seal0);
+                assert_eq!(m.current, seal1);
+            }
+            other => panic!("expected mismatch, got {other:?}"),
+        }
+        assert_eq!(dev.pending(), before);
+        // The legitimate writer continues from the fresh seal.
+        let seal2 = dev.insert_guarded(seal1, b"second").unwrap();
+        assert_ne!(seal1, seal2);
+        assert_eq!(dev.pending().1, b"firstsecond");
+    }
+
+    #[test]
+    fn guarded_insert_reports_full() {
+        let dev = NvramDevice::new(4);
+        let seal = dev.seal();
+        match dev.insert_guarded(seal, b"too large") {
+            Err(GuardError::Full(f)) => assert_eq!(f.requested, 9),
+            other => panic!("expected full, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_state_transition_advances_the_seal() {
+        let dev = NvramDevice::new(64);
+        let s0 = dev.seal();
+        dev.insert(b"x").unwrap();
+        let s1 = dev.seal();
+        assert_ne!(s0, s1);
+        dev.retire(1);
+        let s2 = dev.seal();
+        assert_ne!(s1, s2);
+        dev.format(0);
+        assert_ne!(s2, dev.seal());
+    }
+}

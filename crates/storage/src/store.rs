@@ -1,0 +1,1014 @@
+//! The log-server store: NVRAM-buffered, track-at-a-time, CRC-framed,
+//! crash-recoverable storage for many clients' log records.
+//!
+//! Durability model (§4.1): a record is durable the moment it is inserted
+//! into the non-volatile buffer — the store never needs a synchronous disk
+//! write to acknowledge a force. Buffered bytes are retired to the
+//! sequential stream a track at a time. Crash recovery:
+//!
+//! 1. load the latest interval-table checkpoint (if valid);
+//! 2. scan the stream tail from the checkpoint position, rebuilding the
+//!    interval table, indexes, and staged `CopyLog` state, stopping at the
+//!    first torn frame;
+//! 3. replay the surviving NVRAM contents over the (possibly torn) tail;
+//! 4. truncate any garbage past the recovered end.
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use dlog_types::{ClientId, DlogError, Epoch, Interval, IntervalList, LogRecord, Lsn, Result};
+
+use crate::crc::crc32;
+use crate::frame::Frame;
+use crate::intervals::IntervalTable;
+use crate::nvram::NvramDevice;
+use crate::stream::SegmentedStream;
+
+const CKPT_MAGIC: u32 = 0x444C_4B50; // "DLKP"
+
+/// CopyLog records awaiting InstallCopies: client -> epoch -> records with
+/// their stream positions.
+type StagedMap = HashMap<ClientId, HashMap<Epoch, Vec<(LogRecord, u64)>>>;
+
+/// Where interval-table checkpoints are written (§4.3: "they may be
+/// checkpointed to a known location on a reusable disk or to a write once
+/// disk along with the log data stream").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckpointPlacement {
+    /// A known, atomically replaced file (reusable-disk mode).
+    File,
+    /// A [`Frame::Checkpoint`] embedded in the log stream itself
+    /// (write-once-media mode): recovery scans the stream and the latest
+    /// embedded checkpoint snapshot replaces the running table.
+    InStream,
+}
+
+/// When a force must reach stable storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Durability {
+    /// Forces are satisfied by the NVRAM insert (the paper's design).
+    Nvram,
+    /// No NVRAM credit: every force flushes the track and fsyncs the
+    /// stream. The ablation baseline for experiment E8.
+    FsyncPerForce,
+}
+
+/// Store tuning options.
+#[derive(Clone, Debug)]
+pub struct StoreOptions {
+    /// Flush the NVRAM track to disk when it reaches this many bytes
+    /// (a "track" in the paper's sense).
+    pub track_bytes: usize,
+    /// Segment file capacity.
+    pub segment_bytes: u64,
+    /// `fsync` segment files when a track is written.
+    pub fsync: bool,
+    /// Durability policy for forces.
+    pub durability: Durability,
+    /// Checkpoint the interval table after this many stream bytes
+    /// (0 disables checkpointing).
+    pub checkpoint_every: u64,
+    /// Where checkpoints live.
+    pub checkpoint_placement: CheckpointPlacement,
+    /// Use the §5.1 guarded-write protocol against the NVRAM device: every
+    /// insert must present the device's current seal, so a stray write by
+    /// foreign code is detected instead of silently corrupting log data.
+    pub guarded_nvram: bool,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            track_bytes: 64 * 1024,
+            segment_bytes: 8 << 20,
+            fsync: true,
+            durability: Durability::Nvram,
+            checkpoint_every: 4 << 20,
+            checkpoint_placement: CheckpointPlacement::File,
+            guarded_nvram: false,
+        }
+    }
+}
+
+/// Operation counters, exposed for the capacity experiments (E3, E8).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Records written (including staged copies).
+    pub records_written: u64,
+    /// Payload bytes written (frame bodies).
+    pub bytes_written: u64,
+    /// Track flushes to the stream.
+    pub tracks_flushed: u64,
+    /// `fsync` calls issued.
+    pub fsyncs: u64,
+    /// Force operations observed.
+    pub forces: u64,
+    /// Record reads served.
+    pub reads: u64,
+    /// Interval-table checkpoints written.
+    pub checkpoints: u64,
+    /// Records rebuilt during the last recovery scan.
+    pub recovered_records: u64,
+    /// Bytes replayed from NVRAM during the last recovery.
+    pub nvram_replayed_bytes: u64,
+}
+
+/// A log server's storage engine.
+pub struct LogStore {
+    dir: PathBuf,
+    opts: StoreOptions,
+    nvram: NvramDevice,
+    stream: SegmentedStream,
+    table: IntervalTable,
+    /// CopyLog records awaiting InstallCopies.
+    staged: StagedMap,
+    bytes_since_ckpt: u64,
+    /// Guard-seal chain for guarded NVRAM mode (§5.1).
+    seal: u64,
+    stats: StoreStats,
+}
+
+impl LogStore {
+    /// Open (or create) the store in `dir`, recovering state from the
+    /// checkpoint, the stream tail, and the surviving NVRAM contents.
+    ///
+    /// # Errors
+    /// Fails on I/O errors or irrecoverable structural corruption.
+    pub fn open(dir: impl AsRef<Path>, opts: StoreOptions, nvram: NvramDevice) -> Result<LogStore> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let mut stream = SegmentedStream::open(&dir, opts.segment_bytes)?;
+
+        // 1. Checkpoint.
+        let (mut table, scan_from) = match load_checkpoint(&dir) {
+            Some((t, pos)) if pos <= stream.end() => (t, pos),
+            _ => (IntervalTable::new(), stream.start()),
+        };
+
+        let mut staged = StagedMap::new();
+        let mut stats = StoreStats::default();
+
+        // 2. Scan the tail.
+        let mut apply_err: Option<String> = None;
+        let valid_end = stream.scan_frames(scan_from, |pos, frame| {
+            if apply_err.is_some() {
+                return;
+            }
+            if let Err(e) = apply_frame(&mut table, &mut staged, &mut stats, pos, frame) {
+                apply_err = Some(e);
+            }
+        })?;
+        if let Some(e) = apply_err {
+            return Err(DlogError::Corrupt(format!("recovery scan: {e}")));
+        }
+        stream.truncate(valid_end)?;
+
+        // 3. NVRAM replay.
+        let (base, pending) = nvram.pending();
+        if !pending.is_empty() {
+            if base > valid_end {
+                return Err(DlogError::Corrupt(format!(
+                    "nvram base {base} is past the recovered stream end {valid_end}"
+                )));
+            }
+            let overlap = (valid_end - base) as usize;
+            if overlap < pending.len() {
+                let suffix = &pending[overlap..];
+                stream.write_at(valid_end, suffix)?;
+                stream.sync()?;
+                stats.nvram_replayed_bytes = suffix.len() as u64;
+                let mut apply_err: Option<String> = None;
+                let replay_end = stream.scan_frames(valid_end, |pos, frame| {
+                    if apply_err.is_some() {
+                        return;
+                    }
+                    if let Err(e) = apply_frame(&mut table, &mut staged, &mut stats, pos, frame) {
+                        apply_err = Some(e);
+                    }
+                })?;
+                if let Some(e) = apply_err {
+                    return Err(DlogError::Corrupt(format!("nvram replay: {e}")));
+                }
+                // NVRAM holds whole frames, so the replay must consume the
+                // entire suffix.
+                if replay_end != valid_end + suffix.len() as u64 {
+                    return Err(DlogError::Corrupt(
+                        "nvram contents do not decode to whole frames".into(),
+                    ));
+                }
+            }
+            nvram.retire(pending.len());
+        } else if stream.end() == 0 {
+            nvram.format(0);
+        }
+        // The NVRAM base must now sit at the stream end (empty buffer).
+        if nvram.base_pos() != stream.end() {
+            nvram.format(stream.end());
+        }
+
+        let seal = nvram.seal();
+        Ok(LogStore {
+            dir,
+            opts,
+            nvram,
+            stream,
+            table,
+            staged,
+            bytes_since_ckpt: 0,
+            seal,
+            stats,
+        })
+    }
+
+    /// The store's NVRAM device handle (survives a simulated crash).
+    #[must_use]
+    pub fn nvram(&self) -> NvramDevice {
+        self.nvram.clone()
+    }
+
+    /// Operation counters.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Logical append position (next record's stream position).
+    #[must_use]
+    pub fn append_position(&self) -> u64 {
+        self.nvram.base_pos() + self.nvram.pending_len() as u64
+    }
+
+    /// Store a record for `client` (the `ServerWriteLog` operation,
+    /// §3.1.1). The record is durable when this returns.
+    ///
+    /// # Errors
+    /// Rejects records violating server storage order (decreasing epoch or
+    /// non-increasing LSN within an epoch) and propagates I/O failures.
+    pub fn write(&mut self, client: ClientId, record: &LogRecord) -> Result<()> {
+        let pos = self.append_position();
+        self.table
+            .append(client, record.lsn, record.epoch, pos)
+            .map_err(DlogError::Protocol)?;
+        self.put_frame(&Frame::Record {
+            client,
+            record: record.clone(),
+            staged: false,
+        })?;
+        self.stats.records_written += 1;
+        self.stats.bytes_written += record.data.len() as u64;
+        self.maybe_checkpoint()?;
+        Ok(())
+    }
+
+    /// Satisfy a force for `client`: under [`Durability::Nvram`] the data
+    /// is already durable; under [`Durability::FsyncPerForce`] the track is
+    /// flushed and fsynced before returning.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn force(&mut self, _client: ClientId) -> Result<()> {
+        self.stats.forces += 1;
+        if self.opts.durability == Durability::FsyncPerForce {
+            self.flush_track()?;
+            self.stream.sync()?;
+            self.stats.fsyncs += 1;
+        }
+        Ok(())
+    }
+
+    /// Read the record with the highest epoch at `lsn` for `client`
+    /// (the `ServerReadLog` operation). `Ok(None)` when the server does
+    /// not store the LSN.
+    ///
+    /// # Errors
+    /// Propagates I/O failures and frame corruption.
+    pub fn read(&mut self, client: ClientId, lsn: Lsn) -> Result<Option<LogRecord>> {
+        self.stats.reads += 1;
+        let Some((_, pos)) = self.table.lookup(client, lsn) else {
+            return Ok(None);
+        };
+        let frame = self.read_frame_at(pos)?;
+        match frame {
+            Frame::Record {
+                client: c, record, ..
+            } if c == client && record.lsn == lsn => Ok(Some(record)),
+            _ => Err(DlogError::Corrupt(format!(
+                "index for {client} {lsn} points at a foreign frame (position {pos})"
+            ))),
+        }
+    }
+
+    /// Stage a `CopyLog` record for `client` (§4.2): stored durably but
+    /// not visible until [`LogStore::install_copies`] commits its epoch.
+    ///
+    /// # Errors
+    /// Propagates I/O failures; rejects epochs at or below the client's
+    /// newest installed epoch.
+    pub fn stage_copy(&mut self, client: ClientId, record: &LogRecord) -> Result<()> {
+        if let Some(last) = self.table.last(client) {
+            if record.epoch <= last.epoch {
+                return Err(DlogError::StaleEpoch {
+                    given: record.epoch,
+                    current: last.epoch,
+                });
+            }
+        }
+        let pos = self.append_position();
+        self.put_frame(&Frame::Record {
+            client,
+            record: record.clone(),
+            staged: true,
+        })?;
+        let slot = self
+            .staged
+            .entry(client)
+            .or_default()
+            .entry(record.epoch)
+            .or_default();
+        // A retried CopyLog may stage the same LSN twice; the newest copy
+        // wins so InstallCopies stays well-formed.
+        slot.retain(|(r, _)| r.lsn != record.lsn);
+        slot.push((record.clone(), pos));
+        self.stats.records_written += 1;
+        self.stats.bytes_written += record.data.len() as u64;
+        Ok(())
+    }
+
+    /// Atomically install every staged record `client` copied with
+    /// `epoch` (the `InstallCopies` operation, §4.2).
+    ///
+    /// # Errors
+    /// Fails when nothing is staged for the epoch, or on I/O failure.
+    pub fn install_copies(&mut self, client: ClientId, epoch: Epoch) -> Result<()> {
+        let Some(per_epoch) = self.staged.get_mut(&client) else {
+            return Err(DlogError::Protocol(format!(
+                "no staged records for {client}"
+            )));
+        };
+        let Some(mut records) = per_epoch.remove(&epoch) else {
+            return Err(DlogError::Protocol(format!(
+                "no staged records for {client} at epoch {epoch}"
+            )));
+        };
+        // The commit point: a durable install frame. Recovery replays the
+        // installation when it sees this frame after the staged records.
+        self.put_frame(&Frame::Install { client, epoch })?;
+        records.sort_by_key(|(r, _)| r.lsn);
+        for (record, pos) in records {
+            self.table
+                .append(client, record.lsn, record.epoch, pos)
+                .map_err(DlogError::Protocol)?;
+        }
+        self.maybe_checkpoint()?;
+        Ok(())
+    }
+
+    /// The `IntervalList` operation (§3.1.1): every installed interval
+    /// stored for `client`.
+    #[must_use]
+    pub fn interval_list(&self, client: ClientId) -> IntervalList {
+        self.table.interval_list(client)
+    }
+
+    /// Highest installed `<LSN, epoch>` for `client`.
+    #[must_use]
+    pub fn last_interval(&self, client: ClientId) -> Option<Interval> {
+        self.table.last(client)
+    }
+
+    /// All clients with installed records.
+    #[must_use]
+    pub fn clients(&self) -> Vec<ClientId> {
+        let mut v: Vec<_> = self.table.clients().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Flush the pending NVRAM track to the stream (does not fsync unless
+    /// the store is configured to).
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn flush_track(&mut self) -> Result<()> {
+        let (base, pending) = self.nvram.pending();
+        if pending.is_empty() {
+            return Ok(());
+        }
+        debug_assert_eq!(base, self.stream.end(), "stream/nvram positions diverged");
+        self.stream.write_at(base, &pending)?;
+        if self.opts.fsync {
+            self.stream.sync()?;
+            self.stats.fsyncs += 1;
+        }
+        self.nvram.retire(pending.len());
+        self.seal = self.nvram.seal();
+        self.stats.tracks_flushed += 1;
+        self.bytes_since_ckpt += pending.len() as u64;
+        Ok(())
+    }
+
+    /// Flush everything and fsync; used for clean shutdown.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn sync(&mut self) -> Result<()> {
+        self.flush_track()?;
+        self.stream.sync()?;
+        Ok(())
+    }
+
+    /// Drop stream segments wholly below `pos` (§5.3 space management).
+    /// The interval table forgets the dropped records, so later reads of
+    /// them report "not stored" (the client reads another holder, or the
+    /// record has moved offline per the dump policy).
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn drop_log_before(&mut self, pos: u64) -> Result<u64> {
+        let new_start = self.stream.drop_before(pos)?;
+        self.table.prune_below(new_start);
+        Ok(new_start)
+    }
+
+    /// §5.3 retention enforcement: when the live stream exceeds
+    /// `max_bytes`, drop whole old segments until it fits (as closely as
+    /// segment granularity allows) and refresh the checkpoint so recovery
+    /// never references dropped positions. Returns the bytes freed.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn enforce_retention(&mut self, max_bytes: u64) -> Result<u64> {
+        if self.staged.values().any(|m| !m.is_empty()) {
+            return Err(DlogError::Protocol(
+                "cannot enforce retention with staged CopyLog records; retry after install".into(),
+            ));
+        }
+        self.flush_track()?;
+        let live = self.on_disk_bytes();
+        if live <= max_bytes {
+            return Ok(0);
+        }
+        let cut = self.stream.end().saturating_sub(max_bytes);
+        let before = self.stream.start();
+        let new_start = self.stream.drop_before(cut)?;
+        self.table.prune_below(new_start);
+        // The first surviving segment may begin mid-frame (frames span
+        // segment boundaries), so a raw scan from the new start would
+        // misread the stream as torn. A file checkpoint records both the
+        // pruned table and the next frame-aligned scan position; recovery
+        // must start from it, so it is written unconditionally — even in
+        // write-once checkpoint mode, where deleting segments has already
+        // left pure write-once behind.
+        self.checkpoint_to_file()?;
+        Ok(new_start - before)
+    }
+
+    /// Bytes currently occupied by live segments.
+    #[must_use]
+    pub fn on_disk_bytes(&self) -> u64 {
+        self.stream.end() - self.stream.start()
+    }
+
+    fn put_frame(&mut self, frame: &Frame) -> Result<()> {
+        let mut buf = Vec::with_capacity(frame.encoded_len());
+        frame.encode_into(&mut buf);
+        if buf.len() > self.nvram.available() {
+            self.flush_track()?;
+        }
+        if buf.len() > self.nvram.capacity() {
+            // Oversized frame (streamed bulk data): bypass the buffer.
+            // Ordering is preserved because the track was just flushed.
+            let pos = self.stream.append(&buf)?;
+            if self.opts.fsync {
+                self.stream.sync()?;
+                self.stats.fsyncs += 1;
+            }
+            self.bytes_since_ckpt += buf.len() as u64;
+            self.nvram.format(pos + buf.len() as u64);
+            self.seal = self.nvram.seal();
+            return Ok(());
+        }
+        if self.opts.guarded_nvram {
+            // §5.1 guarded write: prove this insert was computed from the
+            // device's previous state. A mismatch means foreign code wrote
+            // the NVRAM behind our back — treat the buffer as corrupt.
+            match self.nvram.insert_guarded(self.seal, &buf) {
+                Ok(new_seal) => self.seal = new_seal,
+                Err(crate::nvram::GuardError::Mismatch(m)) => {
+                    return Err(DlogError::Corrupt(format!(
+                        "nvram guard violation: {m} (foreign write detected)"
+                    )))
+                }
+                Err(crate::nvram::GuardError::Full(e)) => {
+                    return Err(DlogError::Protocol(e.to_string()))
+                }
+            }
+        } else {
+            self.nvram
+                .insert(&buf)
+                .map_err(|e| DlogError::Protocol(e.to_string()))?;
+        }
+        if self.nvram.pending_len() >= self.opts.track_bytes {
+            self.flush_track()?;
+        }
+        Ok(())
+    }
+
+    fn read_frame_at(&mut self, pos: u64) -> Result<Frame> {
+        let envelope = self.read_bytes(pos, 8)?;
+        let body_len = u32::from_le_bytes(envelope[0..4].try_into().unwrap()) as usize;
+        let total = 8 + body_len;
+        let bytes = self.read_bytes(pos, total)?;
+        match Frame::decode(&bytes)? {
+            Some((frame, _)) => Ok(frame),
+            None => Err(DlogError::Corrupt(format!(
+                "unreadable frame at position {pos}"
+            ))),
+        }
+    }
+
+    fn read_bytes(&mut self, pos: u64, len: usize) -> Result<Vec<u8>> {
+        let disk_end = self.stream.end();
+        if pos >= disk_end {
+            // Entirely in NVRAM.
+            self.nvram
+                .read_at(pos, len)
+                .ok_or_else(|| DlogError::Corrupt(format!("position {pos} not buffered")))
+        } else {
+            Ok(self.stream.read_at(pos, len)?)
+        }
+    }
+
+    fn maybe_checkpoint(&mut self) -> Result<()> {
+        if self.opts.checkpoint_every == 0
+            || self.bytes_since_ckpt < self.opts.checkpoint_every
+            || self.staged.values().any(|m| !m.is_empty())
+        {
+            return Ok(());
+        }
+        self.checkpoint()
+    }
+
+    /// Write an interval-table checkpoint now. Requires no staged records.
+    ///
+    /// # Errors
+    /// Propagates I/O failures; refuses while CopyLog records are staged.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        if self.staged.values().any(|m| !m.is_empty()) {
+            return Err(DlogError::Protocol(
+                "cannot checkpoint with staged records".into(),
+            ));
+        }
+        if self.opts.checkpoint_placement == CheckpointPlacement::InStream {
+            // Write-once mode: the snapshot rides the stream. Recovery's
+            // scan replaces its running table when it passes this frame.
+            let body = self.table.encode();
+            self.put_frame(&Frame::Checkpoint(body))?;
+            self.flush_track()?;
+            self.stream.sync()?;
+            self.bytes_since_ckpt = 0;
+            self.stats.checkpoints += 1;
+            return Ok(());
+        }
+        self.checkpoint_to_file()
+    }
+
+    /// Write the file-placed checkpoint (also used by retention
+    /// enforcement regardless of the configured placement).
+    fn checkpoint_to_file(&mut self) -> Result<()> {
+        // The checkpoint covers exactly what is on disk; flush first.
+        self.flush_track()?;
+        self.stream.sync()?;
+        let body = self.table.encode();
+        let mut out = Vec::with_capacity(body.len() + 24);
+        out.extend_from_slice(&CKPT_MAGIC.to_le_bytes());
+        out.extend_from_slice(&self.stream.end().to_le_bytes());
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&body).to_le_bytes());
+        out.extend_from_slice(&body);
+
+        let tmp = self.dir.join("intervals.ckpt.tmp");
+        let fin = self.dir.join("intervals.ckpt");
+        {
+            let mut f = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp)?;
+            f.write_all(&out)?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, &fin)?;
+        // Make the rename durable.
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_data();
+        }
+        self.bytes_since_ckpt = 0;
+        self.stats.checkpoints += 1;
+        Ok(())
+    }
+}
+
+fn apply_frame(
+    table: &mut IntervalTable,
+    staged: &mut StagedMap,
+    stats: &mut StoreStats,
+    pos: u64,
+    frame: Frame,
+) -> std::result::Result<(), String> {
+    match frame {
+        Frame::Record {
+            client,
+            record,
+            staged: false,
+        } => {
+            table.append(client, record.lsn, record.epoch, pos)?;
+            stats.recovered_records += 1;
+            Ok(())
+        }
+        Frame::Record {
+            client,
+            record,
+            staged: true,
+        } => {
+            let slot = staged
+                .entry(client)
+                .or_default()
+                .entry(record.epoch)
+                .or_default();
+            slot.retain(|(r, _)| r.lsn != record.lsn);
+            slot.push((record, pos));
+            stats.recovered_records += 1;
+            Ok(())
+        }
+        Frame::Install { client, epoch } => {
+            let mut records = staged
+                .get_mut(&client)
+                .and_then(|m| m.remove(&epoch))
+                .ok_or_else(|| format!("install frame without staged records for {client}"))?;
+            records.sort_by_key(|(r, _)| r.lsn);
+            for (record, pos) in records {
+                table.append(client, record.lsn, record.epoch, pos)?;
+            }
+            Ok(())
+        }
+        Frame::Checkpoint(body) => {
+            // Write-once mode: the embedded snapshot supersedes whatever
+            // the scan has accumulated so far (it covers the same prefix).
+            *table = IntervalTable::decode(&body)?;
+            Ok(())
+        }
+    }
+}
+
+fn load_checkpoint(dir: &Path) -> Option<(IntervalTable, u64)> {
+    let mut f = File::open(dir.join("intervals.ckpt")).ok()?;
+    let mut bytes = Vec::new();
+    f.read_to_end(&mut bytes).ok()?;
+    if bytes.len() < 24 {
+        return None;
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+    if magic != CKPT_MAGIC {
+        return None;
+    }
+    let scan_from = u64::from_le_bytes(bytes[4..12].try_into().unwrap());
+    let len = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
+    let body = bytes.get(20..20 + len)?;
+    if crc32(body) != crc {
+        return None;
+    }
+    let table = IntervalTable::decode(body).ok()?;
+    Some((table, scan_from))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir()
+            .join("dlog-store-tests")
+            .join(format!("{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn rec(lsn: u64, epoch: u64, byte: u8) -> LogRecord {
+        LogRecord::present(Lsn(lsn), Epoch(epoch), vec![byte; 64])
+    }
+
+    fn small_opts() -> StoreOptions {
+        StoreOptions {
+            track_bytes: 512,
+            segment_bytes: 4096,
+            fsync: false, // tests run on tmpfs-style dirs; E4 measures fsync
+            durability: Durability::Nvram,
+            checkpoint_every: 0,
+            ..StoreOptions::default()
+        }
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let nvram = NvramDevice::new(4096);
+        let mut store = LogStore::open(&dir, small_opts(), nvram).unwrap();
+        let c = ClientId(1);
+        for i in 1..=20u64 {
+            store.write(c, &rec(i, 1, i as u8)).unwrap();
+        }
+        for i in 1..=20u64 {
+            let r = store.read(c, Lsn(i)).unwrap().unwrap();
+            assert_eq!(r.data.as_bytes(), &[i as u8; 64]);
+            assert!(r.present);
+        }
+        assert_eq!(store.read(c, Lsn(21)).unwrap(), None);
+        assert_eq!(store.interval_list(c).len(), 1);
+    }
+
+    #[test]
+    fn reads_served_from_nvram_before_flush() {
+        let dir = tmpdir("nvramread");
+        let nvram = NvramDevice::new(1 << 16);
+        let mut opts = small_opts();
+        opts.track_bytes = 1 << 16; // never auto-flush
+        let mut store = LogStore::open(&dir, opts, nvram).unwrap();
+        store.write(ClientId(1), &rec(1, 1, 9)).unwrap();
+        assert_eq!(store.stats().tracks_flushed, 0);
+        let r = store.read(ClientId(1), Lsn(1)).unwrap().unwrap();
+        assert_eq!(r.data.as_bytes(), &[9u8; 64]);
+    }
+
+    #[test]
+    fn clean_restart_recovers_all() {
+        let dir = tmpdir("restart");
+        let nvram = NvramDevice::new(4096);
+        {
+            let mut store = LogStore::open(&dir, small_opts(), nvram.clone()).unwrap();
+            for i in 1..=50u64 {
+                store.write(ClientId(1), &rec(i, 2, i as u8)).unwrap();
+            }
+            store.sync().unwrap();
+        }
+        let mut store = LogStore::open(&dir, small_opts(), nvram).unwrap();
+        for i in 1..=50u64 {
+            assert!(
+                store.read(ClientId(1), Lsn(i)).unwrap().is_some(),
+                "lsn {i}"
+            );
+        }
+        let list = store.interval_list(ClientId(1));
+        assert_eq!(list.last().unwrap().hi, Lsn(50));
+    }
+
+    #[test]
+    fn crash_with_nvram_loses_nothing() {
+        let dir = tmpdir("crash-nvram");
+        let nvram = NvramDevice::new(1 << 16);
+        let mut opts = small_opts();
+        opts.track_bytes = 1 << 16; // keep everything in NVRAM
+        {
+            let mut store = LogStore::open(&dir, opts.clone(), nvram.clone()).unwrap();
+            for i in 1..=30u64 {
+                store.write(ClientId(1), &rec(i, 1, i as u8)).unwrap();
+            }
+            store.force(ClientId(1)).unwrap();
+            assert_eq!(store.stats().tracks_flushed, 0, "nothing reached disk");
+            // Crash: drop without sync. The NVRAM device survives.
+        }
+        let mut store = LogStore::open(&dir, opts, nvram.clone()).unwrap();
+        assert!(store.stats().nvram_replayed_bytes > 0);
+        for i in 1..=30u64 {
+            let r = store.read(ClientId(1), Lsn(i)).unwrap().unwrap();
+            assert_eq!(r.data.as_bytes(), &[i as u8; 64], "lsn {i}");
+        }
+        assert_eq!(nvram.pending_len(), 0, "replayed data was retired");
+    }
+
+    #[test]
+    fn crash_replays_partial_overlap() {
+        // Track flushed to disk, then more records inserted, then crash:
+        // NVRAM holds only the unflushed suffix; recovery must splice it.
+        let dir = tmpdir("crash-overlap");
+        let nvram = NvramDevice::new(1 << 16);
+        let mut opts = small_opts();
+        opts.track_bytes = 200; // flush roughly every other record
+        {
+            let mut store = LogStore::open(&dir, opts.clone(), nvram.clone()).unwrap();
+            for i in 1..=25u64 {
+                store.write(ClientId(1), &rec(i, 1, i as u8)).unwrap();
+            }
+            // Crash without the final flush.
+        }
+        let mut store = LogStore::open(&dir, opts, nvram).unwrap();
+        for i in 1..=25u64 {
+            assert!(
+                store.read(ClientId(1), Lsn(i)).unwrap().is_some(),
+                "lsn {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn torn_disk_tail_is_overwritten_by_nvram() {
+        let dir = tmpdir("torn-tail");
+        let nvram = NvramDevice::new(1 << 16);
+        let mut opts = small_opts();
+        opts.track_bytes = 1 << 16;
+        let disk_end;
+        {
+            let mut store = LogStore::open(&dir, opts.clone(), nvram.clone()).unwrap();
+            for i in 1..=10u64 {
+                store.write(ClientId(1), &rec(i, 1, i as u8)).unwrap();
+            }
+            // Simulate a torn track write: the OS wrote a prefix of the
+            // track before power failed, and NVRAM still has everything.
+            let (base, pending) = nvram.pending();
+            assert_eq!(base, 0);
+            disk_end = pending.len() / 2;
+            let mut s = SegmentedStream::open(&dir, opts.segment_bytes).unwrap();
+            s.write_at(0, &pending[..disk_end]).unwrap();
+            // Crash before retire.
+        }
+        let mut store = LogStore::open(&dir, opts, nvram).unwrap();
+        for i in 1..=10u64 {
+            assert!(
+                store.read(ClientId(1), Lsn(i)).unwrap().is_some(),
+                "lsn {i}"
+            );
+        }
+        assert!(store.stats().nvram_replayed_bytes > 0);
+    }
+
+    #[test]
+    fn staged_copies_invisible_until_install() {
+        let dir = tmpdir("staged");
+        let nvram = NvramDevice::new(1 << 16);
+        let mut store = LogStore::open(&dir, small_opts(), nvram).unwrap();
+        let c = ClientId(1);
+        for i in 1..=5u64 {
+            store.write(c, &rec(i, 1, 1)).unwrap();
+        }
+        // Stage a recovery rewrite of LSN 5 plus a not-present LSN 6.
+        store.stage_copy(c, &rec(5, 2, 2)).unwrap();
+        store
+            .stage_copy(c, &LogRecord::not_present(Lsn(6), Epoch(2)))
+            .unwrap();
+
+        // Still invisible.
+        let list = store.interval_list(c);
+        assert_eq!(list.last().unwrap().hi, Lsn(5));
+        assert_eq!(list.last().unwrap().epoch, Epoch(1));
+        assert_eq!(store.read(c, Lsn(6)).unwrap(), None);
+
+        store.install_copies(c, Epoch(2)).unwrap();
+        let list = store.interval_list(c);
+        assert_eq!(list.len(), 2);
+        assert_eq!(
+            list.last().unwrap(),
+            Interval::new(Epoch(2), Lsn(5), Lsn(6))
+        );
+        let r5 = store.read(c, Lsn(5)).unwrap().unwrap();
+        assert_eq!(r5.epoch, Epoch(2));
+        let r6 = store.read(c, Lsn(6)).unwrap().unwrap();
+        assert!(!r6.present);
+    }
+
+    #[test]
+    fn stage_rejects_stale_epoch() {
+        let dir = tmpdir("stale");
+        let nvram = NvramDevice::new(1 << 16);
+        let mut store = LogStore::open(&dir, small_opts(), nvram).unwrap();
+        let c = ClientId(1);
+        store.write(c, &rec(1, 3, 1)).unwrap();
+        assert!(matches!(
+            store.stage_copy(c, &rec(1, 3, 2)),
+            Err(DlogError::StaleEpoch { .. })
+        ));
+        assert!(matches!(
+            store.stage_copy(c, &rec(1, 2, 2)),
+            Err(DlogError::StaleEpoch { .. })
+        ));
+    }
+
+    #[test]
+    fn install_without_stage_fails() {
+        let dir = tmpdir("no-stage");
+        let nvram = NvramDevice::new(1 << 16);
+        let mut store = LogStore::open(&dir, small_opts(), nvram).unwrap();
+        assert!(store.install_copies(ClientId(1), Epoch(1)).is_err());
+    }
+
+    #[test]
+    fn crash_between_stage_and_install_discards() {
+        let dir = tmpdir("staged-crash");
+        let nvram = NvramDevice::new(1 << 16);
+        {
+            let mut store = LogStore::open(&dir, small_opts(), nvram.clone()).unwrap();
+            store.write(ClientId(1), &rec(1, 1, 1)).unwrap();
+            store.stage_copy(ClientId(1), &rec(1, 2, 2)).unwrap();
+            store.sync().unwrap();
+            // Crash before install.
+        }
+        let mut store = LogStore::open(&dir, small_opts(), nvram).unwrap();
+        // The staged copy is still pending, not installed.
+        let r = store.read(ClientId(1), Lsn(1)).unwrap().unwrap();
+        assert_eq!(r.epoch, Epoch(1));
+        // And the client may complete the installation now.
+        store.install_copies(ClientId(1), Epoch(2)).unwrap();
+        let r = store.read(ClientId(1), Lsn(1)).unwrap().unwrap();
+        assert_eq!(r.epoch, Epoch(2));
+    }
+
+    #[test]
+    fn crash_after_install_preserves_installation() {
+        let dir = tmpdir("installed-crash");
+        let nvram = NvramDevice::new(1 << 16);
+        {
+            let mut store = LogStore::open(&dir, small_opts(), nvram.clone()).unwrap();
+            store.write(ClientId(1), &rec(1, 1, 1)).unwrap();
+            store.stage_copy(ClientId(1), &rec(1, 2, 2)).unwrap();
+            store.install_copies(ClientId(1), Epoch(2)).unwrap();
+            store.sync().unwrap();
+        }
+        let mut store = LogStore::open(&dir, small_opts(), nvram).unwrap();
+        let r = store.read(ClientId(1), Lsn(1)).unwrap().unwrap();
+        assert_eq!(r.epoch, Epoch(2));
+    }
+
+    #[test]
+    fn checkpoint_accelerates_recovery() {
+        let dir = tmpdir("ckpt");
+        let nvram = NvramDevice::new(1 << 16);
+        let mut opts = small_opts();
+        opts.checkpoint_every = 1; // checkpoint at every opportunity
+        {
+            let mut store = LogStore::open(&dir, opts.clone(), nvram.clone()).unwrap();
+            for i in 1..=40u64 {
+                store.write(ClientId(1), &rec(i, 1, 1)).unwrap();
+            }
+            assert!(store.stats().checkpoints > 0);
+            store.sync().unwrap();
+        }
+        let mut store = LogStore::open(&dir, opts, nvram).unwrap();
+        // Most records came from the checkpoint, not the scan.
+        assert!(
+            store.stats().recovered_records < 40,
+            "scan rebuilt {} records despite checkpoint",
+            store.stats().recovered_records
+        );
+        for i in 1..=40u64 {
+            assert!(store.read(ClientId(1), Lsn(i)).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn oversized_record_bypasses_nvram() {
+        let dir = tmpdir("oversize");
+        let nvram = NvramDevice::new(512);
+        let mut opts = small_opts();
+        opts.track_bytes = 512;
+        let mut store = LogStore::open(&dir, opts, nvram).unwrap();
+        let big = LogRecord::present(Lsn(1), Epoch(1), vec![7u8; 10_000]);
+        store.write(ClientId(1), &big).unwrap();
+        store.write(ClientId(1), &rec(2, 1, 3)).unwrap();
+        let r = store.read(ClientId(1), Lsn(1)).unwrap().unwrap();
+        assert_eq!(r.data.len(), 10_000);
+        assert!(store.read(ClientId(1), Lsn(2)).unwrap().is_some());
+    }
+
+    #[test]
+    fn multi_client_interleaving() {
+        let dir = tmpdir("interleave");
+        let nvram = NvramDevice::new(1 << 16);
+        let mut store = LogStore::open(&dir, small_opts(), nvram).unwrap();
+        for i in 1..=30u64 {
+            for c in 1..=5u64 {
+                store.write(ClientId(c), &rec(i, 1, c as u8)).unwrap();
+            }
+        }
+        for c in 1..=5u64 {
+            for i in 1..=30u64 {
+                let r = store.read(ClientId(c), Lsn(i)).unwrap().unwrap();
+                assert_eq!(r.data.as_bytes()[0], c as u8);
+            }
+        }
+        assert_eq!(store.clients().len(), 5);
+    }
+
+    #[test]
+    fn write_rejects_order_violations() {
+        let dir = tmpdir("order");
+        let nvram = NvramDevice::new(1 << 16);
+        let mut store = LogStore::open(&dir, small_opts(), nvram).unwrap();
+        store.write(ClientId(1), &rec(5, 2, 1)).unwrap();
+        assert!(store.write(ClientId(1), &rec(5, 2, 1)).is_err());
+        assert!(store.write(ClientId(1), &rec(4, 2, 1)).is_err());
+        assert!(store.write(ClientId(1), &rec(6, 1, 1)).is_err());
+    }
+}

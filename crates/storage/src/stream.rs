@@ -1,0 +1,467 @@
+//! The sequentially written, segmented log-data stream.
+//!
+//! §4.1: "records from different logs must be interleaved in a data stream
+//! that is written sequentially to disk". The stream is a contiguous
+//! logical byte space chunked into fixed-capacity segment files, so old
+//! prefixes can be spooled off or deleted at segment granularity (§5.3).
+//! Frames may span segment boundaries; the logical position space has no
+//! holes.
+
+use std::collections::BTreeSet;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::frame::Frame;
+use dlog_types::Result as DlogResult;
+
+/// Chunk size used by sequential scans.
+const SCAN_CHUNK: usize = 256 * 1024;
+
+/// A segmented, append-oriented byte stream with positional reads.
+#[derive(Debug)]
+pub struct SegmentedStream {
+    dir: PathBuf,
+    segment_bytes: u64,
+    /// Logical end: one past the last written byte.
+    end: u64,
+    /// Logical start: everything before this has been dropped (§5.3).
+    start: u64,
+    /// Segments touched since the last `sync`.
+    dirty: BTreeSet<u64>,
+}
+
+impl SegmentedStream {
+    /// Open (or create) the stream stored in `dir` with the given segment
+    /// capacity.
+    ///
+    /// # Errors
+    /// Fails on I/O errors or if existing segments are inconsistent with
+    /// `segment_bytes` (a non-final segment that is not full).
+    pub fn open(dir: impl AsRef<Path>, segment_bytes: u64) -> io::Result<SegmentedStream> {
+        assert!(segment_bytes >= 1024, "segment capacity unreasonably small");
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let mut indices: Vec<u64> = Vec::new();
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(idx) = name
+                .strip_prefix("seg-")
+                .and_then(|s| s.strip_suffix(".seg"))
+            {
+                if let Ok(i) = idx.parse::<u64>() {
+                    indices.push(i);
+                }
+            }
+        }
+        indices.sort_unstable();
+        let (start, end) = match (indices.first(), indices.last()) {
+            (Some(&first), Some(&last)) => {
+                // All but the last segment must be full.
+                for w in indices.windows(2) {
+                    if w[1] != w[0] + 1 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("segment gap between {} and {}", w[0], w[1]),
+                        ));
+                    }
+                }
+                for &i in &indices[..indices.len() - 1] {
+                    let len = fs::metadata(segment_path(&dir, i))?.len();
+                    if len != segment_bytes {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("non-final segment {i} has length {len}"),
+                        ));
+                    }
+                }
+                let last_len = fs::metadata(segment_path(&dir, last))?.len();
+                if last_len > segment_bytes {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("segment {last} overlong ({last_len} bytes)"),
+                    ));
+                }
+                (first * segment_bytes, last * segment_bytes + last_len)
+            }
+            _ => (0, 0),
+        };
+        Ok(SegmentedStream {
+            dir,
+            segment_bytes,
+            end,
+            start,
+            dirty: BTreeSet::new(),
+        })
+    }
+
+    /// Logical end of the stream (the append position).
+    #[must_use]
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+
+    /// Logical start (everything before was dropped).
+    #[must_use]
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// Segment capacity in bytes.
+    #[must_use]
+    pub fn segment_bytes(&self) -> u64 {
+        self.segment_bytes
+    }
+
+    /// Number of live segment files.
+    #[must_use]
+    pub fn segment_count(&self) -> u64 {
+        if self.end == self.start && self.end == 0 {
+            return 0;
+        }
+        self.end / self.segment_bytes - self.start / self.segment_bytes + 1
+    }
+
+    /// Append `bytes` at the end, returning the position they were written
+    /// at.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn append(&mut self, bytes: &[u8]) -> io::Result<u64> {
+        let pos = self.end;
+        self.write_at(pos, bytes)?;
+        Ok(pos)
+    }
+
+    /// Write `bytes` at logical position `pos` (used by NVRAM replay to
+    /// overwrite a torn tail). Extends the stream if the write passes the
+    /// current end; writing strictly before `start` or beyond `end` is an
+    /// error.
+    ///
+    /// # Errors
+    /// Propagates I/O failures and rejects out-of-range positions.
+    pub fn write_at(&mut self, pos: u64, bytes: &[u8]) -> io::Result<()> {
+        if pos < self.start || pos > self.end {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("write at {pos} outside [{}, {}]", self.start, self.end),
+            ));
+        }
+        let mut cursor = pos;
+        let mut remaining = bytes;
+        while !remaining.is_empty() {
+            let seg = cursor / self.segment_bytes;
+            let off = cursor % self.segment_bytes;
+            let room = (self.segment_bytes - off) as usize;
+            let take = room.min(remaining.len());
+            let mut file = self.open_segment(seg, true)?;
+            file.seek(SeekFrom::Start(off))?;
+            file.write_all(&remaining[..take])?;
+            self.dirty.insert(seg);
+            cursor += take as u64;
+            remaining = &remaining[take..];
+        }
+        self.end = self.end.max(cursor);
+        Ok(())
+    }
+
+    /// Read exactly `len` bytes at `pos`.
+    ///
+    /// # Errors
+    /// Fails if the range is not fully inside `[start, end)`.
+    pub fn read_at(&self, pos: u64, len: usize) -> io::Result<Vec<u8>> {
+        if pos < self.start || pos + len as u64 > self.end {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!(
+                    "read [{pos}, {}) outside [{}, {})",
+                    pos + len as u64,
+                    self.start,
+                    self.end
+                ),
+            ));
+        }
+        let mut out = vec![0u8; len];
+        let mut cursor = pos;
+        let mut filled = 0;
+        while filled < len {
+            let seg = cursor / self.segment_bytes;
+            let off = cursor % self.segment_bytes;
+            let room = (self.segment_bytes - off) as usize;
+            let take = room.min(len - filled);
+            let mut file = self.open_segment(seg, false)?;
+            file.seek(SeekFrom::Start(off))?;
+            file.read_exact(&mut out[filled..filled + take])?;
+            cursor += take as u64;
+            filled += take;
+        }
+        Ok(out)
+    }
+
+    /// Truncate the stream to logical length `end` (drops torn tails found
+    /// during recovery).
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn truncate(&mut self, end: u64) -> io::Result<()> {
+        if end > self.end || end < self.start {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "truncate out of range",
+            ));
+        }
+        let keep_seg = end / self.segment_bytes;
+        let last_seg = if self.end == 0 {
+            0
+        } else {
+            (self.end.saturating_sub(1)) / self.segment_bytes
+        };
+        for seg in (keep_seg + 1)..=last_seg {
+            let p = segment_path(&self.dir, seg);
+            if p.exists() {
+                fs::remove_file(p)?;
+            }
+        }
+        let p = segment_path(&self.dir, keep_seg);
+        if p.exists() {
+            let f = OpenOptions::new().write(true).open(p)?;
+            f.set_len(end % self.segment_bytes)?;
+        }
+        self.end = end;
+        Ok(())
+    }
+
+    /// Drop whole segments strictly below `pos` (log space management,
+    /// §5.3). Returns the new logical start.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn drop_before(&mut self, pos: u64) -> io::Result<u64> {
+        let pos = pos.min(self.end);
+        let first_keep = pos / self.segment_bytes;
+        let first_live = self.start / self.segment_bytes;
+        for seg in first_live..first_keep {
+            let p = segment_path(&self.dir, seg);
+            if p.exists() {
+                fs::remove_file(p)?;
+            }
+        }
+        self.start = self.start.max(first_keep * self.segment_bytes);
+        Ok(self.start)
+    }
+
+    /// Flush all dirty segments to stable storage.
+    ///
+    /// # Errors
+    /// Propagates `fsync` failure.
+    pub fn sync(&mut self) -> io::Result<()> {
+        for seg in std::mem::take(&mut self.dirty) {
+            let p = segment_path(&self.dir, seg);
+            if p.exists() {
+                File::open(p)?.sync_data()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Scan frames from `from`, invoking `f(position, frame)` for each
+    /// valid frame, stopping at the first invalid one. Returns the logical
+    /// position one past the last valid frame.
+    ///
+    /// # Errors
+    /// Propagates I/O failures and structurally corrupt frame bodies.
+    pub fn scan_frames<F>(&self, from: u64, mut f: F) -> DlogResult<u64>
+    where
+        F: FnMut(u64, Frame),
+    {
+        let mut pos = from.max(self.start);
+        let mut buf: Vec<u8> = Vec::new();
+        let mut buf_base = pos;
+        loop {
+            let offset = (pos - buf_base) as usize;
+            match Frame::decode(&buf[offset..])? {
+                Some((frame, consumed)) => {
+                    f(pos, frame);
+                    pos += consumed as u64;
+                    // Slide the window when the consumed prefix grows large.
+                    if pos - buf_base > (SCAN_CHUNK as u64) / 2 {
+                        buf.drain(..(pos - buf_base) as usize);
+                        buf_base = pos;
+                    }
+                }
+                None => {
+                    // Either a genuine end, or the buffer is too short for
+                    // the next frame and more stream data exists: extend.
+                    let buffered_to = buf_base + buf.len() as u64;
+                    if buffered_to < self.end {
+                        let take = ((self.end - buffered_to) as usize).min(SCAN_CHUNK);
+                        let chunk = self
+                            .read_at(buffered_to, take)
+                            .map_err(dlog_types::DlogError::Io)?;
+                        buf.extend_from_slice(&chunk);
+                        continue;
+                    }
+                    return Ok(pos);
+                }
+            }
+        }
+    }
+
+    fn open_segment(&self, seg: u64, create: bool) -> io::Result<File> {
+        let p = segment_path(&self.dir, seg);
+        if create {
+            // No truncate: segments are extended in place, never replaced.
+            #[allow(clippy::suspicious_open_options)]
+            OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .open(p)
+        } else {
+            File::open(p)
+        }
+    }
+}
+
+fn segment_path(dir: &Path, seg: u64) -> PathBuf {
+    dir.join(format!("seg-{seg:08}.seg"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlog_types::{ClientId, Epoch, LogRecord, Lsn};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir()
+            .join("dlog-stream-tests")
+            .join(format!("{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn rec_frame(lsn: u64, size: usize) -> Frame {
+        Frame::Record {
+            client: ClientId(1),
+            record: LogRecord::present(Lsn(lsn), Epoch(1), vec![lsn as u8; size]),
+            staged: false,
+        }
+    }
+
+    #[test]
+    fn append_read_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let mut s = SegmentedStream::open(&dir, 4096).unwrap();
+        let pos = s.append(b"hello world").unwrap();
+        assert_eq!(pos, 0);
+        assert_eq!(s.read_at(0, 11).unwrap(), b"hello world");
+        assert_eq!(s.end(), 11);
+        assert!(s.read_at(5, 100).is_err());
+    }
+
+    #[test]
+    fn spans_segment_boundaries() {
+        let dir = tmpdir("spans");
+        let mut s = SegmentedStream::open(&dir, 1024).unwrap();
+        let blob: Vec<u8> = (0..3000u32).map(|i| i as u8).collect();
+        s.append(&blob).unwrap();
+        assert_eq!(s.segment_count(), 3);
+        assert_eq!(s.read_at(0, 3000).unwrap(), blob);
+        // A read crossing the first boundary.
+        assert_eq!(s.read_at(1000, 48).unwrap(), &blob[1000..1048]);
+    }
+
+    #[test]
+    fn reopen_finds_end() {
+        let dir = tmpdir("reopen");
+        {
+            let mut s = SegmentedStream::open(&dir, 1024).unwrap();
+            s.append(&vec![7u8; 2500]).unwrap();
+            s.sync().unwrap();
+        }
+        let s = SegmentedStream::open(&dir, 1024).unwrap();
+        assert_eq!(s.end(), 2500);
+        assert_eq!(s.read_at(2400, 100).unwrap(), vec![7u8; 100]);
+    }
+
+    #[test]
+    fn write_at_overwrites_tail() {
+        let dir = tmpdir("overwrite");
+        let mut s = SegmentedStream::open(&dir, 1024).unwrap();
+        s.append(b"aaaaaaaaaa").unwrap();
+        s.write_at(5, b"BBBBBBBB").unwrap();
+        assert_eq!(s.end(), 13);
+        assert_eq!(s.read_at(0, 13).unwrap(), b"aaaaaBBBBBBBB");
+        // Holes are rejected.
+        assert!(s.write_at(20, b"x").is_err());
+    }
+
+    #[test]
+    fn scan_stops_at_torn_frame() {
+        let dir = tmpdir("torn");
+        let mut s = SegmentedStream::open(&dir, 1 << 16).unwrap();
+        let mut encoded = Vec::new();
+        for i in 1..=5u64 {
+            rec_frame(i, 50).encode_into(&mut encoded);
+        }
+        let full_len = encoded.len();
+        // Tear the final frame: drop its last 10 bytes.
+        s.append(&encoded[..full_len - 10]).unwrap();
+        let mut seen = Vec::new();
+        let end = s.scan_frames(0, |pos, f| seen.push((pos, f))).unwrap();
+        assert_eq!(seen.len(), 4);
+        // The scan end is the start of the torn frame.
+        let frame_len = rec_frame(1, 50).encoded_len() as u64;
+        assert_eq!(end, frame_len * 4);
+    }
+
+    #[test]
+    fn scan_across_segments() {
+        let dir = tmpdir("scanseg");
+        let mut s = SegmentedStream::open(&dir, 1024).unwrap();
+        let mut expect = Vec::new();
+        for i in 1..=60u64 {
+            let f = rec_frame(i, 64);
+            let mut buf = Vec::new();
+            f.encode_into(&mut buf);
+            let pos = s.append(&buf).unwrap();
+            expect.push((pos, f));
+        }
+        assert!(s.segment_count() > 3);
+        let mut seen = Vec::new();
+        let end = s.scan_frames(0, |pos, f| seen.push((pos, f))).unwrap();
+        assert_eq!(seen, expect);
+        assert_eq!(end, s.end());
+    }
+
+    #[test]
+    fn truncate_and_drop() {
+        let dir = tmpdir("truncate");
+        let mut s = SegmentedStream::open(&dir, 1024).unwrap();
+        s.append(&vec![1u8; 3000]).unwrap();
+        s.truncate(2500).unwrap();
+        assert_eq!(s.end(), 2500);
+        assert!(s.read_at(2400, 100).is_ok());
+        assert!(s.read_at(2450, 100).is_err());
+
+        // Drop the first two segments.
+        let new_start = s.drop_before(2100).unwrap();
+        assert_eq!(new_start, 2048);
+        assert!(s.read_at(0, 10).is_err());
+        assert!(s.read_at(2048, 100).is_ok());
+        assert_eq!(s.segment_count(), 1);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let dir = tmpdir("empty");
+        let s = SegmentedStream::open(&dir, 1024).unwrap();
+        assert_eq!(s.end(), 0);
+        assert_eq!(s.segment_count(), 0);
+        let end = s.scan_frames(0, |_, _| panic!("no frames")).unwrap();
+        assert_eq!(end, 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+use std::io;
+
+use crate::{Epoch, Lsn, ServerId};
+
+/// Convenient result alias.
+pub type Result<T> = std::result::Result<T, DlogError>;
+
+/// Errors surfaced by the distributed logging service.
+#[derive(Debug)]
+pub enum DlogError {
+    /// `ReadLog` was called with an LSN that has never been returned by a
+    /// preceding `WriteLog` (§3.1: "an exception is signaled").
+    NoSuchRecord {
+        /// The offending LSN.
+        lsn: Lsn,
+    },
+    /// The record at this LSN exists on servers but is marked *not
+    /// present*: it was masked by the client-restart recovery procedure and
+    /// is not part of the replicated log.
+    NotPresent {
+        /// The masked LSN.
+        lsn: Lsn,
+    },
+    /// Too few log servers responded to perform the operation (fewer than N
+    /// for writes, fewer than M−N+1 for client initialization, none holding
+    /// the record for reads).
+    QuorumUnavailable {
+        /// What was being attempted.
+        operation: &'static str,
+        /// How many servers were needed.
+        needed: usize,
+        /// How many were reachable.
+        available: usize,
+    },
+    /// A server rejected an operation because it arrived with a stale epoch
+    /// (smaller than one it has already stored for a later write).
+    StaleEpoch {
+        /// Epoch supplied by the caller.
+        given: Epoch,
+        /// Minimum epoch the server will accept.
+        current: Epoch,
+    },
+    /// A specific server did not respond within the retry budget.
+    ServerUnavailable {
+        /// The unresponsive server.
+        server: ServerId,
+    },
+    /// The on-disk log stream is corrupt (bad checksum, truncated frame,
+    /// impossible ordering). Carries a human-readable description.
+    Corrupt(String),
+    /// Protocol violation detected by the packet layer.
+    Protocol(String),
+    /// Invalid configuration (e.g. N > M, N = 0, δ = 0).
+    Config(String),
+    /// The client attempted an operation before `initialize` completed.
+    /// The recovery manager "will not act on any log records prior to the
+    /// completion of the recovery procedure" (§3.1.2).
+    NotInitialized,
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for DlogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DlogError::NoSuchRecord { lsn } => {
+                write!(f, "no record with LSN {lsn} has been written")
+            }
+            DlogError::NotPresent { lsn } => {
+                write!(f, "record {lsn} is marked not present in the replicated log")
+            }
+            DlogError::QuorumUnavailable { operation, needed, available } => write!(
+                f,
+                "{operation}: quorum unavailable ({available} of required {needed} servers reachable)"
+            ),
+            DlogError::StaleEpoch { given, current } => {
+                write!(f, "stale epoch {given}; server requires at least {current}")
+            }
+            DlogError::ServerUnavailable { server } => {
+                write!(f, "log server {server} is unavailable")
+            }
+            DlogError::Corrupt(msg) => write!(f, "log storage corrupt: {msg}"),
+            DlogError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            DlogError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            DlogError::NotInitialized => {
+                write!(f, "replicated log used before client initialization completed")
+            }
+            DlogError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DlogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DlogError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DlogError {
+    fn from(e: io::Error) -> Self {
+        DlogError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = DlogError::NoSuchRecord { lsn: Lsn(9) };
+        assert!(e.to_string().contains("LSN 9"));
+
+        let e = DlogError::QuorumUnavailable {
+            operation: "WriteLog",
+            needed: 2,
+            available: 1,
+        };
+        assert!(e.to_string().contains("WriteLog"));
+        assert!(e.to_string().contains("1 of required 2"));
+
+        let e = DlogError::StaleEpoch {
+            given: Epoch(2),
+            current: Epoch(5),
+        };
+        assert!(e.to_string().contains('2'));
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn io_conversion_preserves_source() {
+        let e: DlogError = io::Error::other("boom").into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("boom"));
+    }
+}

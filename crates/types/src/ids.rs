@@ -1,0 +1,78 @@
+//! Node identifiers.
+
+use std::fmt;
+
+/// Identifier of a transaction-processing client node.
+///
+/// A replicated log is used by exactly one client (§3.1); log servers key
+/// all stored state by `ClientId`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ClientId(pub u64);
+
+impl ClientId {
+    /// Construct a client id.
+    #[must_use]
+    pub fn new(v: u64) -> Self {
+        ClientId(v)
+    }
+}
+
+impl fmt::Debug for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Client({})", self.0)
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// Identifier of a log-server node.
+///
+/// Clients address the M servers of a replicated-log configuration by
+/// `ServerId`; transports map server ids to endpoints.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ServerId(pub u64);
+
+impl ServerId {
+    /// Construct a server id.
+    #[must_use]
+    pub fn new(v: u64) -> Self {
+        ServerId(v)
+    }
+}
+
+impl fmt::Debug for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Server({})", self.0)
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ClientId(3).to_string(), "C3");
+        assert_eq!(ServerId(5).to_string(), "S5");
+        assert_eq!(format!("{:?}", ClientId(3)), "Client(3)");
+        assert_eq!(format!("{:?}", ServerId(5)), "Server(5)");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(ServerId(1) < ServerId(2));
+        assert!(ClientId(1) < ClientId(2));
+    }
+}

@@ -1,0 +1,33 @@
+//! Common types for the `dlog` distributed logging system.
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! workspace: log sequence numbers ([`Lsn`]), crash epochs ([`Epoch`]),
+//! node identifiers, log records with *present flags* ([`LogRecord`]), and
+//! the *interval lists* ([`IntervalList`]) that log servers report to
+//! restarting clients.
+//!
+//! The terminology follows §3.1 of Daniels, Spector & Thompson,
+//! *Distributed Logging for Transaction Processing* (SIGMOD 1987):
+//!
+//! * a **replicated log** is an append-only sequence of records identified
+//!   by increasing [`Lsn`]s, used by exactly one client node;
+//! * records stored on a log server additionally carry an [`Epoch`] number
+//!   (non-decreasing across client restarts) and a boolean **present flag**;
+//! * a record is uniquely identified by an `<LSN, Epoch>` pair
+//!   ([`RecordId`]);
+//! * log servers group records into consecutive sequences with equal epoch
+//!   ([`Interval`]) and report them via the `IntervalList` operation.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod ids;
+pub mod interval;
+pub mod record;
+
+pub use config::ReplicationConfig;
+pub use error::{DlogError, Result};
+pub use ids::{ClientId, ServerId};
+pub use interval::{Interval, IntervalList};
+pub use record::{Epoch, LogData, LogRecord, Lsn, RecordId};

@@ -1,0 +1,354 @@
+//! Log sequence numbers, epochs, and log records.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A *log sequence number*: the position of a record in a replicated log.
+///
+/// LSNs are increasing integers assigned by `WriteLog` (§3.1). The first
+/// record of a log has LSN 1; [`Lsn::ZERO`] is a sentinel meaning "before
+/// the first record" and is never assigned to a record.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Lsn(pub u64);
+
+impl Lsn {
+    /// Sentinel preceding the first valid LSN.
+    pub const ZERO: Lsn = Lsn(0);
+    /// The LSN of the first record ever written to a log.
+    pub const FIRST: Lsn = Lsn(1);
+    /// Largest representable LSN.
+    pub const MAX: Lsn = Lsn(u64::MAX);
+
+    /// The next LSN in sequence.
+    ///
+    /// # Panics
+    /// Panics on overflow (an append-only log of 2^64 records is
+    /// unreachable in practice; overflow indicates a logic error).
+    #[must_use]
+    pub fn next(self) -> Lsn {
+        Lsn(self.0.checked_add(1).expect("LSN overflow"))
+    }
+
+    /// The previous LSN, or `None` at [`Lsn::ZERO`].
+    #[must_use]
+    pub fn prev(self) -> Option<Lsn> {
+        self.0.checked_sub(1).map(Lsn)
+    }
+
+    /// True if `self` immediately precedes `other`.
+    #[must_use]
+    pub fn precedes(self, other: Lsn) -> bool {
+        self.0 + 1 == other.0
+    }
+
+    /// Number of LSNs in the closed range `self..=other`, or 0 if
+    /// `other < self`.
+    #[must_use]
+    pub fn span_to(self, other: Lsn) -> u64 {
+        other
+            .0
+            .saturating_sub(self.0)
+            .saturating_add(u64::from(other.0 >= self.0))
+    }
+}
+
+impl fmt::Debug for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Lsn({})", self.0)
+    }
+}
+
+impl fmt::Display for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Lsn {
+    fn from(v: u64) -> Self {
+        Lsn(v)
+    }
+}
+
+/// A *crash epoch* number.
+///
+/// All log records written between two client restarts carry the same epoch
+/// (§3.1.1). Epochs are obtained from the replicated increasing
+/// unique-identifier generator of Appendix I and are strictly increasing
+/// across restarts of one client, though not necessarily consecutive.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Epoch(pub u64);
+
+impl Epoch {
+    /// Sentinel: smaller than every epoch a generator can issue.
+    pub const ZERO: Epoch = Epoch(0);
+
+    /// The next epoch in sequence (generators may skip values; this is a
+    /// convenience for tests and in-process generators).
+    #[must_use]
+    pub fn next(self) -> Epoch {
+        Epoch(self.0.checked_add(1).expect("epoch overflow"))
+    }
+}
+
+impl fmt::Debug for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Epoch({})", self.0)
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Epoch {
+    fn from(v: u64) -> Self {
+        Epoch(v)
+    }
+}
+
+/// Unique identifier of a stored record: the `<LSN, Epoch>` pair of §3.1.1.
+///
+/// Two stored records with the same LSN but different epochs can coexist on
+/// one server (the higher epoch wins at merge time); the pair is unique.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RecordId {
+    /// Position in the replicated log.
+    pub lsn: Lsn,
+    /// Crash epoch the record was written in.
+    pub epoch: Epoch,
+}
+
+impl RecordId {
+    /// Construct a record id.
+    #[must_use]
+    pub fn new(lsn: Lsn, epoch: Epoch) -> Self {
+        RecordId { lsn, epoch }
+    }
+}
+
+impl fmt::Debug for RecordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{},{}>", self.lsn, self.epoch)
+    }
+}
+
+/// Ordering for record ids follows server storage order: non-decreasing
+/// LSN, ties broken by epoch. This matches the order in which a single
+/// server writes records (§3.1.1: "successive records on a log server are
+/// written with non-decreasing LSNs and non-decreasing epoch numbers").
+impl PartialOrd for RecordId {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for RecordId {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.lsn, self.epoch).cmp(&(other.lsn, other.epoch))
+    }
+}
+
+/// Immutable, cheaply clonable log-record payload.
+///
+/// Log data is opaque to the logging service: "the data stored in a log
+/// record depends on the precise recovery and transaction management
+/// algorithms used by the client node" (§3.1). Payloads are shared between
+/// the client's in-flight queue, its undo cache, and the wire encoder, so
+/// they are reference counted.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct LogData(Arc<[u8]>);
+
+impl LogData {
+    /// Wrap a byte vector as log data.
+    #[must_use]
+    pub fn new(bytes: impl Into<Arc<[u8]>>) -> Self {
+        LogData(bytes.into())
+    }
+
+    /// Empty payload (used for records marked *not present*).
+    #[must_use]
+    pub fn empty() -> Self {
+        LogData(Arc::from(&[][..]))
+    }
+
+    /// The payload bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Payload length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the payload is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Debug for LogData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LogData({} bytes)", self.0.len())
+    }
+}
+
+impl From<Vec<u8>> for LogData {
+    fn from(v: Vec<u8>) -> Self {
+        LogData(v.into())
+    }
+}
+
+impl From<&[u8]> for LogData {
+    fn from(v: &[u8]) -> Self {
+        LogData(Arc::from(v))
+    }
+}
+
+impl AsRef<[u8]> for LogData {
+    fn as_ref(&self) -> &[u8] {
+        self.as_bytes()
+    }
+}
+
+/// A log record as stored on a log server (§3.1.1).
+///
+/// In addition to the client-visible `(lsn, data)` pair, stored records
+/// carry the crash [`Epoch`] they were written in and a **present flag**.
+/// Records with `present == false` are written by the client-restart
+/// recovery procedure to mask possibly-partially-written records; no data
+/// need be stored for them.
+#[derive(Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// Position in the replicated log.
+    pub lsn: Lsn,
+    /// Crash epoch the record was written in.
+    pub epoch: Epoch,
+    /// Whether the record is *present* in the replicated log. Not-present
+    /// records exist only to win merge votes against partially written
+    /// records of earlier epochs.
+    pub present: bool,
+    /// Opaque payload (empty when `present` is false).
+    pub data: LogData,
+}
+
+impl LogRecord {
+    /// A present record carrying `data`.
+    #[must_use]
+    pub fn present(lsn: Lsn, epoch: Epoch, data: impl Into<LogData>) -> Self {
+        LogRecord {
+            lsn,
+            epoch,
+            present: true,
+            data: data.into(),
+        }
+    }
+
+    /// A record marked *not present* (empty payload).
+    #[must_use]
+    pub fn not_present(lsn: Lsn, epoch: Epoch) -> Self {
+        LogRecord {
+            lsn,
+            epoch,
+            present: false,
+            data: LogData::empty(),
+        }
+    }
+
+    /// The record's unique `<LSN, Epoch>` identifier.
+    #[must_use]
+    pub fn id(&self) -> RecordId {
+        RecordId::new(self.lsn, self.epoch)
+    }
+}
+
+impl fmt::Debug for LogRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LogRecord(<{},{}> {} {}B)",
+            self.lsn,
+            self.epoch,
+            if self.present {
+                "present"
+            } else {
+                "not-present"
+            },
+            self.data.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lsn_next_prev() {
+        assert_eq!(Lsn::ZERO.next(), Lsn::FIRST);
+        assert_eq!(Lsn(41).next(), Lsn(42));
+        assert_eq!(Lsn(42).prev(), Some(Lsn(41)));
+        assert_eq!(Lsn::ZERO.prev(), None);
+    }
+
+    #[test]
+    fn lsn_precedes() {
+        assert!(Lsn(1).precedes(Lsn(2)));
+        assert!(!Lsn(1).precedes(Lsn(3)));
+        assert!(!Lsn(2).precedes(Lsn(2)));
+        assert!(!Lsn(3).precedes(Lsn(2)));
+    }
+
+    #[test]
+    fn lsn_span() {
+        assert_eq!(Lsn(3).span_to(Lsn(5)), 3);
+        assert_eq!(Lsn(5).span_to(Lsn(5)), 1);
+        assert_eq!(Lsn(6).span_to(Lsn(5)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "LSN overflow")]
+    fn lsn_overflow_panics() {
+        let _ = Lsn::MAX.next();
+    }
+
+    #[test]
+    fn record_id_orders_by_lsn_then_epoch() {
+        let a = RecordId::new(Lsn(3), Epoch(1));
+        let b = RecordId::new(Lsn(3), Epoch(3));
+        let c = RecordId::new(Lsn(4), Epoch(1));
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn log_data_sharing() {
+        let d = LogData::from(vec![1u8, 2, 3]);
+        let e = d.clone();
+        assert_eq!(d.as_bytes(), e.as_bytes());
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert!(LogData::empty().is_empty());
+    }
+
+    #[test]
+    fn record_constructors() {
+        let r = LogRecord::present(Lsn(7), Epoch(2), vec![9u8; 100]);
+        assert!(r.present);
+        assert_eq!(r.data.len(), 100);
+        assert_eq!(r.id(), RecordId::new(Lsn(7), Epoch(2)));
+
+        let np = LogRecord::not_present(Lsn(8), Epoch(4));
+        assert!(!np.present);
+        assert!(np.data.is_empty());
+    }
+}

@@ -1,0 +1,182 @@
+//! The debit–credit bank database: accounts, tellers, branches, history.
+//!
+//! Pages group records so the §5.2 page-cleaning path has something to
+//! clean; the conservation invariant (account, teller, and branch totals
+//! all equal) catches lost or double-applied updates after recovery.
+
+use crate::et1::Et1Txn;
+
+/// Records per page (accounts, tellers, and branches are page-structured
+/// for the buffer-manager experiments).
+pub const PAGE_RECORDS: u64 = 64;
+
+/// Logical page namespaces (encoded into page ids).
+const PAGE_SPACE_ACCOUNT: u64 = 1 << 32;
+const PAGE_SPACE_TELLER: u64 = 2 << 32;
+const PAGE_SPACE_BRANCH: u64 = 3 << 32;
+
+/// An in-memory debit–credit database.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BankDb {
+    accounts: Vec<i64>,
+    tellers: Vec<i64>,
+    branches: Vec<i64>,
+    /// (account, teller, branch, delta) history tuples.
+    history: Vec<(u32, u32, u32, i64)>,
+}
+
+impl BankDb {
+    /// A database with all balances zero.
+    #[must_use]
+    pub fn new(accounts: usize, tellers: usize, branches: usize) -> Self {
+        BankDb {
+            accounts: vec![0; accounts],
+            tellers: vec![0; tellers],
+            branches: vec![0; branches],
+            history: Vec::new(),
+        }
+    }
+
+    /// Apply a transaction's updates.
+    pub fn apply(&mut self, t: &Et1Txn) {
+        self.credit_account(t.account, t.delta);
+        self.credit_teller(t.teller, t.delta);
+        self.credit_branch(t.branch, t.delta);
+        self.insert_history(t.account, t.teller, t.branch, t.delta);
+    }
+
+    /// Record-level mutator: credit one account (used by log replay).
+    pub fn credit_account(&mut self, id: u32, delta: i64) {
+        self.accounts[id as usize] += delta;
+    }
+
+    /// Record-level mutator: credit one teller.
+    pub fn credit_teller(&mut self, id: u32, delta: i64) {
+        self.tellers[id as usize] += delta;
+    }
+
+    /// Record-level mutator: credit one branch.
+    pub fn credit_branch(&mut self, id: u32, delta: i64) {
+        self.branches[id as usize] += delta;
+    }
+
+    /// Record-level mutator: append a history tuple.
+    pub fn insert_history(&mut self, account: u32, teller: u32, branch: u32, delta: i64) {
+        self.history.push((account, teller, branch, delta));
+    }
+
+    /// Reverse a transaction's updates (abort path).
+    pub fn unapply(&mut self, t: &Et1Txn) {
+        self.accounts[t.account as usize] -= t.delta;
+        self.tellers[t.teller as usize] -= t.delta;
+        self.branches[t.branch as usize] -= t.delta;
+        // Remove the matching history tuple (last occurrence).
+        if let Some(pos) = self
+            .history
+            .iter()
+            .rposition(|&(a, te, b, d)| (a, te, b, d) == (t.account, t.teller, t.branch, t.delta))
+        {
+            self.history.remove(pos);
+        }
+    }
+
+    /// Account balance.
+    #[must_use]
+    pub fn account(&self, id: u32) -> i64 {
+        self.accounts[id as usize]
+    }
+
+    /// Teller balance.
+    #[must_use]
+    pub fn teller(&self, id: u32) -> i64 {
+        self.tellers[id as usize]
+    }
+
+    /// Branch balance.
+    #[must_use]
+    pub fn branch(&self, id: u32) -> i64 {
+        self.branches[id as usize]
+    }
+
+    /// History length (committed transactions).
+    #[must_use]
+    pub fn history_len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// The conservation invariant: every debit/credit touches one
+    /// account, teller, and branch by the same delta, so the three totals
+    /// must be identical (and equal the history total).
+    #[must_use]
+    pub fn conserved(&self) -> bool {
+        let a: i64 = self.accounts.iter().sum();
+        let t: i64 = self.tellers.iter().sum();
+        let b: i64 = self.branches.iter().sum();
+        let h: i64 = self.history.iter().map(|&(_, _, _, d)| d).sum();
+        a == t && t == b && b == h
+    }
+
+    /// Page id containing an account record.
+    #[must_use]
+    pub fn account_page(account: u32) -> u64 {
+        PAGE_SPACE_ACCOUNT | (u64::from(account) / PAGE_RECORDS)
+    }
+
+    /// Page id containing a teller record.
+    #[must_use]
+    pub fn teller_page(teller: u32) -> u64 {
+        PAGE_SPACE_TELLER | (u64::from(teller) / PAGE_RECORDS)
+    }
+
+    /// Page id containing a branch record.
+    #[must_use]
+    pub fn branch_page(branch: u32) -> u64 {
+        PAGE_SPACE_BRANCH | (u64::from(branch) / PAGE_RECORDS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txn(a: u32, t: u32, b: u32, d: i64) -> Et1Txn {
+        Et1Txn {
+            account: a,
+            teller: t,
+            branch: b,
+            delta: d,
+        }
+    }
+
+    #[test]
+    fn apply_unapply_roundtrip() {
+        let mut db = BankDb::new(100, 10, 2);
+        let before = db.clone();
+        let t = txn(5, 3, 1, 42);
+        db.apply(&t);
+        assert_eq!(db.account(5), 42);
+        assert_eq!(db.teller(3), 42);
+        assert_eq!(db.branch(1), 42);
+        assert!(db.conserved());
+        db.unapply(&t);
+        assert_eq!(db, before);
+    }
+
+    #[test]
+    fn conservation_detects_corruption() {
+        let mut db = BankDb::new(10, 2, 1);
+        db.apply(&txn(1, 0, 0, 10));
+        assert!(db.conserved());
+        db.accounts[1] += 1; // corrupt
+        assert!(!db.conserved());
+    }
+
+    #[test]
+    fn page_mapping() {
+        assert_eq!(BankDb::account_page(0), BankDb::account_page(63));
+        assert_ne!(BankDb::account_page(63), BankDb::account_page(64));
+        // Namespaces never collide.
+        assert_ne!(BankDb::account_page(0), BankDb::teller_page(0));
+        assert_ne!(BankDb::teller_page(0), BankDb::branch_page(0));
+    }
+}

@@ -1,0 +1,66 @@
+//! Interactive availability explorer: evaluate any (M, N, p)
+//! configuration with the §3.2 closed forms, cross-check by Monte-Carlo
+//! simulation, and size M for target availabilities.
+//!
+//! Run with:
+//! `cargo run -p dlog-bench --example availability_explorer -- [p] [m_max]`
+//! (defaults: p = 0.05, m_max = 8 — the paper's Figure 3-4 ranges)
+
+use dlog_analysis::availability::{
+    figure_3_4, generator_availability, max_m_for_init, min_m_for_write, read_availability,
+};
+use dlog_analysis::table::{fmt_prob, Table};
+use dlog_sim::MonteCarloParams;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let p: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.05);
+    let m_max: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+
+    println!("Replicated-log availability, per-server unavailability p = {p}\n");
+    let mut t = Table::new(vec![
+        "N",
+        "M",
+        "write",
+        "init",
+        "read",
+        "write (sim)",
+        "init (sim)",
+    ]);
+    for row in figure_3_4(m_max, p) {
+        let mut mc = MonteCarloParams::new(row.m as usize, row.n as usize);
+        mc.p = p;
+        mc.samples = 30_000;
+        mc.horizon = 150_000.0;
+        let est = mc.run();
+        t.row(vec![
+            row.n.to_string(),
+            row.m.to_string(),
+            fmt_prob(row.write),
+            fmt_prob(row.init),
+            fmt_prob(read_availability(row.n, p)),
+            fmt_prob(est.write),
+            fmt_prob(est.init),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("Configuration sizing (the trade §3.2 describes):");
+    for n in [2u64, 3] {
+        for target in [0.99, 0.999, 0.9999] {
+            let write_m =
+                min_m_for_write(n, p, target, 20).map_or("—".to_string(), |m| m.to_string());
+            let init_m =
+                max_m_for_init(n, p, target, 20).map_or("—".to_string(), |m| m.to_string());
+            println!(
+                "  N={n}, target {target}: WriteLog needs M >= {write_m}; \
+                 initialization allows M <= {init_m}"
+            );
+        }
+    }
+    println!(
+        "\nGenerator availability (majority of R representatives): R=3: {}, R=5: {}",
+        fmt_prob(generator_availability(3, p)),
+        fmt_prob(generator_availability(5, p))
+    );
+}

@@ -1,0 +1,120 @@
+//! Whole-system test: ET1 transactions against the bank database, logged
+//! through the replicated log to real (threaded, storage-backed) log
+//! servers; the client crashes and a fresh node rebuilds the database
+//! from the log — with and without server failures along the way.
+
+use dlog_bench::{Cluster, ClusterOptions};
+use dlog_net::FaultPlan;
+use dlog_types::ServerId;
+use dlog_workload::recovery::LogMode;
+use dlog_workload::{BankDb, Et1Config, Et1Generator, RecoveryManager};
+
+fn fresh_db() -> BankDb {
+    BankDb::new(10_000, 100, 10)
+}
+
+#[test]
+fn bank_crash_recovery_roundtrip() {
+    let cluster = Cluster::start("bank-rt", ClusterOptions::new(3));
+    let committed;
+    {
+        let mut log = cluster.client(1, 2, 16);
+        log.initialize().unwrap();
+        let mut mgr = RecoveryManager::new(log, fresh_db(), LogMode::Classic, 1 << 20);
+        let mut gen = Et1Generator::new(Et1Config::small(55));
+        for i in 0..120 {
+            let txn = gen.next_txn();
+            if i % 7 == 6 {
+                mgr.run_et1_abort(&txn).unwrap();
+            } else {
+                mgr.run_et1(&txn).unwrap();
+            }
+        }
+        assert!(mgr.db().conserved());
+        committed = mgr.db().clone();
+    }
+    let mut log = cluster.client(1, 2, 16);
+    log.initialize().unwrap();
+    let recovered = RecoveryManager::recover(&mut log, fresh_db()).unwrap();
+    assert_eq!(recovered, committed);
+}
+
+#[test]
+fn bank_survives_server_failure_mid_run() {
+    let mut cluster = Cluster::start("bank-fail", ClusterOptions::new(4));
+    let committed;
+    {
+        let mut log = cluster.client(1, 2, 16);
+        log.initialize().unwrap();
+        let mut mgr = RecoveryManager::new(log, fresh_db(), LogMode::Classic, 1 << 20);
+        let mut gen = Et1Generator::new(Et1Config::small(77));
+        for i in 0..100u32 {
+            if i == 40 {
+                // One of the client's targets dies; the client must
+                // switch and keep committing.
+                let victim = ServerId(1);
+                cluster.kill_server(victim);
+            }
+            mgr.run_et1(&gen.next_txn()).unwrap();
+        }
+        assert!(mgr.db().conserved());
+        committed = mgr.db().clone();
+    }
+    let mut log = cluster.client(1, 2, 16);
+    log.initialize().unwrap();
+    let recovered = RecoveryManager::recover(&mut log, fresh_db()).unwrap();
+    assert_eq!(recovered, committed);
+}
+
+#[test]
+fn bank_over_lossy_network() {
+    let mut opts = ClusterOptions::new(3);
+    opts.plan = FaultPlan {
+        loss: 0.03,
+        duplicate: 0.02,
+        reorder: 0.03,
+        seed: 2026,
+    };
+    let cluster = Cluster::start("bank-lossy", opts);
+    let committed;
+    {
+        let mut log = cluster.client(1, 2, 8);
+        log.initialize().unwrap();
+        let mut mgr = RecoveryManager::new(log, fresh_db(), LogMode::Split, 1 << 20);
+        let mut gen = Et1Generator::new(Et1Config::small(99));
+        for _ in 0..60 {
+            mgr.run_et1(&gen.next_txn()).unwrap();
+        }
+        assert!(mgr.db().conserved());
+        committed = mgr.db().clone();
+    }
+    let mut log = cluster.client(1, 2, 8);
+    log.initialize().unwrap();
+    let recovered = RecoveryManager::recover(&mut log, fresh_db()).unwrap();
+    assert_eq!(recovered, committed);
+}
+
+#[test]
+fn two_clients_share_the_servers() {
+    // §4.1: "log servers may store portions of the replicated logs from
+    // many clients" — two independent bank nodes interleave on the same
+    // six servers without interference.
+    let cluster = Cluster::start("bank-two", ClusterOptions::new(6));
+    let mut outcomes = Vec::new();
+    for cid in [1u64, 2] {
+        let mut log = cluster.client(cid, 2, 16);
+        log.initialize().unwrap();
+        let mut mgr = RecoveryManager::new(log, fresh_db(), LogMode::Classic, 1 << 20);
+        let mut gen = Et1Generator::new(Et1Config::small(cid * 13));
+        for _ in 0..50 {
+            mgr.run_et1(&gen.next_txn()).unwrap();
+        }
+        outcomes.push(mgr.db().clone());
+    }
+    for (i, cid) in [1u64, 2].iter().enumerate() {
+        let mut log = cluster.client(*cid, 2, 16);
+        log.initialize().unwrap();
+        let recovered = RecoveryManager::recover(&mut log, fresh_db()).unwrap();
+        assert_eq!(&recovered, &outcomes[i], "client {cid}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Adversarial fault schedules against the full stack: heavy packet loss,
+//! repeated client crashes, repeated server crashes and reboots — the
+//! replicated log must never lose a forced record and never serve
+//! inconsistent answers.
+
+use dlog_bench::harness::{client_addr, server_addr};
+use dlog_bench::{payload, Cluster, ClusterOptions};
+use dlog_net::FaultPlan;
+use dlog_types::{DlogError, Lsn, ServerId};
+
+#[test]
+fn forced_records_survive_repeated_client_crashes() {
+    let cluster = Cluster::start("multi-crash", ClusterOptions::new(3));
+    // Across 5 client incarnations, write and force a few records each;
+    // every forced record must be readable in every later incarnation.
+    let mut durable: Vec<(u64, Vec<u8>)> = Vec::new();
+    for round in 0..5u64 {
+        let mut log = cluster.client(1, 2, 2);
+        log.initialize().unwrap();
+        for (lsn, bytes) in &durable {
+            let got = log
+                .read(Lsn(*lsn))
+                .unwrap_or_else(|e| panic!("round {round}: lost forced record {lsn}: {e}"));
+            assert_eq!(got.as_bytes(), bytes.as_slice(), "round {round} lsn {lsn}");
+        }
+        for i in 0..3u64 {
+            let bytes = payload(round * 10 + i, 64);
+            let lsn = log.write(bytes.clone()).unwrap();
+            durable.push((lsn.0, bytes));
+        }
+        log.force().unwrap();
+        // crash (drop)
+    }
+}
+
+#[test]
+fn hostile_network_cannot_corrupt_the_log() {
+    let mut opts = ClusterOptions::new(3);
+    opts.plan = FaultPlan {
+        loss: 0.10,
+        duplicate: 0.05,
+        reorder: 0.10,
+        seed: 31337,
+    };
+    let cluster = Cluster::start("hostile", opts);
+    let mut log = cluster.client(1, 2, 4);
+    log.initialize().unwrap();
+    for i in 1..=40u64 {
+        log.write(payload(i, 90)).unwrap();
+        if i % 4 == 0 {
+            log.force().unwrap();
+        }
+    }
+    log.force().unwrap();
+    for i in 1..=40u64 {
+        assert_eq!(
+            log.read(Lsn(i)).unwrap().as_bytes(),
+            payload(i, 90).as_slice(),
+            "lsn {i}"
+        );
+    }
+    // Duplicate suppression means the servers stored each record once per
+    // copy; the client's own resends must not create divergent content.
+    drop(log);
+    let mut log = cluster.client(1, 2, 4);
+    log.initialize().unwrap();
+    for i in 1..=40u64 {
+        assert_eq!(
+            log.read(Lsn(i)).unwrap().as_bytes(),
+            payload(i, 90).as_slice()
+        );
+    }
+}
+
+#[test]
+fn rolling_server_reboots() {
+    let mut cluster = Cluster::start("rolling", ClusterOptions::new(4));
+    let mut log = cluster.client(1, 2, 8);
+    log.initialize().unwrap();
+    let mut next = 1u64;
+    for victim in 1..=4u64 {
+        for _ in 0..5 {
+            log.write(payload(next, 70)).unwrap();
+            next += 1;
+        }
+        log.force().unwrap();
+        // Reboot one server (graceful stop + restart) each round.
+        cluster.kill_server(ServerId(victim));
+        cluster.boot_server(ServerId(victim));
+    }
+    log.force().unwrap();
+    for i in 1..next {
+        assert_eq!(
+            log.read(Lsn(i)).unwrap().as_bytes(),
+            payload(i, 70).as_slice(),
+            "lsn {i}"
+        );
+    }
+}
+
+#[test]
+fn reads_fail_cleanly_when_all_holders_down() {
+    let mut cluster = Cluster::start("all-down", ClusterOptions::new(3));
+    let mut log = cluster.client(1, 2, 4);
+    log.initialize().unwrap();
+    log.write(payload(1, 50)).unwrap();
+    log.force().unwrap();
+    let holders: Vec<ServerId> = log.targets().to_vec();
+    for s in holders {
+        cluster.kill_server(s);
+    }
+    match log.read(Lsn(1)) {
+        Err(DlogError::ServerUnavailable { .. } | DlogError::QuorumUnavailable { .. }) => {}
+        other => panic!("expected clean unavailability, got {other:?}"),
+    }
+}
+
+#[test]
+fn partition_heals_and_writes_resume() {
+    let cluster = Cluster::start("partition-heal", ClusterOptions::new(3));
+    let mut log = cluster.client(1, 2, 4);
+    log.initialize().unwrap();
+    log.write(payload(1, 50)).unwrap();
+    log.force().unwrap();
+
+    // Partition the client from one target; the client switches to the
+    // third server and keeps going.
+    let t0 = log.targets()[0];
+    cluster
+        .net
+        .partition(client_addr(log.client_id()), server_addr(t0));
+    for i in 2..=6u64 {
+        log.write(payload(i, 50)).unwrap();
+    }
+    log.force().unwrap();
+    assert!(log.stats().switches >= 1);
+
+    // Heal; everything stays readable.
+    cluster
+        .net
+        .heal(client_addr(log.client_id()), server_addr(t0));
+    for i in 1..=6u64 {
+        assert!(log.read(Lsn(i)).is_ok(), "lsn {i}");
+    }
+}

@@ -1,0 +1,142 @@
+//! End-to-end tests of log repair (§5.3): after a permanent server loss,
+//! a repair pass restores N live copies of every record, and the log
+//! survives the subsequent loss of another original holder.
+
+use dlog_bench::{payload, Cluster, ClusterOptions};
+use dlog_types::Lsn;
+
+#[test]
+fn repair_restores_redundancy_after_media_loss() {
+    let mut cluster = Cluster::start("repair-basic", ClusterOptions::new(4));
+    let mut log = cluster.client(1, 2, 8);
+    log.initialize().unwrap();
+    for i in 1..=30u64 {
+        log.write(payload(i, 90)).unwrap();
+    }
+    log.force().unwrap();
+
+    // A holder dies for good (media failure: its disk state is lost to
+    // us — we never reboot it).
+    let dead = log.targets()[0];
+    let survivor = log.targets()[1];
+    cluster.kill_server(dead);
+
+    let report = log.repair().unwrap();
+    assert_eq!(report.live_servers, 3);
+    assert!(report.under_replicated >= 30, "all records lost a copy");
+    assert_eq!(report.records_copied, report.under_replicated);
+
+    // Now the *other* original holder dies too. Before the repair this
+    // would have destroyed records; after it, everything still reads.
+    cluster.kill_server(survivor);
+    for i in 1..=30u64 {
+        let got = log
+            .read(Lsn(i))
+            .unwrap_or_else(|e| panic!("post-repair read {i}: {e}"));
+        assert_eq!(got.as_bytes(), payload(i, 90).as_slice(), "lsn {i}");
+    }
+}
+
+#[test]
+fn repair_is_a_noop_on_healthy_logs() {
+    let cluster = Cluster::start("repair-noop", ClusterOptions::new(3));
+    let mut log = cluster.client(1, 2, 4);
+    log.initialize().unwrap();
+    for i in 1..=10u64 {
+        log.write(payload(i, 50)).unwrap();
+    }
+    log.force().unwrap();
+    let report = log.repair().unwrap();
+    assert_eq!(report.under_replicated, 0);
+    assert_eq!(report.records_copied, 0);
+    assert!(report.records_examined >= 10);
+}
+
+#[test]
+fn repair_requires_quiescence() {
+    let cluster = Cluster::start("repair-quiesce", ClusterOptions::new(3));
+    let mut log = cluster.client(1, 2, 4);
+    log.initialize().unwrap();
+    log.write(payload(1, 50)).unwrap(); // buffered, unforced
+    assert!(log.repair().is_err());
+    log.force().unwrap();
+    assert!(log.repair().is_ok());
+}
+
+#[test]
+fn writes_continue_after_repair() {
+    let mut cluster = Cluster::start("repair-continue", ClusterOptions::new(4));
+    let mut log = cluster.client(1, 2, 4);
+    log.initialize().unwrap();
+    for i in 1..=8u64 {
+        log.write(payload(i, 60)).unwrap();
+    }
+    log.force().unwrap();
+    let epoch_before = log.epoch();
+    cluster.kill_server(log.targets()[0]);
+    log.repair().unwrap();
+    assert!(log.epoch() > epoch_before, "repair adopts a fresh epoch");
+
+    // The stream continues at the next LSN under the new epoch.
+    let next = log.write(payload(9, 60)).unwrap();
+    assert_eq!(next, Lsn(9));
+    for i in 10..=15u64 {
+        log.write(payload(i, 60)).unwrap();
+    }
+    log.force().unwrap();
+    for i in 1..=15u64 {
+        assert_eq!(
+            log.read(Lsn(i)).unwrap().as_bytes(),
+            payload(i, 60).as_slice(),
+            "lsn {i}"
+        );
+    }
+
+    // And a restart after all that still recovers cleanly.
+    drop(log);
+    let mut log = cluster.client(1, 2, 4);
+    log.initialize().unwrap();
+    for i in 1..=15u64 {
+        assert_eq!(
+            log.read(Lsn(i)).unwrap().as_bytes(),
+            payload(i, 60).as_slice(),
+            "lsn {i}"
+        );
+    }
+}
+
+#[test]
+fn repair_preserves_not_present_masks() {
+    // Masked LSNs must stay masked through a repair (present flags are
+    // copied as-is).
+    let mut cluster = Cluster::start("repair-masks", ClusterOptions::new(4));
+    {
+        let mut log = cluster.client(1, 2, 2);
+        log.initialize().unwrap();
+        for i in 1..=5u64 {
+            log.write(payload(i, 40)).unwrap();
+        }
+        log.force().unwrap();
+        // crash
+    }
+    let mut log = cluster.client(1, 2, 2);
+    log.initialize().unwrap();
+    let end = log.end_of_log().unwrap();
+    assert_eq!(end, Lsn(7)); // 5 + delta(2) masks
+    log.force().unwrap(); // no-op, keeps repair happy
+
+    cluster.kill_server(log.targets()[0]);
+    log.repair().unwrap();
+    cluster.kill_server(log.targets()[1]);
+
+    use dlog_types::DlogError;
+    for i in 6..=7u64 {
+        assert!(
+            matches!(log.read(Lsn(i)), Err(DlogError::NotPresent { .. })),
+            "mask at {i} must survive repair"
+        );
+    }
+    for i in 1..=5u64 {
+        assert!(log.read(Lsn(i)).is_ok(), "lsn {i}");
+    }
+}
