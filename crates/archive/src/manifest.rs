@@ -1,0 +1,272 @@
+//! The archive manifest: one immutable, CRC-checked object per archival
+//! round describing a consistent prefix of a server's log stream.
+//!
+//! A manifest records the archived byte range, the per-segment lengths and
+//! checksums, and a serialized [`ReplayState`] — the interval table and
+//! staged `CopyLog` records that crash recovery would rebuild by scanning
+//! the stream up to the manifest's `cut`. Manifests are generation-
+//! numbered (`manifest-NNNNNNNN`) and written *after* every segment object
+//! they reference, so the highest generation that decodes cleanly always
+//! describes a fully uploaded archive; torn or missing manifests from a
+//! crashed upload are simply skipped.
+
+use dlog_storage::crc::crc32;
+use dlog_storage::stream::segment_file_name;
+use dlog_storage::ReplayState;
+use dlog_types::{DlogError, Lsn, Result};
+
+use crate::object_store::ObjectStore;
+
+/// `"DLAM"` — dlog archive manifest.
+const MANIFEST_MAGIC: u32 = 0x444C_414D;
+const MANIFEST_VERSION: u32 = 1;
+/// Fixed-size header fields before the segment table (magic, version,
+/// generation, segment_bytes, restore_end, cut, nsegs).
+const HEADER_BYTES: usize = 4 + 4 + 8 + 8 + 8 + 8 + 4;
+
+/// One archived segment object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentEntry {
+    /// Segment index (position `index * segment_bytes` in the stream).
+    pub index: u64,
+    /// Object length in bytes (`segment_bytes` except for a partial
+    /// tail pushed by `archive now`).
+    pub len: u64,
+    /// CRC-32 of the object contents.
+    pub crc: u32,
+}
+
+/// A decoded archive manifest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Manifest {
+    /// Monotonic generation number; higher supersedes lower.
+    pub generation: u64,
+    /// Segment capacity of the archived stream.
+    pub segment_bytes: u64,
+    /// One past the last archived stream byte.
+    pub restore_end: u64,
+    /// Frame-aligned position ≤ `restore_end`: every frame wholly below
+    /// `cut` is covered by `state`; bytes in `[cut, restore_end)` are at
+    /// most one partial frame, truncated by recovery after a restore.
+    pub cut: u64,
+    /// Archived segment objects, ascending by index, contiguous; only the
+    /// last may be partial.
+    pub segments: Vec<SegmentEntry>,
+    /// Serialized [`ReplayState`] as of `cut`.
+    pub state: Vec<u8>,
+}
+
+impl Manifest {
+    /// Object key of the manifest with `generation`.
+    #[must_use]
+    pub fn key(generation: u64) -> String {
+        format!("manifest-{generation:08}")
+    }
+
+    /// Object key of segment `index` — identical to the segment's on-disk
+    /// file name, so restore is a straight copy.
+    #[must_use]
+    pub fn segment_key(index: u64) -> String {
+        segment_file_name(index)
+    }
+
+    /// First archived stream position.
+    #[must_use]
+    pub fn start(&self) -> u64 {
+        self.segments
+            .first()
+            .map_or(self.restore_end, |e| e.index * self.segment_bytes)
+    }
+
+    /// Total archived payload bytes.
+    #[must_use]
+    pub fn archived_bytes(&self) -> u64 {
+        self.segments.iter().map(|e| e.len).sum()
+    }
+
+    /// Decode the replay state carried by the manifest.
+    ///
+    /// # Errors
+    /// Fails when the state bytes are corrupt.
+    pub fn replay_state(&self) -> Result<ReplayState> {
+        ReplayState::decode(&self.state)
+            .map_err(|e| DlogError::Corrupt(format!("manifest {} state: {e}", self.generation)))
+    }
+
+    /// Highest installed LSN across all clients in the archived table
+    /// (`Lsn::ZERO` when empty).
+    ///
+    /// # Errors
+    /// Fails when the state bytes are corrupt.
+    pub fn last_lsn(&self) -> Result<Lsn> {
+        let state = self.replay_state()?;
+        let table = state.table();
+        let mut last = Lsn(0);
+        for client in table.clients().collect::<Vec<_>>() {
+            if let Some(iv) = table.interval_list(client).last() {
+                last = last.max(iv.hi);
+            }
+        }
+        Ok(last)
+    }
+
+    /// Serialize the manifest (trailing CRC-32 over everything before it).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out =
+            Vec::with_capacity(HEADER_BYTES + self.segments.len() * 20 + self.state.len());
+        out.extend_from_slice(&MANIFEST_MAGIC.to_le_bytes());
+        out.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.generation.to_le_bytes());
+        out.extend_from_slice(&self.segment_bytes.to_le_bytes());
+        out.extend_from_slice(&self.restore_end.to_le_bytes());
+        out.extend_from_slice(&self.cut.to_le_bytes());
+        out.extend_from_slice(&(self.segments.len() as u32).to_le_bytes());
+        for e in &self.segments {
+            out.extend_from_slice(&e.index.to_le_bytes());
+            out.extend_from_slice(&e.len.to_le_bytes());
+            out.extend_from_slice(&e.crc.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.state.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.state);
+        out.extend_from_slice(&crc32(&out).to_le_bytes());
+        out
+    }
+
+    /// Decode and validate a manifest object.
+    ///
+    /// # Errors
+    /// Fails on bad magic/version, truncation, or CRC mismatch.
+    pub fn decode(bytes: &[u8]) -> Result<Manifest> {
+        let corrupt = |m: &str| DlogError::Corrupt(format!("manifest: {m}"));
+        if bytes.len() < HEADER_BYTES + 8 {
+            return Err(corrupt("truncated header"));
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(tail.try_into().unwrap());
+        if crc32(body) != stored {
+            return Err(corrupt("crc mismatch"));
+        }
+        let u32_at = |o: usize| u32::from_le_bytes(body[o..o + 4].try_into().unwrap());
+        let u64_at = |o: usize| u64::from_le_bytes(body[o..o + 8].try_into().unwrap());
+        if u32_at(0) != MANIFEST_MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        if u32_at(4) != MANIFEST_VERSION {
+            return Err(corrupt("unsupported version"));
+        }
+        let generation = u64_at(8);
+        let segment_bytes = u64_at(16);
+        let restore_end = u64_at(24);
+        let cut = u64_at(32);
+        let nsegs = u32_at(40) as usize;
+        let mut off = HEADER_BYTES;
+        if body.len() < off + nsegs * 20 + 4 {
+            return Err(corrupt("truncated segment table"));
+        }
+        let mut segments = Vec::with_capacity(nsegs);
+        for _ in 0..nsegs {
+            segments.push(SegmentEntry {
+                index: u64_at(off),
+                len: u64_at(off + 8),
+                crc: u32_at(off + 16),
+            });
+            off += 20;
+        }
+        let state_len = u32_at(off) as usize;
+        off += 4;
+        if body.len() != off + state_len {
+            return Err(corrupt("state length mismatch"));
+        }
+        let state = body[off..].to_vec();
+        Ok(Manifest {
+            generation,
+            segment_bytes,
+            restore_end,
+            cut,
+            segments,
+            state,
+        })
+    }
+}
+
+/// Load the newest valid manifest from `objects`: the highest generation
+/// whose object exists and decodes cleanly. Torn manifests (a crash mid
+/// final put on a non-atomic backend) are skipped.
+///
+/// # Errors
+/// Propagates backend I/O failures.
+pub fn load_latest(objects: &dyn ObjectStore) -> Result<Option<Manifest>> {
+    let mut keys = objects.list("manifest-")?;
+    keys.sort_unstable();
+    for key in keys.iter().rev() {
+        let Some(bytes) = objects.get(key)? else {
+            continue;
+        };
+        if let Ok(m) = Manifest::decode(&bytes) {
+            return Ok(Some(m));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object_store::MemStore;
+
+    fn sample(generation: u64) -> Manifest {
+        Manifest {
+            generation,
+            segment_bytes: 4096,
+            restore_end: 9000,
+            cut: 8990,
+            segments: vec![
+                SegmentEntry {
+                    index: 0,
+                    len: 4096,
+                    crc: 7,
+                },
+                SegmentEntry {
+                    index: 1,
+                    len: 4096,
+                    crc: 8,
+                },
+                SegmentEntry {
+                    index: 2,
+                    len: 808,
+                    crc: 9,
+                },
+            ],
+            state: ReplayState::new().encode(),
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let m = sample(3);
+        assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let mut bytes = sample(3).encode();
+        assert!(Manifest::decode(&bytes[..10]).is_err());
+        bytes[20] ^= 0xFF;
+        assert!(Manifest::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn load_latest_skips_torn_generations() {
+        let store = MemStore::new();
+        store.put(&Manifest::key(1), &sample(1).encode()).unwrap();
+        store.put(&Manifest::key(2), &sample(2).encode()).unwrap();
+        // Generation 3 crashed mid-put: torn object.
+        let torn = sample(3).encode();
+        store
+            .put(&Manifest::key(3), &torn[..torn.len() / 2])
+            .unwrap();
+        let m = load_latest(&store).unwrap().unwrap();
+        assert_eq!(m.generation, 2);
+    }
+}

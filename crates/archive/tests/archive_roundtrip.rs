@@ -1,0 +1,246 @@
+//! End-to-end archival round-trip: append → seal → archive → wipe the
+//! server directory → restore → every durable record is readable again
+//! and the interval lists are intact.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use dlog_archive::{restore, ArchiveReader, Archiver, MemStore};
+use dlog_storage::store::{LogStore, StoreOptions};
+use dlog_storage::NvramDevice;
+use dlog_types::{ClientId, Epoch, LogRecord, Lsn};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn tmpdir(name: &str) -> PathBuf {
+    let seq = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let d = std::env::temp_dir()
+        .join("dlog-archive-roundtrip")
+        .join(format!("{name}-{}-{seq}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn opts() -> StoreOptions {
+    StoreOptions {
+        fsync: false,
+        segment_bytes: 2048,
+        track_bytes: 512,
+        checkpoint_every: 0,
+        ..StoreOptions::default()
+    }
+}
+
+fn record(lsn: u64, epoch: u64, len: usize) -> LogRecord {
+    let fill = (lsn % 251) as u8;
+    LogRecord::present(Lsn(lsn), Epoch(epoch), vec![fill; len])
+}
+
+/// Push-mode round trip: archive everything durable, wipe, restore, and
+/// verify every record for every client.
+fn roundtrip_case(name: &str, per_client: &[(u64, Vec<usize>)]) {
+    let dir = tmpdir(name);
+    let objects = MemStore::new();
+    let mut expected: Vec<(ClientId, Lsn, usize)> = Vec::new();
+    {
+        let mut store = LogStore::open(&dir, opts(), NvramDevice::new(1 << 20)).unwrap();
+        for (client, lens) in per_client {
+            for (i, &len) in lens.iter().enumerate() {
+                let lsn = i as u64 + 1;
+                store
+                    .write(ClientId(*client), &record(lsn, 1, len))
+                    .unwrap();
+                expected.push((ClientId(*client), Lsn(lsn), len));
+            }
+        }
+        let mut archiver = Archiver::new(Arc::new(objects.clone())).unwrap();
+        let manifest = archiver.archive_now(&mut store).unwrap();
+        assert_eq!(manifest.restore_end, store.stream_end());
+        assert_eq!(
+            manifest.cut, manifest.restore_end,
+            "synced stream ends on a frame boundary"
+        );
+    }
+
+    // Total server loss: directory wiped, NVRAM gone.
+    std::fs::remove_dir_all(&dir).unwrap();
+    let manifest = restore(&objects, &dir).unwrap();
+    let mut store = LogStore::open(&dir, opts(), NvramDevice::new(1 << 20)).unwrap();
+    assert_eq!(store.stream_end(), manifest.cut);
+
+    for (client, lsn, len) in &expected {
+        let r = store
+            .read(*client, *lsn)
+            .unwrap()
+            .unwrap_or_else(|| panic!("{client} {lsn} lost in round trip"));
+        assert_eq!(r.data.len(), *len);
+        assert_eq!(
+            r.data.as_bytes(),
+            vec![(lsn.0 % 251) as u8; *len].as_slice()
+        );
+    }
+    for (client, lens) in per_client {
+        let list = store.interval_list(ClientId(*client));
+        assert_eq!(list.last().unwrap().hi, Lsn(lens.len() as u64));
+    }
+
+    // The ArchiveReader serves the same records without any local state.
+    let mut reader = ArchiveReader::open(Arc::new(objects)).unwrap().unwrap();
+    for (client, lsn, len) in &expected {
+        let r = reader.read(*client, *lsn).unwrap().unwrap();
+        assert_eq!(r.data.len(), *len);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random record sizes (some spanning segment boundaries, some
+    /// oversized past the NVRAM track) and client mixes all survive the
+    /// wipe-and-restore cycle.
+    #[test]
+    fn archive_restore_roundtrip(
+        lens_a in proptest::collection::vec(16usize..600, 1..40),
+        lens_b in proptest::collection::vec(16usize..600, 0..40),
+    ) {
+        let mut per_client = vec![(1u64, lens_a)];
+        if !lens_b.is_empty() {
+            per_client.push((2u64, lens_b));
+        }
+        roundtrip_case("prop", &per_client);
+    }
+}
+
+#[test]
+fn tick_archives_sealed_segments_only() {
+    // Background mode: only sealed segments are archived; a frame
+    // spilling across the last sealed boundary is excluded from the cut
+    // and becomes the torn tail recovery truncates after restore.
+    let dir = tmpdir("tick");
+    let objects = MemStore::new();
+    let cut;
+    {
+        let mut store = LogStore::open(&dir, opts(), NvramDevice::new(1 << 20)).unwrap();
+        for i in 1..=120u64 {
+            store.write(ClientId(1), &record(i, 1, 100)).unwrap();
+        }
+        store.sync().unwrap();
+        assert!(
+            store.sealed_segments().len() >= 2,
+            "need several sealed segments"
+        );
+
+        let mut archiver = Archiver::new(Arc::new(objects.clone())).unwrap();
+        let manifest = archiver.tick(&mut store).unwrap().expect("work to do");
+        let sealed_end = (store.sealed_segments().last().unwrap() + 1) * store.segment_bytes();
+        assert_eq!(manifest.restore_end, sealed_end);
+        assert!(manifest.cut <= sealed_end);
+        assert!(
+            sealed_end - manifest.cut < 200,
+            "cut lands on the last whole frame"
+        );
+        cut = manifest.cut;
+
+        // A second tick with no new sealed segments is a no-op.
+        assert!(archiver.tick(&mut store).unwrap().is_none());
+        assert_eq!(store.archived_to(), Some(sealed_end));
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+    restore(&objects, &dir).unwrap();
+    let mut store = LogStore::open(&dir, opts(), NvramDevice::new(1 << 20)).unwrap();
+    assert_eq!(store.stream_end(), cut, "partial tail frame truncated");
+
+    // Every frame wholly below the cut is readable; the spilled frame and
+    // everything after are gone (they were never archived).
+    let list = store.interval_list(ClientId(1));
+    let hi = list.last().unwrap().hi;
+    assert!(hi.0 >= 100, "most records archived, got {hi:?}");
+    for i in 1..=hi.0 {
+        assert!(
+            store.read(ClientId(1), Lsn(i)).unwrap().is_some(),
+            "lsn {i}"
+        );
+    }
+    assert!(store.read(ClientId(1), Lsn(hi.0 + 1)).unwrap().is_none());
+
+    // The restored server keeps logging where the archive left off.
+    for i in hi.0 + 1..=hi.0 + 10 {
+        store.write(ClientId(1), &record(i, 1, 60)).unwrap();
+    }
+    assert!(store.read(ClientId(1), Lsn(hi.0 + 5)).unwrap().is_some());
+}
+
+#[test]
+fn archive_outlives_retention() {
+    // The bottomless-log property: retention prunes the local head after
+    // archival, later archives carry the old segments forward, and a
+    // restore still serves the whole history.
+    let dir = tmpdir("bottomless");
+    let objects = MemStore::new();
+    {
+        let mut store = LogStore::open(&dir, opts(), NvramDevice::new(1 << 20)).unwrap();
+        let mut archiver = Archiver::new(Arc::new(objects.clone())).unwrap();
+        for i in 1..=60u64 {
+            store.write(ClientId(1), &record(i, 1, 100)).unwrap();
+        }
+        archiver.archive_now(&mut store).unwrap();
+        let report = store.enforce_retention(2048).unwrap();
+        assert!(report.freed > 0, "archived head must be droppable");
+        assert!(store.stream_start() > 0);
+
+        for i in 61..=120u64 {
+            store.write(ClientId(1), &record(i, 1, 100)).unwrap();
+        }
+        let manifest = archiver.archive_now(&mut store).unwrap();
+        assert_eq!(
+            manifest.start(),
+            0,
+            "archive still reaches back to position 0"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+    restore(&objects, &dir).unwrap();
+    let mut store = LogStore::open(&dir, opts(), NvramDevice::new(1 << 20)).unwrap();
+    for i in 1..=120u64 {
+        assert!(
+            store.read(ClientId(1), Lsn(i)).unwrap().is_some(),
+            "lsn {i}"
+        );
+    }
+}
+
+#[test]
+fn staged_copies_cross_the_archive_boundary() {
+    // CopyLog records staged before an archival round and installed after
+    // it: the manifest's replay state carries the staged records, so the
+    // next round's install applies cleanly.
+    let dir = tmpdir("staged");
+    let objects = MemStore::new();
+    {
+        let mut store = LogStore::open(&dir, opts(), NvramDevice::new(1 << 20)).unwrap();
+        let mut archiver = Archiver::new(Arc::new(objects.clone())).unwrap();
+        for i in 1..=10u64 {
+            store.write(ClientId(1), &record(i, 1, 80)).unwrap();
+        }
+        store.stage_copy(ClientId(1), &record(10, 2, 90)).unwrap();
+        store
+            .stage_copy(ClientId(1), &LogRecord::not_present(Lsn(11), Epoch(2)))
+            .unwrap();
+        archiver.archive_now(&mut store).unwrap();
+
+        store.install_copies(ClientId(1), Epoch(2)).unwrap();
+        archiver.archive_now(&mut store).unwrap();
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+    restore(&objects, &dir).unwrap();
+    let mut store = LogStore::open(&dir, opts(), NvramDevice::new(1 << 20)).unwrap();
+    let r = store.read(ClientId(1), Lsn(10)).unwrap().unwrap();
+    assert_eq!(r.epoch, Epoch(2), "installed rewrite survives restore");
+    assert!(!store.read(ClientId(1), Lsn(11)).unwrap().unwrap().present);
+}

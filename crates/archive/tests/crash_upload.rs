@@ -1,0 +1,209 @@
+//! Crash-mid-upload: interrupt the archiver at every possible put (clean
+//! failures and torn objects alike), re-run it — same instance or a
+//! restarted one — and prove the archive converges to the same
+//! byte-identical manifest with no duplicate or torn entries.
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use dlog_archive::{load_latest, restore, Archiver, Manifest, MemStore, ObjectStore, RetryPolicy};
+use dlog_storage::store::{LogStore, StoreOptions};
+use dlog_storage::NvramDevice;
+use dlog_types::{ClientId, Epoch, LogRecord, Lsn};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn tmpdir(name: &str) -> PathBuf {
+    let seq = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let d = std::env::temp_dir()
+        .join("dlog-archive-crash")
+        .join(format!("{name}-{}-{seq}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn opts() -> StoreOptions {
+    StoreOptions {
+        fsync: false,
+        segment_bytes: 2048,
+        track_bytes: 512,
+        checkpoint_every: 0,
+        ..StoreOptions::default()
+    }
+}
+
+fn no_backoff() -> RetryPolicy {
+    RetryPolicy {
+        attempts: 2,
+        base_delay: Duration::ZERO,
+    }
+}
+
+fn fill(store: &mut LogStore, lo: u64, hi: u64) {
+    for i in lo..=hi {
+        store
+            .write(
+                ClientId(1),
+                &LogRecord::present(Lsn(i), Epoch(1), vec![i as u8; 100]),
+            )
+            .unwrap();
+    }
+}
+
+/// The archive contents a fault-free run produces for the same store
+/// state — the convergence target.
+fn reference_archive(dir: &PathBuf) -> (Vec<String>, Vec<u8>) {
+    let objects = MemStore::new();
+    let mut store = LogStore::open(dir, opts(), NvramDevice::new(1 << 20)).unwrap();
+    let mut archiver = Archiver::new(Arc::new(objects.clone())).unwrap();
+    let m = archiver.archive_now(&mut store).unwrap();
+    let manifest_bytes = objects.object(&Manifest::key(m.generation)).unwrap();
+    (objects.keys(), manifest_bytes)
+}
+
+#[test]
+fn crash_at_every_put_converges() {
+    let dir = tmpdir("every-put");
+    {
+        let mut store = LogStore::open(&dir, opts(), NvramDevice::new(1 << 20)).unwrap();
+        fill(&mut store, 1, 100);
+        store.sync().unwrap();
+    }
+    let (want_keys, want_manifest) = reference_archive(&dir);
+    let total_puts = want_keys.len() as u64;
+    assert!(total_puts >= 4, "need several objects to interrupt");
+
+    for fail_at in 0..total_puts {
+        for tear in [false, true] {
+            for restart in [false, true] {
+                let objects = MemStore::new();
+                let mut store = LogStore::open(&dir, opts(), NvramDevice::new(1 << 20)).unwrap();
+                let mut archiver = Archiver::new(Arc::new(objects.clone()))
+                    .unwrap()
+                    .with_policy(no_backoff());
+
+                objects.fail_after_puts(fail_at, tear);
+                let err = archiver.archive_now(&mut store).unwrap_err();
+                assert!(err.to_string().contains("injected"), "{err}");
+                assert_eq!(
+                    store.archived_to().unwrap_or(0),
+                    0,
+                    "watermark must not advance on a failed round (fail_at {fail_at})"
+                );
+                objects.clear_faults();
+
+                // Either the same archiver retries, or a restarted one
+                // resumes from whatever reached the object store.
+                if restart {
+                    archiver = Archiver::new(Arc::new(objects.clone()))
+                        .unwrap()
+                        .with_policy(no_backoff());
+                }
+                let m = archiver.archive_now(&mut store).unwrap();
+
+                assert_eq!(
+                    objects.keys(),
+                    want_keys,
+                    "fail_at {fail_at} tear {tear} restart {restart}"
+                );
+                assert_eq!(
+                    objects.object(&Manifest::key(m.generation)).unwrap(),
+                    want_manifest,
+                    "manifest must be byte-identical (fail_at {fail_at} tear {tear} restart {restart})"
+                );
+                let loaded = load_latest(&objects).unwrap().unwrap();
+                assert_eq!(loaded, m);
+                let seen: HashSet<u64> = m.segments.iter().map(|e| e.index).collect();
+                assert_eq!(
+                    seen.len(),
+                    m.segments.len(),
+                    "no duplicate manifest entries"
+                );
+                assert_eq!(store.archived_to(), Some(m.restore_end));
+            }
+        }
+    }
+}
+
+#[test]
+fn transient_faults_are_retried_and_counted() {
+    let dir = tmpdir("retries");
+    let objects = MemStore::new();
+    let mut store = LogStore::open(&dir, opts(), NvramDevice::new(1 << 20)).unwrap();
+    fill(&mut store, 1, 40);
+
+    let mut archiver = Archiver::new(Arc::new(objects.clone()))
+        .unwrap()
+        .with_policy(RetryPolicy {
+            attempts: 4,
+            base_delay: Duration::ZERO,
+        });
+    objects.fail_after_puts(1, false);
+    let err = archiver.archive_now(&mut store).unwrap_err();
+    assert!(err.to_string().contains("injected"), "{err}");
+    assert_eq!(
+        archiver.stats().upload_retries,
+        4,
+        "every failed put attempt is counted"
+    );
+
+    objects.clear_faults();
+    let m = archiver.archive_now(&mut store).unwrap();
+    assert_eq!(m.generation, 1);
+    assert!(archiver.pending_bytes(&store) == 0);
+}
+
+#[test]
+fn torn_manifest_is_invisible_to_readers() {
+    // A crash during the final manifest put on a non-atomic backend
+    // leaves a torn manifest object; loaders skip it and restore still
+    // works from the previous generation.
+    let dir = tmpdir("torn-manifest");
+    let objects = MemStore::new();
+    let gen1;
+    {
+        let mut store = LogStore::open(&dir, opts(), NvramDevice::new(1 << 20)).unwrap();
+        let mut archiver = Archiver::new(Arc::new(objects.clone()))
+            .unwrap()
+            .with_policy(no_backoff());
+        fill(&mut store, 1, 60);
+        gen1 = archiver.archive_now(&mut store).unwrap();
+
+        // More data, then crash exactly on the generation-2 manifest put.
+        fill(&mut store, 61, 90);
+        store.sync().unwrap();
+        let puts_before_manifest = {
+            // Dry-run the same round against a scratch copy to learn how
+            // many segment puts precede the manifest put.
+            let scratch = MemStore::new();
+            for k in objects.keys() {
+                scratch.put(&k, &objects.object(&k).unwrap()).unwrap();
+            }
+            let before = scratch.put_count();
+            let mut a2 = Archiver::new(Arc::new(scratch.clone())).unwrap();
+            let mut s2 = LogStore::open(&dir, opts(), NvramDevice::new(1 << 20)).unwrap();
+            a2.archive_now(&mut s2).unwrap();
+            scratch.put_count() - before - 1
+        };
+        objects.fail_after_puts(puts_before_manifest, true);
+        archiver.archive_now(&mut store).unwrap_err();
+        objects.clear_faults();
+    }
+    // The torn generation-2 manifest exists but is skipped.
+    assert!(objects.object(&Manifest::key(2)).is_some());
+    let loaded = load_latest(&objects).unwrap().unwrap();
+    assert_eq!(loaded, gen1);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+    restore(&objects, &dir).unwrap();
+    let mut restored = LogStore::open(&dir, opts(), NvramDevice::new(1 << 20)).unwrap();
+    for i in 1..=60u64 {
+        assert!(
+            restored.read(ClientId(1), Lsn(i)).unwrap().is_some(),
+            "lsn {i}"
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! **Archive tier bench**: archival throughput and wipe-and-restore time
+//! as a function of segment size, against a local-directory object store.
+//!
+//! Regenerate with: `cargo run -p dlog-bench --bin archive_bench --release [MB]`
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use dlog_analysis::table::{fmt2, Table};
+use dlog_archive::{restore, Archiver, LocalDirStore};
+use dlog_storage::{LogStore, NvramDevice, StoreOptions};
+use dlog_types::{ClientId, Epoch, LogRecord, Lsn};
+
+fn tmpdir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir()
+        .join("dlog-archive-bench")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+struct Sample {
+    segment_kb: u64,
+    data_bytes: u64,
+    archive_s: f64,
+    incr_s: f64,
+    restore_s: f64,
+}
+
+fn run_case(segment_bytes: u64, payload_mb: u64) -> Sample {
+    let record_len = 1024usize;
+    let records = payload_mb * 1024 * 1024 / record_len as u64;
+    let dir = tmpdir(&format!("store-{segment_bytes}"));
+    let archive_dir = tmpdir(&format!("objects-{segment_bytes}"));
+    let restore_dir = tmpdir(&format!("restore-{segment_bytes}"));
+
+    let opts = StoreOptions {
+        fsync: false,
+        segment_bytes,
+        checkpoint_every: 0,
+        ..StoreOptions::default()
+    };
+    let mut store = LogStore::open(&dir, opts.clone(), NvramDevice::new(1 << 22)).unwrap();
+    for i in 1..=records {
+        store
+            .write(
+                ClientId(1),
+                &LogRecord::present(Lsn(i), Epoch(1), vec![(i % 251) as u8; record_len]),
+            )
+            .unwrap();
+    }
+    store.sync().unwrap();
+    let data_bytes = store.stream_end();
+
+    let objects = Arc::new(LocalDirStore::open(&archive_dir).unwrap());
+    let mut archiver = Archiver::new(objects.clone()).unwrap();
+
+    // Cold round: every segment goes over the wire.
+    let t = Instant::now();
+    archiver.archive_now(&mut store).unwrap();
+    let archive_s = t.elapsed().as_secs_f64();
+
+    // Incremental round: 1/16 of the data is new; full archived segments
+    // are skipped, so this measures the steady-state tick cost.
+    for i in records + 1..=records + records / 16 {
+        store
+            .write(
+                ClientId(1),
+                &LogRecord::present(Lsn(i), Epoch(1), vec![(i % 251) as u8; record_len]),
+            )
+            .unwrap();
+    }
+    let t = Instant::now();
+    archiver.archive_now(&mut store).unwrap();
+    let incr_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    restore(&*objects, &restore_dir).unwrap();
+    let mut restored = LogStore::open(&restore_dir, opts, NvramDevice::new(1 << 22)).unwrap();
+    let restore_s = t.elapsed().as_secs_f64();
+    assert!(restored.read(ClientId(1), Lsn(records)).unwrap().is_some());
+
+    for d in [&dir, &archive_dir, &restore_dir] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+    Sample {
+        segment_kb: segment_bytes / 1024,
+        data_bytes,
+        archive_s,
+        incr_s,
+        restore_s,
+    }
+}
+
+fn main() {
+    let payload_mb: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    println!("archive tier: {payload_mb} MB of 1 KiB records vs segment size\n");
+
+    let mut t = Table::new(vec![
+        "segment KiB",
+        "archive MB/s",
+        "incremental MB/s",
+        "restore MB/s",
+        "restore ms",
+    ]);
+    for segment_bytes in [64 * 1024u64, 256 * 1024, 1024 * 1024] {
+        let s = run_case(segment_bytes, payload_mb);
+        let mb = s.data_bytes as f64 / (1024.0 * 1024.0);
+        t.row(vec![
+            s.segment_kb.to_string(),
+            fmt2(mb / s.archive_s),
+            fmt2(mb / 16.0 / s.incr_s),
+            fmt2(mb / s.restore_s),
+            fmt2(s.restore_s * 1e3),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Larger segments amortize per-object overhead for the cold upload and the\n\
+         restore; the incremental round only re-uploads the partial tail, so its\n\
+         cost tracks new data, not archive size — the property that makes the\n\
+         bottomless tier affordable to run continuously."
+    );
+}

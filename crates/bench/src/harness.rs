@@ -46,6 +46,11 @@ pub struct ClusterOptions {
     pub nvram_bytes: usize,
     /// Track size (NVRAM flush threshold).
     pub track_bytes: usize,
+    /// Segment size override (`None`: the store default).
+    pub segment_bytes: Option<u64>,
+    /// Attach an archive tier (a local-directory object store per
+    /// server) to every server.
+    pub archive: bool,
     /// Where to place server directories (`None`: a temp dir).
     pub root: Option<PathBuf>,
 }
@@ -61,6 +66,8 @@ impl ClusterOptions {
             durability: Durability::Nvram,
             nvram_bytes: 1 << 20,
             track_bytes: 64 * 1024,
+            segment_bytes: None,
+            archive: false,
             root: None,
         }
     }
@@ -117,20 +124,39 @@ impl Cluster {
         self.root.join(format!("server-{}", sid.0))
     }
 
+    /// Each server's archive tier lives beside its data directory.
+    #[must_use]
+    pub fn archive_dir(&self, sid: ServerId) -> PathBuf {
+        self.root.join(format!("archive-{}", sid.0))
+    }
+
     /// (Re)start a server from its on-disk + NVRAM state.
     pub fn boot_server(&mut self, sid: ServerId) {
         let dir = self.server_dir(sid);
-        let store_opts = StoreOptions {
+        let mut store_opts = StoreOptions {
             fsync: self.opts.fsync,
             durability: self.opts.durability,
             track_bytes: self.opts.track_bytes,
             checkpoint_every: 0,
             ..StoreOptions::default()
         };
+        if let Some(sb) = self.opts.segment_bytes {
+            store_opts.segment_bytes = sb;
+        }
         let nvram = self.nvrams.get(&sid).expect("registered").clone();
         let store = LogStore::open(&dir, store_opts, nvram).expect("open store");
         let gens = GenStore::open(dir.join("gens")).expect("open gens");
-        let server = LogServer::new(ServerConfig::new(sid), store, gens).expect("server");
+        let mut server = LogServer::new(ServerConfig::new(sid), store, gens).expect("server");
+        if self.opts.archive {
+            let objects =
+                dlog_archive::LocalDirStore::open(self.archive_dir(sid)).expect("open archive dir");
+            server
+                .attach_archive(
+                    std::sync::Arc::new(objects),
+                    std::time::Duration::from_millis(10),
+                )
+                .expect("attach archive");
+        }
         let ep = self.net.endpoint(server_addr(sid));
         self.net.set_down(server_addr(sid), false);
         self.runners.insert(sid, ServerRunner::spawn(server, ep));

@@ -11,6 +11,11 @@
 //!   repair              re-replicate under-replicated records (§5.3)
 //!   status              print each server's operational counters
 //!   bench [TXNS]        run ET1 transactions (default 100), print TPS
+//!
+//! offline archive maintenance (no --servers; the server must be stopped):
+//!   archive status  --archive DIR            inspect the newest manifest
+//!   archive push    --archive DIR --dir DIR  archive everything durable
+//!   archive restore --archive DIR --dir DIR  rebuild DIR from the archive
 //! ```
 //!
 //! Each invocation is one client *incarnation*: it runs the §3.1.2
@@ -27,7 +32,81 @@ use dlog_workload::{BankDb, Et1Config, Et1Generator, RecoveryManager};
 
 fn usage() -> &'static str {
     "usage: dlog --servers H:P,H:P,... [--client N] [--n 2] [--delta 8] COMMAND\n\
-     commands: append TEXT... | read LSN | tail [K] | end | repair | status | bench [TXNS]"
+     commands: append TEXT... | read LSN | tail [K] | end | repair | status | bench [TXNS]\n\
+     offline:  archive status --archive DIR\n\
+               archive push --archive DIR --dir DIR [--track-kb 64] [--nvram-kb 1024]\n\
+               archive restore --archive DIR --dir DIR"
+}
+
+/// `dlog archive {status,push,restore}` — offline archive maintenance
+/// against a local-directory object store. `push` and `restore` open the
+/// server's store directory directly, so the server must be stopped.
+fn run_archive(args: &Args) -> Result<(), String> {
+    use dlog_archive::{load_latest, restore, Archiver, LocalDirStore};
+    use dlog_storage::{LogStore, NvramDevice, StoreOptions};
+    use std::sync::Arc;
+
+    let sub = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .ok_or("archive needs a subcommand: status | push | restore")?;
+    let archive_dir: String = args.require("archive")?;
+    let objects = LocalDirStore::open(&archive_dir)
+        .map_err(|e| format!("open archive {archive_dir}: {e}"))?;
+    match sub {
+        "status" => match load_latest(&objects).map_err(|e| e.to_string())? {
+            Some(m) => {
+                println!(
+                    "{archive_dir}: generation {}, {} segments, {} archived bytes, \
+                     stream [{}, {}), cut {}, last manifest lsn {}",
+                    m.generation,
+                    m.segments.len(),
+                    m.archived_bytes(),
+                    m.start(),
+                    m.restore_end,
+                    m.cut,
+                    m.last_lsn().map_err(|e| e.to_string())?,
+                );
+            }
+            None => println!("{archive_dir}: no valid manifest (empty archive)"),
+        },
+        "push" | "restore" => {
+            let dir: String = args.require("dir")?;
+            if sub == "restore" {
+                let m = restore(&objects, &dir).map_err(|e| e.to_string())?;
+                println!(
+                    "restored {dir} from generation {}: {} segments, {} bytes",
+                    m.generation,
+                    m.segments.len(),
+                    m.archived_bytes()
+                );
+                return Ok(());
+            }
+            let track_kb: usize = args.get_or("track-kb", 64)?;
+            let nvram_kb: usize = args.get_or("nvram-kb", 1024)?;
+            let opts = StoreOptions {
+                track_bytes: track_kb * 1024,
+                ..StoreOptions::default()
+            };
+            let mut store = LogStore::open(&dir, opts, NvramDevice::new(nvram_kb * 1024))
+                .map_err(|e| format!("open store {dir}: {e}"))?;
+            let mut archiver = Archiver::new(Arc::new(objects)).map_err(|e| e.to_string())?;
+            let before = archiver.manifest().map_or(0, |m| m.restore_end);
+            let m = archiver
+                .archive_now(&mut store)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "pushed {} new bytes: generation {}, archive covers [{}, {})",
+                m.restore_end - before,
+                m.generation,
+                m.start(),
+                m.restore_end
+            );
+        }
+        other => return Err(format!("unknown archive subcommand {other:?}")),
+    }
+    Ok(())
 }
 
 fn run() -> Result<(), String> {
@@ -40,6 +119,9 @@ fn run() -> Result<(), String> {
         return Ok(());
     }
     let args = Args::parse(raw.into_iter())?;
+    if args.positional.first().map(String::as_str) == Some("archive") {
+        return run_archive(&args);
+    }
     let servers = parse_server_list(&args.require::<String>("servers")?)?;
     let client: u64 = args.get_or("client", 1)?;
     let n: usize = args.get_or("n", 2.min(servers.len()))?;
@@ -64,9 +146,18 @@ fn run() -> Result<(), String> {
                     clients,
                     on_disk_bytes,
                     tracks_flushed,
-                }) => println!(
-                    "{sock}: {records_stored} records, {clients} clients, {on_disk_bytes} bytes on disk, {tracks_flushed} tracks, {forces_acked} forces acked, {rpcs} rpcs, {naks_sent} naks, {duplicates_ignored} dups ignored, {writes_shed} shed"
-                ),
+                    archived_bytes,
+                    pending_upload_bytes,
+                    last_manifest_lsn,
+                    upload_retries,
+                }) => {
+                    println!(
+                        "{sock}: {records_stored} records, {clients} clients, {on_disk_bytes} bytes on disk, {tracks_flushed} tracks, {forces_acked} forces acked, {rpcs} rpcs, {naks_sent} naks, {duplicates_ignored} dups ignored, {writes_shed} shed"
+                    );
+                    println!(
+                        "{sock}: archive: {archived_bytes} bytes archived, {pending_upload_bytes} pending upload, last manifest lsn {last_manifest_lsn}, {upload_retries} upload retries"
+                    );
+                }
                 Ok(other) => println!("{sock}: unexpected reply {other:?}"),
                 Err(e) => println!("{sock}: unreachable ({e})"),
             }

@@ -3,6 +3,7 @@
 //! ```text
 //! dlog-server --dir /var/lib/dlog/s1 --listen 127.0.0.1:7001 --id 1
 //!             [--track-kb 64] [--nvram-kb 1024] [--no-fsync true]
+//!             [--archive-dir /var/lib/dlog/archive1] [--archive-interval-ms 1000]
 //! ```
 //!
 //! The server stores every client's records in one sequential CRC-framed
@@ -87,6 +88,19 @@ fn run() -> Result<(), String> {
     let mut server = LogServer::new(ServerConfig::new(ServerId(id)), store, gens)
         .map_err(|e| format!("construct server: {e}"))?;
 
+    if let Some(archive_dir) = args.get::<String>("archive-dir")? {
+        let interval_ms: u64 = args.get_or("archive-interval-ms", 1000)?;
+        let objects = dlog_archive::LocalDirStore::open(&archive_dir)
+            .map_err(|e| format!("open archive {archive_dir}: {e}"))?;
+        server
+            .attach_archive(
+                std::sync::Arc::new(objects),
+                std::time::Duration::from_millis(interval_ms),
+            )
+            .map_err(|e| format!("attach archive {archive_dir}: {e}"))?;
+        eprintln!("dlog-server {id}: archiving to {archive_dir} every {interval_ms} ms");
+    }
+
     let ep = UdpEndpoint::bind(NodeAddr(id), listen).map_err(|e| format!("bind {listen}: {e}"))?;
     ep.set_promiscuous(true);
     let bound = ep.socket_addr().map_err(|e| e.to_string())?;
@@ -99,7 +113,13 @@ fn run() -> Result<(), String> {
                     let _ = ep.send(to, &reply);
                 }
             }
-            Ok(None) => {}
+            Ok(None) => {
+                if let Err(e) = server.archive_tick() {
+                    // Retried next interval; the watermark holds retention
+                    // back until the upload goes through.
+                    eprintln!("dlog-server {id}: archive round failed: {e}");
+                }
+            }
             Err(e) => return Err(format!("socket error: {e}")),
         }
     }
@@ -110,7 +130,8 @@ fn main() {
         eprintln!("dlog-server: {e}");
         eprintln!(
             "usage: dlog-server --dir DIR --listen HOST:PORT [--id N] \
-             [--track-kb 64] [--nvram-kb 1024] [--no-fsync true]"
+             [--track-kb 64] [--nvram-kb 1024] [--no-fsync true] \
+             [--archive-dir DIR] [--archive-interval-ms 1000]"
         );
         exit(1);
     }

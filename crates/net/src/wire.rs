@@ -251,6 +251,15 @@ pub enum Response {
         on_disk_bytes: u64,
         /// Track flushes performed.
         tracks_flushed: u64,
+        /// Bytes referenced by the newest archive manifest (0 when
+        /// archival is not configured).
+        archived_bytes: u64,
+        /// Durable bytes not yet covered by an archive manifest.
+        pending_upload_bytes: u64,
+        /// Highest installed LSN covered by the newest manifest.
+        last_manifest_lsn: u64,
+        /// Failed archive put attempts (each triggered a retry).
+        upload_retries: u64,
     },
 }
 
@@ -670,6 +679,10 @@ fn encode_response(body: &Response, out: &mut BytesMut) {
             clients,
             on_disk_bytes,
             tracks_flushed,
+            archived_bytes,
+            pending_upload_bytes,
+            last_manifest_lsn,
+            upload_retries,
         } => {
             out.put_u8(S_STATUS);
             for v in [
@@ -682,6 +695,10 @@ fn encode_response(body: &Response, out: &mut BytesMut) {
                 clients,
                 on_disk_bytes,
                 tracks_flushed,
+                archived_bytes,
+                pending_upload_bytes,
+                last_manifest_lsn,
+                upload_retries,
             ] {
                 out.put_u64_le(*v);
             }
@@ -872,7 +889,7 @@ fn decode_response(r: &mut &[u8]) -> Result<Response, DecodeError> {
             })
         }
         S_STATUS => {
-            need!(r, 72);
+            need!(r, 104);
             Ok(Response::Status {
                 records_stored: r.get_u64_le(),
                 duplicates_ignored: r.get_u64_le(),
@@ -883,6 +900,10 @@ fn decode_response(r: &mut &[u8]) -> Result<Response, DecodeError> {
                 clients: r.get_u64_le(),
                 on_disk_bytes: r.get_u64_le(),
                 tracks_flushed: r.get_u64_le(),
+                archived_bytes: r.get_u64_le(),
+                pending_upload_bytes: r.get_u64_le(),
+                last_manifest_lsn: r.get_u64_le(),
+                upload_retries: r.get_u64_le(),
             })
         }
         other => Err(DecodeError(format!("unknown response kind {other}"))),

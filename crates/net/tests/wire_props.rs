@@ -90,7 +90,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
         Just(Response::Ok),
         (0u16..10, "[a-z ]{0,40}").prop_map(|(code, detail)| Response::Err { code, detail }),
         (0u64..u64::MAX).prop_map(|value| Response::GenValue { value }),
-        proptest::collection::vec(any::<u64>(), 9).prop_map(|v| Response::Status {
+        proptest::collection::vec(any::<u64>(), 13).prop_map(|v| Response::Status {
             records_stored: v[0],
             duplicates_ignored: v[1],
             naks_sent: v[2],
@@ -100,6 +100,10 @@ fn arb_response() -> impl Strategy<Value = Response> {
             clients: v[6],
             on_disk_bytes: v[7],
             tracks_flushed: v[8],
+            archived_bytes: v[9],
+            pending_upload_bytes: v[10],
+            last_manifest_lsn: v[11],
+            upload_retries: v[12],
         }),
     ]
 }

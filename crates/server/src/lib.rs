@@ -30,7 +30,10 @@ pub mod gen;
 pub mod runner;
 
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
+use dlog_archive::{merge_interval_lists, ArchiveReader, Archiver, ObjectStore};
 use dlog_net::wire::{codes, Message, NodeAddr, Packet, Request, Response, MAX_PACKET_BYTES};
 use dlog_storage::LogStore;
 use dlog_types::{ClientId, DlogError, Epoch, LogData, LogRecord, Lsn, Result, ServerId};
@@ -93,6 +96,17 @@ pub struct ServerStats {
     pub forces_acked: u64,
 }
 
+/// The archive tier attached to a server: the background archiver, a
+/// reader over the newest manifest for serving pruned positions, and the
+/// tick throttle.
+struct ArchiveTier {
+    archiver: Archiver,
+    objects: Arc<dyn ObjectStore>,
+    reader: Option<ArchiveReader>,
+    interval: Duration,
+    last_tick: Option<Instant>,
+}
+
 /// A log-server node.
 pub struct LogServer {
     config: ServerConfig,
@@ -103,6 +117,7 @@ pub struct LogServer {
     unacked: HashMap<ClientId, u64>,
     shedding: bool,
     stats: ServerStats,
+    archive: Option<ArchiveTier>,
 }
 
 impl LogServer {
@@ -119,7 +134,72 @@ impl LogServer {
             unacked: HashMap::new(),
             shedding: false,
             stats: ServerStats::default(),
+            archive: None,
         })
+    }
+
+    /// Attach an archive tier: sealed segments are uploaded to `objects`
+    /// from [`LogServer::archive_tick`] (throttled to once per
+    /// `interval`), retention is clamped to the archived watermark, and
+    /// reads of positions the local store has pruned fall back to the
+    /// archive.
+    ///
+    /// # Errors
+    /// Propagates backend I/O failures and manifest corruption.
+    pub fn attach_archive(
+        &mut self,
+        objects: Arc<dyn ObjectStore>,
+        interval: Duration,
+    ) -> Result<()> {
+        let archiver = Archiver::new(objects.clone())?;
+        self.store.enable_archival();
+        let reader = match archiver.manifest() {
+            Some(m) => {
+                // A restarted server re-learns how far the archive got.
+                self.store
+                    .note_archived(m.restore_end.min(self.store.stream_end()));
+                Some(ArchiveReader::from_manifest(objects.clone(), m.clone())?)
+            }
+            None => None,
+        };
+        self.archive = Some(ArchiveTier {
+            archiver,
+            objects,
+            reader,
+            interval,
+            last_tick: None,
+        });
+        Ok(())
+    }
+
+    /// One background archival round, throttled to the attach interval;
+    /// a no-op when no archive is attached or the interval has not
+    /// elapsed. Called from the runner's idle loop.
+    ///
+    /// # Errors
+    /// Propagates upload failures after the archiver's bounded retries;
+    /// the round is re-runnable verbatim.
+    pub fn archive_tick(&mut self) -> Result<()> {
+        let Some(tier) = &mut self.archive else {
+            return Ok(());
+        };
+        if tier.last_tick.is_some_and(|t| t.elapsed() < tier.interval) {
+            return Ok(());
+        }
+        tier.last_tick = Some(Instant::now());
+        if let Some(m) = tier.archiver.tick(&mut self.store)? {
+            tier.reader = Some(ArchiveReader::from_manifest(tier.objects.clone(), m)?);
+        }
+        Ok(())
+    }
+
+    /// Archiver gauges; zero when no archive is attached.
+    #[must_use]
+    pub fn archive_stats(&self) -> dlog_archive::ArchiveStats {
+        self.archive
+            .as_ref()
+            .map(|t| t.archiver.stats())
+            .unwrap_or_default()
     }
 
     /// This server's id.
@@ -308,9 +388,16 @@ impl LogServer {
     /// Serve a strict RPC.
     fn serve(&mut self, req: &Request) -> Response {
         match req {
-            Request::IntervalList { client } => Response::Intervals {
-                intervals: self.store.interval_list(*client),
-            },
+            Request::IntervalList { client } => {
+                let live = self.store.interval_list(*client);
+                let intervals = match self.archive.as_ref().and_then(|t| t.reader.as_ref()) {
+                    // The archive holds the head retention may have pruned
+                    // locally; clients see the union.
+                    Some(reader) => merge_interval_lists(&reader.interval_list(*client), &live),
+                    None => live,
+                };
+                Response::Intervals { intervals }
+            }
             Request::ReadLogForward {
                 client,
                 lsn,
@@ -375,6 +462,11 @@ impl LogServer {
             }
             Request::Status => {
                 let st = self.stats;
+                let ar = self.archive_stats();
+                let pending = self
+                    .archive
+                    .as_ref()
+                    .map_or(0, |t| t.archiver.pending_bytes(&self.store));
                 Response::Status {
                     records_stored: st.records_stored,
                     duplicates_ignored: st.duplicates_ignored,
@@ -385,6 +477,10 @@ impl LogServer {
                     clients: self.store.clients().len() as u64,
                     on_disk_bytes: self.store.on_disk_bytes(),
                     tracks_flushed: self.store.stats().tracks_flushed,
+                    archived_bytes: ar.archived_bytes,
+                    pending_upload_bytes: pending,
+                    last_manifest_lsn: ar.last_manifest_lsn,
+                    upload_retries: ar.upload_retries,
                 }
             }
             Request::GenRead { generator } => Response::GenValue {
@@ -412,21 +508,38 @@ impl LogServer {
             if records.len() as u32 >= max.min(self.config.read_batch) {
                 break;
             }
-            match self.store.read(client, cursor) {
-                Ok(Some(rec)) => {
-                    bytes += rec.data.len() + 32;
-                    if bytes > MAX_PACKET_BYTES - 128 && !records.is_empty() {
-                        break;
-                    }
-                    records.push(rec);
-                }
-                Ok(None) => break,
+            // Live store first; a position retention has pruned falls back
+            // to the archive tier, making the log bottomless for readers.
+            let fetched = match self.store.read(client, cursor) {
+                Ok(Some(rec)) => Some(rec),
+                Ok(None) => match self.archive.as_mut().and_then(|t| t.reader.as_mut()) {
+                    Some(reader) => match reader.read(client, cursor) {
+                        Ok(rec) => rec,
+                        Err(e) => {
+                            return Response::Err {
+                                code: codes::STORAGE,
+                                detail: e.to_string(),
+                            }
+                        }
+                    },
+                    None => None,
+                },
                 Err(e) => {
                     return Response::Err {
                         code: codes::STORAGE,
                         detail: e.to_string(),
                     }
                 }
+            };
+            match fetched {
+                Some(rec) => {
+                    bytes += rec.data.len() + 32;
+                    if bytes > MAX_PACKET_BYTES - 128 && !records.is_empty() {
+                        break;
+                    }
+                    records.push(rec);
+                }
+                None => break,
             }
             cursor = if forward {
                 cursor.next()

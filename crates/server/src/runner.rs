@@ -34,7 +34,11 @@ impl ServerRunner {
                                 let _ = endpoint.send(to, &reply);
                             }
                         }
-                        Ok(None) => {}
+                        Ok(None) => {
+                            // Idle: let the archive tier make progress.
+                            // Upload failures are retried next interval.
+                            let _ = server.archive_tick();
+                        }
                         Err(_) => break, // endpoint torn down
                     }
                 }

@@ -37,4 +37,4 @@ pub mod stream;
 pub mod verify;
 
 pub use nvram::NvramDevice;
-pub use store::{LogStore, StoreOptions, StoreStats};
+pub use store::{LogStore, ReplayState, RetentionReport, StoreOptions, StoreStats};

@@ -115,6 +115,17 @@ pub struct StoreStats {
     pub nvram_replayed_bytes: u64,
 }
 
+/// What retention enforcement accomplished (§5.3 with an archive tier).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetentionReport {
+    /// Stream bytes freed by dropping whole segments.
+    pub freed: u64,
+    /// Bytes over budget that could *not* be freed: segments not yet
+    /// confirmed archived (when archival is configured), plus segment-
+    /// granularity remainder.
+    pub pending: u64,
+}
+
 /// A log server's storage engine.
 pub struct LogStore {
     dir: PathBuf,
@@ -127,6 +138,14 @@ pub struct LogStore {
     bytes_since_ckpt: u64,
     /// Guard-seal chain for guarded NVRAM mode (§5.1).
     seal: u64,
+    /// Frame-aligned position recovery scanned from; positions below it
+    /// are only reachable through the interval table, positions at or
+    /// above it decode as a contiguous frame sequence.
+    anchor: u64,
+    /// `Some(watermark)` once an archiver is attached: bytes below the
+    /// watermark are confirmed archived. Retention must never drop a
+    /// sealed segment above it.
+    archived_to: Option<u64>,
     stats: StoreStats,
 }
 
@@ -218,6 +237,8 @@ impl LogStore {
             staged,
             bytes_since_ckpt: 0,
             seal,
+            anchor: scan_from,
+            archived_to: None,
             stats,
         })
     }
@@ -435,11 +456,16 @@ impl LogStore {
     /// §5.3 retention enforcement: when the live stream exceeds
     /// `max_bytes`, drop whole old segments until it fits (as closely as
     /// segment granularity allows) and refresh the checkpoint so recovery
-    /// never references dropped positions. Returns the bytes freed.
+    /// never references dropped positions.
+    ///
+    /// When archival is configured ([`LogStore::enable_archival`]), a
+    /// sealed segment is only droppable once it is confirmed archived:
+    /// the cut is clamped to the archived watermark and whatever could
+    /// not be freed is reported as `pending` instead of being lost.
     ///
     /// # Errors
     /// Propagates I/O failures.
-    pub fn enforce_retention(&mut self, max_bytes: u64) -> Result<u64> {
+    pub fn enforce_retention(&mut self, max_bytes: u64) -> Result<RetentionReport> {
         if self.staged.values().any(|m| !m.is_empty()) {
             return Err(DlogError::Protocol(
                 "cannot enforce retention with staged CopyLog records; retry after install".into(),
@@ -448,27 +474,117 @@ impl LogStore {
         self.flush_track()?;
         let live = self.on_disk_bytes();
         if live <= max_bytes {
-            return Ok(0);
+            return Ok(RetentionReport::default());
         }
-        let cut = self.stream.end().saturating_sub(max_bytes);
+        let desired = self.stream.end().saturating_sub(max_bytes);
+        let cut = match self.archived_to {
+            // Never outrun the archiver: unarchived bytes are the only
+            // durable copy this server holds.
+            Some(watermark) => desired.min(watermark),
+            None => desired,
+        };
         let before = self.stream.start();
-        let new_start = self.stream.drop_before(cut)?;
-        self.table.prune_below(new_start);
-        // The first surviving segment may begin mid-frame (frames span
-        // segment boundaries), so a raw scan from the new start would
-        // misread the stream as torn. A file checkpoint records both the
-        // pruned table and the next frame-aligned scan position; recovery
-        // must start from it, so it is written unconditionally — even in
-        // write-once checkpoint mode, where deleting segments has already
-        // left pure write-once behind.
-        self.checkpoint_to_file()?;
-        Ok(new_start - before)
+        let mut freed = 0;
+        if cut > before {
+            let new_start = self.stream.drop_before(cut)?;
+            self.table.prune_below(new_start);
+            // The first surviving segment may begin mid-frame (frames span
+            // segment boundaries), so a raw scan from the new start would
+            // misread the stream as torn. A file checkpoint records both the
+            // pruned table and the next frame-aligned scan position; recovery
+            // must start from it, so it is written unconditionally — even in
+            // write-once checkpoint mode, where deleting segments has already
+            // left pure write-once behind.
+            self.checkpoint_to_file()?;
+            freed = new_start - before;
+        }
+        let pending = self.on_disk_bytes().saturating_sub(max_bytes);
+        Ok(RetentionReport { freed, pending })
     }
 
     /// Bytes currently occupied by live segments.
     #[must_use]
     pub fn on_disk_bytes(&self) -> u64 {
         self.stream.end() - self.stream.start()
+    }
+
+    // --- Archive-tier surface -------------------------------------------
+    //
+    // The archiver (crates/archive) is an external observer: it reads
+    // sealed stream bytes, replays frames to maintain its own prefix
+    // table, and reports back how far the archive has caught up so
+    // retention never drops the only durable copy.
+
+    /// Configured segment capacity.
+    #[must_use]
+    pub fn segment_bytes(&self) -> u64 {
+        self.stream.segment_bytes()
+    }
+
+    /// Logical start of the on-disk stream.
+    #[must_use]
+    pub fn stream_start(&self) -> u64 {
+        self.stream.start()
+    }
+
+    /// Logical end of the on-disk stream (excludes NVRAM-only bytes).
+    #[must_use]
+    pub fn stream_end(&self) -> u64 {
+        self.stream.end()
+    }
+
+    /// Indices of sealed (full, never written again) live segments.
+    #[must_use]
+    pub fn sealed_segments(&self) -> Vec<u64> {
+        self.stream.sealed_segments()
+    }
+
+    /// Frame-aligned position the last recovery scanned from. Scanning
+    /// frames from here decodes the whole on-disk tail.
+    #[must_use]
+    pub fn frame_anchor(&self) -> u64 {
+        self.anchor
+    }
+
+    /// Read raw stream bytes (on-disk only; the archiver never reads the
+    /// NVRAM tail).
+    ///
+    /// # Errors
+    /// Fails when the range is not fully on disk.
+    pub fn read_stream(&self, pos: u64, len: usize) -> Result<Vec<u8>> {
+        Ok(self.stream.read_at(pos, len)?)
+    }
+
+    /// Scan on-disk frames from `from`, invoking `f(position, frame)` for
+    /// each valid frame. Returns one past the last valid frame.
+    ///
+    /// # Errors
+    /// Propagates I/O failures and structurally corrupt frame bodies.
+    pub fn scan_stream<F>(&self, from: u64, f: F) -> Result<u64>
+    where
+        F: FnMut(u64, Frame),
+    {
+        self.stream.scan_frames(from, f)
+    }
+
+    /// Switch retention into archive-aware mode: from now on
+    /// [`LogStore::enforce_retention`] refuses to drop segments above the
+    /// archived watermark.
+    pub fn enable_archival(&mut self) {
+        self.archived_to.get_or_insert(self.stream.start());
+    }
+
+    /// Raise the archived watermark: every stream byte below `pos` is
+    /// confirmed durable in the archive. Implies archive-aware retention.
+    pub fn note_archived(&mut self, pos: u64) {
+        let w = self.archived_to.get_or_insert(0);
+        *w = (*w).max(pos);
+    }
+
+    /// The archived watermark, when archival is configured.
+    #[must_use]
+    pub fn archived_to(&self) -> Option<u64> {
+        self.archived_to
     }
 
     fn put_frame(&mut self, frame: &Frame) -> Result<()> {
@@ -581,13 +697,7 @@ impl LogStore {
         // The checkpoint covers exactly what is on disk; flush first.
         self.flush_track()?;
         self.stream.sync()?;
-        let body = self.table.encode();
-        let mut out = Vec::with_capacity(body.len() + 24);
-        out.extend_from_slice(&CKPT_MAGIC.to_le_bytes());
-        out.extend_from_slice(&self.stream.end().to_le_bytes());
-        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
-        out.extend_from_slice(&crc32(&body).to_le_bytes());
-        out.extend_from_slice(&body);
+        let out = encode_checkpoint_image(&self.table, self.stream.end());
 
         let tmp = self.dir.join("intervals.ckpt.tmp");
         let fin = self.dir.join("intervals.ckpt");
@@ -660,6 +770,170 @@ fn apply_frame(
             *table = IntervalTable::decode(&body)?;
             Ok(())
         }
+    }
+}
+
+/// Encode an `intervals.ckpt` image: a table snapshot plus the
+/// frame-aligned position recovery should scan from. Written by the store
+/// itself and by archive restore (which fabricates the checkpoint that
+/// makes a rebuilt directory recoverable).
+#[must_use]
+pub fn encode_checkpoint_image(table: &IntervalTable, scan_from: u64) -> Vec<u8> {
+    let body = table.encode();
+    let mut out = Vec::with_capacity(body.len() + 20);
+    out.extend_from_slice(&CKPT_MAGIC.to_le_bytes());
+    out.extend_from_slice(&scan_from.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Recovery-equivalent frame replay, exposed for the archive tier: an
+/// interval table plus staged `CopyLog` state advanced by applying stream
+/// frames in order, under exactly the rules crash recovery uses. The
+/// archiver persists this state in each manifest so the archived prefix
+/// table is always the table a crash at the manifest's cut would recover.
+#[derive(Clone, Default)]
+pub struct ReplayState {
+    table: IntervalTable,
+    staged: StagedMap,
+    stats: StoreStats,
+}
+
+impl ReplayState {
+    /// Fresh state (empty table, nothing staged).
+    #[must_use]
+    pub fn new() -> ReplayState {
+        ReplayState::default()
+    }
+
+    /// The installed-interval table accumulated so far.
+    #[must_use]
+    pub fn table(&self) -> &IntervalTable {
+        &self.table
+    }
+
+    /// Apply one frame read at stream position `pos`.
+    ///
+    /// # Errors
+    /// Returns a description of any storage-order or protocol violation.
+    pub fn apply(&mut self, pos: u64, frame: Frame) -> std::result::Result<(), String> {
+        apply_frame(
+            &mut self.table,
+            &mut self.staged,
+            &mut self.stats,
+            pos,
+            frame,
+        )
+    }
+
+    /// Deterministic serialization (table, then staged records sorted by
+    /// client, epoch, LSN).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let table = self.table.encode();
+        let mut out = Vec::with_capacity(table.len() + 64);
+        out.extend_from_slice(&(table.len() as u32).to_le_bytes());
+        out.extend_from_slice(&table);
+        let mut clients: Vec<_> = self.staged.iter().collect();
+        clients.sort_by_key(|(c, _)| **c);
+        let nonempty = clients
+            .iter()
+            .filter(|(_, m)| m.values().any(|v| !v.is_empty()))
+            .count();
+        out.extend_from_slice(&(nonempty as u32).to_le_bytes());
+        for (client, per_epoch) in clients {
+            if !per_epoch.values().any(|v| !v.is_empty()) {
+                continue;
+            }
+            out.extend_from_slice(&client.0.to_le_bytes());
+            let mut epochs: Vec<_> = per_epoch.iter().filter(|(_, v)| !v.is_empty()).collect();
+            epochs.sort_by_key(|(e, _)| **e);
+            out.extend_from_slice(&(epochs.len() as u32).to_le_bytes());
+            for (epoch, records) in epochs {
+                out.extend_from_slice(&epoch.0.to_le_bytes());
+                let mut records = records.clone();
+                records.sort_by_key(|(r, _)| r.lsn);
+                out.extend_from_slice(&(records.len() as u32).to_le_bytes());
+                for (r, pos) in &records {
+                    out.extend_from_slice(&r.lsn.0.to_le_bytes());
+                    out.extend_from_slice(&r.epoch.0.to_le_bytes());
+                    out.push(u8::from(r.present));
+                    out.extend_from_slice(&(r.data.len() as u32).to_le_bytes());
+                    out.extend_from_slice(r.data.as_bytes());
+                    out.extend_from_slice(&pos.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Decode a serialized state.
+    ///
+    /// # Errors
+    /// Returns a description of any structural problem.
+    pub fn decode(bytes: &[u8]) -> std::result::Result<ReplayState, String> {
+        let mut r = Reader(bytes);
+        let table_len = r.u32()? as usize;
+        let table = IntervalTable::decode(r.take(table_len)?)?;
+        let mut staged = StagedMap::new();
+        let nclients = r.u32()?;
+        for _ in 0..nclients {
+            let client = ClientId(r.u64()?);
+            let nepochs = r.u32()?;
+            let per_epoch = staged.entry(client).or_default();
+            for _ in 0..nepochs {
+                let epoch = Epoch(r.u64()?);
+                let nrecords = r.u32()?;
+                let slot = per_epoch.entry(epoch).or_default();
+                for _ in 0..nrecords {
+                    let lsn = Lsn(r.u64()?);
+                    let repoch = Epoch(r.u64()?);
+                    let present = r.u8()? != 0;
+                    let dlen = r.u32()? as usize;
+                    let data = r.take(dlen)?.to_vec();
+                    let pos = r.u64()?;
+                    let record = if present {
+                        LogRecord::present(lsn, repoch, data)
+                    } else {
+                        LogRecord::not_present(lsn, repoch)
+                    };
+                    slot.push((record, pos));
+                }
+            }
+        }
+        Ok(ReplayState {
+            table,
+            staged,
+            stats: StoreStats::default(),
+        })
+    }
+}
+
+/// Bounds-checked little-endian cursor for `ReplayState::decode`.
+struct Reader<'a>(&'a [u8]);
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> std::result::Result<&'a [u8], String> {
+        if self.0.len() < n {
+            return Err(format!("replay state truncated (need {n} bytes)"));
+        }
+        let (head, tail) = self.0.split_at(n);
+        self.0 = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> std::result::Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> std::result::Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> std::result::Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 }
 

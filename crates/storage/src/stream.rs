@@ -124,6 +124,16 @@ impl SegmentedStream {
         self.end / self.segment_bytes - self.start / self.segment_bytes + 1
     }
 
+    /// Indices of sealed segments: live segments that are full and will
+    /// never be written again (every segment strictly below the one the
+    /// append position falls in). These are what the archive tier uploads.
+    #[must_use]
+    pub fn sealed_segments(&self) -> Vec<u64> {
+        let first_live = self.start / self.segment_bytes;
+        let append_seg = self.end / self.segment_bytes;
+        (first_live..append_seg).collect()
+    }
+
     /// Append `bytes` at the end, returning the position they were written
     /// at.
     ///
@@ -325,8 +335,15 @@ impl SegmentedStream {
     }
 }
 
+/// The on-disk file name of segment `seg` (shared with the archive tier,
+/// which must recreate segment files byte-for-byte on restore).
+#[must_use]
+pub fn segment_file_name(seg: u64) -> String {
+    format!("seg-{seg:08}.seg")
+}
+
 fn segment_path(dir: &Path, seg: u64) -> PathBuf {
-    dir.join(format!("seg-{seg:08}.seg"))
+    dir.join(segment_file_name(seg))
 }
 
 #[cfg(test)]

@@ -158,7 +158,7 @@ fn random_disk_corruption_never_panics() {
                 continue;
             }
             let idx = rng.gen_range(0..bytes.len());
-            bytes[idx] ^= 1 << rng.gen_range(0..8);
+            bytes[idx] ^= 1u8 << rng.gen_range(0..8);
             std::fs::write(f, bytes).unwrap();
         }
         // Fresh NVRAM (power loss lost it along with the corruption event).

@@ -46,7 +46,7 @@ fn retention_drops_old_records_keeps_new() {
     let before = store.on_disk_bytes();
     assert!(before > 4096);
 
-    let freed = store.enforce_retention(4096).unwrap();
+    let freed = store.enforce_retention(4096).unwrap().freed;
     assert!(freed > 0);
     assert!(store.on_disk_bytes() <= before - freed + 1);
 
@@ -101,10 +101,43 @@ fn retention_noop_when_under_budget() {
     let mut store = LogStore::open(&dir, opts(), NvramDevice::new(1 << 20)).unwrap();
     fill(&mut store, 1, 1, 5);
     store.sync().unwrap();
-    assert_eq!(store.enforce_retention(1 << 30).unwrap(), 0);
+    assert_eq!(store.enforce_retention(1 << 30).unwrap().freed, 0);
     for i in 1..=5u64 {
         assert!(store.read(ClientId(1), Lsn(i)).unwrap().is_some());
     }
+}
+
+#[test]
+fn retention_refuses_to_outrun_archiver() {
+    // Safety property: with archival configured, a sealed segment that has
+    // not been confirmed archived is the only durable copy this server
+    // holds — retention must keep it and report the bytes as pending.
+    let dir = tmpdir("archive-gate");
+    let mut store = LogStore::open(&dir, opts(), NvramDevice::new(1 << 20)).unwrap();
+    store.enable_archival();
+    fill(&mut store, 1, 1, 80);
+    store.sync().unwrap();
+    let before = store.on_disk_bytes();
+    assert!(before > 4096);
+
+    // Nothing archived yet: nothing may be freed.
+    let report = store.enforce_retention(4096).unwrap();
+    assert_eq!(report.freed, 0);
+    assert_eq!(report.pending, before - 4096);
+    assert_eq!(store.on_disk_bytes(), before);
+
+    // Confirm part of the stream archived: only that prefix is droppable.
+    store.note_archived(store.stream_end() / 2);
+    let report = store.enforce_retention(4096).unwrap();
+    assert!(report.freed > 0);
+    assert!(report.pending > 0, "unarchived tail still over budget");
+    assert!(store.stream_start() <= store.archived_to().unwrap());
+
+    // Fully archived: retention behaves as without an archiver.
+    store.note_archived(store.stream_end());
+    let report = store.enforce_retention(4096).unwrap();
+    assert!(report.pending < 2048, "only segment-granularity remainder");
+    assert_eq!(store.interval_list(ClientId(1)).last().unwrap().hi, Lsn(80));
 }
 
 #[test]

@@ -1,0 +1,213 @@
+//! Minimal stand-in for the `bytes` crate API.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! subset of `bytes` the workspace uses: `Bytes`/`BytesMut` as thin wrappers
+//! over `Vec<u8>`, the `Buf` cursor trait for `&[u8]`, and the `BufMut`
+//! little-endian writer methods for `BytesMut`. No zero-copy reference
+//! counting — `freeze` simply moves the buffer.
+
+use std::ops::{Deref, DerefMut};
+
+/// Immutable byte buffer (here: an owned `Vec<u8>`).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    pub fn new() -> Self {
+        Self(Vec::new())
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self(data.to_vec())
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.clone()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self(v)
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Self(v.to_vec())
+    }
+}
+
+impl From<Bytes> for Vec<u8> {
+    fn from(b: Bytes) -> Self {
+        b.0
+    }
+}
+
+/// Growable byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    pub fn new() -> Self {
+        Self(Vec::new())
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Self(Vec::with_capacity(cap))
+    }
+
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.0.extend_from_slice(data);
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+
+    pub fn clear(&mut self) {
+        self.0.clear();
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Cursor over a byte source; implemented for `&[u8]`, advancing the slice.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn advance(&mut self, n: usize);
+    fn chunk(&self) -> &[u8];
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let mut buf = [0u8; 2];
+        buf.copy_from_slice(&self.chunk()[..2]);
+        self.advance(2);
+        u16::from_le_bytes(buf)
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let mut buf = [0u8; 4];
+        buf.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(buf)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(buf)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+}
+
+/// Little-endian writer; implemented for `BytesMut`.
+pub trait BufMut {
+    fn put_slice(&mut self, data: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, data: &[u8]) {
+        self.0.extend_from_slice(data);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, data: &[u8]) {
+        self.extend_from_slice(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut out = BytesMut::with_capacity(16);
+        out.put_u8(7);
+        out.put_u16_le(0xBEEF);
+        out.put_u32_le(0xDEAD_BEEF);
+        out.put_u64_le(42);
+        out.put_slice(b"xy");
+        let frozen = out.freeze();
+        let mut r: &[u8] = &frozen;
+        assert_eq!(r.remaining(), 1 + 2 + 4 + 8 + 2);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16_le(), 0xBEEF);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 42);
+        assert!(r.has_remaining());
+        r.advance(2);
+        assert!(!r.has_remaining());
+    }
+}

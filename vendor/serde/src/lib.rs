@@ -1,0 +1,22 @@
+//! Minimal marker-trait stand-in for the `serde` API.
+//!
+//! The build environment has no crates.io access. The workspace only uses
+//! serde as an optional derive on public types (and a test that asserts the
+//! impls exist), so `Serialize` / `Deserialize` are provided as marker
+//! traits with blanket impls, and the derive macros (re-exported from the
+//! local `serde_derive`) expand to nothing. No actual serialization format
+//! is implemented; swap in the real serde when a registry is available.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+// Like the real serde, re-export the derive macros under the same names as
+// the traits (macro and type namespaces coexist).
+pub use serde_derive::{Deserialize, Serialize};

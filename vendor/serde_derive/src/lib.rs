@@ -1,0 +1,18 @@
+//! No-op derive macros for the vendored `serde` stand-in.
+//!
+//! The vendored `serde` implements `Serialize` / `Deserialize` as blanket
+//! marker impls, so these derives have nothing to generate — they exist so
+//! `#[derive(serde::Serialize, serde::Deserialize)]` attributes compile
+//! unchanged against the stand-in.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
