@@ -6,6 +6,7 @@
 //! Monte-Carlo cross-checks live in `dlog-sim` and the measured
 //! counterparts in `dlog-bench`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod availability;

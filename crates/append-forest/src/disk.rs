@@ -54,31 +54,27 @@ impl NodeHeader {
     }
 
     fn decode(buf: &[u8]) -> io::Result<NodeHeader> {
-        if buf.len() < HEADER_BYTES {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "short node header",
-            ));
-        }
-        let magic = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+        use dlog_types::bytes::{u32_le_at, u64_le_at, u8_at};
+        let short = || io::Error::new(io::ErrorKind::UnexpectedEof, "short node header");
+        let magic = u32_le_at(buf, 0).ok_or_else(short)?;
         if magic != MAGIC {
             return Err(io::Error::new(io::ErrorKind::InvalidData, "bad node magic"));
         }
-        let height = buf[4];
+        let height = u8_at(buf, 4).ok_or_else(short)?;
         let mut fields = [0u64; 6];
         for (i, f) in fields.iter_mut().enumerate() {
-            let off = 5 + i * 8;
-            *f = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
+            *f = u64_le_at(buf, 5 + i * 8).ok_or_else(short)?;
         }
-        let count = u32::from_le_bytes(buf[53..57].try_into().unwrap());
+        let count = u32_le_at(buf, 53).ok_or_else(short)?;
+        let [key, min_key, left, right, forest, lo] = fields;
         Ok(NodeHeader {
             height,
-            key: fields[0],
-            min_key: fields[1],
-            left: fields[2],
-            right: fields[3],
-            forest: fields[4],
-            lo: fields[5],
+            key,
+            min_key,
+            left,
+            right,
+            forest,
+            lo,
             count,
         })
     }

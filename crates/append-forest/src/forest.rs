@@ -171,9 +171,9 @@ impl<K: Ord + Copy, V> AppendForest<K, V> {
         // Phase 2: binary-search within the complete tree.
         let mut cur = tree;
         loop {
-            let n = self
-                .node(cur)
-                .expect("tree pointers are internally consistent");
+            let Some(n) = self.node(cur) else {
+                return (None, stats);
+            };
             if *key == n.key {
                 return (Some(&n.value), stats);
             }
@@ -215,7 +215,7 @@ impl<K: Ord + Copy, V> AppendForest<K, V> {
         let mut best: Option<NodeId> = None;
         let mut cur_id = cur;
         loop {
-            let n = self.node(cur_id).expect("consistent tree");
+            let n = self.node(cur_id)?;
             if n.key <= *key {
                 // Root has the largest key in its subtree: done.
                 best = Some(cur_id);
@@ -231,10 +231,7 @@ impl<K: Ord + Copy, V> AppendForest<K, V> {
                 }
             }
         }
-        best.map(|id| {
-            let n = &self.arena[id as usize];
-            (&n.key, &n.value)
-        })
+        best.and_then(|id| self.node(id)).map(|n| (&n.key, &n.value))
     }
 
     /// Iterate all `(key, value)` pairs in increasing key order.
@@ -267,9 +264,11 @@ impl<K: Ord + Copy, V> AppendForest<K, V> {
         // two (newest) may be equal.
         let hs = self.root_heights();
         for (i, w) in hs.windows(2).enumerate() {
-            let ok = if i == 0 { w[0] <= w[1] } else { w[0] < w[1] };
-            if !ok {
-                return Err(format!("root heights not canonical: {hs:?}"));
+            if let &[a, b] = w {
+                let ok = if i == 0 { a <= b } else { a < b };
+                if !ok {
+                    return Err(format!("root heights not canonical: {hs:?}"));
+                }
             }
         }
         if !self.is_empty() {
@@ -280,8 +279,7 @@ impl<K: Ord + Copy, V> AppendForest<K, V> {
         }
         // Per-tree BST properties.
         let mut cur = self.root;
-        while cur != NIL {
-            let n = &self.arena[cur as usize];
+        while let Some(n) = self.node(cur) {
             self.check_subtree(cur)?;
             cur = n.forest;
         }
@@ -289,7 +287,7 @@ impl<K: Ord + Copy, V> AppendForest<K, V> {
     }
 
     fn check_subtree(&self, id: NodeId) -> Result<(), String> {
-        let n = &self.arena[id as usize];
+        let n = self.node(id).ok_or("dangling node id")?;
         if n.height == 0 {
             if n.left != NIL || n.right != NIL {
                 return Err("leaf with children".into());
@@ -303,7 +301,10 @@ impl<K: Ord + Copy, V> AppendForest<K, V> {
         if l == NIL || r == NIL {
             return Err("internal node missing a son".into());
         }
-        let (ln, rn) = (&self.arena[l as usize], &self.arena[r as usize]);
+        let (ln, rn) = match (self.node(l), self.node(r)) {
+            (Some(ln), Some(rn)) => (ln, rn),
+            _ => return Err("dangling son id".into()),
+        };
         if ln.height != n.height - 1 || rn.height != n.height - 1 {
             return Err("sons are not one level shorter".into());
         }
@@ -326,7 +327,7 @@ impl<K: Ord + Copy, V> AppendForest<K, V> {
         if id == NIL {
             None
         } else {
-            Some(&self.arena[id as usize])
+            self.arena.get(id as usize)
         }
     }
 }

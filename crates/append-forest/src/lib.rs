@@ -31,6 +31,7 @@
 //! * [`LsnIndex`] — the paper's intended use: nodes keyed by LSN *ranges*,
 //!   each holding the storage positions of every record in its range.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod disk;

@@ -24,6 +24,7 @@
 //! crashes half-way is simply re-run — it converges to a byte-identical
 //! manifest with no duplicate or torn entries. See `docs/ARCHIVE.md`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod archiver;

@@ -3,6 +3,7 @@
 //! servers (threaded, storage-backed) and replicated-log clients over
 //! them, on either the fault-injectable in-memory network or real UDP.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod harness;

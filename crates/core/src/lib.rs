@@ -31,6 +31,7 @@
 //! * [`assign`] — §5.4 load assignment strategies for picking the N
 //!   target servers among the M available.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod assign;

@@ -1,0 +1,337 @@
+//! A hand-rolled Rust lexer: just enough tokenization for invariant
+//! scanning — identifiers, punctuation, literals, lifetimes — with
+//! comments and string contents stripped so rule matching never trips
+//! over `unwrap()` mentioned in a doc comment or a panic message.
+//!
+//! The lexer is deliberately forgiving: on malformed input it degrades to
+//! single-character punctuation tokens rather than failing, because a
+//! lint that cannot parse a file must still not crash the gate.
+
+/// What a token is, as far as the rules care.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`self`, `fn`, `unwrap`, …).
+    Ident,
+    /// A single punctuation character (`::` is two `:` tokens).
+    Punct,
+    /// String/char/numeric literal; the text of string literals is
+    /// replaced by `""` so their contents cannot match rule patterns.
+    Literal,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Token classification.
+    pub kind: TokenKind,
+    /// Token text (empty-string placeholder for string literals).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when the token is exactly the identifier or punctuation `s`.
+    #[must_use]
+    pub fn is(&self, s: &str) -> bool {
+        self.text == s
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Tokenize `text`. Never fails; unterminated constructs consume to EOF.
+#[must_use]
+pub fn lex(text: &str) -> Vec<Token> {
+    let bytes: Vec<char> = text.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = bytes.len();
+
+    let count_lines = |s: &[char]| s.iter().filter(|&&c| c == '\n').count() as u32;
+
+    while i < n {
+        let c = bytes[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Line comment (covers `///` and `//!` doc comments).
+        if c == '/' && i + 1 < n && bytes[i + 1] == '/' {
+            while i < n && bytes[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment, nested.
+        if c == '/' && i + 1 < n && bytes[i + 1] == '*' {
+            let mut depth = 1;
+            let start = i;
+            i += 2;
+            while i < n && depth > 0 {
+                if bytes[i] == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            line += count_lines(&bytes[start..i]);
+            continue;
+        }
+        // Raw strings / raw identifiers / byte strings: r"..", r#".."#,
+        // br#".."#, b"..", rb is not valid Rust so it is not handled.
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            let (skip_b, j) = if c == 'b' && bytes[i + 1] == 'r' {
+                (true, i + 2)
+            } else {
+                (false, i + 1)
+            };
+            let j0 = if skip_b { j } else { i + 1 };
+            // Count '#' marks of a raw string opener.
+            let mut hashes = 0usize;
+            let mut k = j0;
+            if c == 'r' || skip_b {
+                while k < n && bytes[k] == '#' {
+                    hashes += 1;
+                    k += 1;
+                }
+            }
+            let is_raw_string = (c == 'r' || skip_b) && k < n && bytes[k] == '"';
+            let is_raw_ident = c == 'r' && hashes == 1 && k < n && is_ident_start(bytes[k]);
+            if is_raw_string {
+                let start = i;
+                i = k + 1;
+                // Scan for closing quote followed by `hashes` hashes.
+                'scan: while i < n {
+                    if bytes[i] == '"' {
+                        let mut h = 0;
+                        while h < hashes && i + 1 + h < n && bytes[i + 1 + h] == '#' {
+                            h += 1;
+                        }
+                        if h == hashes {
+                            i += 1 + hashes;
+                            break 'scan;
+                        }
+                    }
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Literal,
+                    text: "\"\"".to_string(),
+                    line,
+                });
+                line += count_lines(&bytes[start..i]);
+                continue;
+            }
+            if is_raw_ident {
+                let start = k;
+                let mut e = k;
+                while e < n && is_ident_continue(bytes[e]) {
+                    e += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident,
+                    text: bytes[start..e].iter().collect(),
+                    line,
+                });
+                i = e;
+                continue;
+            }
+            // Plain byte string b"…".
+            if c == 'b' && bytes[i + 1] == '"' {
+                let start = i;
+                i += 2;
+                while i < n && bytes[i] != '"' {
+                    if bytes[i] == '\\' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                i = (i + 1).min(n);
+                out.push(Token {
+                    kind: TokenKind::Literal,
+                    text: "\"\"".to_string(),
+                    line,
+                });
+                line += count_lines(&bytes[start..i]);
+                continue;
+            }
+            // Byte char b'…'.
+            if c == 'b' && bytes[i + 1] == '\'' {
+                let start = i;
+                i += 2;
+                while i < n && bytes[i] != '\'' {
+                    if bytes[i] == '\\' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                i = (i + 1).min(n);
+                out.push(Token {
+                    kind: TokenKind::Literal,
+                    text: "''".to_string(),
+                    line,
+                });
+                line += count_lines(&bytes[start..i]);
+                continue;
+            }
+            // Fall through: ordinary identifier starting with r/b.
+        }
+        // String literal.
+        if c == '"' {
+            let start = i;
+            i += 1;
+            while i < n && bytes[i] != '"' {
+                if bytes[i] == '\\' {
+                    i += 1;
+                }
+                i += 1;
+            }
+            i = (i + 1).min(n);
+            out.push(Token {
+                kind: TokenKind::Literal,
+                text: "\"\"".to_string(),
+                line,
+            });
+            line += count_lines(&bytes[start..i]);
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == '\'' {
+            let next = bytes.get(i + 1).copied();
+            let after = bytes.get(i + 2).copied();
+            let is_char = match next {
+                Some('\\') => true,
+                Some(ch) if is_ident_start(ch) || ch.is_ascii_digit() => after == Some('\''),
+                Some(_) => true, // e.g. '(' — not a valid lifetime start
+                None => false,
+            };
+            if is_char {
+                i += 1;
+                while i < n && bytes[i] != '\'' {
+                    if bytes[i] == '\\' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                i = (i + 1).min(n);
+                out.push(Token {
+                    kind: TokenKind::Literal,
+                    text: "''".to_string(),
+                    line,
+                });
+            } else {
+                // Lifetime (or loop label): 'name
+                let start = i;
+                i += 1;
+                while i < n && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text: bytes[start..i].iter().collect(),
+                    line,
+                });
+            }
+            continue;
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_continue(bytes[i]) {
+                i += 1;
+            }
+            out.push(Token {
+                kind: TokenKind::Ident,
+                text: bytes[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Number: digits plus alphanumerics (hex, suffixes); `.` is left
+        // as punctuation so ranges like `0..4` lex unambiguously.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n && is_ident_continue(bytes[i]) {
+                i += 1;
+            }
+            out.push(Token {
+                kind: TokenKind::Literal,
+                text: bytes[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Everything else: one punctuation character per token.
+        out.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let toks = texts("a // unwrap()\n/* panic! /* nested */ */ b \"x.unwrap()\" 'c'");
+        assert_eq!(toks, vec!["a", "b", "\"\"", "''"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let d = '\\n'; }");
+        let lifetimes = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let chars = toks.iter().filter(|t| t.kind == TokenKind::Literal).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn raw_strings_and_idents() {
+        let toks = texts("r#\"has \"quotes\" inside\"# r#fn b\"bytes\"");
+        assert_eq!(toks, vec!["\"\"", "fn", "\"\""]);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let toks = texts("buf[0..4] 0xD10C 1_000u64");
+        assert_eq!(toks, vec!["buf", "[", "0", ".", ".", "4", "]", "0xD10C", "1_000u64"]);
+    }
+}

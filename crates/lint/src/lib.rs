@@ -1,0 +1,37 @@
+//! `dlog-lint` — workspace protocol-invariant static analysis.
+//!
+//! The paper's correctness story rests on ordering invariants the Rust
+//! compiler cannot see: acks must never be sent before the records they
+//! cover are forced to stable storage (§4.2), the wire message set must
+//! stay in lock-step with its codec and property coverage, and a log
+//! server must not panic on hostile bytes. This crate walks the
+//! workspace sources with a hand-rolled lexer (no external parser — it
+//! must build offline against the vendored stubs) and enforces six
+//! repo-specific rules, gated in tier-1 via `tests/lint_gate.rs`:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `wire-exhaustiveness` | every `Message`/`Request`/`Response` variant has encode + decode arms and property coverage |
+//! | `lock-order` | the `.lock()` acquisition graph is acyclic |
+//! | `panic-freedom` | no `unwrap`/`expect`/`panic!`/indexing in hot-path non-test code |
+//! | `ack-after-force` | `NewHighLsn` construction lexically follows `.force()` (§4.2) |
+//! | `status-parity` | `Response::Status` fields match the `docs/PROTOCOL.md` gauge table |
+//! | `forbid-unsafe` | every first-party crate root carries `#![forbid(unsafe_code)]` |
+//!
+//! Audited exceptions live in `lint.allow` (rule, file, function scope,
+//! mandatory justification). See `docs/LINT.md` for the full catalog,
+//! the allowlist workflow, and how to add a rule.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allow;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod source;
+pub mod workspace;
+
+pub use report::{Report, Violation};
+pub use source::SourceFile;
+pub use workspace::{find_root, lint_workspace};

@@ -1,0 +1,194 @@
+//! Findings, allowlist application, and the human/JSON renderings.
+
+use crate::allow::Allowlist;
+
+/// One rule finding at a source location.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Rule identifier (e.g. `panic-freedom`).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Enclosing function name, or `<file>` for file-level findings.
+    pub scope: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Outcome of a workspace lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings not covered by `lint.allow` — these fail the gate.
+    pub violations: Vec<Violation>,
+    /// Findings covered by an allowlist entry (audited exceptions).
+    pub allowed: Vec<Violation>,
+    /// `lint.allow` entries that matched nothing (stale — warn).
+    pub unused_allows: Vec<String>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Partition raw findings against the allowlist.
+    #[must_use]
+    pub fn build(mut raw: Vec<Violation>, allows: &Allowlist, files_scanned: usize) -> Report {
+        raw.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+        });
+        let mut used = vec![false; allows.len()];
+        let mut violations = Vec::new();
+        let mut allowed = Vec::new();
+        for v in raw {
+            match allows.matches(v.rule, &v.file, &v.scope) {
+                Some(idx) => {
+                    used[idx] = true;
+                    allowed.push(v);
+                }
+                None => violations.push(v),
+            }
+        }
+        let unused_allows = allows
+            .entries()
+            .iter()
+            .zip(&used)
+            .filter(|(_, u)| !**u)
+            .map(|(e, _)| e.display())
+            .collect();
+        Report {
+            violations,
+            allowed,
+            unused_allows,
+            files_scanned,
+        }
+    }
+
+    /// True when the workspace is clean modulo the allowlist.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Render as stable machine-readable JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"ok\": {},\n", self.ok()));
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str(&format!("  \"allowed\": {},\n", self.allowed.len()));
+        s.push_str("  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"scope\": {}, \"message\": {}}}",
+                json_str(v.rule),
+                json_str(&v.file),
+                v.line,
+                json_str(&v.scope),
+                json_str(&v.message)
+            ));
+        }
+        if !self.violations.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("],\n  \"unused_allow_entries\": [");
+        for (i, e) in self.unused_allows.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&json_str(e));
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+
+    /// Render as human-readable lines (one per finding).
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        for v in &self.violations {
+            s.push_str(&format!(
+                "{}:{}: [{}] ({}) {}\n",
+                v.file, v.line, v.rule, v.scope, v.message
+            ));
+        }
+        for e in &self.unused_allows {
+            s.push_str(&format!("warning: unused lint.allow entry: {e}\n"));
+        }
+        s.push_str(&format!(
+            "{} file(s) scanned, {} violation(s), {} allowlisted\n",
+            self.files_scanned,
+            self.violations.len(),
+            self.allowed.len()
+        ));
+        s
+    }
+}
+
+/// Escape a string for JSON output.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allow::Allowlist;
+
+    fn v(rule: &'static str, file: &str, scope: &str) -> Violation {
+        Violation {
+            rule,
+            file: file.to_string(),
+            line: 1,
+            scope: scope.to_string(),
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn allowlist_partitions_and_tracks_usage() {
+        let allows = Allowlist::parse(
+            "panic-freedom crates/a.rs f # fine\nlock-order crates/b.rs * # stale\n",
+        )
+        .unwrap();
+        let raw = vec![v("panic-freedom", "crates/a.rs", "f"), v("panic-freedom", "crates/a.rs", "g")];
+        let r = Report::build(raw, &allows, 2);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.allowed.len(), 1);
+        assert_eq!(r.unused_allows.len(), 1);
+        assert!(!r.ok());
+    }
+
+    #[test]
+    fn json_is_escaped() {
+        let raw = vec![Violation {
+            rule: "x",
+            file: "a\"b.rs".into(),
+            line: 3,
+            scope: "s".into(),
+            message: "line1\nline2".into(),
+        }];
+        let r = Report::build(raw, &Allowlist::default(), 1);
+        let j = r.to_json();
+        assert!(j.contains("a\\\"b.rs"));
+        assert!(j.contains("line1\\nline2"));
+        assert!(j.contains("\"ok\": false"));
+    }
+}

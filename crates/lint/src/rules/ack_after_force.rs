@@ -1,0 +1,84 @@
+//! `ack-after-force`: the §4.2 write-before-ack heuristic.
+//!
+//! "When a ForceLog message is received, … the log server forces all
+//! buffered log records … before returning a NewHighLSN message." A
+//! server that constructs its durable-high-LSN ack before the force call
+//! can ack records that die with the NVRAM. For every non-test function
+//! that both calls `.force(…)` and constructs a `NewHighLsn` message,
+//! the first force call must lexically precede the first ack
+//! construction. Lexical order is a heuristic — it cannot see through
+//! helper functions — but it catches the regression that matters: an
+//! ack path reordered above the force inside one handler.
+
+use crate::report::Violation;
+use crate::source::SourceFile;
+
+/// Rule identifier.
+pub const RULE: &str = "ack-after-force";
+
+/// Check every function in `file` that both forces and acks.
+#[must_use]
+pub fn check(file: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in &file.fns {
+        if file.test[f.open] {
+            continue;
+        }
+        let force = file.find_seq(f.open, f.close, &[".", "force", "("]);
+        let ack = (f.open..f.close).find(|&i| file.tokens[i].is("NewHighLsn"));
+        if let (Some(force_idx), Some(ack_idx)) = (force, ack) {
+            if ack_idx < force_idx {
+                out.push(Violation {
+                    rule: RULE,
+                    file: file.path.clone(),
+                    line: file.tokens[ack_idx].line,
+                    scope: f.name.clone(),
+                    message: format!(
+                        "`NewHighLsn` ack constructed (line {}) before the durable `.force()` call \
+                         (line {}); §4.2 requires force-before-ack",
+                        file.tokens[ack_idx].line, file.tokens[force_idx].line
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn force_then_ack_is_clean() {
+        let f = SourceFile::parse(
+            "s.rs",
+            "fn ingest(&mut self) { self.store.force(c).ok(); \
+             self.out.push(Message::NewHighLsn { client, lsn }); }",
+        );
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn ack_before_force_fires() {
+        let f = SourceFile::parse(
+            "s.rs",
+            "fn ingest(&mut self) { let ack = Message::NewHighLsn { client, lsn }; \
+             self.store.force(c).ok(); self.out.push(ack); }",
+        );
+        let vs = check(&f);
+        assert_eq!(vs.len(), 1);
+        assert!(vs[0].message.contains("before the durable"));
+        assert_eq!(vs[0].scope, "ingest");
+    }
+
+    #[test]
+    fn functions_with_only_one_side_are_skipped() {
+        let f = SourceFile::parse(
+            "s.rs",
+            "fn only_ack(&mut self) { self.out.push(Message::NewHighLsn { client, lsn }); } \
+             fn only_force(&mut self) { self.store.force(c).ok(); }",
+        );
+        assert!(check(&f).is_empty());
+    }
+}

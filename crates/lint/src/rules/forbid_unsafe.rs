@@ -1,0 +1,55 @@
+//! `forbid-unsafe`: every first-party crate root must carry
+//! `#![forbid(unsafe_code)]`.
+//!
+//! The workspace has no unsafe blocks outside the vendored dependency
+//! stubs, and the storage/wire invariants the other rules defend assume
+//! memory safety holds. `forbid` (not `deny`) makes the guarantee
+//! unoverridable by inner `allow` attributes; this rule makes it
+//! unremovable without an audited `lint.allow` entry.
+
+use crate::report::Violation;
+use crate::source::SourceFile;
+
+/// Rule identifier.
+pub const RULE: &str = "forbid-unsafe";
+
+/// Check one crate root (`src/lib.rs`) for the attribute.
+#[must_use]
+pub fn check(root: &SourceFile) -> Vec<Violation> {
+    let pat = ["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"];
+    if root.find_seq(0, root.tokens.len(), &pat).is_some() {
+        return Vec::new();
+    }
+    vec![Violation {
+        rule: RULE,
+        file: root.path.clone(),
+        line: 1,
+        scope: "<file>".to_string(),
+        message: "crate root lacks `#![forbid(unsafe_code)]`".to_string(),
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn present_attribute_is_clean() {
+        let f = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "//! Docs.\n#![forbid(unsafe_code)]\n#![warn(missing_docs)]\npub fn f() {}\n",
+        );
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn missing_attribute_fires() {
+        let f = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "//! Docs.\n#![warn(missing_docs)]\npub fn f() {}\n",
+        );
+        let vs = check(&f);
+        assert_eq!(vs.len(), 1);
+        assert!(vs[0].message.contains("forbid(unsafe_code)"));
+    }
+}

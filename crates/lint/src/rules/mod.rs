@@ -1,0 +1,11 @@
+//! The rule catalog. Each rule is a standalone module taking parsed
+//! [`crate::source::SourceFile`]s (plus, for `status-parity`, the
+//! protocol markdown) and returning [`crate::report::Violation`]s.
+//! See `docs/LINT.md` for the catalog and rationale.
+
+pub mod ack_after_force;
+pub mod forbid_unsafe;
+pub mod lock_order;
+pub mod panic_freedom;
+pub mod status_parity;
+pub mod wire_exhaustive;

@@ -1,0 +1,126 @@
+//! `panic-freedom`: hot-path crates must not contain `unwrap()`,
+//! `expect()`, `panic!`, or bare slice indexing outside test code.
+//!
+//! A log server that panics drops every in-flight force for every
+//! client; §4.2's availability story assumes servers fail from crashes
+//! and media, not from decode edge cases. Decode paths must propagate
+//! `DecodeError`/`DlogError::Corrupt` instead. Deliberate fatal stops
+//! (e.g. the server's force-failure invariant) are allowlisted with a
+//! justification in `lint.allow`.
+
+use crate::lexer::TokenKind;
+use crate::report::Violation;
+use crate::source::SourceFile;
+
+/// Rule identifier.
+pub const RULE: &str = "panic-freedom";
+
+/// Keywords that legitimately precede `[` (slice patterns, array types
+/// in expressions) and therefore do not indicate indexing.
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "mut", "ref", "in", "as", "return", "match", "if", "else", "for", "while", "loop",
+    "move", "dyn", "where", "impl", "use", "pub", "crate", "super", "break", "continue", "static",
+    "const", "type", "enum", "struct", "fn", "mod", "trait", "unsafe", "box", "yield", "async",
+    "await",
+];
+
+/// Scan one file for panic-adjacent constructs in non-test code.
+#[must_use]
+pub fn check(file: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if file.test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        // `.unwrap(` / `.expect(`
+        if t.is(".")
+            && toks
+                .get(i + 1)
+                .is_some_and(|n| n.is("unwrap") || n.is("expect"))
+            && toks.get(i + 2).is_some_and(|n| n.is("("))
+        {
+            let name = &toks[i + 1].text;
+            out.push(violation(
+                file,
+                i + 1,
+                format!("call to `{name}()` can panic; propagate the error instead"),
+            ));
+        }
+        // `panic!(…)`
+        if t.is("panic") && toks.get(i + 1).is_some_and(|n| n.is("!")) {
+            out.push(violation(
+                file,
+                i,
+                "explicit `panic!` in hot-path code".to_string(),
+            ));
+        }
+        // Indexing: `expr[…]` — a `[` directly after an identifier (that
+        // is not a keyword), `)`, or `]`. Out-of-range indexes panic;
+        // use `.get()`/`.get_mut()` or a guarded helper.
+        if t.is("[") && i > 0 {
+            let prev = &toks[i - 1];
+            let is_index = match prev.kind {
+                TokenKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+                TokenKind::Punct => prev.is(")") || prev.is("]"),
+                _ => false,
+            };
+            if is_index {
+                out.push(violation(
+                    file,
+                    i,
+                    format!(
+                        "slice/array indexing after `{}` can panic; use `.get()` or a guarded read",
+                        prev.text
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn violation(file: &SourceFile, i: usize, message: String) -> Violation {
+    Violation {
+        rule: RULE,
+        file: file.path.clone(),
+        line: file.tokens[i].line,
+        scope: file.scope_at(i),
+        message,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_unwrap_expect_panic_indexing() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "fn f(v: Vec<u8>) -> u8 { let a = v.first().unwrap(); v.len(); \
+             let b = foo().expect(\"x\"); if v.is_empty() { panic!(\"no\"); } v[0] }",
+        );
+        let vs = check(&f);
+        assert_eq!(vs.len(), 4, "{vs:?}");
+        assert!(vs.iter().all(|v| v.scope == "f"));
+    }
+
+    #[test]
+    fn test_code_and_benign_brackets_are_ignored() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "#[derive(Debug)] struct S; fn g(x: &[u8], s: [u8; 4]) -> Vec<u8> { \
+             let [a, b] = [1, 2]; let _ = (a, b, s); vec![x.len() as u8] }\n\
+             #[cfg(test)] mod t { fn h(v: Vec<u8>) -> u8 { v[0] } }",
+        );
+        assert!(check(&f).is_empty(), "{:?}", check(&f));
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let f = SourceFile::parse("x.rs", "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }");
+        assert!(check(&f).is_empty());
+    }
+}

@@ -1,0 +1,213 @@
+//! `status-parity`: the `Response::Status` wire struct and the gauge
+//! table in `docs/PROTOCOL.md` must list the same fields.
+//!
+//! The Status RPC is the observability surface (`dlog status`); PR 1
+//! grew it from 7 to 13 gauges and the protocol doc silently lagged.
+//! The rule extracts the variant's field names from `wire.rs` and the
+//! first column of the "Status gauges" markdown table, then requires
+//! the two sets to be identical (names and count).
+
+use crate::report::Violation;
+use crate::rules::wire_exhaustive::enum_variants;
+use crate::source::SourceFile;
+
+/// Rule identifier.
+pub const RULE: &str = "status-parity";
+
+/// Markdown heading that introduces the gauge table.
+pub const DOC_HEADING: &str = "Status gauges";
+
+/// Compare the `Response::Status` fields in `wire` with the gauge table
+/// in the protocol document text (`doc_path` names it for reporting).
+#[must_use]
+pub fn check(wire: &SourceFile, doc_path: &str, doc_text: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let code_fields = match status_fields(wire) {
+        Some(f) => f,
+        None => {
+            return vec![Violation {
+                rule: RULE,
+                file: wire.path.clone(),
+                line: 1,
+                scope: "<file>".to_string(),
+                message: "`Response::Status` variant not found in wire.rs".to_string(),
+            }]
+        }
+    };
+    let (doc_fields, table_line) = match doc_table_fields(doc_text) {
+        Some(f) => f,
+        None => {
+            return vec![Violation {
+                rule: RULE,
+                file: doc_path.to_string(),
+                line: 1,
+                scope: "<file>".to_string(),
+                message: format!(
+                    "no `{DOC_HEADING}` table found in {doc_path}; the Status wire struct \
+                     has {} fields that must be documented",
+                    code_fields.len()
+                ),
+            }]
+        }
+    };
+    for (name, line) in &code_fields {
+        if !doc_fields.iter().any(|(d, _)| d == name) {
+            out.push(Violation {
+                rule: RULE,
+                file: doc_path.to_string(),
+                line: table_line,
+                scope: "<file>".to_string(),
+                message: format!(
+                    "Status gauge `{name}` (wire.rs:{line}) is missing from the \
+                     `{DOC_HEADING}` table"
+                ),
+            });
+        }
+    }
+    for (name, line) in &doc_fields {
+        if !code_fields.iter().any(|(c, _)| c == name) {
+            out.push(Violation {
+                rule: RULE,
+                file: doc_path.to_string(),
+                line: *line,
+                scope: "<file>".to_string(),
+                message: format!(
+                    "documented Status gauge `{name}` does not exist in `Response::Status`"
+                ),
+            });
+        }
+    }
+    if out.is_empty() && code_fields.len() != doc_fields.len() {
+        out.push(Violation {
+            rule: RULE,
+            file: doc_path.to_string(),
+            line: table_line,
+            scope: "<file>".to_string(),
+            message: format!(
+                "Status field count mismatch: wire.rs has {}, {doc_path} documents {}",
+                code_fields.len(),
+                doc_fields.len()
+            ),
+        });
+    }
+    out
+}
+
+/// Field names (with lines) of the `Status` variant of `enum Response`.
+fn status_fields(wire: &SourceFile) -> Option<Vec<(String, u32)>> {
+    let variants = enum_variants(wire, "Response")?;
+    let (_, vtok) = variants.into_iter().find(|(n, _)| n == "Status")?;
+    let toks = &wire.tokens;
+    let open = (vtok + 1..toks.len()).find(|&i| toks[i].is("{"))?;
+    let close = wire.matching_brace(open)?;
+    let mut fields = Vec::new();
+    let mut depth = 0i32;
+    for i in open + 1..close {
+        let t = &toks[i];
+        if t.is("{") || t.is("(") || t.is("[") || t.is("<") {
+            depth += 1;
+        } else if t.is("}") || t.is(")") || t.is("]") || t.is(">") {
+            depth -= 1;
+        } else if depth == 0
+            && t.kind == crate::lexer::TokenKind::Ident
+            && toks.get(i + 1).is_some_and(|n| n.is(":"))
+            && !t.is("pub")
+        {
+            fields.push((t.text.clone(), t.line));
+        }
+    }
+    Some(fields)
+}
+
+/// First-column names of the gauge table under the [`DOC_HEADING`]
+/// heading, with their 1-based lines, plus the table's first line.
+fn doc_table_fields(text: &str) -> Option<(Vec<(String, u32)>, u32)> {
+    let mut in_section = false;
+    let mut past_separator = false;
+    let mut fields = Vec::new();
+    let mut table_line = 0u32;
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i as u32 + 1;
+        let trimmed = line.trim();
+        if trimmed.starts_with('#') {
+            if in_section && !fields.is_empty() {
+                break;
+            }
+            in_section = trimmed.contains(DOC_HEADING);
+            past_separator = false;
+            continue;
+        }
+        if !in_section || !trimmed.starts_with('|') {
+            continue;
+        }
+        let first_cell = trimmed
+            .trim_matches('|')
+            .split('|')
+            .next()
+            .unwrap_or("")
+            .trim()
+            .trim_matches('`')
+            .to_string();
+        if first_cell.starts_with('-') || first_cell.starts_with(':') {
+            // The |---|---| separator: body rows follow.
+            past_separator = true;
+            continue;
+        }
+        if !past_separator || first_cell.is_empty() {
+            continue; // header row (or malformed)
+        }
+        if table_line == 0 {
+            table_line = lineno;
+        }
+        fields.push((first_cell, lineno));
+    }
+    if fields.is_empty() {
+        None
+    } else {
+        Some((fields, table_line))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WIRE: &str = "
+        pub enum Response {
+            Ok,
+            Status {
+                records_stored: u64,
+                naks_sent: u64,
+            },
+        }
+    ";
+
+    #[test]
+    fn matching_table_is_clean() {
+        let wire = SourceFile::parse("wire.rs", WIRE);
+        let doc = "### Status gauges\n\n\
+                   | gauge | meaning |\n|---|---|\n\
+                   | `records_stored` | total |\n| `naks_sent` | naks |\n";
+        assert!(check(&wire, "docs/PROTOCOL.md", doc).is_empty());
+    }
+
+    #[test]
+    fn missing_and_phantom_gauges_fire() {
+        let wire = SourceFile::parse("wire.rs", WIRE);
+        let doc = "### Status gauges\n\n\
+                   | gauge | meaning |\n|---|---|\n\
+                   | `records_stored` | total |\n| `ghost_gauge` | nope |\n";
+        let vs = check(&wire, "docs/PROTOCOL.md", doc);
+        assert_eq!(vs.len(), 2, "{vs:?}");
+        assert!(vs.iter().any(|v| v.message.contains("naks_sent")));
+        assert!(vs.iter().any(|v| v.message.contains("ghost_gauge")));
+    }
+
+    #[test]
+    fn absent_table_fires() {
+        let wire = SourceFile::parse("wire.rs", WIRE);
+        let vs = check(&wire, "docs/PROTOCOL.md", "# Protocol\nno table here\n");
+        assert_eq!(vs.len(), 1);
+        assert!(vs[0].message.contains("no `Status gauges` table"));
+    }
+}

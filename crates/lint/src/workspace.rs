@@ -1,0 +1,208 @@
+//! Workspace driver: locates the repo root, loads the target files for
+//! each rule, runs the catalog, and applies `lint.allow`.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::allow::Allowlist;
+use crate::report::{Report, Violation};
+use crate::rules;
+use crate::source::SourceFile;
+
+/// Crates whose `src/` trees must be panic-free (rule `panic-freedom`).
+pub const HOT_PATH_CRATES: &[&str] = &[
+    "crates/server/src",
+    "crates/net/src",
+    "crates/storage/src",
+    "crates/append-forest/src",
+];
+
+/// Files scanned for `.lock()` acquisition ordering (rule `lock-order`).
+/// Directories contribute every `.rs` file beneath them.
+pub const LOCK_ORDER_TARGETS: &[&str] = &[
+    "crates/net/src/mem.rs",
+    "crates/storage/src/nvram.rs",
+    "crates/archive/src/object_store.rs",
+    "crates/server/src",
+];
+
+/// Directories scanned for the §4.2 write-before-ack heuristic.
+pub const ACK_AFTER_FORCE_TARGETS: &[&str] = &["crates/server/src", "crates/storage/src"];
+
+/// Walk up from `start` to the workspace root (the directory whose
+/// `Cargo.toml` declares `[workspace]`).
+///
+/// # Errors
+/// Returns a message when no ancestor is a workspace root.
+pub fn find_root(start: &Path) -> Result<PathBuf, String> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(format!(
+                "no workspace root (Cargo.toml with [workspace]) above {}",
+                start.display()
+            ));
+        }
+    }
+}
+
+/// Loaded and parsed source files, keyed by workspace-relative path.
+struct Loader<'a> {
+    root: &'a Path,
+    files: BTreeMap<String, SourceFile>,
+}
+
+impl<'a> Loader<'a> {
+    fn new(root: &'a Path) -> Loader<'a> {
+        Loader {
+            root,
+            files: BTreeMap::new(),
+        }
+    }
+
+    fn load(&mut self, rel: &str) -> Result<&SourceFile, String> {
+        if !self.files.contains_key(rel) {
+            let text = fs::read_to_string(self.root.join(rel))
+                .map_err(|e| format!("cannot read {rel}: {e}"))?;
+            self.files
+                .insert(rel.to_string(), SourceFile::parse(rel, &text));
+        }
+        Ok(&self.files[rel])
+    }
+
+    /// Every `.rs` file under `rel` (or `rel` itself), sorted.
+    fn expand(&self, rel: &str) -> Result<Vec<String>, String> {
+        let abs = self.root.join(rel);
+        if abs.is_file() {
+            return Ok(vec![rel.to_string()]);
+        }
+        let mut out = Vec::new();
+        walk_rs(&abs, &mut out).map_err(|e| format!("cannot walk {rel}: {e}"))?;
+        let prefix = self.root.to_path_buf();
+        let mut rels: Vec<String> = out
+            .into_iter()
+            .filter_map(|p| {
+                p.strip_prefix(&prefix)
+                    .ok()
+                    .map(|r| r.to_string_lossy().replace('\\', "/"))
+            })
+            .collect();
+        rels.sort();
+        Ok(rels)
+    }
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" {
+                continue;
+            }
+            walk_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Run the full rule catalog on the workspace at `root`.
+///
+/// # Errors
+/// Returns a message when a target file cannot be read or `lint.allow`
+/// is malformed; rule findings are *not* errors — they land in the
+/// returned [`Report`].
+pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+    let allow_text = fs::read_to_string(root.join("lint.allow")).unwrap_or_default();
+    let allows = Allowlist::parse(&allow_text)?;
+    let mut loader = Loader::new(root);
+    let mut raw: Vec<Violation> = Vec::new();
+
+    // Rule 1: wire exhaustiveness.
+    loader.load("crates/net/src/wire.rs")?;
+    loader.load("crates/net/tests/wire_props.rs")?;
+    raw.extend(rules::wire_exhaustive::check(
+        &loader.files["crates/net/src/wire.rs"],
+        &loader.files["crates/net/tests/wire_props.rs"],
+    ));
+
+    // Rule 2: lock ordering.
+    let mut lock_files = Vec::new();
+    for target in LOCK_ORDER_TARGETS {
+        lock_files.extend(loader.expand(target)?);
+    }
+    lock_files.sort();
+    lock_files.dedup();
+    for rel in &lock_files {
+        loader.load(rel)?;
+    }
+    let lock_sources: Vec<&SourceFile> = lock_files.iter().map(|r| &loader.files[r]).collect();
+    raw.extend(rules::lock_order::check(&lock_sources));
+
+    // Rule 3: panic freedom on the hot path.
+    let mut panic_files = Vec::new();
+    for target in HOT_PATH_CRATES {
+        panic_files.extend(loader.expand(target)?);
+    }
+    panic_files.sort();
+    panic_files.dedup();
+    for rel in &panic_files {
+        loader.load(rel)?;
+        raw.extend(rules::panic_freedom::check(&loader.files[rel.as_str()]));
+    }
+
+    // Rule 4: ack-after-force.
+    let mut ack_files = Vec::new();
+    for target in ACK_AFTER_FORCE_TARGETS {
+        ack_files.extend(loader.expand(target)?);
+    }
+    ack_files.sort();
+    ack_files.dedup();
+    for rel in &ack_files {
+        loader.load(rel)?;
+        raw.extend(rules::ack_after_force::check(&loader.files[rel.as_str()]));
+    }
+
+    // Rule 5: Status / PROTOCOL.md parity.
+    let doc_rel = "docs/PROTOCOL.md";
+    let doc_text = fs::read_to_string(root.join(doc_rel))
+        .map_err(|e| format!("cannot read {doc_rel}: {e}"))?;
+    raw.extend(rules::status_parity::check(
+        &loader.files["crates/net/src/wire.rs"],
+        doc_rel,
+        &doc_text,
+    ));
+
+    // Rule 6: #![forbid(unsafe_code)] on every first-party crate root.
+    let mut crate_roots = Vec::new();
+    for entry in fs::read_dir(root.join("crates"))
+        .map_err(|e| format!("cannot list crates/: {e}"))?
+    {
+        let entry = entry.map_err(|e| e.to_string())?;
+        if entry.path().join("src/lib.rs").is_file() {
+            crate_roots.push(format!(
+                "crates/{}/src/lib.rs",
+                entry.file_name().to_string_lossy()
+            ));
+        }
+    }
+    crate_roots.sort();
+    for rel in &crate_roots {
+        loader.load(rel)?;
+        raw.extend(rules::forbid_unsafe::check(&loader.files[rel.as_str()]));
+    }
+
+    let files_scanned = loader.files.len() + 1; // + PROTOCOL.md
+    Ok(Report::build(raw, &allows, files_scanned))
+}

@@ -1,0 +1,8 @@
+// Fixture: the §4.2 violation — the ack is built (and sent) before the
+// force reaches stable storage.
+
+fn handle_force(&mut self, client: ClientId, lsn: Lsn) {
+    let ack = Message::NewHighLsn { client, lsn };
+    self.net.send(ack);
+    self.store.force(client).ok();
+}

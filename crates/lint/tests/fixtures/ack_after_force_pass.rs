@@ -1,0 +1,8 @@
+// Fixture: §4.2 honored — durability first, then the acknowledgment.
+
+fn handle_force(&mut self, client: ClientId, lsn: Lsn) -> Result<()> {
+    self.store.force(client)?;
+    let ack = Message::NewHighLsn { client, lsn };
+    self.net.send(ack);
+    Ok(())
+}

@@ -1,0 +1,5 @@
+//! A crate root that forgot `#![forbid(unsafe_code)]`.
+
+#![warn(missing_docs)]
+
+pub fn noop() {}

@@ -1,0 +1,6 @@
+//! A crate root that carries the attribute.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub fn noop() {}

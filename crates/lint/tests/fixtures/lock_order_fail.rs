@@ -1,0 +1,14 @@
+// Fixture: two functions acquire the same pair of locks in opposite
+// orders while holding the first — a classic ABBA deadlock.
+
+fn ab(state: &State) {
+    let a = state.alpha.lock();
+    let b = state.beta.lock();
+    drop((a, b));
+}
+
+fn ba(state: &State) {
+    let b = state.beta.lock();
+    let a = state.alpha.lock();
+    drop((a, b));
+}

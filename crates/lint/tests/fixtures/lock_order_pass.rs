@@ -1,0 +1,15 @@
+// Fixture: both functions honor the same acquisition order, and a
+// temporary guard dropped at end-of-statement never nests.
+
+fn ab(state: &State) {
+    let a = state.alpha.lock();
+    let b = state.beta.lock();
+    drop((a, b));
+}
+
+fn also_ab(state: &State) {
+    state.alpha.lock().touch();
+    let a = state.alpha.lock();
+    let b = state.beta.lock();
+    drop((a, b));
+}

@@ -1,0 +1,11 @@
+// Fixture: hot-path code with every panic-freedom violation class.
+
+fn hot(v: &[u8], m: &std::collections::HashMap<u32, u32>) -> u8 {
+    let first = v.first().unwrap();
+    let looked = m.get(&1).expect("present");
+    let indexed = v[0];
+    if *first == 0 {
+        panic!("boom");
+    }
+    indexed + *looked as u8
+}

@@ -1,0 +1,18 @@
+// Fixture: panic-free hot-path code; test code may panic freely.
+
+fn hot(v: &[u8]) -> Option<u8> {
+    // unwrap() in a comment and "v.unwrap() in a string" must not fire.
+    let first = v.first()?;
+    let rest = v.get(1..)?;
+    Some(first.wrapping_add(rest.len() as u8))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v = vec![1u8, 2];
+        assert_eq!(super::hot(&v).unwrap(), 2);
+        let _ = v[0];
+    }
+}

@@ -1,0 +1,6 @@
+// Fixture wire enum for the status-parity rule.
+
+pub enum Response {
+    Ok,
+    Status { records_stored: u64, naks_sent: u64 },
+}

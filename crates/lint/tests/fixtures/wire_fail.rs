@@ -1,0 +1,47 @@
+// Fixture: `Message::Nak` was added to the enum but not to the codec.
+
+pub enum Message {
+    Write { lsn: u64 },
+    Nak { lo: u64, hi: u64 },
+}
+
+fn encode_message(m: &Message) {
+    match m {
+        Message::Write { lsn } => drop(lsn),
+        _ => {}
+    }
+}
+
+fn decode_message(tag: u8) -> Message {
+    match tag {
+        _ => Message::Write { lsn: 0 },
+    }
+}
+
+pub enum Request {
+    Ping,
+}
+
+fn encode_request(r: &Request) {
+    match r {
+        Request::Ping => {}
+    }
+}
+
+fn decode_request(_: u8) -> Request {
+    Request::Ping
+}
+
+pub enum Response {
+    Pong,
+}
+
+fn encode_response(r: &Response) {
+    match r {
+        Response::Pong => {}
+    }
+}
+
+fn decode_response(_: u8) -> Response {
+    Response::Pong
+}

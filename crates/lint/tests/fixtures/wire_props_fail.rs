@@ -1,0 +1,5 @@
+// Fixture property file that only exercises the old variants.
+
+fn arbitrary() {
+    let _ = (Message::Write { lsn: 1 }, Request::Ping, Response::Pong);
+}

@@ -1,0 +1,126 @@
+//! Fixture-driven tests: each rule must fire on its failing fixture and
+//! stay silent on its passing one, and the workspace itself must be
+//! clean under the full catalog (the same check `tests/lint_gate.rs`
+//! enforces in tier-1).
+
+use dlog_lint::rules;
+use dlog_lint::SourceFile;
+
+fn fixture(name: &str) -> SourceFile {
+    let path = format!(
+        "{}/tests/fixtures/{name}",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    SourceFile::parse(&format!("fixtures/{name}"), &text)
+}
+
+fn fixture_text(name: &str) -> String {
+    let path = format!(
+        "{}/tests/fixtures/{name}",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+#[test]
+fn panic_freedom_fixture_fails() {
+    let vs = rules::panic_freedom::check(&fixture("panic_freedom_fail.rs"));
+    // unwrap, expect, indexing, panic! — all four classes.
+    assert_eq!(vs.len(), 4, "{vs:?}");
+    assert!(vs.iter().all(|v| v.rule == rules::panic_freedom::RULE));
+    assert!(vs.iter().all(|v| v.scope == "hot"));
+}
+
+#[test]
+fn panic_freedom_fixture_passes() {
+    let vs = rules::panic_freedom::check(&fixture("panic_freedom_pass.rs"));
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+#[test]
+fn lock_order_fixture_fails() {
+    let f = fixture("lock_order_fail.rs");
+    let vs = rules::lock_order::check(&[&f]);
+    assert!(!vs.is_empty(), "ABBA cycle not detected");
+    assert!(vs.iter().all(|v| v.rule == rules::lock_order::RULE));
+    assert!(vs[0].message.contains("alpha") && vs[0].message.contains("beta"));
+}
+
+#[test]
+fn lock_order_fixture_passes() {
+    let f = fixture("lock_order_pass.rs");
+    let vs = rules::lock_order::check(&[&f]);
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+#[test]
+fn ack_after_force_fixture_fails() {
+    let vs = rules::ack_after_force::check(&fixture("ack_after_force_fail.rs"));
+    assert_eq!(vs.len(), 1, "{vs:?}");
+    assert_eq!(vs[0].rule, rules::ack_after_force::RULE);
+    assert_eq!(vs[0].scope, "handle_force");
+}
+
+#[test]
+fn ack_after_force_fixture_passes() {
+    let vs = rules::ack_after_force::check(&fixture("ack_after_force_pass.rs"));
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+#[test]
+fn wire_exhaustiveness_fixture_fails() {
+    let wire = fixture("wire_fail.rs");
+    let props = fixture("wire_props_fail.rs");
+    let vs = rules::wire_exhaustive::check(&wire, &props);
+    // Message::Nak: missing encode arm, decode arm, and props coverage.
+    assert_eq!(vs.len(), 3, "{vs:?}");
+    assert!(vs.iter().all(|v| v.message.contains("Message::Nak")));
+}
+
+#[test]
+fn status_parity_fixture_fails() {
+    let wire = fixture("status_wire.rs");
+    let doc = fixture_text("status_doc_fail.md");
+    let vs = rules::status_parity::check(&wire, "fixtures/status_doc_fail.md", &doc);
+    // naks_sent missing from the doc, ghost_gauge phantom in the doc.
+    assert_eq!(vs.len(), 2, "{vs:?}");
+    assert!(vs.iter().any(|v| v.message.contains("naks_sent")));
+    assert!(vs.iter().any(|v| v.message.contains("ghost_gauge")));
+}
+
+#[test]
+fn status_parity_fixture_passes() {
+    let wire = fixture("status_wire.rs");
+    let doc = fixture_text("status_doc_pass.md");
+    let vs = rules::status_parity::check(&wire, "fixtures/status_doc_pass.md", &doc);
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+#[test]
+fn forbid_unsafe_fixture_fails() {
+    let vs = rules::forbid_unsafe::check(&fixture("forbid_unsafe_fail.rs"));
+    assert_eq!(vs.len(), 1, "{vs:?}");
+    assert_eq!(vs[0].rule, rules::forbid_unsafe::RULE);
+}
+
+#[test]
+fn forbid_unsafe_fixture_passes() {
+    let vs = rules::forbid_unsafe::check(&fixture("forbid_unsafe_pass.rs"));
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+/// The workspace itself must be clean: zero unallowlisted violations and
+/// no stale `lint.allow` entries. This is the same invariant the tier-1
+/// gate (`tests/lint_gate.rs`) enforces from the bench crate.
+#[test]
+fn workspace_self_check_is_clean() {
+    let root = dlog_lint::find_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let report = dlog_lint::lint_workspace(&root).expect("lint run");
+    assert!(
+        report.ok(),
+        "workspace lint violations:\n{}",
+        report.to_text()
+    );
+}

@@ -30,6 +30,7 @@
 //! mode for the logging stream, while [`conn`] realizes the general
 //! mechanism and is exercised by its own tests and the UDP example.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod conn;

@@ -232,11 +232,12 @@ impl MemNetwork {
         }
         if !deliveries.is_empty() {
             h.stats.delivered += deliveries.len() as u64;
-            let q = h.queues.get_mut(&to).expect("checked above");
-            for d in deliveries {
-                q.push_back(d);
+            if let Some(q) = h.queues.get_mut(&to) {
+                for d in deliveries {
+                    q.push_back(d);
+                }
+                cv.notify_all();
             }
-            cv.notify_all();
         }
         Ok(())
     }

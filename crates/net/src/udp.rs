@@ -120,7 +120,7 @@ impl Endpoint for UdpEndpoint {
                     }
                     None => return Ok(None), // unknown party: drop
                 };
-                match Packet::decode(&buf[..n]) {
+                match Packet::decode(buf.get(..n).unwrap_or(&[])) {
                     Ok(p) => Ok(Some((peer, p))),
                     Err(_) => Ok(None), // corrupt datagram: drop
                 }

@@ -355,7 +355,7 @@ impl Packet {
         if reserved != 0 {
             return Err(DecodeError("nonzero reserved field".into()));
         }
-        let body = &bytes[8..];
+        let body = bytes.get(8..).unwrap_or(&[]);
         if crc32(body) != crc {
             return Err(DecodeError("crc mismatch".into()));
         }
@@ -413,10 +413,10 @@ fn get_data(r: &mut &[u8]) -> Result<LogData, DecodeError> {
         return Err(DecodeError("short data length".into()));
     }
     let len = r.get_u32_le() as usize;
-    if r.remaining() < len {
-        return Err(DecodeError("short data".into()));
-    }
-    let d = LogData::from(&r[..len]);
+    let d = LogData::from(
+        r.get(..len)
+            .ok_or_else(|| DecodeError("short data".into()))?,
+    );
     r.advance(len);
     Ok(d)
 }
@@ -878,7 +878,7 @@ fn decode_response(r: &mut &[u8]) -> Result<Response, DecodeError> {
             let code = r.get_u16_le();
             let len = r.get_u32_le() as usize;
             need!(r, len);
-            let detail = String::from_utf8_lossy(&r[..len]).into_owned();
+            let detail = String::from_utf8_lossy(r.get(..len).unwrap_or(&[])).into_owned();
             r.advance(len);
             Ok(Response::Err { code, detail })
         }

@@ -43,8 +43,10 @@ impl GenStore {
                 if let Ok(id) = id.parse::<u64>() {
                     let mut buf = Vec::new();
                     File::open(entry.path())?.read_to_end(&mut buf)?;
-                    if buf.len() == 8 {
-                        values.insert(id, u64::from_le_bytes(buf.try_into().unwrap()));
+                    if let Some(v) = dlog_types::bytes::u64_le_at(&buf, 0) {
+                        if buf.len() == 8 {
+                            values.insert(id, v);
+                        }
                     }
                 }
             }

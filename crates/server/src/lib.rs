@@ -24,6 +24,7 @@
 //! without threads; [`runner::ServerRunner`] drives it over any
 //! [`dlog_net::Endpoint`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod gen;

@@ -21,6 +21,7 @@
 //!
 //! Everything is seeded and deterministic.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod assign;

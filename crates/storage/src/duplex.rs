@@ -57,42 +57,37 @@ impl DuplexLog {
         let dir = dir.as_ref();
         fs::create_dir_all(dir)?;
         let paths = [dir.join("replica-a.log"), dir.join("replica-b.log")];
+        let [path_a, path_b] = &paths;
         // Recover: scan both replicas as frame streams, keep the longer
-        // valid prefix, and repair the other to match.
-        let mut best: (usize, u64, Vec<(u64, u32)>) = (0, 0, Vec::new());
-        for (i, p) in paths.iter().enumerate() {
-            let (end, index) = scan_replica(dir, p)?;
-            if end > best.1 || (i == 0 && end == best.1) {
-                best = (i, end, index);
-            }
-        }
-        let (best_idx, end, index) = best;
-        let mut replicas_files = Vec::new();
-        for p in &paths {
+        // valid prefix (replica A on a tie), and repair the other to match.
+        let (end_a, index_a) = scan_replica(dir, path_a)?;
+        let (end_b, index_b) = scan_replica(dir, path_b)?;
+        let (best_is_a, end, index) = if end_a >= end_b {
+            (true, end_a, index_a)
+        } else {
+            (false, end_b, index_b)
+        };
+        let open_replica = |p: &Path| {
             // Intentionally no truncate: existing replica contents are the
             // recovery source.
             #[allow(clippy::suspicious_open_options)]
-            let f = OpenOptions::new()
-                .read(true)
-                .write(true)
-                .create(true)
-                .open(p)?;
-            replicas_files.push(f);
-        }
-        let mut replicas: [File; 2] = replicas_files.try_into().expect("two replicas");
+            OpenOptions::new().read(true).write(true).create(true).open(p)
+        };
+        let mut replicas = [open_replica(path_a)?, open_replica(path_b)?];
         // Repair the lagging replica by copying the valid prefix.
         if end > 0 {
             let mut good = Vec::new();
             {
                 use std::io::Read;
-                let f = File::open(&paths[best_idx])?;
+                let f = File::open(if best_is_a { path_a } else { path_b })?;
                 Read::take(f, end).read_to_end(&mut good)?;
             }
-            let other = 1 - best_idx;
-            replicas[other].seek(SeekFrom::Start(0))?;
-            replicas[other].write_all(&good)?;
-            replicas[other].set_len(end)?;
-            replicas[other].sync_data()?;
+            let [ra, rb] = &mut replicas;
+            let lagging = if best_is_a { rb } else { ra };
+            lagging.seek(SeekFrom::Start(0))?;
+            lagging.write_all(&good)?;
+            lagging.set_len(end)?;
+            lagging.sync_data()?;
         }
         for r in &replicas {
             r.set_len(end)?;
@@ -164,12 +159,16 @@ impl DuplexLog {
         let buffered_from = self.tail;
         let bytes = if off >= buffered_from {
             let s = (off - buffered_from) as usize;
-            self.buffer[s..s + len as usize].to_vec()
+            self.buffer
+                .get(s..s + len as usize)
+                .ok_or_else(|| DlogError::Corrupt(format!("bad index entry for {lsn}")))?
+                .to_vec()
         } else {
             use std::io::Read;
             let mut buf = vec![0u8; len as usize];
-            self.replicas[0].seek(SeekFrom::Start(off))?;
-            self.replicas[0].read_exact(&mut buf)?;
+            let [ra, _] = &mut self.replicas;
+            ra.seek(SeekFrom::Start(off))?;
+            ra.read_exact(&mut buf)?;
             buf
         };
         match Frame::decode(&bytes)? {
@@ -212,7 +211,7 @@ fn scan_replica(dir: &Path, path: &Path) -> Result<(u64, Vec<(u64, u32)>)> {
     let mut index = Vec::new();
     let mut off = 0usize;
     let mut expected = Lsn(1);
-    while let Some((frame, consumed)) = Frame::decode(&bytes[off..])? {
+    while let Some((frame, consumed)) = Frame::decode(bytes.get(off..).unwrap_or(&[]))? {
         match frame {
             Frame::Record { record, .. } if record.lsn == expected => {
                 index.push((off as u64, consumed as u32));

@@ -6,6 +6,7 @@
 //! at the first frame whose length or CRC is invalid — everything after a
 //! torn track write is discarded.
 
+use dlog_types::bytes::{slice_at, u32_le_at, u64_le_at, u8_at};
 use dlog_types::{ClientId, DlogError, Epoch, LogData, LogRecord, Lsn, Result};
 
 use crate::crc::crc32;
@@ -90,9 +91,13 @@ impl Frame {
             }
         }
         let body_len = out.len() - start - ENVELOPE_BYTES;
-        let crc = crc32(&out[start + ENVELOPE_BYTES..]);
-        out[start..start + 4].copy_from_slice(&(body_len as u32).to_le_bytes());
-        out[start + 4..start + 8].copy_from_slice(&crc.to_le_bytes());
+        let crc = crc32(out.get(start + ENVELOPE_BYTES..).unwrap_or(&[]));
+        if let Some(slot) = out.get_mut(start..start + 4) {
+            slot.copy_from_slice(&(body_len as u32).to_le_bytes());
+        }
+        if let Some(slot) = out.get_mut(start + 4..start + 8) {
+            slot.copy_from_slice(&crc.to_le_bytes());
+        }
         out.len() - start
     }
 
@@ -117,19 +122,18 @@ impl Frame {
     /// content within a CRC-valid frame (which indicates a software bug or
     /// deliberate tampering rather than a torn write).
     pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>> {
-        if buf.len() < ENVELOPE_BYTES {
+        let (Some(body_len), Some(expected_crc)) = (u32_le_at(buf, 0), u32_le_at(buf, 4))
+        else {
             return Ok(None);
-        }
-        let body_len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+        };
+        let body_len = body_len as usize;
         if body_len == 0 || body_len > MAX_FRAME_BYTES {
             return Ok(None);
         }
-        let expected_crc = u32::from_le_bytes(buf[4..8].try_into().unwrap());
         let total = ENVELOPE_BYTES + body_len;
-        if buf.len() < total {
+        let Some(body) = slice_at(buf, ENVELOPE_BYTES, body_len) else {
             return Ok(None);
-        }
-        let body = &buf[ENVELOPE_BYTES..total];
+        };
         if crc32(body) != expected_crc {
             return Ok(None);
         }
@@ -139,22 +143,20 @@ impl Frame {
 
     fn decode_body(body: &[u8]) -> Result<Frame> {
         let corrupt = |msg: &str| DlogError::Corrupt(msg.to_string());
-        let kind = *body.first().ok_or_else(|| corrupt("empty frame body"))?;
-        let rest = &body[1..];
+        let kind = u8_at(body, 0).ok_or_else(|| corrupt("empty frame body"))?;
+        let rest = body.get(1..).unwrap_or(&[]);
         match kind {
             KIND_RECORD => {
-                if rest.len() < 8 + 8 + 8 + 1 + 4 {
-                    return Err(corrupt("short record frame"));
-                }
-                let client = ClientId(u64::from_le_bytes(rest[0..8].try_into().unwrap()));
-                let lsn = Lsn(u64::from_le_bytes(rest[8..16].try_into().unwrap()));
-                let epoch = Epoch(u64::from_le_bytes(rest[16..24].try_into().unwrap()));
-                let flags = rest[24];
-                let data_len = u32::from_le_bytes(rest[25..29].try_into().unwrap()) as usize;
+                let short = || corrupt("short record frame");
+                let client = ClientId(u64_le_at(rest, 0).ok_or_else(short)?);
+                let lsn = Lsn(u64_le_at(rest, 8).ok_or_else(short)?);
+                let epoch = Epoch(u64_le_at(rest, 16).ok_or_else(short)?);
+                let flags = u8_at(rest, 24).ok_or_else(short)?;
+                let data_len = u32_le_at(rest, 25).ok_or_else(short)? as usize;
                 if rest.len() != 29 + data_len {
                     return Err(corrupt("record frame length mismatch"));
                 }
-                let data = LogData::from(&rest[29..29 + data_len]);
+                let data = LogData::from(slice_at(rest, 29, data_len).ok_or_else(short)?);
                 let record = LogRecord {
                     lsn,
                     epoch,
@@ -171,19 +173,18 @@ impl Frame {
                 if rest.len() != 16 {
                     return Err(corrupt("bad install frame length"));
                 }
-                let client = ClientId(u64::from_le_bytes(rest[0..8].try_into().unwrap()));
-                let epoch = Epoch(u64::from_le_bytes(rest[8..16].try_into().unwrap()));
+                let bad = || corrupt("bad install frame length");
+                let client = ClientId(u64_le_at(rest, 0).ok_or_else(bad)?);
+                let epoch = Epoch(u64_le_at(rest, 8).ok_or_else(bad)?);
                 Ok(Frame::Install { client, epoch })
             }
             KIND_CHECKPOINT => {
-                if rest.len() < 4 {
-                    return Err(corrupt("short checkpoint frame"));
-                }
-                let len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
+                let len = u32_le_at(rest, 0).ok_or_else(|| corrupt("short checkpoint frame"))?
+                    as usize;
                 if rest.len() != 4 + len {
                     return Err(corrupt("checkpoint frame length mismatch"));
                 }
-                Ok(Frame::Checkpoint(rest[4..].to_vec()))
+                Ok(Frame::Checkpoint(rest.get(4..).unwrap_or(&[]).to_vec()))
             }
             other => Err(corrupt(&format!("unknown frame kind {other}"))),
         }

@@ -161,9 +161,10 @@ impl IntervalTable {
                     continue; // wholly below the cut
                 }
                 let new_lo = Lsn(e.interval.lo.0 + first_kept as u64);
+                let kept_positions = positions.get(first_kept..).unwrap_or(&[]);
                 kept.push(TableEntry {
                     interval: Interval::new(e.interval.epoch, new_lo, e.interval.hi),
-                    index: LsnIndex::from_parts(INDEX_FANOUT, new_lo, &positions[first_kept..]),
+                    index: LsnIndex::from_parts(INDEX_FANOUT, new_lo, kept_positions),
                 });
             }
             *entries = kept;
@@ -245,17 +246,15 @@ struct Reader<'a> {
 
 impl Reader<'_> {
     fn u32(&mut self) -> Result<u32, String> {
-        let end = self.off + 4;
-        let b = self.buf.get(self.off..end).ok_or("truncated checkpoint")?;
-        self.off = end;
-        Ok(u32::from_le_bytes(b.try_into().unwrap()))
+        let v = dlog_types::bytes::u32_le_at(self.buf, self.off).ok_or("truncated checkpoint")?;
+        self.off += 4;
+        Ok(v)
     }
 
     fn u64(&mut self) -> Result<u64, String> {
-        let end = self.off + 8;
-        let b = self.buf.get(self.off..end).ok_or("truncated checkpoint")?;
-        self.off = end;
-        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+        let v = dlog_types::bytes::u64_le_at(self.buf, self.off).ok_or("truncated checkpoint")?;
+        self.off += 8;
+        Ok(v)
     }
 }
 

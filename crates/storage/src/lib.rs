@@ -25,6 +25,7 @@
 //!   paper argues against — mirrored disks on the processing node — as the
 //!   baseline for experiment E4.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod crc;

@@ -194,7 +194,7 @@ impl LogStore {
             }
             let overlap = (valid_end - base) as usize;
             if overlap < pending.len() {
-                let suffix = &pending[overlap..];
+                let suffix = pending.get(overlap..).unwrap_or(&[]);
                 stream.write_at(valid_end, suffix)?;
                 stream.sync()?;
                 stats.nvram_replayed_bytes = suffix.len() as u64;
@@ -634,7 +634,9 @@ impl LogStore {
 
     fn read_frame_at(&mut self, pos: u64) -> Result<Frame> {
         let envelope = self.read_bytes(pos, 8)?;
-        let body_len = u32::from_le_bytes(envelope[0..4].try_into().unwrap()) as usize;
+        let body_len = dlog_types::bytes::u32_le_at(&envelope, 0)
+            .ok_or_else(|| DlogError::Corrupt(format!("short frame envelope at {pos}")))?
+            as usize;
         let total = 8 + body_len;
         let bytes = self.read_bytes(pos, total)?;
         match Frame::decode(&bytes)? {
@@ -925,15 +927,18 @@ impl<'a> Reader<'a> {
     }
 
     fn u8(&mut self) -> std::result::Result<u8, String> {
-        Ok(self.take(1)?[0])
+        let short = || "replay state truncated".to_string();
+        dlog_types::bytes::u8_at(self.take(1)?, 0).ok_or_else(short)
     }
 
     fn u32(&mut self) -> std::result::Result<u32, String> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let short = || "replay state truncated".to_string();
+        dlog_types::bytes::u32_le_at(self.take(4)?, 0).ok_or_else(short)
     }
 
     fn u64(&mut self) -> std::result::Result<u64, String> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let short = || "replay state truncated".to_string();
+        dlog_types::bytes::u64_le_at(self.take(8)?, 0).ok_or_else(short)
     }
 }
 
@@ -944,13 +949,13 @@ fn load_checkpoint(dir: &Path) -> Option<(IntervalTable, u64)> {
     if bytes.len() < 24 {
         return None;
     }
-    let magic = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+    let magic = dlog_types::bytes::u32_le_at(&bytes, 0)?;
     if magic != CKPT_MAGIC {
         return None;
     }
-    let scan_from = u64::from_le_bytes(bytes[4..12].try_into().unwrap());
-    let len = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
-    let crc = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
+    let scan_from = dlog_types::bytes::u64_le_at(&bytes, 4)?;
+    let len = dlog_types::bytes::u32_le_at(&bytes, 12)? as usize;
+    let crc = dlog_types::bytes::u32_le_at(&bytes, 16)?;
     let body = bytes.get(20..20 + len)?;
     if crc32(body) != crc {
         return None;

@@ -61,14 +61,16 @@ impl SegmentedStream {
             (Some(&first), Some(&last)) => {
                 // All but the last segment must be full.
                 for w in indices.windows(2) {
-                    if w[1] != w[0] + 1 {
-                        return Err(io::Error::new(
-                            io::ErrorKind::InvalidData,
-                            format!("segment gap between {} and {}", w[0], w[1]),
-                        ));
+                    if let &[lo, hi] = w {
+                        if hi != lo + 1 {
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!("segment gap between {lo} and {hi}"),
+                            ));
+                        }
                     }
                 }
-                for &i in &indices[..indices.len() - 1] {
+                for &i in indices.get(..indices.len() - 1).unwrap_or(&[]) {
                     let len = fs::metadata(segment_path(&dir, i))?.len();
                     if len != segment_bytes {
                         return Err(io::Error::new(
@@ -168,10 +170,10 @@ impl SegmentedStream {
             let take = room.min(remaining.len());
             let mut file = self.open_segment(seg, true)?;
             file.seek(SeekFrom::Start(off))?;
-            file.write_all(&remaining[..take])?;
+            file.write_all(remaining.get(..take).unwrap_or(&[]))?;
             self.dirty.insert(seg);
             cursor += take as u64;
-            remaining = &remaining[take..];
+            remaining = remaining.get(take..).unwrap_or(&[]);
         }
         self.end = self.end.max(cursor);
         Ok(())
@@ -203,7 +205,10 @@ impl SegmentedStream {
             let take = room.min(len - filled);
             let mut file = self.open_segment(seg, false)?;
             file.seek(SeekFrom::Start(off))?;
-            file.read_exact(&mut out[filled..filled + take])?;
+            let slot = out.get_mut(filled..filled + take).ok_or_else(|| {
+                io::Error::new(io::ErrorKind::UnexpectedEof, "read window out of range")
+            })?;
+            file.read_exact(slot)?;
             cursor += take as u64;
             filled += take;
         }
@@ -291,7 +296,7 @@ impl SegmentedStream {
         let mut buf_base = pos;
         loop {
             let offset = (pos - buf_base) as usize;
-            match Frame::decode(&buf[offset..])? {
+            match Frame::decode(buf.get(offset..).unwrap_or(&[]))? {
                 Some((frame, consumed)) => {
                     f(pos, frame);
                     pos += consumed as u64;

@@ -18,8 +18,10 @@
 //! * log servers group records into consecutive sequences with equal epoch
 //!   ([`Interval`]) and report them via the `IntervalList` operation.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bytes;
 pub mod config;
 pub mod error;
 pub mod ids;

@@ -1,0 +1,31 @@
+//! Tier-1 gate: the workspace must be clean under `dlog-lint`.
+//!
+//! Runs the full rule catalog (wire-exhaustiveness, lock-order,
+//! panic-freedom, ack-after-force, status-parity, forbid-unsafe) against
+//! the repository and fails `cargo test` on any violation not covered by
+//! a justified `lint.allow` entry, and on stale allowlist entries. The
+//! same report is available interactively via `cargo run -p dlog-lint`.
+
+use std::path::Path;
+
+#[test]
+fn workspace_passes_dlog_lint() {
+    // CARGO_MANIFEST_DIR is crates/bench; walk up to the workspace root.
+    let root = dlog_lint::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/bench");
+    let report = dlog_lint::lint_workspace(&root).expect("lint run failed");
+    assert!(
+        report.ok(),
+        "dlog-lint found unallowlisted violations — fix them or add a \
+         justified entry to lint.allow:\n{}",
+        report.to_text()
+    );
+    assert!(
+        report.unused_allows.is_empty(),
+        "stale lint.allow entries (the code they excused is gone — remove \
+         them):\n{}",
+        report.unused_allows.join("\n")
+    );
+    // Sanity: the run actually scanned the workspace.
+    assert!(report.files_scanned > 20, "suspiciously few files scanned");
+}
