@@ -1,0 +1,147 @@
+//! `obs_bench` — the PR 3 observability trajectory: drive a real
+//! cluster under a reliable and a flaky fault plan with tracing and
+//! histograms enabled, then write write/force throughput and per-stage
+//! latency percentiles to `BENCH_PR3.json` at the repository root.
+//!
+//! ```text
+//! cargo run --release -p dlog-bench --bin obs_bench
+//! ```
+
+use std::time::Instant;
+
+use dlog_bench::{payload, Cluster, ClusterOptions};
+use dlog_net::FaultPlan;
+use dlog_obs::{HistogramSnapshot, Obs, ObsOptions, Stage};
+
+const RECORDS: u64 = 4000;
+const PAYLOAD: usize = 128;
+const FORCE_EVERY: u64 = 8;
+const SERVERS: u64 = 4;
+
+struct ScenarioResult {
+    label: &'static str,
+    elapsed_ms: f64,
+    writes_per_sec: f64,
+    forces_per_sec: f64,
+    client: Vec<(Stage, HistogramSnapshot)>,
+    server: Vec<(Stage, HistogramSnapshot)>,
+    trace_events: u64,
+    trace_dropped: u64,
+}
+
+fn stage_rows(obs_list: &[Obs]) -> Vec<(Stage, HistogramSnapshot)> {
+    let mut merged: Vec<(Stage, HistogramSnapshot)> = Vec::new();
+    for obs in obs_list {
+        let Some(snap) = obs.snapshot() else { continue };
+        for s in &snap.stages {
+            match merged.iter_mut().find(|(st, _)| *st == s.stage) {
+                Some((_, h)) => *h = h.merge(&s.hist),
+                None => merged.push((s.stage, s.hist)),
+            }
+        }
+    }
+    merged.retain(|(_, h)| h.count() > 0);
+    merged
+}
+
+fn run_scenario(label: &'static str, plan: FaultPlan) -> ScenarioResult {
+    let mut opts = ClusterOptions::new(SERVERS);
+    opts.plan = plan;
+    opts.obs = ObsOptions::on();
+    let cluster = Cluster::start(&format!("obs-bench-{label}"), opts);
+    let mut log = cluster.client(1, 2, 8);
+    log.initialize().expect("initialize");
+
+    let start = Instant::now();
+    let mut forces = 0u64;
+    for i in 1..=RECORDS {
+        log.write(payload(i, PAYLOAD)).expect("write");
+        if i % FORCE_EVERY == 0 {
+            log.force().expect("force");
+            forces += 1;
+        }
+    }
+    log.force().expect("final force");
+    forces += 1;
+    let elapsed = start.elapsed();
+
+    let server_handles: Vec<Obs> = cluster
+        .servers
+        .iter()
+        .map(|&sid| cluster.server_obs(sid))
+        .collect();
+    let (mut trace_events, mut trace_dropped) = (0u64, 0u64);
+    for obs in server_handles.iter().chain(std::iter::once(&cluster.client_obs())) {
+        if let Some(snap) = obs.snapshot() {
+            trace_events += snap.trace_events;
+            trace_dropped += snap.trace_dropped;
+        }
+    }
+    ScenarioResult {
+        label,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        writes_per_sec: RECORDS as f64 / elapsed.as_secs_f64(),
+        forces_per_sec: forces as f64 / elapsed.as_secs_f64(),
+        client: stage_rows(&[cluster.client_obs()]),
+        server: stage_rows(&server_handles),
+        trace_events,
+        trace_dropped,
+    }
+}
+
+fn stages_json(rows: &[(Stage, HistogramSnapshot)], indent: &str) -> String {
+    let mut out = String::new();
+    for (k, (stage, h)) in rows.iter().enumerate() {
+        let comma = if k + 1 < rows.len() { "," } else { "" };
+        out.push_str(&format!(
+            "{indent}\"{}\": {{\"count\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \
+             \"p99_ns\": {}, \"max_ns\": {}}}{comma}\n",
+            stage.name(),
+            h.count(),
+            h.percentile(0.50),
+            h.percentile(0.95),
+            h.percentile(0.99),
+            h.max
+        ));
+    }
+    out
+}
+
+fn scenario_json(r: &ScenarioResult, last: bool) -> String {
+    let comma = if last { "" } else { "," };
+    format!(
+        "    \"{}\": {{\n      \"elapsed_ms\": {:.1},\n      \"writes_per_sec\": {:.0},\n      \
+         \"forces_per_sec\": {:.0},\n      \"trace_events\": {},\n      \"trace_dropped\": {},\n      \
+         \"client_stages\": {{\n{}      }},\n      \"server_stages\": {{\n{}      }}\n    }}{comma}\n",
+        r.label,
+        r.elapsed_ms,
+        r.writes_per_sec,
+        r.forces_per_sec,
+        r.trace_events,
+        r.trace_dropped,
+        stages_json(&r.client, "        "),
+        stages_json(&r.server, "        ")
+    )
+}
+
+fn main() {
+    let reliable = run_scenario("reliable", FaultPlan::reliable());
+    let flaky = run_scenario("flaky", FaultPlan::flaky(42));
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"obs_bench\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"servers\": {SERVERS}, \"n\": 2, \"delta\": 8, \"records\": {RECORDS}, \
+         \"payload_bytes\": {PAYLOAD}, \"force_every\": {FORCE_EVERY}}},\n"
+    ));
+    out.push_str("  \"scenarios\": {\n");
+    out.push_str(&scenario_json(&reliable, false));
+    out.push_str(&scenario_json(&flaky, true));
+    out.push_str("  }\n}\n");
+
+    let path = format!("{}/../../BENCH_PR3.json", env!("CARGO_MANIFEST_DIR"));
+    std::fs::write(&path, &out).expect("write BENCH_PR3.json");
+    println!("{out}");
+    eprintln!("wrote {path}");
+}

@@ -51,6 +51,9 @@ pub struct ClusterOptions {
     /// Attach an archive tier (a local-directory object store per
     /// server) to every server.
     pub archive: bool,
+    /// Observability: when enabled, every server (and every client built
+    /// by [`Cluster::client`]) gets a tracing/histogram handle.
+    pub obs: dlog_obs::ObsOptions,
     /// Where to place server directories (`None`: a temp dir).
     pub root: Option<PathBuf>,
 }
@@ -68,6 +71,7 @@ impl ClusterOptions {
             track_bytes: 64 * 1024,
             segment_bytes: None,
             archive: false,
+            obs: dlog_obs::ObsOptions::off(),
             root: None,
         }
     }
@@ -82,6 +86,11 @@ pub struct Cluster {
     opts: ClusterOptions,
     runners: HashMap<ServerId, ServerRunner>,
     nvrams: HashMap<ServerId, NvramDevice>,
+    /// One observability handle per server; it survives kills and
+    /// reboots so a scenario's trace spans the server's incarnations.
+    server_obs: HashMap<ServerId, dlog_obs::Obs>,
+    /// One handle shared by every client this cluster builds.
+    client_obs: dlog_obs::Obs,
     root: PathBuf,
     cleanup: bool,
 }
@@ -102,12 +111,15 @@ impl Cluster {
         };
         let _ = std::fs::remove_dir_all(&root);
         let net = MemNetwork::new(opts.plan);
+        let client_obs = dlog_obs::Obs::new(&opts.obs);
         let mut cluster = Cluster {
             net,
             servers: (1..=opts.servers).map(ServerId).collect(),
             opts,
             runners: HashMap::new(),
             nvrams: HashMap::new(),
+            server_obs: HashMap::new(),
+            client_obs,
             root,
             cleanup,
         };
@@ -115,6 +127,9 @@ impl Cluster {
             cluster
                 .nvrams
                 .insert(sid, NvramDevice::new(cluster.opts.nvram_bytes));
+            cluster
+                .server_obs
+                .insert(sid, dlog_obs::Obs::new(&cluster.opts.obs));
             cluster.boot_server(sid);
         }
         cluster
@@ -157,9 +172,29 @@ impl Cluster {
                 )
                 .expect("attach archive");
         }
-        let ep = self.net.endpoint(server_addr(sid));
+        let obs = self
+            .server_obs
+            .entry(sid)
+            .or_insert_with(|| dlog_obs::Obs::new(&self.opts.obs))
+            .clone();
+        server.set_obs(obs.clone());
+        let mut ep = self.net.endpoint(server_addr(sid));
+        ep.set_obs(obs);
         self.net.set_down(server_addr(sid), false);
         self.runners.insert(sid, ServerRunner::spawn(server, ep));
+    }
+
+    /// The server's observability handle (disabled unless
+    /// [`ClusterOptions::obs`] enabled it).
+    #[must_use]
+    pub fn server_obs(&self, sid: ServerId) -> dlog_obs::Obs {
+        self.server_obs.get(&sid).cloned().unwrap_or_default()
+    }
+
+    /// The handle shared by every client this cluster builds.
+    #[must_use]
+    pub fn client_obs(&self) -> dlog_obs::Obs {
+        self.client_obs.clone()
     }
 
     /// Replace a server's NVRAM device with a fresh (empty) one —
@@ -210,14 +245,17 @@ impl Cluster {
         strategy: AssignStrategy,
     ) -> ReplicatedLog<MemEndpoint> {
         let cid = ClientId(id);
-        let ep = self.net.endpoint(client_addr(cid));
+        let mut ep = self.net.endpoint(client_addr(cid));
+        ep.set_obs(self.client_obs.clone());
         let addrs: HashMap<ServerId, NodeAddr> =
             self.servers.iter().map(|&s| (s, server_addr(s))).collect();
         let net = ClientNet::new(ep, addrs);
         let config = ReplicationConfig::new(self.servers.clone(), n, delta).expect("config");
         let mut copts = ClientOptions::new(config);
         copts.strategy = strategy;
-        ReplicatedLog::new(cid, copts, net)
+        let mut log = ReplicatedLog::new(cid, copts, net);
+        log.set_obs(self.client_obs.clone());
+        log
     }
 }
 

@@ -7,5 +7,6 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod scenario;
 
 pub use harness::{payload, Cluster, ClusterOptions};

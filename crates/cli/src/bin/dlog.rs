@@ -10,6 +10,7 @@
 //!   end                 print EndOfLog
 //!   repair              re-replicate under-replicated records (§5.3)
 //!   status              print each server's operational counters
+//!   stats [--json]      print per-stage latency histograms (Stats RPC)
 //!   bench [TXNS]        run ET1 transactions (default 100), print TPS
 //!
 //! offline archive maintenance (no --servers; the server must be stopped):
@@ -32,7 +33,7 @@ use dlog_workload::{BankDb, Et1Config, Et1Generator, RecoveryManager};
 
 fn usage() -> &'static str {
     "usage: dlog --servers H:P,H:P,... [--client N] [--n 2] [--delta 8] COMMAND\n\
-     commands: append TEXT... | read LSN | tail [K] | end | repair | status | bench [TXNS]\n\
+     commands: append TEXT... | read LSN | tail [K] | end | repair | status | stats [--json] | bench [TXNS]\n\
      offline:  archive status --archive DIR\n\
                archive push --archive DIR --dir DIR [--track-kb 64] [--nvram-kb 1024]\n\
                archive restore --archive DIR --dir DIR"
@@ -110,7 +111,7 @@ fn run_archive(args: &Args) -> Result<(), String> {
 }
 
 fn run() -> Result<(), String> {
-    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
     if raw
         .iter()
         .any(|a| a == "help" || a == "--help" || a == "-h")
@@ -118,6 +119,10 @@ fn run() -> Result<(), String> {
         println!("{}", usage());
         return Ok(());
     }
+    // `--json` is a bare flag; the Args parser only understands
+    // `--key value` pairs, so extract it before parsing.
+    let json = raw.iter().any(|a| a == "--json");
+    raw.retain(|a| a != "--json");
     let args = Args::parse(raw.into_iter())?;
     if args.positional.first().map(String::as_str) == Some("archive") {
         return run_archive(&args);
@@ -160,6 +165,88 @@ fn run() -> Result<(), String> {
                 }
                 Ok(other) => println!("{sock}: unexpected reply {other:?}"),
                 Err(e) => println!("{sock}: unreachable ({e})"),
+            }
+        }
+        return Ok(());
+    }
+    if cmd == "stats" {
+        // Like status: needs no log initialization, so a degraded cluster
+        // can still be inspected.
+        use dlog_net::wire::Response;
+        use dlog_obs::{HistogramSnapshot, Stage};
+        let mut merged: Vec<(u8, HistogramSnapshot)> = Vec::new();
+        let mut total_events = 0u64;
+        let mut total_dropped = 0u64;
+        let mut reached = 0usize;
+        for (i, sock) in servers.iter().enumerate() {
+            let sid = dlog_types::ServerId(i as u64 + 1);
+            match log.server_stats(sid) {
+                Ok(Response::Stats {
+                    stages,
+                    trace_events,
+                    trace_dropped,
+                }) => {
+                    reached += 1;
+                    total_events += trace_events;
+                    total_dropped += trace_dropped;
+                    if !json {
+                        println!(
+                            "{sock}: {trace_events} trace events ({trace_dropped} dropped), \
+                             {} instrumented stages",
+                            stages.len()
+                        );
+                    }
+                    for st in stages {
+                        let snap = HistogramSnapshot::from_sparse(&st.buckets, st.max_ns);
+                        match merged.iter_mut().find(|(s, _)| *s == st.stage) {
+                            Some((_, m)) => *m = m.merge(&snap),
+                            None => merged.push((st.stage, snap)),
+                        }
+                    }
+                }
+                Ok(other) => eprintln!("{sock}: unexpected reply {other:?}"),
+                Err(e) => eprintln!("{sock}: unreachable ({e})"),
+            }
+        }
+        merged.sort_by_key(|(s, _)| *s);
+        let stage_name =
+            |s: u8| Stage::from_u8(s).map_or("unknown".to_string(), |st| st.name().to_string());
+        if json {
+            let mut out = String::new();
+            out.push_str("{\n");
+            out.push_str(&format!("  \"servers_reached\": {reached},\n"));
+            out.push_str(&format!("  \"trace_events\": {total_events},\n"));
+            out.push_str(&format!("  \"trace_dropped\": {total_dropped},\n"));
+            out.push_str("  \"stages\": {\n");
+            for (k, (s, h)) in merged.iter().enumerate() {
+                let comma = if k + 1 < merged.len() { "," } else { "" };
+                out.push_str(&format!(
+                    "    \"{}\": {{\"count\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \
+                     \"p99_ns\": {}, \"max_ns\": {}}}{comma}\n",
+                    stage_name(*s),
+                    h.count(),
+                    h.percentile(0.50),
+                    h.percentile(0.95),
+                    h.percentile(0.99),
+                    h.max
+                ));
+            }
+            out.push_str("  }\n}");
+            println!("{out}");
+        } else {
+            for (s, h) in &merged {
+                println!(
+                    "{:>14}: n={} p50={}ns p95={}ns p99={}ns max={}ns",
+                    stage_name(*s),
+                    h.count(),
+                    h.percentile(0.50),
+                    h.percentile(0.95),
+                    h.percentile(0.99),
+                    h.max
+                );
+            }
+            if merged.is_empty() {
+                println!("no instrumented stages reported (servers run with obs off?)");
             }
         }
         return Ok(());

@@ -88,6 +88,16 @@ fn run() -> Result<(), String> {
     let mut server = LogServer::new(ServerConfig::new(ServerId(id)), store, gens)
         .map_err(|e| format!("construct server: {e}"))?;
 
+    // Observability on by default so `dlog stats` has data to show;
+    // --no-obs true reverts to the zero-cost disabled handle.
+    let no_obs: bool = args.get_or("no-obs", false)?;
+    let obs = if no_obs {
+        dlog_obs::Obs::off()
+    } else {
+        dlog_obs::Obs::new(&dlog_obs::ObsOptions::on())
+    };
+    server.set_obs(obs.clone());
+
     if let Some(archive_dir) = args.get::<String>("archive-dir")? {
         let interval_ms: u64 = args.get_or("archive-interval-ms", 1000)?;
         let objects = dlog_archive::LocalDirStore::open(&archive_dir)
@@ -101,7 +111,9 @@ fn run() -> Result<(), String> {
         eprintln!("dlog-server {id}: archiving to {archive_dir} every {interval_ms} ms");
     }
 
-    let ep = UdpEndpoint::bind(NodeAddr(id), listen).map_err(|e| format!("bind {listen}: {e}"))?;
+    let mut ep =
+        UdpEndpoint::bind(NodeAddr(id), listen).map_err(|e| format!("bind {listen}: {e}"))?;
+    ep.set_obs(obs);
     ep.set_promiscuous(true);
     let bound = ep.socket_addr().map_err(|e| e.to_string())?;
     eprintln!("dlog-server {id}: serving {dir} on {bound} (ctrl-c to stop)");
@@ -130,7 +142,7 @@ fn main() {
         eprintln!("dlog-server: {e}");
         eprintln!(
             "usage: dlog-server --dir DIR --listen HOST:PORT [--id N] \
-             [--track-kb 64] [--nvram-kb 1024] [--no-fsync true] \
+             [--track-kb 64] [--nvram-kb 1024] [--no-fsync true] [--no-obs true] \
              [--archive-dir DIR] [--archive-interval-ms 1000]"
         );
         exit(1);

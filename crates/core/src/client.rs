@@ -102,6 +102,7 @@ pub struct ReplicatedLog<E: Endpoint> {
     /// Read-ahead cache.
     read_cache: BTreeMap<Lsn, LogRecord>,
     stats: ClientStats,
+    obs: dlog_obs::Obs,
 }
 
 impl<E: Endpoint> ReplicatedLog<E> {
@@ -123,7 +124,20 @@ impl<E: Endpoint> ReplicatedLog<E> {
             in_flight: VecDeque::new(),
             read_cache: BTreeMap::new(),
             stats: ClientStats::default(),
+            obs: dlog_obs::Obs::off(),
         }
+    }
+
+    /// Attach an observability handle; `write` emits `ClientWrite` trace
+    /// events and `force` samples end-to-end force latency.
+    pub fn set_obs(&mut self, obs: dlog_obs::Obs) {
+        self.obs = obs;
+    }
+
+    /// The observability handle attached to this client (off by default).
+    #[must_use]
+    pub fn obs(&self) -> &dlog_obs::Obs {
+        &self.obs
     }
 
     /// This client's id.
@@ -398,12 +412,16 @@ impl<E: Endpoint> ReplicatedLog<E> {
         if !self.initialized {
             return Err(DlogError::NotInitialized);
         }
+        let span = self.obs.start();
         let data = data.into();
         let lsn = self.next_lsn;
         self.next_lsn = lsn.next();
         self.stats.records_written += 1;
         self.stats.bytes_written += data.len() as u64;
+        self.obs
+            .event(dlog_obs::Stage::ClientWrite, lsn.0, data.len() as u64);
         self.buffer.push_back((lsn, data));
+        self.obs.sample_since(dlog_obs::Stage::ClientWrite, span);
         Ok(lsn)
     }
 
@@ -431,7 +449,12 @@ impl<E: Endpoint> ReplicatedLog<E> {
             return Err(DlogError::NotInitialized);
         }
         self.stats.forces += 1;
+        // End-to-end force latency lands in this client handle's Force
+        // histogram; no trace event is emitted (the storage layer's Force
+        // event is the one the ack invariant keys on).
+        let span = self.obs.start();
         self.pump(true)?;
+        self.obs.sample_since(dlog_obs::Stage::Force, span);
         Ok(Lsn(self.next_lsn.0 - 1))
     }
 
@@ -822,6 +845,16 @@ impl<E: Endpoint> ReplicatedLog<E> {
     /// [`DlogError::ServerUnavailable`] when the server does not answer.
     pub fn server_status(&mut self, server: ServerId) -> Result<Response> {
         self.net.rpc(server, Request::Status)
+    }
+
+    /// Query a server's observability snapshot (the `Stats` RPC): per-stage
+    /// latency histograms and trace counters. Like
+    /// [`ReplicatedLog::server_status`], works before initialization.
+    ///
+    /// # Errors
+    /// [`DlogError::ServerUnavailable`] when the server does not answer.
+    pub fn server_stats(&mut self, server: ServerId) -> Result<Response> {
+        self.net.rpc(server, Request::Stats)
     }
 
     // ---- helpers for the repair module (§5.3) ----

@@ -1,11 +1,13 @@
-//! `status-parity`: the `Response::Status` wire struct and the gauge
-//! table in `docs/PROTOCOL.md` must list the same fields.
+//! `status-parity`: observability `Response` variants and their field
+//! tables in `docs/PROTOCOL.md` must list the same fields.
 //!
-//! The Status RPC is the observability surface (`dlog status`); PR 1
-//! grew it from 7 to 13 gauges and the protocol doc silently lagged.
-//! The rule extracts the variant's field names from `wire.rs` and the
-//! first column of the "Status gauges" markdown table, then requires
-//! the two sets to be identical (names and count).
+//! The Status RPC is the operational surface (`dlog status`); PR 1 grew
+//! it from 7 to 13 gauges and the protocol doc silently lagged. PR 3
+//! added a second surface, the `Stats` RPC (`dlog stats`), so the rule
+//! is parameterized over [`TABLES`]: for each `(variant, heading)` pair
+//! it extracts the variant's field names from `wire.rs` and the first
+//! column of the markdown table under the heading, then requires the
+//! two sets to be identical (names and count).
 
 use crate::report::Violation;
 use crate::rules::wire_exhaustive::enum_variants;
@@ -14,15 +16,30 @@ use crate::source::SourceFile;
 /// Rule identifier.
 pub const RULE: &str = "status-parity";
 
-/// Markdown heading that introduces the gauge table.
-pub const DOC_HEADING: &str = "Status gauges";
+/// The observability `Response` variants and the markdown headings that
+/// introduce their field tables in the protocol doc.
+pub const TABLES: &[(&str, &str)] = &[("Status", "Status gauges"), ("Stats", "Stats fields")];
 
-/// Compare the `Response::Status` fields in `wire` with the gauge table
+/// Compare each observability variant's fields in `wire` with its table
 /// in the protocol document text (`doc_path` names it for reporting).
 #[must_use]
 pub fn check(wire: &SourceFile, doc_path: &str, doc_text: &str) -> Vec<Violation> {
     let mut out = Vec::new();
-    let code_fields = match status_fields(wire) {
+    for &(variant, heading) in TABLES {
+        out.extend(check_variant(wire, doc_path, doc_text, variant, heading));
+    }
+    out
+}
+
+fn check_variant(
+    wire: &SourceFile,
+    doc_path: &str,
+    doc_text: &str,
+    variant: &str,
+    heading: &str,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let code_fields = match variant_fields(wire, variant) {
         Some(f) => f,
         None => {
             return vec![Violation {
@@ -30,11 +47,11 @@ pub fn check(wire: &SourceFile, doc_path: &str, doc_text: &str) -> Vec<Violation
                 file: wire.path.clone(),
                 line: 1,
                 scope: "<file>".to_string(),
-                message: "`Response::Status` variant not found in wire.rs".to_string(),
+                message: format!("`Response::{variant}` variant not found in wire.rs"),
             }]
         }
     };
-    let (doc_fields, table_line) = match doc_table_fields(doc_text) {
+    let (doc_fields, table_line) = match doc_table_fields(doc_text, heading) {
         Some(f) => f,
         None => {
             return vec![Violation {
@@ -43,7 +60,7 @@ pub fn check(wire: &SourceFile, doc_path: &str, doc_text: &str) -> Vec<Violation
                 line: 1,
                 scope: "<file>".to_string(),
                 message: format!(
-                    "no `{DOC_HEADING}` table found in {doc_path}; the Status wire struct \
+                    "no `{heading}` table found in {doc_path}; the {variant} wire struct \
                      has {} fields that must be documented",
                     code_fields.len()
                 ),
@@ -58,8 +75,8 @@ pub fn check(wire: &SourceFile, doc_path: &str, doc_text: &str) -> Vec<Violation
                 line: table_line,
                 scope: "<file>".to_string(),
                 message: format!(
-                    "Status gauge `{name}` (wire.rs:{line}) is missing from the \
-                     `{DOC_HEADING}` table"
+                    "{variant} field `{name}` (wire.rs:{line}) is missing from the \
+                     `{heading}` table"
                 ),
             });
         }
@@ -72,7 +89,7 @@ pub fn check(wire: &SourceFile, doc_path: &str, doc_text: &str) -> Vec<Violation
                 line: *line,
                 scope: "<file>".to_string(),
                 message: format!(
-                    "documented Status gauge `{name}` does not exist in `Response::Status`"
+                    "documented {variant} field `{name}` does not exist in `Response::{variant}`"
                 ),
             });
         }
@@ -84,7 +101,7 @@ pub fn check(wire: &SourceFile, doc_path: &str, doc_text: &str) -> Vec<Violation
             line: table_line,
             scope: "<file>".to_string(),
             message: format!(
-                "Status field count mismatch: wire.rs has {}, {doc_path} documents {}",
+                "{variant} field count mismatch: wire.rs has {}, {doc_path} documents {}",
                 code_fields.len(),
                 doc_fields.len()
             ),
@@ -93,10 +110,10 @@ pub fn check(wire: &SourceFile, doc_path: &str, doc_text: &str) -> Vec<Violation
     out
 }
 
-/// Field names (with lines) of the `Status` variant of `enum Response`.
-fn status_fields(wire: &SourceFile) -> Option<Vec<(String, u32)>> {
+/// Field names (with lines) of the named variant of `enum Response`.
+fn variant_fields(wire: &SourceFile, variant: &str) -> Option<Vec<(String, u32)>> {
     let variants = enum_variants(wire, "Response")?;
-    let (_, vtok) = variants.into_iter().find(|(n, _)| n == "Status")?;
+    let (_, vtok) = variants.into_iter().find(|(n, _)| n == variant)?;
     let toks = &wire.tokens;
     let open = (vtok + 1..toks.len()).find(|&i| toks[i].is("{"))?;
     let close = wire.matching_brace(open)?;
@@ -119,9 +136,9 @@ fn status_fields(wire: &SourceFile) -> Option<Vec<(String, u32)>> {
     Some(fields)
 }
 
-/// First-column names of the gauge table under the [`DOC_HEADING`]
-/// heading, with their 1-based lines, plus the table's first line.
-fn doc_table_fields(text: &str) -> Option<(Vec<(String, u32)>, u32)> {
+/// First-column names of the table under `heading`, with their 1-based
+/// lines, plus the table's first line.
+fn doc_table_fields(text: &str, heading: &str) -> Option<(Vec<(String, u32)>, u32)> {
     let mut in_section = false;
     let mut past_separator = false;
     let mut fields = Vec::new();
@@ -133,7 +150,7 @@ fn doc_table_fields(text: &str) -> Option<(Vec<(String, u32)>, u32)> {
             if in_section && !fields.is_empty() {
                 break;
             }
-            in_section = trimmed.contains(DOC_HEADING);
+            in_section = trimmed.contains(heading);
             past_separator = false;
             continue;
         }
@@ -179,35 +196,72 @@ mod tests {
                 records_stored: u64,
                 naks_sent: u64,
             },
+            Stats {
+                stages: u64,
+                trace_events: u64,
+                trace_dropped: u64,
+            },
         }
     ";
 
+    const STATS_TABLE: &str = "### Stats fields\n\n\
+                               | field | meaning |\n|---|---|\n\
+                               | `stages` | per-stage histograms |\n\
+                               | `trace_events` | events recorded |\n\
+                               | `trace_dropped` | events evicted |\n";
+
     #[test]
-    fn matching_table_is_clean() {
+    fn matching_tables_are_clean() {
         let wire = SourceFile::parse("wire.rs", WIRE);
-        let doc = "### Status gauges\n\n\
-                   | gauge | meaning |\n|---|---|\n\
-                   | `records_stored` | total |\n| `naks_sent` | naks |\n";
-        assert!(check(&wire, "docs/PROTOCOL.md", doc).is_empty());
+        let doc = format!(
+            "### Status gauges\n\n\
+             | gauge | meaning |\n|---|---|\n\
+             | `records_stored` | total |\n| `naks_sent` | naks |\n\n{STATS_TABLE}"
+        );
+        assert!(check(&wire, "docs/PROTOCOL.md", &doc).is_empty());
     }
 
     #[test]
     fn missing_and_phantom_gauges_fire() {
         let wire = SourceFile::parse("wire.rs", WIRE);
-        let doc = "### Status gauges\n\n\
-                   | gauge | meaning |\n|---|---|\n\
-                   | `records_stored` | total |\n| `ghost_gauge` | nope |\n";
-        let vs = check(&wire, "docs/PROTOCOL.md", doc);
+        let doc = format!(
+            "### Status gauges\n\n\
+             | gauge | meaning |\n|---|---|\n\
+             | `records_stored` | total |\n| `ghost_gauge` | nope |\n\n{STATS_TABLE}"
+        );
+        let vs = check(&wire, "docs/PROTOCOL.md", &doc);
         assert_eq!(vs.len(), 2, "{vs:?}");
         assert!(vs.iter().any(|v| v.message.contains("naks_sent")));
         assert!(vs.iter().any(|v| v.message.contains("ghost_gauge")));
     }
 
     #[test]
+    fn stats_table_checked_independently() {
+        let wire = SourceFile::parse("wire.rs", WIRE);
+        let doc = "### Status gauges\n\n\
+                   | gauge | meaning |\n|---|---|\n\
+                   | `records_stored` | total |\n| `naks_sent` | naks |\n\n\
+                   ### Stats fields\n\n\
+                   | field | meaning |\n|---|---|\n\
+                   | `stages` | per-stage histograms |\n\
+                   | `phantom_field` | nope |\n";
+        let vs = check(&wire, "docs/PROTOCOL.md", doc);
+        assert_eq!(vs.len(), 3, "{vs:?}");
+        assert!(vs.iter().any(|v| v.message.contains("trace_events")));
+        assert!(vs.iter().any(|v| v.message.contains("trace_dropped")));
+        assert!(vs.iter().any(|v| v.message.contains("phantom_field")));
+    }
+
+    #[test]
     fn absent_table_fires() {
         let wire = SourceFile::parse("wire.rs", WIRE);
         let vs = check(&wire, "docs/PROTOCOL.md", "# Protocol\nno table here\n");
-        assert_eq!(vs.len(), 1);
-        assert!(vs[0].message.contains("no `Status gauges` table"));
+        assert_eq!(vs.len(), 2, "{vs:?}");
+        assert!(vs
+            .iter()
+            .any(|v| v.message.contains("no `Status gauges` table")));
+        assert!(vs
+            .iter()
+            .any(|v| v.message.contains("no `Stats fields` table")));
     }
 }

@@ -16,6 +16,7 @@ pub const HOT_PATH_CRATES: &[&str] = &[
     "crates/net/src",
     "crates/storage/src",
     "crates/append-forest/src",
+    "crates/obs/src",
 ];
 
 /// Files scanned for `.lock()` acquisition ordering (rule `lock-order`).

@@ -3,4 +3,5 @@
 pub enum Response {
     Ok,
     Status { records_stored: u64, naks_sent: u64 },
+    Stats { stages: u64, trace_events: u64, trace_dropped: u64 },
 }

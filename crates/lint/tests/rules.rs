@@ -90,6 +90,18 @@ fn status_parity_fixture_fails() {
 }
 
 #[test]
+fn stats_parity_fixture_fails() {
+    let wire = fixture("status_wire.rs");
+    let doc = fixture_text("stats_doc_fail.md");
+    let vs = rules::status_parity::check(&wire, "fixtures/stats_doc_fail.md", &doc);
+    // Status table is correct; the Stats table misses trace_events and
+    // documents phantom_stat.
+    assert_eq!(vs.len(), 2, "{vs:?}");
+    assert!(vs.iter().any(|v| v.message.contains("trace_events")));
+    assert!(vs.iter().any(|v| v.message.contains("phantom_stat")));
+}
+
+#[test]
 fn status_parity_fixture_passes() {
     let wire = fixture("status_wire.rs");
     let doc = fixture_text("status_doc_pass.md");

@@ -131,6 +131,7 @@ impl MemNetwork {
         MemEndpoint {
             net: self.clone(),
             addr,
+            obs: dlog_obs::Obs::off(),
         }
     }
 
@@ -279,6 +280,15 @@ impl MemNetwork {
 pub struct MemEndpoint {
     net: MemNetwork,
     addr: NodeAddr,
+    obs: dlog_obs::Obs,
+}
+
+impl MemEndpoint {
+    /// Attach an observability handle; subsequent sends emit
+    /// `PacketSend` trace events and latency samples.
+    pub fn set_obs(&mut self, obs: dlog_obs::Obs) {
+        self.obs = obs;
+    }
 }
 
 impl Endpoint for MemEndpoint {
@@ -287,7 +297,12 @@ impl Endpoint for MemEndpoint {
     }
 
     fn send(&self, to: NodeAddr, packet: &Packet) -> io::Result<()> {
-        self.net.send_impl(self.addr, to, packet)
+        let span = self.obs.start();
+        self.net.send_impl(self.addr, to, packet)?;
+        self.obs
+            .event(dlog_obs::Stage::PacketSend, packet.lsn_hint(), to.0);
+        self.obs.sample_since(dlog_obs::Stage::PacketSend, span);
+        Ok(())
     }
 
     fn recv(&self, timeout: Duration) -> io::Result<Option<(NodeAddr, Packet)>> {

@@ -30,6 +30,7 @@ pub struct UdpEndpoint {
     /// under a synthetic logical address (server deployments, where
     /// client ports are ephemeral).
     promiscuous: std::sync::atomic::AtomicBool,
+    obs: dlog_obs::Obs,
 }
 
 impl UdpEndpoint {
@@ -47,7 +48,14 @@ impl UdpEndpoint {
             directory: RwLock::new(HashMap::new()),
             reverse: RwLock::new(HashMap::new()),
             promiscuous: std::sync::atomic::AtomicBool::new(false),
+            obs: dlog_obs::Obs::off(),
         })
+    }
+
+    /// Attach an observability handle; subsequent sends emit
+    /// `PacketSend` trace events and latency samples.
+    pub fn set_obs(&mut self, obs: dlog_obs::Obs) {
+        self.obs = obs;
     }
 
     /// Accept datagrams from unregistered sources, auto-registering each
@@ -92,7 +100,11 @@ impl Endpoint for UdpEndpoint {
                 "packet exceeds MTU",
             ));
         }
+        let span = self.obs.start();
         self.socket.send_to(&bytes, dest)?;
+        self.obs
+            .event(dlog_obs::Stage::PacketSend, packet.lsn_hint(), to.0);
+        self.obs.sample_since(dlog_obs::Stage::PacketSend, span);
         Ok(())
     }
 

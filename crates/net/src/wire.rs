@@ -52,6 +52,22 @@ impl Packet {
             msg,
         }
     }
+
+    /// The LSN this packet is "about", for trace keying (`dlog-obs`
+    /// `PacketSend` events): the highest LSN of a write/force batch, the
+    /// acked or missing LSN, or 0 for handshake/RPC traffic.
+    #[must_use]
+    pub fn lsn_hint(&self) -> u64 {
+        match &self.msg {
+            Message::WriteLog { records, .. } | Message::ForceLog { records, .. } => {
+                records.last().map_or(0, |(lsn, _)| lsn.0)
+            }
+            Message::NewInterval { starting_lsn, .. } => starting_lsn.0,
+            Message::NewHighLsn { lsn, .. } => lsn.0,
+            Message::MissingInterval { lo, .. } => lo.0,
+            _ => 0,
+        }
+    }
 }
 
 /// Every message of the client/log-server interface (Figure 4-1), the
@@ -201,6 +217,24 @@ pub enum Request {
     },
     /// Operational status snapshot (observability; `dlog status`).
     Status,
+    /// Per-stage latency histograms and trace counters (`dlog stats`).
+    Stats,
+}
+
+/// One pipeline stage's latency summary inside [`Response::Stats`]: a
+/// sparse log₂ histogram (only non-empty buckets travel) plus the raw
+/// max, so clients can rebuild and merge `dlog-obs` snapshots from many
+/// servers in any order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageStats {
+    /// `dlog_obs::Stage` wire tag (0 = `ClientWrite` … 5 = `ArchiveTick`).
+    pub stage: u8,
+    /// Total observations recorded for the stage.
+    pub count: u64,
+    /// Largest latency sample observed, nanoseconds.
+    pub max_ns: u64,
+    /// Non-empty histogram buckets as `(bucket index, count)` pairs.
+    pub buckets: Vec<(u8, u64)>,
 }
 
 /// RPC results (server → client).
@@ -261,6 +295,17 @@ pub enum Response {
         /// Failed archive put attempts (each triggered a retry).
         upload_retries: u64,
     },
+    /// Per-stage latency histograms (see [`StageStats`]) and trace-ring
+    /// counters from the server's `dlog-obs` handle. All fields are zero
+    /// or empty when the server runs with observability off.
+    Stats {
+        /// One summary per instrumented stage, in stage-tag order.
+        stages: Vec<StageStats>,
+        /// Trace events ever emitted.
+        trace_events: u64,
+        /// Trace events evicted from the ring.
+        trace_dropped: u64,
+    },
 }
 
 /// Error codes carried by [`Response::Err`].
@@ -298,6 +343,7 @@ const R_INSTALL: u8 = 5;
 const R_GENREAD: u8 = 6;
 const R_GENWRITE: u8 = 7;
 const R_STATUS: u8 = 8;
+const R_STATS: u8 = 9;
 
 // Response kind tags.
 const S_INTERVALS: u8 = 1;
@@ -306,6 +352,7 @@ const S_OK: u8 = 3;
 const S_ERR: u8 = 4;
 const S_GENVALUE: u8 = 5;
 const S_STATUS: u8 = 6;
+const S_STATS: u8 = 7;
 
 /// Wire-format decode errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -645,6 +692,7 @@ fn encode_request(body: &Request, out: &mut BytesMut) {
             out.put_u64_le(*value);
         }
         Request::Status => out.put_u8(R_STATUS),
+        Request::Stats => out.put_u8(R_STATS),
     }
 }
 
@@ -701,6 +749,27 @@ fn encode_response(body: &Response, out: &mut BytesMut) {
                 upload_retries,
             ] {
                 out.put_u64_le(*v);
+            }
+        }
+        Response::Stats {
+            stages,
+            trace_events,
+            trace_dropped,
+        } => {
+            out.put_u8(S_STATS);
+            out.put_u64_le(*trace_events);
+            out.put_u64_le(*trace_dropped);
+            // At most `Stage::COUNT` (6) stages ever travel; u8 is ample.
+            out.put_u8(stages.len().min(u8::MAX as usize) as u8);
+            for s in stages.iter().take(u8::MAX as usize) {
+                out.put_u8(s.stage);
+                out.put_u64_le(s.count);
+                out.put_u64_le(s.max_ns);
+                out.put_u16_le(s.buckets.len().min(u16::MAX as usize) as u16);
+                for (bucket, count) in s.buckets.iter().take(u16::MAX as usize) {
+                    out.put_u8(*bucket);
+                    out.put_u64_le(*count);
+                }
             }
         }
     }
@@ -858,6 +927,7 @@ fn decode_request(r: &mut &[u8]) -> Result<Request, DecodeError> {
             })
         }
         R_STATUS => Ok(Request::Status),
+        R_STATS => Ok(Request::Stats),
         other => Err(DecodeError(format!("unknown request kind {other}"))),
     }
 }
@@ -904,6 +974,36 @@ fn decode_response(r: &mut &[u8]) -> Result<Response, DecodeError> {
                 pending_upload_bytes: r.get_u64_le(),
                 last_manifest_lsn: r.get_u64_le(),
                 upload_retries: r.get_u64_le(),
+            })
+        }
+        S_STATS => {
+            need!(r, 17);
+            let trace_events = r.get_u64_le();
+            let trace_dropped = r.get_u64_le();
+            let nstages = r.get_u8() as usize;
+            let mut stages = Vec::with_capacity(nstages.min(16));
+            for _ in 0..nstages {
+                need!(r, 19);
+                let stage = r.get_u8();
+                let count = r.get_u64_le();
+                let max_ns = r.get_u64_le();
+                let nbuckets = r.get_u16_le() as usize;
+                let mut buckets = Vec::with_capacity(nbuckets.min(64));
+                for _ in 0..nbuckets {
+                    need!(r, 9);
+                    buckets.push((r.get_u8(), r.get_u64_le()));
+                }
+                stages.push(StageStats {
+                    stage,
+                    count,
+                    max_ns,
+                    buckets,
+                });
+            }
+            Ok(Response::Stats {
+                stages,
+                trace_events,
+                trace_dropped,
             })
         }
         other => Err(DecodeError(format!("unknown response kind {other}"))),

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use dlog_net::wire::{pack_batches, Message, Packet, Request, Response, MAX_PACKET_BYTES};
+use dlog_net::wire::{pack_batches, Message, Packet, Request, Response, StageStats, MAX_PACKET_BYTES};
 use dlog_types::{ClientId, Epoch, Interval, IntervalList, LogData, LogRecord, Lsn};
 
 fn arb_data() -> impl Strategy<Value = LogData> {
@@ -79,7 +79,23 @@ fn arb_request() -> impl Strategy<Value = Request> {
             value: v
         }),
         Just(Request::Status),
+        Just(Request::Stats),
     ]
+}
+
+fn arb_stage_stats() -> impl Strategy<Value = StageStats> {
+    (
+        0u8..6,
+        any::<u64>(),
+        any::<u64>(),
+        proptest::collection::vec((0u8..64, any::<u64>()), 0..6),
+    )
+        .prop_map(|(stage, count, max_ns, buckets)| StageStats {
+            stage,
+            count,
+            max_ns,
+            buckets,
+        })
 }
 
 fn arb_response() -> impl Strategy<Value = Response> {
@@ -105,6 +121,16 @@ fn arb_response() -> impl Strategy<Value = Response> {
             last_manifest_lsn: v[11],
             upload_retries: v[12],
         }),
+        (
+            proptest::collection::vec(arb_stage_stats(), 0..7),
+            any::<u64>(),
+            any::<u64>(),
+        )
+            .prop_map(|(stages, trace_events, trace_dropped)| Response::Stats {
+                stages,
+                trace_events,
+                trace_dropped,
+            }),
     ]
 }
 

@@ -1,0 +1,230 @@
+//! Log₂-bucketed latency histograms.
+//!
+//! A histogram is 64 power-of-two buckets: bucket 0 holds values `0..=1`,
+//! bucket *i* (for *i* ≥ 1) holds `2^i ..= 2^(i+1)-1`, and bucket 63's
+//! ceiling saturates at `u64::MAX` — every `u64` value lands in exactly
+//! one bucket with no panics. Recording is a pair of relaxed atomic adds
+//! (allocation-free, lock-free); snapshots are plain arrays that merge by
+//! saturating addition, which makes merging associative and commutative,
+//! so per-server histograms can be combined client-side in any order.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one per power of two of a `u64`.
+pub const BUCKETS: usize = 64;
+
+/// The bucket a value lands in. Total over all of `u64`, never out of
+/// range: `0..=1` map to bucket 0, everything else to its log₂.
+#[must_use]
+pub fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        63 - v.leading_zeros() as usize
+    }
+}
+
+/// Largest value belonging to bucket `i` (saturating at `u64::MAX`).
+/// Out-of-range `i` also reports `u64::MAX`.
+#[must_use]
+pub fn bucket_ceiling(i: usize) -> u64 {
+    if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+/// A concurrent latency histogram. `record` is wait-free; readers take
+/// [`LatencyHistogram::snapshot`] and work on the plain copy.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKETS],
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation (nanoseconds by convention).
+    pub fn record(&self, v: u64) {
+        if let Some(c) = self.counts.get(bucket_index(v)) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Copy the current contents into a mergeable snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (slot, c) in buckets.iter_mut().zip(self.counts.iter()) {
+            *slot = c.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`LatencyHistogram`]: plain data, cheap to
+/// merge, and the unit shipped over the wire (sparsely) by
+/// `Response::Stats`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`bucket_index`]).
+    pub buckets: [u64; BUCKETS],
+    /// Largest value ever recorded (0 when empty).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0u64; BUCKETS],
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    #[must_use]
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot::default()
+    }
+
+    /// Record into the snapshot directly (used when rebuilding from the
+    /// wire or in tests; the live path records into [`LatencyHistogram`]).
+    pub fn record(&mut self, v: u64) {
+        if let Some(c) = self.buckets.get_mut(bucket_index(v)) {
+            *c = c.saturating_add(1);
+        }
+        self.max = self.max.max(v);
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().fold(0u64, |a, b| a.saturating_add(*b))
+    }
+
+    /// Merge two snapshots: per-bucket saturating sums and the larger
+    /// max. Associative and commutative, so any merge order agrees.
+    #[must_use]
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut out = *self;
+        for (slot, b) in out.buckets.iter_mut().zip(other.buckets.iter()) {
+            *slot = slot.saturating_add(*b);
+        }
+        out.max = out.max.max(other.max);
+        out
+    }
+
+    /// Upper bound of the bucket holding the `p`-quantile observation
+    /// (`p` in `0.0..=1.0`), clamped to the recorded max; 0 when empty.
+    /// Monotone in `p`.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = (p.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let rank = rank.clamp(1, total);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum = cum.saturating_add(*b);
+            if cum >= rank {
+                return bucket_ceiling(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The non-empty buckets as `(index, count)` pairs — the wire form.
+    #[must_use]
+    pub fn sparse(&self) -> Vec<(u8, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (i as u8, *c))
+            .collect()
+    }
+
+    /// Rebuild from the wire form. Out-of-range bucket indexes are
+    /// ignored rather than panicking.
+    #[must_use]
+    pub fn from_sparse(pairs: &[(u8, u64)], max: u64) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot::empty();
+        for (i, c) in pairs {
+            if let Some(slot) = out.buckets.get_mut(*i as usize) {
+                *slot = slot.saturating_add(*c);
+            }
+        }
+        out.max = max;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_u64() {
+        for v in [0u64, 1, 2, 3, 4, 1023, 1024, u64::MAX - 1, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(i < BUCKETS);
+            assert!(v <= bucket_ceiling(i));
+            if i > 0 {
+                assert!(v > bucket_ceiling(i - 1), "v={v} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn percentiles_track_distribution() {
+        let h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.max, 1000);
+        assert!(s.percentile(0.5) >= 500);
+        assert!(s.percentile(0.99) >= 990);
+        assert_eq!(s.percentile(1.0), 1000); // clamped to max
+        assert!(s.percentile(0.5) <= s.percentile(0.95));
+    }
+
+    #[test]
+    fn sparse_roundtrip() {
+        let mut s = HistogramSnapshot::empty();
+        for v in [0u64, 7, 7, 300, u64::MAX] {
+            s.record(v);
+        }
+        let rebuilt = HistogramSnapshot::from_sparse(&s.sparse(), s.max);
+        assert_eq!(s, rebuilt);
+    }
+
+    #[test]
+    fn empty_percentile_is_zero() {
+        assert_eq!(HistogramSnapshot::empty().percentile(0.99), 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests for the latency histogram: merging is associative and
+//! commutative, percentile extraction is monotone in `p` and bounded by
+//! the recorded max, and the bucket boundaries partition the full `u64`
+//! range with no panics.
+
+use proptest::prelude::*;
+
+use dlog_obs::{bucket_ceiling, bucket_index, HistogramSnapshot, LatencyHistogram, BUCKETS};
+
+fn arb_values() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            0u64..16,                   // tiny values around bucket 0
+            1u64..1_000_000,            // realistic nanosecond latencies
+            any::<u64>(),               // the whole range, extremes included
+        ],
+        0..64,
+    )
+}
+
+fn arb_snapshot() -> impl Strategy<Value = HistogramSnapshot> {
+    arb_values().prop_map(|vs| {
+        let mut s = HistogramSnapshot::empty();
+        for v in vs {
+            s.record(v);
+        }
+        s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Every u64 lands in exactly one in-range bucket: `v` is at most its
+    /// bucket's ceiling and strictly above the previous bucket's.
+    #[test]
+    fn buckets_cover_u64(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKETS);
+        prop_assert!(v <= bucket_ceiling(i));
+        if i > 0 {
+            prop_assert!(v > bucket_ceiling(i - 1));
+        }
+    }
+
+    /// Bucket ceilings are strictly increasing, so the buckets are
+    /// disjoint and ordered.
+    #[test]
+    fn ceilings_strictly_increase(i in 0usize..BUCKETS - 1) {
+        prop_assert!(bucket_ceiling(i) < bucket_ceiling(i + 1));
+    }
+
+    /// Merge is commutative.
+    #[test]
+    fn merge_commutative(a in arb_snapshot(), b in arb_snapshot()) {
+        prop_assert_eq!(a.merge(&b), b.merge(&a));
+    }
+
+    /// Merge is associative.
+    #[test]
+    fn merge_associative(a in arb_snapshot(), b in arb_snapshot(), c in arb_snapshot()) {
+        prop_assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+    }
+
+    /// Merging with the empty snapshot is the identity.
+    #[test]
+    fn merge_identity(a in arb_snapshot()) {
+        prop_assert_eq!(a.merge(&HistogramSnapshot::empty()), a);
+    }
+
+    /// Percentile extraction is monotone in p and never exceeds max.
+    #[test]
+    fn percentile_monotone(s in arb_snapshot(), p1 in 0.0f64..1.0, p2 in 0.0f64..1.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(s.percentile(lo) <= s.percentile(hi));
+        prop_assert!(s.percentile(hi) <= s.max);
+    }
+
+    /// Recording never panics anywhere in u64, the count adds up, and the
+    /// concurrent histogram agrees with the plain snapshot built from the
+    /// same values.
+    #[test]
+    fn record_no_panics_and_counts(vs in arb_values()) {
+        let live = LatencyHistogram::new();
+        let mut plain = HistogramSnapshot::empty();
+        for &v in &vs {
+            live.record(v);
+            plain.record(v);
+        }
+        let snap = live.snapshot();
+        prop_assert_eq!(snap, plain);
+        prop_assert_eq!(snap.count(), vs.len() as u64);
+        prop_assert_eq!(snap.max, vs.iter().copied().max().unwrap_or(0));
+    }
+
+    /// The sparse wire form loses nothing.
+    #[test]
+    fn sparse_roundtrip(s in arb_snapshot()) {
+        prop_assert_eq!(HistogramSnapshot::from_sparse(&s.sparse(), s.max), s);
+    }
+
+    /// The percentile of everything (p = 1.0) is exactly the max, and the
+    /// answer for any p is the ceiling of a non-empty bucket.
+    #[test]
+    fn percentile_hits_occupied_buckets(s in arb_snapshot(), p in 0.0f64..1.0) {
+        prop_assume!(s.count() > 0);
+        prop_assert_eq!(s.percentile(1.0), s.max);
+        let q = s.percentile(p);
+        let covered = s
+            .sparse()
+            .iter()
+            .any(|(i, _)| bucket_ceiling(*i as usize).min(s.max) == q);
+        prop_assert!(covered, "percentile {q} is not an occupied bucket bound");
+    }
+}

@@ -119,6 +119,7 @@ pub struct LogServer {
     shedding: bool,
     stats: ServerStats,
     archive: Option<ArchiveTier>,
+    obs: dlog_obs::Obs,
 }
 
 impl LogServer {
@@ -136,7 +137,22 @@ impl LogServer {
             shedding: false,
             stats: ServerStats::default(),
             archive: None,
+            obs: dlog_obs::Obs::off(),
         })
+    }
+
+    /// Attach an observability handle. The same handle is propagated to
+    /// the storage engine so `Force` trace events interleave coherently
+    /// with the `AckHighLsn` events this layer emits.
+    pub fn set_obs(&mut self, obs: dlog_obs::Obs) {
+        self.store.set_obs(obs.clone());
+        self.obs = obs;
+    }
+
+    /// The observability handle attached to this server (off by default).
+    #[must_use]
+    pub fn obs(&self) -> &dlog_obs::Obs {
+        &self.obs
     }
 
     /// Attach an archive tier: sealed segments are uploaded to `objects`
@@ -188,9 +204,17 @@ impl LogServer {
             return Ok(());
         }
         tier.last_tick = Some(Instant::now());
+        let span = self.obs.start();
         if let Some(m) = tier.archiver.tick(&mut self.store)? {
             tier.reader = Some(ArchiveReader::from_manifest(tier.objects.clone(), m)?);
         }
+        let ar = self.archive_stats();
+        self.obs.event(
+            dlog_obs::Stage::ArchiveTick,
+            ar.last_manifest_lsn,
+            ar.archived_bytes,
+        );
+        self.obs.sample_since(dlog_obs::Stage::ArchiveTick, span);
         Ok(())
     }
 
@@ -292,6 +316,8 @@ impl LogServer {
         force: bool,
         out: &mut Vec<(NodeAddr, Packet)>,
     ) {
+        let span = self.obs.start();
+        let stored_before = self.stats.records_stored;
         let session = self.sessions.entry(client).or_default();
         session.last_addr = Some(from);
         let pending = session.pending_interval;
@@ -366,6 +392,11 @@ impl LogServer {
             self.stats.forces_acked += 1;
             self.unacked.insert(client, 0);
             if let Some(iv) = self.store.last_interval(client) {
+                // Forced acks set bit 0 of the detail word: the trace
+                // invariant checker requires a preceding Force event for
+                // exactly these.
+                self.obs
+                    .event(dlog_obs::Stage::AckHighLsn, iv.hi.0, (client.0 << 1) | 1);
                 out.push((
                     from,
                     Packet::bare(Message::NewHighLsn { client, lsn: iv.hi }),
@@ -377,6 +408,9 @@ impl LogServer {
             if *n >= self.config.ack_every {
                 *n = 0;
                 if let Some(iv) = self.store.last_interval(client) {
+                    // Unsolicited lazy ack: bit 0 clear, no Force required.
+                    self.obs
+                        .event(dlog_obs::Stage::AckHighLsn, iv.hi.0, client.0 << 1);
                     out.push((
                         from,
                         Packet::bare(Message::NewHighLsn { client, lsn: iv.hi }),
@@ -384,6 +418,12 @@ impl LogServer {
                 }
             }
         }
+
+        let accepted = self.stats.records_stored - stored_before;
+        let batch_hi = records.last().map_or(0, |(lsn, _)| lsn.0);
+        self.obs
+            .event(dlog_obs::Stage::ServerIngest, batch_hi, accepted);
+        self.obs.sample_since(dlog_obs::Stage::ServerIngest, span);
     }
 
     /// Serve a strict RPC.
@@ -482,6 +522,30 @@ impl LogServer {
                     pending_upload_bytes: pending,
                     last_manifest_lsn: ar.last_manifest_lsn,
                     upload_retries: ar.upload_retries,
+                }
+            }
+            Request::Stats => {
+                let Some(snap) = self.obs.snapshot() else {
+                    return Response::Stats {
+                        stages: Vec::new(),
+                        trace_events: 0,
+                        trace_dropped: 0,
+                    };
+                };
+                let stages = snap
+                    .stages
+                    .iter()
+                    .map(|s| dlog_net::wire::StageStats {
+                        stage: s.stage.as_u8(),
+                        count: s.hist.count(),
+                        max_ns: s.hist.max,
+                        buckets: s.hist.sparse(),
+                    })
+                    .collect();
+                Response::Stats {
+                    stages,
+                    trace_events: snap.trace_events,
+                    trace_dropped: snap.trace_dropped,
                 }
             }
             Request::GenRead { generator } => Response::GenValue {

@@ -147,6 +147,7 @@ pub struct LogStore {
     /// sealed segment above it.
     archived_to: Option<u64>,
     stats: StoreStats,
+    obs: dlog_obs::Obs,
 }
 
 impl LogStore {
@@ -240,7 +241,15 @@ impl LogStore {
             anchor: scan_from,
             archived_to: None,
             stats,
+            obs: dlog_obs::Obs::off(),
         })
+    }
+
+    /// Attach an observability handle. Shared with the owning server so
+    /// `Force` trace events interleave (and order) with its
+    /// `AckHighLsn` events.
+    pub fn set_obs(&mut self, obs: dlog_obs::Obs) {
+        self.obs = obs;
     }
 
     /// The store's NVRAM device handle (survives a simulated crash).
@@ -289,13 +298,19 @@ impl LogStore {
     ///
     /// # Errors
     /// Propagates I/O failures.
-    pub fn force(&mut self, _client: ClientId) -> Result<()> {
+    pub fn force(&mut self, client: ClientId) -> Result<()> {
+        let span = self.obs.start();
         self.stats.forces += 1;
         if self.opts.durability == Durability::FsyncPerForce {
             self.flush_track()?;
             self.stream.sync()?;
             self.stats.fsyncs += 1;
         }
+        // Trace the durability point, keyed by the client's stored high
+        // LSN — the LSN the server will acknowledge with `NewHighLsn`.
+        let hi = self.table.last(client).map_or(0, |iv| iv.hi.0);
+        self.obs.event(dlog_obs::Stage::Force, hi, client.0);
+        self.obs.sample_since(dlog_obs::Stage::Force, span);
         Ok(())
     }
 
@@ -417,6 +432,7 @@ impl LogStore {
         if pending.is_empty() {
             return Ok(());
         }
+        let span = self.obs.start();
         debug_assert_eq!(base, self.stream.end(), "stream/nvram positions diverged");
         self.stream.write_at(base, &pending)?;
         if self.opts.fsync {
@@ -427,6 +443,10 @@ impl LogStore {
         self.seal = self.nvram.seal();
         self.stats.tracks_flushed += 1;
         self.bytes_since_ckpt += pending.len() as u64;
+        // Track retirement is the disk half of the force path; its
+        // latency lands in the same `Force` histogram (no trace event —
+        // flushes are not client-attributable).
+        self.obs.sample_since(dlog_obs::Stage::Force, span);
         Ok(())
     }
 

@@ -1,0 +1,21 @@
+//! Pinned soak-seed corpus. `tests/soak.rs` sweeps a small contiguous
+//! seed range; this test pins seeds that exercised distinctive
+//! schedules (heavy kill/reboot churn, partition flapping, client
+//! crashes mid-force) so they stay in coverage verbatim even if the
+//! sweep range changes. Every scenario also re-checks the
+//! force-before-ack trace invariant on every server.
+
+use dlog_bench::scenario::run_soak_scenario;
+
+/// Seeds deliberately disjoint from the `0..6` sweep in
+/// `tests/soak.rs`.
+const CORPUS: [u64; 8] = [7, 11, 42, 99, 123, 2024, 31337, 0xD106];
+
+#[test]
+fn pinned_seed_corpus_holds() {
+    let mut total = 0;
+    for &seed in &CORPUS {
+        total += run_soak_scenario(seed);
+    }
+    assert!(total > 0, "the corpus must force something");
+}
