@@ -281,7 +281,7 @@ impl DiskForest {
         loop {
             let h = self.read_header(off)?;
             if lsn.0 >= h.lo && lsn.0 <= h.key {
-                let idx = lsn.0 - h.lo;
+                let idx = lsn.0.saturating_sub(h.lo);
                 return Ok(Some(self.read_position(off, idx)?));
             }
             let next = if h.right != NIL {

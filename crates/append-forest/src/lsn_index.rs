@@ -100,7 +100,7 @@ impl LsnIndex {
     pub fn lookup(&self, lsn: Lsn) -> Option<u64> {
         if let Some(open) = &self.open {
             if lsn >= open.lo {
-                let idx = (lsn.0 - open.lo.0) as usize;
+                let idx = lsn.0.saturating_sub(open.lo.0) as usize;
                 return open.positions.get(idx).copied();
             }
         }
@@ -112,7 +112,9 @@ impl LsnIndex {
         if lsn.0 > *hi || lsn < node.lo {
             return None;
         }
-        node.positions.get((lsn.0 - node.lo.0) as usize).copied()
+        node.positions
+            .get(lsn.0.saturating_sub(node.lo.0) as usize)
+            .copied()
     }
 
     /// First and last LSN currently indexed.
@@ -150,7 +152,7 @@ impl LsnIndex {
     pub fn from_parts(fanout: usize, lo: Lsn, positions: &[u64]) -> Self {
         let mut idx = LsnIndex::new(fanout);
         for (i, &p) in positions.iter().enumerate() {
-            idx.append(Lsn(lo.0 + i as u64), p)
+            idx.append(Lsn(lo.0.saturating_add(i as u64)), p)
                 .expect("consecutive LSNs");
         }
         idx

@@ -257,7 +257,10 @@ impl Archiver {
 
         // 3. The manifest is written last: its existence certifies every
         //    object it references.
-        let generation = self.manifest.as_ref().map_or(1, |m| m.generation + 1);
+        let generation = self
+            .manifest
+            .as_ref()
+            .map_or(1, |m| m.generation.saturating_add(1));
         let manifest = Manifest {
             generation,
             segment_bytes: sb,

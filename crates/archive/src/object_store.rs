@@ -83,8 +83,11 @@ impl ObjectStore for LocalDirStore {
             f.sync_data()?;
         }
         fs::rename(&tmp, &fin)?;
+        // A failed directory sync means the rename itself may not be
+        // durable — propagate rather than ack an object that could
+        // vanish on crash (§4.2 ack-after-force).
         if let Ok(d) = File::open(&self.dir) {
-            let _ = d.sync_data();
+            d.sync_data()?;
         }
         Ok(())
     }

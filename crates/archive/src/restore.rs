@@ -76,8 +76,11 @@ pub fn restore_from(
     let state = manifest.replay_state()?;
     let image = encode_checkpoint_image(state.table(), manifest.cut);
     write_file(dir, "intervals.ckpt", &image)?;
+    // Restored files must survive a crash before we report success;
+    // a failed directory sync would leave the restore only probably
+    // durable (§4.2 ack-after-force).
     if let Ok(d) = File::open(dir) {
-        let _ = d.sync_data();
+        d.sync_data()?;
     }
     Ok(())
 }

@@ -1,0 +1,717 @@
+//! Statement-level control-flow graph over the token stream.
+//!
+//! The lexical rules see token order; the dataflow rules (see
+//! [`crate::dataflow`]) need *path* order: "is this guard still live on
+//! the branch that reaches the disk force?" is a question about the CFG,
+//! not the text. This module parses one function body into basic blocks
+//! split at `if`/`else`, `match` arms, `loop`/`while`/`for`, `return`,
+//! `break`/`continue`, and the `?` operator.
+//!
+//! The builder is deliberately approximate in the safe direction for a
+//! forward *may* analysis: where the token grammar is ambiguous it adds
+//! edges rather than dropping them (e.g. every loop header gets an edge
+//! to the loop's after-block, as if a `break` may always fire), so a
+//! hazard on a real path is never hidden. Braced subexpressions it
+//! cannot attribute to control flow — closure bodies, struct literals —
+//! are kept inside their statement and treated as straight-line code.
+//!
+//! Each braced scope that closes appends a synthetic [`StmtKind::ScopeExit`]
+//! statement so the engine can model guard drops at end-of-scope.
+
+use crate::source::{FnSpan, SourceFile};
+
+/// Index of a basic block inside its [`Cfg`].
+pub type BlockId = usize;
+
+/// What a CFG statement is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StmtKind {
+    /// An ordinary statement: tokens `[lo, hi)` of the file stream.
+    Plain,
+    /// Synthetic end-of-scope marker: `lo` is the opening `{` token of
+    /// the scope that just closed, `hi` its matching `}`. Bindings
+    /// declared strictly inside die here.
+    ScopeExit,
+}
+
+/// One statement in a basic block.
+#[derive(Clone, Copy, Debug)]
+pub struct Stmt {
+    /// Statement kind (plain vs. synthetic scope exit).
+    pub kind: StmtKind,
+    /// First token index (for `ScopeExit`: the opening brace).
+    pub lo: usize,
+    /// One past the last token (for `ScopeExit`: the closing brace).
+    pub hi: usize,
+}
+
+/// A basic block: straight-line statements plus successor edges.
+#[derive(Clone, Debug, Default)]
+pub struct Block {
+    /// Statements executed in order.
+    pub stmts: Vec<Stmt>,
+    /// Successor blocks (unordered; duplicates possible but harmless).
+    pub succs: Vec<BlockId>,
+}
+
+/// Control-flow graph of one function body.
+pub struct Cfg {
+    /// All blocks; `blocks[entry]` is the function entry.
+    pub blocks: Vec<Block>,
+    /// Entry block id.
+    pub entry: BlockId,
+    /// Distinguished empty exit block: `return`, `?` error paths, and
+    /// normal fall-off all lead here.
+    pub exit: BlockId,
+}
+
+/// Item keywords that introduce a nested item inside a function body;
+/// their bodies are skipped (nested `fn`s get their own CFG).
+const ITEM_KEYWORDS: &[&str] = &[
+    "fn", "struct", "enum", "impl", "mod", "trait", "use", "static", "type", "macro_rules",
+];
+
+impl Cfg {
+    /// Build the CFG for the body of `f` in `file`.
+    #[must_use]
+    pub fn build(file: &SourceFile, f: &FnSpan) -> Cfg {
+        let mut b = Builder {
+            file,
+            blocks: vec![Block::default(), Block::default()],
+            exit: 1,
+            loops: Vec::new(),
+        };
+        let end = b.region(f.open + 1, f.close, 0);
+        if let Some(last) = end {
+            b.edge(last, 1);
+        }
+        Cfg {
+            blocks: b.blocks,
+            entry: 0,
+            exit: 1,
+        }
+    }
+
+    /// Blocks reachable from `entry`, in BFS order.
+    #[must_use]
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        let mut queue = vec![self.entry];
+        seen[self.entry] = true;
+        while let Some(b) = queue.pop() {
+            for &s in &self.blocks[b].succs {
+                if !seen[s] {
+                    seen[s] = true;
+                    queue.push(s);
+                }
+            }
+        }
+        seen
+    }
+}
+
+struct Builder<'a> {
+    file: &'a SourceFile,
+    blocks: Vec<Block>,
+    exit: BlockId,
+    /// Innermost-last stack of `(continue_target, break_target)`.
+    loops: Vec<(BlockId, BlockId)>,
+}
+
+impl<'a> Builder<'a> {
+    fn new_block(&mut self) -> BlockId {
+        self.blocks.push(Block::default());
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: BlockId, to: BlockId) {
+        if !self.blocks[from].succs.contains(&to) {
+            self.blocks[from].succs.push(to);
+        }
+    }
+
+    fn push_stmt(&mut self, block: BlockId, kind: StmtKind, lo: usize, hi: usize) {
+        if kind == StmtKind::Plain && lo >= hi {
+            return;
+        }
+        self.blocks[block].stmts.push(Stmt { kind, lo, hi });
+    }
+
+    fn tok_is(&self, i: usize, s: &str) -> bool {
+        self.file.tokens.get(i).is_some_and(|t| t.is(s))
+    }
+
+    /// Token index of the first `{` at paren/bracket depth 0 in `[i, hi)`.
+    fn find_body_brace(&self, i: usize, hi: usize) -> Option<usize> {
+        let mut depth = 0i32;
+        for j in i..hi {
+            let t = &self.file.tokens[j];
+            if t.is("(") || t.is("[") {
+                depth += 1;
+            } else if t.is(")") || t.is("]") {
+                depth -= 1;
+            } else if depth == 0 && t.is("{") {
+                return Some(j);
+            }
+        }
+        None
+    }
+
+    /// Build the region `[lo, hi)` starting in `cur`. Returns the block
+    /// normal flow falls out of, or `None` when every path diverges.
+    fn region(&mut self, lo: usize, hi: usize, cur: BlockId) -> Option<BlockId> {
+        let mut cur = Some(cur);
+        let mut i = lo;
+        while i < hi {
+            // Dead code after a diverging statement still gets a block so
+            // its tokens are modeled; it simply has no predecessors.
+            let blk = match cur {
+                Some(b) => b,
+                None => {
+                    let b = self.new_block();
+                    cur = Some(b);
+                    b
+                }
+            };
+            let t = &self.file.tokens[i];
+            if t.is(";") || t.is(",") {
+                i += 1;
+                continue;
+            }
+            // Loop label: `'name : loop`.
+            if t.text.starts_with('\'') && self.tok_is(i + 1, ":") {
+                i += 2;
+                continue;
+            }
+            if t.is("if") {
+                let (join, ni) = self.if_chain(i, hi, blk);
+                cur = join;
+                i = ni;
+                continue;
+            }
+            if t.is("match") {
+                let (join, ni) = self.match_expr(i, hi, blk);
+                cur = join;
+                i = ni;
+                continue;
+            }
+            if t.is("loop") || t.is("while") || t.is("for") {
+                let (join, ni) = self.loop_stmt(i, hi, blk);
+                cur = join;
+                i = ni;
+                continue;
+            }
+            if t.is("return") {
+                let end = self.stmt_end(i, hi);
+                self.push_stmt(blk, StmtKind::Plain, i, end);
+                self.edge(blk, self.exit);
+                cur = None;
+                i = end + 1;
+                continue;
+            }
+            if t.is("break") || t.is("continue") {
+                let end = self.stmt_end(i, hi);
+                self.push_stmt(blk, StmtKind::Plain, i, end);
+                let target = match (self.loops.last(), t.is("break")) {
+                    (Some(&(_, after)), true) => after,
+                    (Some(&(header, _)), false) => header,
+                    (None, _) => self.exit, // malformed input; stay safe
+                };
+                self.edge(blk, target);
+                cur = None;
+                i = end + 1;
+                continue;
+            }
+            // Nested item: skip its tokens (nested fns get their own CFG).
+            if ITEM_KEYWORDS.contains(&t.text.as_str()) {
+                i = self.skip_item(i, hi);
+                continue;
+            }
+            // Bare scoping block.
+            if t.is("{") {
+                if let Some(close) = self.file.matching_brace(i) {
+                    let end = self.braced_region(i, close.min(hi), blk);
+                    cur = end;
+                    i = close + 1;
+                    continue;
+                }
+                i += 1;
+                continue;
+            }
+            // Plain (or `let`) statement.
+            let (next, ni) = self.statement(i, hi, blk);
+            cur = next;
+            i = ni;
+        }
+        cur
+    }
+
+    /// `[open, close]` is a braced body: run it in a fresh block hanging
+    /// off `cur`, append the `ScopeExit`, return the fall-through block.
+    fn braced_region(&mut self, open: usize, close: usize, cur: BlockId) -> Option<BlockId> {
+        let entry = self.new_block();
+        self.edge(cur, entry);
+        let end = self.region(open + 1, close, entry);
+        if let Some(e) = end {
+            self.push_stmt(e, StmtKind::ScopeExit, open, close);
+        }
+        end
+    }
+
+    /// End (exclusive) of a simple statement: the first `;` at
+    /// paren/bracket depth 0, skipping braced subexpressions.
+    fn stmt_end(&self, i: usize, hi: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = i;
+        while j < hi {
+            let t = &self.file.tokens[j];
+            if t.is("(") || t.is("[") {
+                depth += 1;
+            } else if t.is(")") || t.is("]") {
+                depth -= 1;
+            } else if depth == 0 && t.is(";") {
+                return j;
+            } else if t.is("{") {
+                match self.file.matching_brace(j) {
+                    Some(c) => j = c,
+                    None => return hi,
+                }
+            }
+            j += 1;
+        }
+        hi
+    }
+
+    /// Skip a nested item starting at token `i` (keyword position).
+    fn skip_item(&self, i: usize, hi: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = i;
+        while j < hi {
+            let t = &self.file.tokens[j];
+            if t.is("(") || t.is("[") {
+                depth += 1;
+            } else if t.is(")") || t.is("]") {
+                depth -= 1;
+            } else if depth == 0 && t.is(";") {
+                return j + 1;
+            } else if depth == 0 && t.is("{") {
+                return match self.file.matching_brace(j) {
+                    Some(c) => c + 1,
+                    None => hi,
+                };
+            }
+            j += 1;
+        }
+        hi
+    }
+
+    /// One plain/`let` statement starting at `i` in block `cur`. Splits
+    /// at embedded `?` (error edge to exit), statement-position
+    /// `if`/`match` expressions, and `let … else` diverging blocks.
+    fn statement(&mut self, i: usize, hi: usize, cur: BlockId) -> (Option<BlockId>, usize) {
+        let mut cur = cur;
+        let mut start = i;
+        let mut depth = 0i32;
+        let mut j = i;
+        let is_let = self.tok_is(i, "let");
+        while j < hi {
+            let t = &self.file.tokens[j];
+            if t.is("(") || t.is("[") {
+                depth += 1;
+            } else if t.is(")") || t.is("]") {
+                depth -= 1;
+            } else if t.is(";") && depth == 0 {
+                self.push_stmt(cur, StmtKind::Plain, start, j);
+                return (Some(cur), j + 1);
+            } else if t.is("?") && !self.tok_is(j + 1, "Sized") {
+                // `expr?`: split the statement; the error path exits.
+                self.push_stmt(cur, StmtKind::Plain, start, j + 1);
+                let next = self.new_block();
+                self.edge(cur, next);
+                self.edge(cur, self.exit);
+                cur = next;
+                start = j + 1;
+            } else if depth == 0 && (t.is("if") || t.is("match")) {
+                // Control flow embedded in statement position
+                // (`let x = if c { a } else { b };`).
+                self.push_stmt(cur, StmtKind::Plain, start, j);
+                let (join, nj) = if t.is("if") {
+                    self.if_chain(j, hi, cur)
+                } else {
+                    self.match_expr(j, hi, cur)
+                };
+                let resumed = match join {
+                    Some(b) => b,
+                    None => self.new_block(), // all branches diverged
+                };
+                cur = resumed;
+                start = nj;
+                j = nj;
+                // A trailing `;` closes the statement.
+                if self.tok_is(j, ";") {
+                    return (join.map(|_| cur), j + 1);
+                }
+                continue;
+            } else if depth == 0 && is_let && t.is("else") && self.tok_is(j + 1, "{") {
+                // `let PAT = expr else { diverge };`
+                self.push_stmt(cur, StmtKind::Plain, start, j);
+                if let Some(close) = self.file.matching_brace(j + 1) {
+                    if let Some(end) = self.braced_region(j + 1, close, cur) {
+                        // A let-else block must diverge; if our model
+                        // found a fall-through, route it to exit.
+                        self.edge(end, self.exit);
+                    }
+                    let after = self.new_block();
+                    self.edge(cur, after);
+                    cur = after;
+                    start = close + 1;
+                    j = close + 1;
+                    continue;
+                }
+            } else if t.is("{") {
+                // Opaque braced subexpression (struct literal, closure
+                // body): straight-line as far as this CFG is concerned.
+                match self.file.matching_brace(j) {
+                    Some(c) => j = c,
+                    None => break,
+                }
+            }
+            j += 1;
+        }
+        let end = j.min(hi);
+        self.push_stmt(cur, StmtKind::Plain, start, end);
+        (Some(cur), end)
+    }
+
+    /// `if cond { … } [else if …]* [else { … }]` starting at `i`.
+    /// Returns the join block (None when every branch diverges) and the
+    /// index just past the chain.
+    fn if_chain(&mut self, i: usize, hi: usize, cur: BlockId) -> (Option<BlockId>, usize) {
+        let Some(open) = self.find_body_brace(i + 1, hi) else {
+            // Unparseable; treat the rest as one opaque statement.
+            self.push_stmt(cur, StmtKind::Plain, i, hi);
+            return (Some(cur), hi);
+        };
+        let Some(close) = self.file.matching_brace(open) else {
+            self.push_stmt(cur, StmtKind::Plain, i, hi);
+            return (Some(cur), hi);
+        };
+        // The condition (with its `if`) runs in the current block.
+        self.push_stmt(cur, StmtKind::Plain, i, open);
+        let then_end = self.braced_region(open, close, cur);
+        let mut arm_ends = vec![then_end];
+        let mut k = close + 1;
+        let mut has_else = false;
+        if self.tok_is(k, "else") {
+            has_else = true;
+            if self.tok_is(k + 1, "if") {
+                let (else_end, nk) = self.if_chain(k + 1, hi, cur);
+                arm_ends.push(else_end);
+                k = nk;
+            } else if self.tok_is(k + 1, "{") {
+                if let Some(ec) = self.file.matching_brace(k + 1) {
+                    arm_ends.push(self.braced_region(k + 1, ec, cur));
+                    k = ec + 1;
+                } else {
+                    has_else = false;
+                }
+            } else {
+                has_else = false;
+            }
+        }
+        let live: Vec<BlockId> = arm_ends.into_iter().flatten().collect();
+        if live.is_empty() && has_else {
+            return (None, k);
+        }
+        let join = self.new_block();
+        if !has_else {
+            self.edge(cur, join); // the condition may be false
+        }
+        for b in live {
+            self.edge(b, join);
+        }
+        (Some(join), k)
+    }
+
+    /// `match scrutinee { pat => body, … }` starting at `i`.
+    fn match_expr(&mut self, i: usize, hi: usize, cur: BlockId) -> (Option<BlockId>, usize) {
+        let Some(open) = self.find_body_brace(i + 1, hi) else {
+            self.push_stmt(cur, StmtKind::Plain, i, hi);
+            return (Some(cur), hi);
+        };
+        let Some(close) = self.file.matching_brace(open) else {
+            self.push_stmt(cur, StmtKind::Plain, i, hi);
+            return (Some(cur), hi);
+        };
+        // The scrutinee (with its `match`) runs in the current block.
+        self.push_stmt(cur, StmtKind::Plain, i, open);
+        let mut arm_ends: Vec<Option<BlockId>> = Vec::new();
+        let mut k = open + 1;
+        while k < close {
+            if self.tok_is(k, ",") || self.tok_is(k, ";") {
+                k += 1;
+                continue;
+            }
+            // Pattern (+ optional guard) up to `=>`.
+            let pat_start = k;
+            let mut depth = 0i32;
+            let mut arrow = None;
+            let mut p = k;
+            while p < close {
+                let t = &self.file.tokens[p];
+                if t.is("(") || t.is("[") {
+                    depth += 1;
+                } else if t.is(")") || t.is("]") {
+                    depth -= 1;
+                } else if t.is("{") {
+                    match self.file.matching_brace(p) {
+                        Some(c) => p = c,
+                        None => break,
+                    }
+                } else if depth == 0 && t.is("=") && self.tok_is(p + 1, ">") {
+                    arrow = Some(p);
+                    break;
+                }
+                p += 1;
+            }
+            let Some(arrow) = arrow else { break };
+            let arm = self.new_block();
+            self.edge(cur, arm);
+            self.push_stmt(arm, StmtKind::Plain, pat_start, arrow);
+            k = arrow + 2;
+            if self.tok_is(k, "{") {
+                if let Some(bc) = self.file.matching_brace(k) {
+                    arm_ends.push(self.braced_region(k, bc, arm));
+                    k = bc + 1;
+                    continue;
+                }
+            }
+            // Expression arm: runs until `,` at depth 0 or the match end.
+            let expr_start = k;
+            let mut depth = 0i32;
+            let mut e = k;
+            while e < close {
+                let t = &self.file.tokens[e];
+                if t.is("(") || t.is("[") {
+                    depth += 1;
+                } else if t.is(")") || t.is("]") {
+                    depth -= 1;
+                } else if t.is("{") {
+                    match self.file.matching_brace(e) {
+                        Some(c) => e = c,
+                        None => break,
+                    }
+                } else if depth == 0 && t.is(",") {
+                    break;
+                }
+                e += 1;
+            }
+            let diverges = self.tok_is(expr_start, "return")
+                || self.tok_is(expr_start, "break")
+                || self.tok_is(expr_start, "continue");
+            let mut end = self.region(expr_start, e, arm);
+            if diverges {
+                end = None;
+            }
+            arm_ends.push(end);
+            k = e + 1;
+        }
+        let live: Vec<BlockId> = arm_ends.iter().copied().flatten().collect();
+        if live.is_empty() && !arm_ends.is_empty() {
+            return (None, close + 1);
+        }
+        let join = self.new_block();
+        if arm_ends.is_empty() {
+            self.edge(cur, join); // empty match (uninhabited scrutinee)
+        }
+        for b in live {
+            self.edge(b, join);
+        }
+        (Some(join), close + 1)
+    }
+
+    /// `loop { … }`, `while cond { … }`, `for pat in iter { … }`.
+    fn loop_stmt(&mut self, i: usize, hi: usize, cur: BlockId) -> (Option<BlockId>, usize) {
+        let Some(open) = self.find_body_brace(i + 1, hi) else {
+            self.push_stmt(cur, StmtKind::Plain, i, hi);
+            return (Some(cur), hi);
+        };
+        let Some(close) = self.file.matching_brace(open) else {
+            self.push_stmt(cur, StmtKind::Plain, i, hi);
+            return (Some(cur), hi);
+        };
+        let header = self.new_block();
+        self.edge(cur, header);
+        // The condition / iterator expression runs in the header.
+        self.push_stmt(header, StmtKind::Plain, i, open);
+        let after = self.new_block();
+        // Conservative: every loop may exit (a `while` whose condition is
+        // false, a `loop` whose body breaks before we model it).
+        self.edge(header, after);
+        self.loops.push((header, after));
+        let body_entry = self.new_block();
+        self.edge(header, body_entry);
+        let end = self.region(open + 1, close, body_entry);
+        self.loops.pop();
+        if let Some(e) = end {
+            self.push_stmt(e, StmtKind::ScopeExit, open, close);
+            self.edge(e, header); // back edge
+        }
+        (Some(after), close + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_for(body: &str) -> (SourceFile, Cfg) {
+        let src = format!("fn f() {{ {body} }}");
+        let file = SourceFile::parse("x.rs", &src);
+        let f = file.fn_named("f").expect("fn f").clone();
+        let cfg = Cfg::build(&file, &f);
+        (file, cfg)
+    }
+
+    /// Number of `Plain` statements across all blocks.
+    fn plain_count(cfg: &Cfg) -> usize {
+        cfg.blocks
+            .iter()
+            .flat_map(|b| &b.stmts)
+            .filter(|s| s.kind == StmtKind::Plain)
+            .count()
+    }
+
+    /// All blocks that contain statements are reachable from entry.
+    fn assert_reachable(cfg: &Cfg) {
+        let seen = cfg.reachable();
+        for (i, b) in cfg.blocks.iter().enumerate() {
+            if !b.stmts.is_empty() {
+                assert!(seen[i], "block {i} with {} stmts unreachable", b.stmts.len());
+            }
+        }
+        assert!(seen[cfg.exit], "exit unreachable");
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let (_, cfg) = cfg_for("let a = 1; let b = a; g(b);");
+        assert_eq!(plain_count(&cfg), 3);
+        assert_reachable(&cfg);
+        // Entry flows straight to exit.
+        assert_eq!(cfg.blocks[cfg.entry].succs, vec![cfg.exit]);
+    }
+
+    #[test]
+    fn if_else_splits_and_joins() {
+        let (_, cfg) = cfg_for("let a = 1; if a > 0 { g(a); } else { h(a); } k();");
+        assert_reachable(&cfg);
+        // Entry block: let + cond, two branch successors.
+        assert_eq!(cfg.blocks[cfg.entry].succs.len(), 2);
+        assert_eq!(plain_count(&cfg), 5);
+    }
+
+    #[test]
+    fn if_without_else_has_skip_edge() {
+        let (_, cfg) = cfg_for("if a { g(); } k();");
+        assert_reachable(&cfg);
+        let entry_succs = &cfg.blocks[cfg.entry].succs;
+        assert_eq!(entry_succs.len(), 2, "then-branch and skip edge");
+    }
+
+    #[test]
+    fn match_arms_each_get_a_block() {
+        let (_, cfg) = cfg_for("match x { A => g(), B { y } => h(y), _ => {} } k();");
+        assert_reachable(&cfg);
+        assert_eq!(cfg.blocks[cfg.entry].succs.len(), 3, "three arms");
+    }
+
+    #[test]
+    fn question_mark_adds_exit_edge() {
+        let (_, cfg) = cfg_for("let a = g()?; h(a);");
+        assert_reachable(&cfg);
+        assert!(
+            cfg.blocks[cfg.entry].succs.contains(&cfg.exit),
+            "error path of `?` reaches exit: {:?}",
+            cfg.blocks[cfg.entry].succs
+        );
+        assert_eq!(cfg.blocks[cfg.entry].succs.len(), 2);
+    }
+
+    #[test]
+    fn return_diverges() {
+        let (_, cfg) = cfg_for("if a { return 1; } g();");
+        assert_reachable(&cfg);
+        // The then-branch ends at exit, not at the join.
+        let then_entry = cfg.blocks[cfg.entry].succs[0];
+        assert!(cfg.blocks[then_entry].succs.contains(&cfg.exit));
+    }
+
+    #[test]
+    fn loops_have_back_edges_and_exits() {
+        let (_, cfg) = cfg_for("while a { g(); } for x in xs { h(x); } loop { break; } k();");
+        assert_reachable(&cfg);
+        // Some block has a back edge to a block with a smaller id.
+        let has_back_edge = cfg
+            .blocks
+            .iter()
+            .enumerate()
+            .any(|(i, b)| b.succs.iter().any(|&s| s < i && s != cfg.exit));
+        assert!(has_back_edge, "loop back edge missing");
+    }
+
+    #[test]
+    fn break_targets_loop_after_block() {
+        let (_, cfg) = cfg_for("loop { if done { break; } step(); } k();");
+        assert_reachable(&cfg);
+    }
+
+    #[test]
+    fn scope_exit_markers_emitted() {
+        let (_, cfg) = cfg_for("{ let g = m.lock(); g.touch(); } io();");
+        let scope_exits = cfg
+            .blocks
+            .iter()
+            .flat_map(|b| &b.stmts)
+            .filter(|s| s.kind == StmtKind::ScopeExit)
+            .count();
+        assert_eq!(scope_exits, 1);
+        assert_reachable(&cfg);
+    }
+
+    #[test]
+    fn let_else_models_divergence() {
+        let (_, cfg) = cfg_for("let Some(x) = y else { return; }; g(x);");
+        assert_reachable(&cfg);
+    }
+
+    #[test]
+    fn nested_items_are_skipped() {
+        let (_, cfg) = cfg_for("fn nested() { body(); } g();");
+        // Only `g()` is a statement of the outer fn.
+        assert_eq!(plain_count(&cfg), 1);
+        assert_reachable(&cfg);
+    }
+
+    #[test]
+    fn rhs_if_expression_splits() {
+        let (_, cfg) = cfg_for("let x = if c { 1 } else { 2 }; g(x);");
+        assert_reachable(&cfg);
+        assert_eq!(cfg.blocks[cfg.entry].succs.len(), 2);
+    }
+
+    #[test]
+    fn labelled_loops_parse() {
+        let (_, cfg) = cfg_for("'outer: loop { if a { break; } continue; } g();");
+        assert_reachable(&cfg);
+    }
+
+    #[test]
+    fn struct_literals_and_closures_stay_inline() {
+        let (_, cfg) = cfg_for(
+            "let s = Foo { a: 1, b: 2 }; let f = xs.iter().map(|x| { x + 1 }); g(s, f);",
+        );
+        assert_eq!(plain_count(&cfg), 3);
+        assert_eq!(cfg.blocks[cfg.entry].succs, vec![cfg.exit]);
+    }
+}

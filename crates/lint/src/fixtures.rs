@@ -1,0 +1,217 @@
+//! Fixture-drift verification: every rule must fire on its failing
+//! fixture (with the pinned violation count) and stay silent on its
+//! passing one. `crates/lint/tests/rules.rs` runs this in the crate's
+//! own suite, and the tier-1 gate (`tests/lint_gate.rs`) runs it again
+//! from outside — so a rule edit that silently changes what the catalog
+//! catches fails the gate even if the workspace sweep still looks clean.
+
+use std::fs;
+use std::path::Path;
+
+use crate::dataflow::{run_rule, DataflowRule};
+use crate::report::Violation;
+use crate::rules;
+use crate::source::SourceFile;
+
+/// How many findings a fixture run must produce.
+enum Expect {
+    /// Zero findings (a passing fixture).
+    Clean,
+    /// Exactly this many findings (a failing fixture).
+    Exactly(usize),
+}
+
+/// One fixture check outcome accumulator.
+struct Drift {
+    checked: usize,
+    problems: Vec<String>,
+}
+
+impl Drift {
+    fn record(&mut self, label: &str, rule: &str, vs: &[Violation], want: &Expect) {
+        self.checked += 1;
+        if let Some(bad) = vs.iter().find(|v| v.rule != rule) {
+            self.problems.push(format!(
+                "{label}: finding tagged `{}` from a `{rule}` run",
+                bad.rule
+            ));
+        }
+        match want {
+            Expect::Clean if !vs.is_empty() => self.problems.push(format!(
+                "{label}: passing fixture produced {} finding(s): {}",
+                vs.len(),
+                vs.iter()
+                    .map(|v| v.message.as_str())
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            )),
+            Expect::Exactly(n) if vs.len() != *n => self.problems.push(format!(
+                "{label}: expected {n} finding(s), got {}: {:?}",
+                vs.len(),
+                vs.iter().map(|v| &v.message).collect::<Vec<_>>()
+            )),
+            _ => {}
+        }
+    }
+}
+
+fn read(dir: &Path, name: &str) -> Result<String, String> {
+    fs::read_to_string(dir.join(name)).map_err(|e| format!("cannot read fixture {name}: {e}"))
+}
+
+/// Parse a fixture under a synthetic hot-path label so path-gated rules
+/// treat it as in-scope.
+fn parse(dir: &Path, name: &str) -> Result<SourceFile, String> {
+    Ok(SourceFile::parse(
+        &format!("crates/storage/src/{name}"),
+        &read(dir, name)?,
+    ))
+}
+
+fn run_dataflow(
+    drift: &mut Drift,
+    dir: &Path,
+    rule: &dyn DataflowRule,
+    fail_expect: usize,
+) -> Result<(), String> {
+    let base = rule.rule().replace('-', "_");
+    let fail = parse(dir, &format!("{base}_fail.rs"))?;
+    drift.record(
+        &format!("{base}_fail.rs"),
+        rule.rule(),
+        &run_rule(rule, &fail),
+        &Expect::Exactly(fail_expect),
+    );
+    let pass = parse(dir, &format!("{base}_pass.rs"))?;
+    drift.record(
+        &format!("{base}_pass.rs"),
+        rule.rule(),
+        &run_rule(rule, &pass),
+        &Expect::Clean,
+    );
+    Ok(())
+}
+
+/// Verify every rule's fixtures under `dir`
+/// (`crates/lint/tests/fixtures`). Returns the number of fixture runs
+/// checked.
+///
+/// # Errors
+/// Returns a message listing every drifted fixture, or an I/O error
+/// when a fixture file is missing — a deleted fixture is drift too.
+pub fn verify_fixtures(dir: &Path) -> Result<usize, String> {
+    let mut drift = Drift {
+        checked: 0,
+        problems: Vec::new(),
+    };
+
+    // Lexical rules.
+    drift.record(
+        "panic_freedom_fail.rs",
+        rules::panic_freedom::RULE,
+        &rules::panic_freedom::check(&parse(dir, "panic_freedom_fail.rs")?),
+        &Expect::Exactly(4),
+    );
+    drift.record(
+        "panic_freedom_pass.rs",
+        rules::panic_freedom::RULE,
+        &rules::panic_freedom::check(&parse(dir, "panic_freedom_pass.rs")?),
+        &Expect::Clean,
+    );
+    drift.record(
+        "lock_order_fail.rs",
+        rules::lock_order::RULE,
+        &rules::lock_order::check(&[&parse(dir, "lock_order_fail.rs")?]),
+        &Expect::Exactly(1),
+    );
+    drift.record(
+        "lock_order_pass.rs",
+        rules::lock_order::RULE,
+        &rules::lock_order::check(&[&parse(dir, "lock_order_pass.rs")?]),
+        &Expect::Clean,
+    );
+    drift.record(
+        "ack_after_force_fail.rs",
+        rules::ack_after_force::RULE,
+        &rules::ack_after_force::check(&parse(dir, "ack_after_force_fail.rs")?),
+        &Expect::Exactly(1),
+    );
+    drift.record(
+        "ack_after_force_pass.rs",
+        rules::ack_after_force::RULE,
+        &rules::ack_after_force::check(&parse(dir, "ack_after_force_pass.rs")?),
+        &Expect::Clean,
+    );
+    drift.record(
+        "wire_fail.rs",
+        rules::wire_exhaustive::RULE,
+        &rules::wire_exhaustive::check(
+            &parse(dir, "wire_fail.rs")?,
+            &parse(dir, "wire_props_fail.rs")?,
+        ),
+        &Expect::Exactly(3),
+    );
+    drift.record(
+        "status_doc_fail.md",
+        rules::status_parity::RULE,
+        &rules::status_parity::check(
+            &parse(dir, "status_wire.rs")?,
+            "fixtures/status_doc_fail.md",
+            &read(dir, "status_doc_fail.md")?,
+        ),
+        &Expect::Exactly(2),
+    );
+    drift.record(
+        "stats_doc_fail.md",
+        rules::status_parity::RULE,
+        &rules::status_parity::check(
+            &parse(dir, "status_wire.rs")?,
+            "fixtures/stats_doc_fail.md",
+            &read(dir, "stats_doc_fail.md")?,
+        ),
+        &Expect::Exactly(2),
+    );
+    drift.record(
+        "status_doc_pass.md",
+        rules::status_parity::RULE,
+        &rules::status_parity::check(
+            &parse(dir, "status_wire.rs")?,
+            "fixtures/status_doc_pass.md",
+            &read(dir, "status_doc_pass.md")?,
+        ),
+        &Expect::Clean,
+    );
+    drift.record(
+        "forbid_unsafe_fail.rs",
+        rules::forbid_unsafe::RULE,
+        &rules::forbid_unsafe::check(&parse(dir, "forbid_unsafe_fail.rs")?),
+        &Expect::Exactly(1),
+    );
+    drift.record(
+        "forbid_unsafe_pass.rs",
+        rules::forbid_unsafe::RULE,
+        &rules::forbid_unsafe::check(&parse(dir, "forbid_unsafe_pass.rs")?),
+        &Expect::Clean,
+    );
+
+    // Flow-sensitive rules.
+    run_dataflow(
+        &mut drift,
+        dir,
+        &rules::blocking_under_lock::BlockingUnderLock,
+        2,
+    )?;
+    run_dataflow(&mut drift, dir, &rules::lsn_checked_arith::LsnCheckedArith, 3)?;
+    run_dataflow(&mut drift, dir, &rules::seal_typestate::SealTypestate, 2)?;
+    run_dataflow(&mut drift, dir, &rules::result_swallow::ResultSwallow, 3)?;
+
+    if drift.problems.is_empty() {
+        Ok(drift.checked)
+    } else {
+        Err(format!(
+            "fixture drift ({} problem(s)):\n  {}",
+            drift.problems.len(),
+            drift.problems.join("\n  ")
+        ))
+    }
+}

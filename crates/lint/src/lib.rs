@@ -6,8 +6,10 @@
 //! stay in lock-step with its codec and property coverage, and a log
 //! server must not panic on hostile bytes. This crate walks the
 //! workspace sources with a hand-rolled lexer (no external parser — it
-//! must build offline against the vendored stubs) and enforces six
-//! repo-specific rules, gated in tier-1 via `tests/lint_gate.rs`:
+//! must build offline against the vendored stubs) and enforces ten
+//! repo-specific rules, gated in tier-1 via `tests/lint_gate.rs`.
+//!
+//! Six rules are *lexical* — token-stream scans:
 //!
 //! | rule | invariant |
 //! |------|-----------|
@@ -18,6 +20,18 @@
 //! | `status-parity` | `Response::Status` fields match the `docs/PROTOCOL.md` gauge table |
 //! | `forbid-unsafe` | every first-party crate root carries `#![forbid(unsafe_code)]` |
 //!
+//! Four rules are *flow-sensitive*: [`cfg`] builds a statement-level
+//! control-flow graph per function body, and [`dataflow`] runs a
+//! forward may-analysis over it to a fixpoint, so these rules see
+//! *paths*, not just token order:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `blocking-under-lock` | no blocking I/O / channel op while a `MutexGuard` is live (§4.1 latency) |
+//! | `lsn-checked-arith` | LSN/epoch/sequence arithmetic uses `checked_*`/`saturating_*` (§3.1.2 monotonicity) |
+//! | `seal-typestate` | no `append`/`write_at` on a segment after `.seal()` (archive CRC immutability) |
+//! | `result-swallow` | the `Result` of force/flush/upload is consumed on every path (§4.2 ack-after-force) |
+//!
 //! Audited exceptions live in `lint.allow` (rule, file, function scope,
 //! mandatory justification). See `docs/LINT.md` for the full catalog,
 //! the allowlist workflow, and how to add a rule.
@@ -26,6 +40,9 @@
 #![warn(missing_docs)]
 
 pub mod allow;
+pub mod cfg;
+pub mod dataflow;
+pub mod fixtures;
 pub mod lexer;
 pub mod report;
 pub mod rules;

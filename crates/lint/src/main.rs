@@ -1,13 +1,15 @@
 //! `dlog-lint` binary: run the workspace rule catalog.
 //!
 //! ```text
-//! cargo run -p dlog-lint            # human-readable report
-//! cargo run -p dlog-lint -- --json  # machine-readable report
+//! cargo run -p dlog-lint              # human-readable report
+//! cargo run -p dlog-lint -- --json    # machine-readable report
+//! cargo run -p dlog-lint -- --timing  # append per-rule wall time
 //! cargo run -p dlog-lint -- --root /path/to/workspace
 //! ```
 //!
 //! Exit status: 0 when clean (modulo `lint.allow`), 1 on violations,
-//! 2 on usage or I/O errors.
+//! 2 on usage or I/O errors. With `--json --timing` the timing table
+//! goes to stderr so stdout stays valid JSON.
 
 #![forbid(unsafe_code)]
 
@@ -16,11 +18,13 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut json = false;
+    let mut timing = false;
     let mut root_arg: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--timing" => timing = true,
             "--root" => match args.next() {
                 Some(p) => root_arg = Some(PathBuf::from(p)),
                 None => {
@@ -29,7 +33,7 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                println!("usage: dlog-lint [--json] [--root PATH]");
+                println!("usage: dlog-lint [--json] [--timing] [--root PATH]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -63,8 +67,14 @@ fn main() -> ExitCode {
         Ok(report) => {
             if json {
                 print!("{}", report.to_json());
+                if timing {
+                    eprint!("{}", report.timing_table());
+                }
             } else {
                 print!("{}", report.to_text());
+                if timing {
+                    print!("{}", report.timing_table());
+                }
             }
             if report.ok() {
                 ExitCode::SUCCESS

@@ -17,6 +17,27 @@ pub struct Violation {
     pub message: String,
 }
 
+/// Wall time of one rule pass (for `dlog-lint --timing`).
+#[derive(Clone, Debug)]
+pub struct RuleTiming {
+    /// Rule identifier.
+    pub rule: &'static str,
+    /// Wall time of the pass in microseconds (includes file loading
+    /// done on the rule's behalf — first loader touch pays parse cost).
+    pub micros: u128,
+}
+
+impl RuleTiming {
+    /// Timing entry for `rule`, measured from `t0` to now.
+    #[must_use]
+    pub fn since(rule: &'static str, t0: std::time::Instant) -> RuleTiming {
+        RuleTiming {
+            rule,
+            micros: t0.elapsed().as_micros(),
+        }
+    }
+}
+
 /// Outcome of a workspace lint run.
 #[derive(Debug, Default)]
 pub struct Report {
@@ -28,6 +49,9 @@ pub struct Report {
     pub unused_allows: Vec<String>,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Per-rule wall time, in catalog order. Not part of the JSON
+    /// output: the `--json` schema stays deterministic for snapshots.
+    pub timings: Vec<RuleTiming>,
 }
 
 impl Report {
@@ -61,6 +85,7 @@ impl Report {
             allowed,
             unused_allows,
             files_scanned,
+            timings: Vec::new(),
         }
     }
 
@@ -123,6 +148,33 @@ impl Report {
             self.files_scanned,
             self.violations.len(),
             self.allowed.len()
+        ));
+        s
+    }
+
+    /// Render the per-rule timing table (for `--timing`).
+    #[must_use]
+    pub fn timing_table(&self) -> String {
+        let width = self
+            .timings
+            .iter()
+            .map(|t| t.rule.len())
+            .max()
+            .unwrap_or(0);
+        let mut s = String::from("per-rule wall time:\n");
+        let mut total: u128 = 0;
+        for t in &self.timings {
+            total += t.micros;
+            s.push_str(&format!(
+                "  {:width$}  {:>9.3} ms\n",
+                t.rule,
+                t.micros as f64 / 1000.0,
+            ));
+        }
+        s.push_str(&format!(
+            "  {:width$}  {:>9.3} ms\n",
+            "total",
+            total as f64 / 1000.0,
         ));
         s
     }

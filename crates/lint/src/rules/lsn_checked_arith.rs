@@ -1,0 +1,196 @@
+//! `lsn-checked-arith`: no silent wraparound on LSN/epoch/sequence
+//! arithmetic in hot-path crates.
+//!
+//! §3.1.2's present-flag scheme works because epochs and LSNs are
+//! *monotone*: a wrapped epoch would make stale records look fresh, and
+//! a wrapped LSN corrupts interval arithmetic everywhere. `Lsn::next`
+//! and `Epoch::next` already use `checked_add`; this rule keeps raw
+//! `+`/`-`/`+=`/`-=` off every other LSN-shaped value. It is
+//! flow-sensitive where it needs to be: a binding initialized from an
+//! LSN-shaped expression carries a fact, so `let hi = seg.lo; … hi + 1`
+//! is caught even though `hi` alone looks innocent.
+
+use crate::dataflow::{kill_key_prefix, let_bindings, DataflowRule, Fact, FactSet, StmtCx};
+use crate::lexer::TokenKind;
+use crate::report::Violation;
+
+/// Rule identifier.
+pub const RULE: &str = "lsn-checked-arith";
+
+/// The rule as a [`DataflowRule`] instance.
+pub struct LsnCheckedArith;
+
+/// True when an identifier names an LSN/epoch/sequence-shaped value.
+fn lsn_shaped(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    lower.contains("lsn")
+        || lower.contains("epoch")
+        || lower.contains("seq")
+        || lower == "generation"
+        || name == "Lsn" || name == "Epoch"
+}
+
+/// Identifier segments of the operand adjacent to the operator at `i`:
+/// walk up to six tokens in direction `back`, collecting identifiers and
+/// crossing literals, `.`, and grouping punctuation; any other token
+/// (another operator, `=`, `;`, …) ends the operand.
+fn operand_idents(toks: &[crate::lexer::Token], i: usize, back: bool) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut k = i as isize;
+    let step: isize = if back { -1 } else { 1 };
+    for _ in 0..6 {
+        k += step;
+        if k < 0 {
+            break;
+        }
+        let Some(t) = toks.get(k as usize) else { break };
+        match t.kind {
+            TokenKind::Ident => out.push(t.text.clone()),
+            TokenKind::Literal => {}
+            TokenKind::Punct if matches!(t.text.as_str(), "." | "(" | ")" | "[" | "]") => {}
+            _ => break,
+        }
+    }
+    out
+}
+
+impl DataflowRule for LsnCheckedArith {
+    fn rule(&self) -> &'static str {
+        RULE
+    }
+
+    fn targets(&self) -> &'static [&'static str] {
+        &[
+            "crates/server/src",
+            "crates/net/src",
+            "crates/storage/src",
+            "crates/append-forest/src",
+            "crates/obs/src",
+            "crates/types/src",
+            "crates/archive/src",
+        ]
+    }
+
+    fn transfer(&self, cx: &StmtCx<'_>, facts: &mut FactSet) {
+        let toks = cx.tokens();
+        let binds = let_bindings(cx);
+        if binds.is_empty() {
+            return;
+        }
+        for (_, name) in &binds {
+            kill_key_prefix(facts, &format!("lsn:{name}"));
+        }
+        // RHS mentions an LSN-shaped name or constructor → the binding
+        // itself is LSN-shaped.
+        let rhs_lsn = toks.iter().any(|t| t.kind == TokenKind::Ident && lsn_shaped(&t.text));
+        if !rhs_lsn {
+            return;
+        }
+        for (decl, name) in binds {
+            facts.insert(Fact {
+                key: format!("lsn:{name}"),
+                decl: Some(decl),
+                origin: decl,
+            });
+        }
+    }
+
+    fn check(&self, cx: &StmtCx<'_>, facts: &FactSet, out: &mut Vec<Violation>) {
+        let toks = cx.tokens();
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if !(t.is("+") || t.is("-")) {
+                continue;
+            }
+            // `->` arrows, `+=`/`-=` handled below, `..`/unary minus out.
+            if t.is("-") && toks.get(i + 1).is_some_and(|n| n.is(">")) {
+                continue;
+            }
+            let compound = toks.get(i + 1).is_some_and(|n| n.is("="));
+            // Unary sign: previous token is an operator/opening punct.
+            let prev_ok = i > 0
+                && match toks[i - 1].kind {
+                    TokenKind::Ident => true,
+                    TokenKind::Literal => true,
+                    TokenKind::Punct => toks[i - 1].is(")") || toks[i - 1].is("]"),
+                    TokenKind::Lifetime => false,
+                };
+            if !prev_ok {
+                continue;
+            }
+            let mut names = operand_idents(toks, i, true);
+            names.extend(operand_idents(toks, if compound { i + 1 } else { i }, false));
+            let hit = names.iter().find(|n| {
+                lsn_shaped(n)
+                    || facts.iter().any(|f| f.key == format!("lsn:{}", n))
+            });
+            if let Some(name) = hit {
+                let op = if compound {
+                    format!("{}=", t.text)
+                } else {
+                    t.text.clone()
+                };
+                out.push(cx.violation(
+                    RULE,
+                    i,
+                    format!(
+                        "raw `{op}` on LSN/epoch/sequence value `{name}`; use \
+                         `checked_{}`/`saturating_{}` — §3.1.2 monotonicity depends on \
+                         no silent wraparound",
+                        if t.is("+") { "add" } else { "sub" },
+                        if t.is("+") { "add" } else { "sub" },
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::run_rule;
+    use crate::source::SourceFile;
+
+    fn run(body: &str) -> Vec<Violation> {
+        let src = format!("fn f(&mut self) {{ {body} }}");
+        let file = SourceFile::parse("crates/storage/src/x.rs", &src);
+        run_rule(&LsnCheckedArith, &file)
+    }
+
+    #[test]
+    fn raw_add_on_lsn_name_fires() {
+        let vs = run("let next = lsn.0 + 1;");
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(vs[0].message.contains("checked_add"));
+    }
+
+    #[test]
+    fn compound_assign_fires() {
+        let vs = run("self.next_seq += 1;");
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(vs[0].message.contains("+="));
+    }
+
+    #[test]
+    fn checked_and_saturating_are_clean() {
+        assert!(run("let next = lsn.0.checked_add(1)?; let p = epoch.0.saturating_sub(1);")
+            .is_empty());
+    }
+
+    #[test]
+    fn flow_tracks_lsn_shaped_bindings() {
+        let vs = run("let hi = interval.hi_lsn; let x = hi - 1;");
+        assert_eq!(vs.len(), 1, "{vs:?}");
+    }
+
+    #[test]
+    fn unrelated_arithmetic_is_clean() {
+        assert!(run("let n = a + b; let m = count - 1; let p = -x;").is_empty());
+    }
+
+    #[test]
+    fn arrow_and_ranges_are_clean() {
+        assert!(run("let f: fn(u8) -> u8 = g; for i in 0..n { use_it(i); }").is_empty());
+    }
+}

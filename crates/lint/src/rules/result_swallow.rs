@@ -1,0 +1,240 @@
+//! `result-swallow`: the `Result` of a durability call must be consumed.
+//!
+//! §4.2's contract is *ack-after-force*: a server may only acknowledge
+//! what is durably on media. A swallowed force/flush/upload error breaks
+//! that guarantee at runtime with no trace — the code path still acks,
+//! the bytes are gone. Three shapes are flagged:
+//!
+//! 1. `let _ = x.force(…);` — explicit discard,
+//! 2. a bare `x.force(…);` / `x.force(…).ok();` statement — implicit
+//!    discard (`.ok()` launders the error into an ignored `Option`),
+//! 3. flow-sensitively: `let r = x.force(…);` where some path to the
+//!    function exit never mentions `r` again — the binding *looks*
+//!    consumed but is dead on that path.
+//!
+//! Consumption means `?`, a `match`/`if` inspection, passing it on, or
+//! returning it. Deliberate best-effort discards (e.g. directory-sync
+//! after a crash-safe rename) get `lint.allow` entries.
+
+use crate::dataflow::{
+    kill_key_prefix, let_bindings, mentions, method_calls, DataflowRule, Fact, FactSet, StmtCx,
+};
+use crate::lexer::TokenKind;
+use crate::report::Violation;
+use crate::source::{FnSpan, SourceFile};
+
+/// Rule identifier.
+pub const RULE: &str = "result-swallow";
+
+/// Calls whose `Result` carries a durability promise.
+const DURABLE_CALLS: &[&str] = &[
+    "force", "flush", "sync", "sync_all", "sync_data", "upload", "put",
+];
+
+/// The rule as a [`DataflowRule`] instance.
+pub struct ResultSwallow;
+
+/// Statement-relative indices of durable calls in this statement.
+fn durable_calls(cx: &StmtCx<'_>) -> Vec<usize> {
+    let toks = cx.tokens();
+    method_calls(cx)
+        .into_iter()
+        .filter(|&i| DURABLE_CALLS.contains(&toks[i].text.as_str()))
+        .collect()
+}
+
+/// True when the statement consumes the call result in place: `?`
+/// propagation or a panicking extractor (`expect`/`unwrap` — themselves
+/// policed by `panic-freedom`).
+fn consumed_in_stmt(cx: &StmtCx<'_>) -> bool {
+    cx.tokens()
+        .iter()
+        .any(|t| t.is("?") || t.is("expect") || t.is("unwrap"))
+}
+
+impl DataflowRule for ResultSwallow {
+    fn rule(&self) -> &'static str {
+        RULE
+    }
+
+    fn targets(&self) -> &'static [&'static str] {
+        &[
+            "crates/server/src",
+            "crates/net/src",
+            "crates/storage/src",
+            "crates/append-forest/src",
+            "crates/obs/src",
+            "crates/archive/src",
+        ]
+    }
+
+    fn transfer(&self, cx: &StmtCx<'_>, facts: &mut FactSet) {
+        let toks = cx.tokens();
+        // Any mention of a tracked binding consumes it — inspecting,
+        // passing, or returning the Result all count.
+        let mentioned: Vec<String> = facts
+            .iter()
+            .filter_map(|f| f.key.strip_prefix("res:").map(str::to_string))
+            .filter(|name| mentions(cx, name))
+            .collect();
+        for name in mentioned {
+            kill_key_prefix(facts, &format!("res:{name}"));
+        }
+        // `let r = x.force(…);` with no in-statement consumption gens an
+        // unconsumed-result fact on `r`.
+        if consumed_in_stmt(cx) || durable_calls(cx).is_empty() {
+            return;
+        }
+        let binds = let_bindings(cx);
+        // `let _ = …` and bare statements are reported directly; only a
+        // real named binding needs flow tracking.
+        let Some((decl, name)) = binds.first().cloned() else {
+            return;
+        };
+        if name == "_" {
+            return;
+        }
+        let origin = cx.stmt.lo + durable_calls(cx)[0];
+        if toks.first().is_some_and(|t| t.is("let")) {
+            facts.insert(Fact {
+                key: format!("res:{name}"),
+                decl: Some(decl),
+                origin,
+            });
+        }
+    }
+
+    fn check(&self, cx: &StmtCx<'_>, _facts: &FactSet, out: &mut Vec<Violation>) {
+        let toks = cx.tokens();
+        let calls = durable_calls(cx);
+        if calls.is_empty() || consumed_in_stmt(cx) {
+            return;
+        }
+        let call_name = |i: usize| toks[i].text.clone();
+        // Shape 1: `let _ = x.force(…);`
+        if toks.len() >= 3 && toks[0].is("let") && toks[1].is("_") && toks[2].is("=") {
+            out.push(cx.violation(
+                RULE,
+                calls[0],
+                format!(
+                    "`let _ =` discards the Result of `.{}()`; a swallowed durability error \
+                     breaks ack-after-force (§4.2) — handle it or allowlist with justification",
+                    call_name(calls[0])
+                ),
+            ));
+            return;
+        }
+        // Shape 2: a bare expression statement. Anything that starts
+        // with a keyword that consumes the value (let/if/match/return/
+        // while/for), or assigns it, is not bare.
+        let first = &toks[0];
+        let consuming_start = first.kind == TokenKind::Ident
+            && matches!(
+                first.text.as_str(),
+                "let" | "if" | "match" | "return" | "while" | "for" | "else" | "break" | "continue"
+            );
+        let has_assign = (0..toks.len()).any(|i| {
+            toks[i].is("=")
+                && !toks.get(i + 1).is_some_and(|t| t.is("="))
+                && (i == 0 || !matches!(toks[i - 1].text.as_str(), "=" | "!" | "<" | ">" | "+" | "-" | "*" | "/"))
+        });
+        if consuming_start || has_assign {
+            return;
+        }
+        // A tail expression (no trailing `;`) returns its value to the
+        // enclosing block — that is consumption, not a discard.
+        if !cx.file.tokens.get(cx.stmt.hi).is_some_and(|t| t.is(";")) {
+            return;
+        }
+        // `.ok()` after the call is still a discard when the statement
+        // ends there; so is the bare call itself.
+        out.push(cx.violation(
+            RULE,
+            calls[0],
+            format!(
+                "Result of `.{}()` is discarded by this statement; a swallowed durability \
+                 error breaks ack-after-force (§4.2)",
+                call_name(calls[0])
+            ),
+        ));
+    }
+
+    fn at_exit(&self, file: &SourceFile, func: &FnSpan, facts: &FactSet, out: &mut Vec<Violation>) {
+        for f in facts {
+            let Some(name) = f.key.strip_prefix("res:") else { continue };
+            out.push(Violation {
+                rule: RULE,
+                file: file.path.clone(),
+                line: file.tokens[f.origin].line,
+                scope: func.name.clone(),
+                message: format!(
+                    "Result of `.{}()` bound to `{name}` is never consumed on some path to \
+                     the end of `{}` (§4.2 ack-after-force)",
+                    file.tokens[f.origin].text, func.name
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::run_rule;
+    use crate::source::SourceFile;
+
+    fn run(body: &str) -> Vec<Violation> {
+        let src = format!("fn f(&mut self) -> Result<(), E> {{ {body} }}");
+        let file = SourceFile::parse("crates/storage/src/x.rs", &src);
+        run_rule(&ResultSwallow, &file)
+    }
+
+    #[test]
+    fn let_underscore_fires() {
+        let vs = run("let _ = self.dev.force(c); Ok(())");
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(vs[0].message.contains("let _ ="));
+    }
+
+    #[test]
+    fn bare_statement_fires() {
+        let vs = run("self.dev.force(c); Ok(())");
+        assert_eq!(vs.len(), 1, "{vs:?}");
+    }
+
+    #[test]
+    fn ok_laundering_fires() {
+        let vs = run("self.dev.force(c).ok(); Ok(())");
+        assert_eq!(vs.len(), 1, "{vs:?}");
+    }
+
+    #[test]
+    fn question_mark_is_consumption() {
+        assert!(run("self.dev.force(c)?; Ok(())").is_empty());
+    }
+
+    #[test]
+    fn tail_expression_is_consumption() {
+        assert!(run("self.dev.force(c)").is_empty());
+    }
+
+    #[test]
+    fn inspected_result_is_consumption() {
+        assert!(run("let r = self.dev.force(c); if r.is_err() { fail(); } Ok(())").is_empty());
+        assert!(run("let r = self.dev.force(c); r").is_empty());
+        assert!(run("match self.dev.force(c) { Ok(()) => {}, Err(e) => log(e), } Ok(())")
+            .is_empty());
+    }
+
+    #[test]
+    fn dead_binding_on_one_path_fires() {
+        let vs = run("let r = self.dev.force(c); if fast { return Ok(()); } check(r); Ok(())");
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(vs[0].message.contains("never consumed on some path"));
+    }
+
+    #[test]
+    fn non_durable_calls_are_ignored() {
+        assert!(run("self.counter.bump(); let _ = self.maybe(); Ok(())").is_empty());
+    }
+}

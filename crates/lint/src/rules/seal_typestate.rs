@@ -1,0 +1,149 @@
+//! `seal-typestate`: once a segment is sealed, no path may append to it.
+//!
+//! The archive tier's crash-safety proof (docs/ARCHIVE.md) rests on
+//! sealed segments being immutable: a manifest records a sealed
+//! segment's byte length, so a later `append`/`write_at` on the same
+//! segment silently invalidates every archived CRC. The hazard is
+//! path-shaped — sealing usually happens on one branch of a roll-over
+//! decision — so the rule tracks a `sealed:<receiver>` fact from any
+//! `x.seal()` call and flags `x.append(…)`/`x.write_at(…)` reached with
+//! the fact live. Rebinding or assigning the receiver (a fresh segment
+//! in the same variable) clears the fact.
+
+use crate::dataflow::{
+    kill_key_prefix, let_bindings, method_calls, receiver_path, DataflowRule, Fact, FactSet,
+    StmtCx,
+};
+use crate::report::Violation;
+
+/// Rule identifier.
+pub const RULE: &str = "seal-typestate";
+
+/// Mutating calls forbidden on a sealed segment.
+const MUTATORS: &[&str] = &["append", "write_at"];
+
+/// The rule as a [`DataflowRule`] instance.
+pub struct SealTypestate;
+
+/// The receiver path of the method call at statement-relative index `i`,
+/// resolved against absolute token indices.
+fn call_receiver(cx: &StmtCx<'_>, i: usize) -> Option<String> {
+    // `i` is the method name; the receiver ends two tokens earlier.
+    let abs = cx.stmt.lo + i;
+    abs.checked_sub(2).and_then(|end| receiver_path(cx.file, end))
+}
+
+impl DataflowRule for SealTypestate {
+    fn rule(&self) -> &'static str {
+        RULE
+    }
+
+    fn targets(&self) -> &'static [&'static str] {
+        &["crates/storage/src", "crates/archive/src"]
+    }
+
+    fn transfer(&self, cx: &StmtCx<'_>, facts: &mut FactSet) {
+        let toks = cx.tokens();
+        // Rebinding (`let seg = …`) or reassignment (`seg = …`,
+        // `self.active = …`) installs a fresh, unsealed segment.
+        for (_, name) in let_bindings(cx) {
+            kill_key_prefix(facts, &format!("sealed:{name}"));
+        }
+        if !toks.first().is_some_and(|t| t.is("let")) {
+            // Leading `path = …` assignment (not `==`).
+            let mut end = 0usize;
+            while toks.get(end).is_some_and(|t| {
+                t.kind == crate::lexer::TokenKind::Ident || t.is(".")
+            }) {
+                end += 1;
+            }
+            if end > 0
+                && toks.get(end).is_some_and(|t| t.is("="))
+                && !toks.get(end + 1).is_some_and(|t| t.is("="))
+            {
+                if let Some(path) = receiver_path(cx.file, cx.stmt.lo + end - 1) {
+                    kill_key_prefix(facts, &format!("sealed:{path}"));
+                }
+            }
+        }
+        for i in method_calls(cx) {
+            if toks[i].is("seal") {
+                if let Some(path) = call_receiver(cx, i) {
+                    facts.insert(Fact {
+                        key: format!("sealed:{path}"),
+                        decl: None,
+                        origin: cx.stmt.lo + i,
+                    });
+                }
+            }
+        }
+    }
+
+    fn check(&self, cx: &StmtCx<'_>, facts: &FactSet, out: &mut Vec<Violation>) {
+        if facts.is_empty() {
+            return;
+        }
+        let toks = cx.tokens();
+        for i in method_calls(cx) {
+            if !MUTATORS.contains(&toks[i].text.as_str()) {
+                continue;
+            }
+            let Some(path) = call_receiver(cx, i) else { continue };
+            if let Some(f) = facts.iter().find(|f| f.key == format!("sealed:{path}")) {
+                out.push(cx.violation(
+                    RULE,
+                    i,
+                    format!(
+                        "`.{}()` on `{path}` after `.seal()` (line {}); a sealed segment is \
+                         immutable — archived CRCs cover its exact bytes",
+                        toks[i].text,
+                        cx.file.tokens[f.origin].line
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::run_rule;
+    use crate::source::SourceFile;
+
+    fn run(body: &str) -> Vec<Violation> {
+        let src = format!("fn f(&mut self) {{ {body} }}");
+        let file = SourceFile::parse("crates/storage/src/x.rs", &src);
+        run_rule(&SealTypestate, &file)
+    }
+
+    #[test]
+    fn append_after_seal_fires() {
+        let vs = run("seg.seal(); seg.append(bytes);");
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(vs[0].message.contains("immutable"));
+    }
+
+    #[test]
+    fn write_at_on_one_branch_fires() {
+        let vs = run("if full { self.active.seal(); } self.active.write_at(pos, b);");
+        assert_eq!(vs.len(), 1, "{vs:?}");
+    }
+
+    #[test]
+    fn append_before_seal_is_fine() {
+        assert!(run("seg.append(bytes); seg.seal();").is_empty());
+    }
+
+    #[test]
+    fn rebinding_clears_the_fact() {
+        assert!(run("seg.seal(); let seg = fresh(); seg.append(bytes);").is_empty());
+        assert!(run("self.active.seal(); self.active = fresh(); self.active.append(b);")
+            .is_empty());
+    }
+
+    #[test]
+    fn distinct_receivers_do_not_alias() {
+        assert!(run("a.seal(); b.append(bytes);").is_empty());
+    }
+}

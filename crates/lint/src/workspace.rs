@@ -1,13 +1,18 @@
 //! Workspace driver: locates the repo root, loads the target files for
-//! each rule, runs the catalog, and applies `lint.allow`.
+//! each rule, runs the catalog — lexical and dataflow rules in one pass
+//! — and applies `lint.allow`. Every rule is timed individually
+//! (`dlog-lint --timing`) so the tier-1 gate's latency budget is
+//! observable per rule.
 
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use crate::allow::Allowlist;
-use crate::report::{Report, Violation};
-use crate::rules;
+use crate::dataflow::{self, DataflowRule};
+use crate::report::{Report, RuleTiming, Violation};
+use crate::rules::{self, Rule};
 use crate::source::SourceFile;
 
 /// Crates whose `src/` trees must be panic-free (rule `panic-freedom`).
@@ -98,6 +103,20 @@ impl<'a> Loader<'a> {
         rels.sort();
         Ok(rels)
     }
+
+    /// Expand, dedup, and load a list of target prefixes.
+    fn load_targets(&mut self, targets: &[&str]) -> Result<Vec<String>, String> {
+        let mut files = Vec::new();
+        for target in targets {
+            files.extend(self.expand(target)?);
+        }
+        files.sort();
+        files.dedup();
+        for rel in &files {
+            self.load(rel)?;
+        }
+        Ok(files)
+    }
 }
 
 fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -118,64 +137,73 @@ fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Run the full rule catalog on the workspace at `root`.
+/// The flow-sensitive rules, run on the CFG/dataflow engine.
+fn dataflow_rules() -> [&'static dyn DataflowRule; 4] {
+    [
+        &rules::blocking_under_lock::BlockingUnderLock,
+        &rules::lsn_checked_arith::LsnCheckedArith,
+        &rules::seal_typestate::SealTypestate,
+        &rules::result_swallow::ResultSwallow,
+    ]
+}
+
+/// The lexical per-file rules (see [`Rule`]).
+fn lexical_rules() -> [&'static dyn Rule; 2] {
+    [&rules::PanicFreedom, &rules::AckAfterForce]
+}
+
+/// Run the full rule catalog — lexical and dataflow — on the workspace
+/// at `root`, in one pass.
 ///
 /// # Errors
 /// Returns a message when a target file cannot be read or `lint.allow`
-/// is malformed; rule findings are *not* errors — they land in the
-/// returned [`Report`].
+/// is malformed (including entries naming unknown rules); rule findings
+/// are *not* errors — they land in the returned [`Report`].
 pub fn lint_workspace(root: &Path) -> Result<Report, String> {
     let allow_text = fs::read_to_string(root.join("lint.allow")).unwrap_or_default();
     let allows = Allowlist::parse(&allow_text)?;
+    for e in allows.entries() {
+        if !rules::ALL_RULES.contains(&e.rule.as_str()) {
+            return Err(format!(
+                "lint.allow:{}: unknown rule `{}` (known: {})",
+                e.line,
+                e.rule,
+                rules::ALL_RULES.join(", ")
+            ));
+        }
+    }
     let mut loader = Loader::new(root);
     let mut raw: Vec<Violation> = Vec::new();
+    let mut timings: Vec<RuleTiming> = Vec::new();
 
     // Rule 1: wire exhaustiveness.
+    let t0 = Instant::now();
     loader.load("crates/net/src/wire.rs")?;
     loader.load("crates/net/tests/wire_props.rs")?;
     raw.extend(rules::wire_exhaustive::check(
         &loader.files["crates/net/src/wire.rs"],
         &loader.files["crates/net/tests/wire_props.rs"],
     ));
+    timings.push(RuleTiming::since(rules::wire_exhaustive::RULE, t0));
 
-    // Rule 2: lock ordering.
-    let mut lock_files = Vec::new();
-    for target in LOCK_ORDER_TARGETS {
-        lock_files.extend(loader.expand(target)?);
-    }
-    lock_files.sort();
-    lock_files.dedup();
-    for rel in &lock_files {
-        loader.load(rel)?;
-    }
+    // Rule 2: lock ordering (cross-file acquisition graph).
+    let t0 = Instant::now();
+    let lock_files = loader.load_targets(LOCK_ORDER_TARGETS)?;
     let lock_sources: Vec<&SourceFile> = lock_files.iter().map(|r| &loader.files[r]).collect();
     raw.extend(rules::lock_order::check(&lock_sources));
+    timings.push(RuleTiming::since(rules::lock_order::RULE, t0));
 
-    // Rule 3: panic freedom on the hot path.
-    let mut panic_files = Vec::new();
-    for target in HOT_PATH_CRATES {
-        panic_files.extend(loader.expand(target)?);
-    }
-    panic_files.sort();
-    panic_files.dedup();
-    for rel in &panic_files {
-        loader.load(rel)?;
-        raw.extend(rules::panic_freedom::check(&loader.files[rel.as_str()]));
-    }
-
-    // Rule 4: ack-after-force.
-    let mut ack_files = Vec::new();
-    for target in ACK_AFTER_FORCE_TARGETS {
-        ack_files.extend(loader.expand(target)?);
-    }
-    ack_files.sort();
-    ack_files.dedup();
-    for rel in &ack_files {
-        loader.load(rel)?;
-        raw.extend(rules::ack_after_force::check(&loader.files[rel.as_str()]));
+    // Lexical per-file rules: panic-freedom, ack-after-force.
+    for rule in lexical_rules() {
+        let t0 = Instant::now();
+        for rel in loader.load_targets(rule.targets())? {
+            raw.extend(rule.check_file(&loader.files[rel.as_str()]));
+        }
+        timings.push(RuleTiming::since(rule.name(), t0));
     }
 
     // Rule 5: Status / PROTOCOL.md parity.
+    let t0 = Instant::now();
     let doc_rel = "docs/PROTOCOL.md";
     let doc_text = fs::read_to_string(root.join(doc_rel))
         .map_err(|e| format!("cannot read {doc_rel}: {e}"))?;
@@ -184,8 +212,10 @@ pub fn lint_workspace(root: &Path) -> Result<Report, String> {
         doc_rel,
         &doc_text,
     ));
+    timings.push(RuleTiming::since(rules::status_parity::RULE, t0));
 
     // Rule 6: #![forbid(unsafe_code)] on every first-party crate root.
+    let t0 = Instant::now();
     let mut crate_roots = Vec::new();
     for entry in fs::read_dir(root.join("crates"))
         .map_err(|e| format!("cannot list crates/: {e}"))?
@@ -203,7 +233,19 @@ pub fn lint_workspace(root: &Path) -> Result<Report, String> {
         loader.load(rel)?;
         raw.extend(rules::forbid_unsafe::check(&loader.files[rel.as_str()]));
     }
+    timings.push(RuleTiming::since(rules::forbid_unsafe::RULE, t0));
+
+    // Flow-sensitive rules on the dataflow engine, one timed pass each.
+    for rule in dataflow_rules() {
+        let t0 = Instant::now();
+        for rel in loader.load_targets(rule.targets())? {
+            raw.extend(dataflow::run_rule(rule, &loader.files[rel.as_str()]));
+        }
+        timings.push(RuleTiming::since(rule.rule(), t0));
+    }
 
     let files_scanned = loader.files.len() + 1; // + PROTOCOL.md
-    Ok(Report::build(raw, &allows, files_scanned))
+    let mut report = Report::build(raw, &allows, files_scanned);
+    report.timings = timings;
+    Ok(report)
 }

@@ -1,0 +1,245 @@
+//! Integration tests for the `dlog-lint` binary: exit codes are pinned
+//! (0 clean / 1 violations / 2 usage-or-IO error), the `--json` schema
+//! is snapshotted byte-for-byte against a deterministic mini workspace,
+//! and `--timing` renders the per-rule table without corrupting JSON
+//! output.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// A minimal workspace containing every file `lint_workspace` requires,
+/// crafted so the whole catalog passes.
+const WIRE_RS: &str = r#"
+pub enum Message {
+    Syn { isn: u64 },
+    Fin,
+}
+fn encode_message(m: &Message) {
+    match m {
+        Message::Syn { isn } => drop(isn),
+        Message::Fin => {}
+    }
+}
+fn decode_message(tag: u8) -> Message {
+    match tag {
+        1 => Message::Syn { isn: 0 },
+        _ => Message::Fin,
+    }
+}
+pub enum Request {
+    Ping,
+}
+fn encode_request(r: &Request) {
+    match r {
+        Request::Ping => {}
+    }
+}
+fn decode_request(_: u8) -> Request {
+    Request::Ping
+}
+pub enum Response {
+    Ok,
+    Status { records_stored: u64, naks_sent: u64 },
+    Stats { stages: u64, trace_events: u64, trace_dropped: u64 },
+}
+fn encode_response(r: &Response) {
+    match r {
+        Response::Ok => {}
+        Response::Status { records_stored, naks_sent } => drop((records_stored, naks_sent)),
+        Response::Stats { stages, trace_events, trace_dropped } => {
+            drop((stages, trace_events, trace_dropped));
+        }
+    }
+}
+fn decode_response(tag: u8) -> Response {
+    match tag {
+        1 => Response::Ok,
+        2 => Response::Status { records_stored: 0, naks_sent: 0 },
+        _ => Response::Stats { stages: 0, trace_events: 0, trace_dropped: 0 },
+    }
+}
+"#;
+
+const WIRE_PROPS_RS: &str = r#"
+fn arb() {
+    let a = (Message::Syn { isn: 1 }, Message::Fin, Request::Ping);
+    let b = (Response::Ok, Response::Status { records_stored: 0, naks_sent: 0 });
+    let c = Response::Stats { stages: 0, trace_events: 0, trace_dropped: 0 };
+    use_all(a, b, c);
+}
+"#;
+
+const PROTOCOL_MD: &str = r#"# Protocol
+
+### Status gauges
+
+| gauge | meaning |
+|-------|---------|
+| `records_stored` | records stored |
+| `naks_sent` | NAKs sent |
+
+### Stats fields
+
+| field | meaning |
+|-------|---------|
+| `stages` | per-stage latency histograms |
+| `trace_events` | trace events recorded |
+| `trace_dropped` | trace events evicted |
+"#;
+
+/// A result-swallow violation at a pinned line for the snapshot test.
+const BAD_RS: &str = "fn sloppy(&mut self) {\n    let _ = self.dev.force(cursor);\n}\n";
+
+fn write(root: &Path, rel: &str, text: &str) {
+    let path = root.join(rel);
+    fs::create_dir_all(path.parent().unwrap()).unwrap();
+    fs::write(path, text).unwrap();
+}
+
+/// Build the mini workspace under a fresh temp directory.
+fn mini_workspace(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("dlog-lint-bin-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    write(&root, "Cargo.toml", "[workspace]\nmembers = []\n");
+    write(&root, "crates/net/src/wire.rs", WIRE_RS);
+    write(&root, "crates/net/src/mem.rs", "// no locks here\n");
+    write(&root, "crates/net/tests/wire_props.rs", WIRE_PROPS_RS);
+    write(&root, "crates/storage/src/nvram.rs", "// no locks here\n");
+    write(&root, "crates/archive/src/object_store.rs", "// no locks here\n");
+    write(&root, "docs/PROTOCOL.md", PROTOCOL_MD);
+    for dir in [
+        "crates/server/src",
+        "crates/append-forest/src",
+        "crates/obs/src",
+        "crates/types/src",
+    ] {
+        fs::create_dir_all(root.join(dir)).unwrap();
+    }
+    root
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dlog-lint"))
+        .args(args)
+        .output()
+        .expect("spawn dlog-lint")
+}
+
+fn run_at(root: &Path, extra: &[&str]) -> Output {
+    let mut args = vec!["--root", root.to_str().unwrap()];
+    args.extend_from_slice(extra);
+    run(&args)
+}
+
+#[test]
+fn exit_zero_on_clean_workspace() {
+    let root = mini_workspace("clean");
+    let out = run_at(&root, &[]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn exit_one_on_violations() {
+    let root = mini_workspace("dirty");
+    write(&root, "crates/storage/src/bad.rs", BAD_RS);
+    let out = run_at(&root, &[]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("result-swallow"), "stdout: {text}");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn exit_two_on_usage_error() {
+    assert_eq!(run(&["--bogus"]).status.code(), Some(2));
+    assert_eq!(run(&["--root"]).status.code(), Some(2));
+}
+
+#[test]
+fn exit_two_on_io_error() {
+    let out = run(&["--root", "/nonexistent/dlog-lint-missing"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(!String::from_utf8_lossy(&out.stderr).is_empty());
+}
+
+#[test]
+fn exit_two_on_unknown_allowlist_rule() {
+    let root = mini_workspace("bad-allow");
+    write(
+        &root,
+        "lint.allow",
+        "no-such-rule crates/net/src/wire.rs * # typo'd rule id\n",
+    );
+    let out = run_at(&root, &[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown rule"));
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn json_schema_snapshot_clean() {
+    let root = mini_workspace("json-clean");
+    let out = run_at(&root, &["--json"]);
+    assert_eq!(out.status.code(), Some(0));
+    let expected = "{\n  \"ok\": true,\n  \"files_scanned\": 6,\n  \"allowed\": 0,\n  \
+                    \"violations\": [],\n  \"unused_allow_entries\": []\n}\n";
+    assert_eq!(String::from_utf8_lossy(&out.stdout), expected);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn json_schema_snapshot_violation() {
+    let root = mini_workspace("json-dirty");
+    write(&root, "crates/storage/src/bad.rs", BAD_RS);
+    let out = run_at(&root, &["--json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let expected = concat!(
+        "{\n",
+        "  \"ok\": false,\n",
+        "  \"files_scanned\": 7,\n",
+        "  \"allowed\": 0,\n",
+        "  \"violations\": [\n",
+        "    {\"rule\": \"result-swallow\", \"file\": \"crates/storage/src/bad.rs\", ",
+        "\"line\": 2, \"scope\": \"sloppy\", \"message\": \"`let _ =` discards the Result \
+         of `.force()`; a swallowed durability error breaks ack-after-force (\u{a7}4.2) \
+         \u{2014} handle it or allowlist with justification\"}\n",
+        "  ],\n",
+        "  \"unused_allow_entries\": []\n",
+        "}\n",
+    );
+    assert_eq!(String::from_utf8_lossy(&out.stdout), expected);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn timing_flag_prints_all_rules() {
+    let root = mini_workspace("timing");
+    let out = run_at(&root, &["--timing"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("per-rule wall time"), "stdout: {text}");
+    for rule in dlog_lint::rules::ALL_RULES {
+        assert!(text.contains(rule), "missing timing row for {rule}: {text}");
+    }
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn json_with_timing_keeps_stdout_parseable() {
+    let root = mini_workspace("json-timing");
+    let out = run_at(&root, &["--json", "--timing"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with('{') && stdout.trim_end().ends_with('}'));
+    assert!(!stdout.contains("per-rule wall time"));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("per-rule wall time"));
+    let _ = fs::remove_dir_all(&root);
+}

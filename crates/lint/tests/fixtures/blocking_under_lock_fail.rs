@@ -1,0 +1,11 @@
+//! Failing fixture for `blocking-under-lock`: two findings.
+
+fn hold_across_force(&self) {
+    let guard = self.state.lock();
+    self.dev.force(guard.high); // finding 1: force with guard live
+    drop(guard);
+}
+
+fn temporary_guard_chain(&self) {
+    self.state.lock().file.sync_all(); // finding 2: blocking call on a lock chain
+}

@@ -1,0 +1,15 @@
+//! Passing fixture for `blocking-under-lock`: copy out, drop, then block.
+
+fn drop_before_force(&self) {
+    let guard = self.state.lock();
+    let high = guard.high;
+    drop(guard);
+    self.dev.force(high);
+}
+
+fn non_blocking_under_guard(&self) {
+    let guard = self.state.lock();
+    let n = guard.records.len();
+    self.counter.set(n);
+    drop(guard);
+}

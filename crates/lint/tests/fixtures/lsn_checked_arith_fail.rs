@@ -1,0 +1,9 @@
+//! Failing fixture for `lsn-checked-arith`: three findings.
+
+fn bump(&mut self) {
+    self.next_seq += 1; // finding 1: compound add on a sequence
+    let next = self.durable_lsn.0 + 1; // finding 2: raw add on an LSN
+    let hi = seg.hi_lsn;
+    let gap = hi - 1; // finding 3: flow-tracked LSN-shaped binding
+    self.report(next, gap);
+}

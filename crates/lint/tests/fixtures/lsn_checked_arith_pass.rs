@@ -1,0 +1,10 @@
+//! Passing fixture for `lsn-checked-arith`: checked/saturating only.
+
+fn bump(&mut self) -> Option<()> {
+    self.next_seq = self.next_seq.checked_add(1)?;
+    let next = self.durable_lsn.0.checked_add(1)?;
+    let floor = self.epoch.0.saturating_sub(1);
+    let count = a + b;
+    self.report(next, floor, count);
+    Some(())
+}

@@ -1,0 +1,11 @@
+//! Failing fixture for `result-swallow`: three findings.
+
+fn swallow(&mut self, fast: bool) {
+    let _ = self.dir.sync_data(); // finding 1: explicit discard
+    self.dev.force(cursor).ok(); // finding 2: `.ok()` laundering
+    let r = self.dev.flush();
+    if fast {
+        return; // finding 3: `r` dead on this path
+    }
+    self.check(r);
+}

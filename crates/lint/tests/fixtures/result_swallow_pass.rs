@@ -1,0 +1,14 @@
+//! Passing fixture for `result-swallow`: every durable Result consumed.
+
+fn consume(&mut self, fast: bool) -> Result<(), Error> {
+    self.dir.sync_data()?;
+    let r = self.dev.force(cursor);
+    if r.is_err() {
+        return r;
+    }
+    if fast {
+        return Ok(());
+    }
+    self.dev.flush()?;
+    Ok(())
+}

@@ -1,0 +1,13 @@
+//! Failing fixture for `seal-typestate`: two findings.
+
+fn straight_line(&mut self) {
+    self.active.seal();
+    self.active.append(bytes); // finding 1: append after seal
+}
+
+fn sealed_on_one_branch(&mut self, full: bool) {
+    if full {
+        seg.seal();
+    }
+    seg.write_at(0, bytes); // finding 2: reachable with the sealed fact live
+}

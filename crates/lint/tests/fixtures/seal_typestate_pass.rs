@@ -1,0 +1,13 @@
+//! Passing fixture for `seal-typestate`: seal last, or swap in a fresh
+//! segment before mutating again.
+
+fn append_then_seal(&mut self) {
+    seg.append(bytes);
+    seg.seal();
+}
+
+fn roll_over(&mut self) {
+    self.active.seal();
+    self.active = self.fresh_segment();
+    self.active.append(bytes);
+}

@@ -3,6 +3,7 @@
 //! clean under the full catalog (the same check `tests/lint_gate.rs`
 //! enforces in tier-1).
 
+use dlog_lint::dataflow::{run_rule, DataflowRule};
 use dlog_lint::rules;
 use dlog_lint::SourceFile;
 
@@ -120,6 +121,71 @@ fn forbid_unsafe_fixture_fails() {
 fn forbid_unsafe_fixture_passes() {
     let vs = rules::forbid_unsafe::check(&fixture("forbid_unsafe_pass.rs"));
     assert!(vs.is_empty(), "{vs:?}");
+}
+
+fn dataflow_fixture(rule: &dyn DataflowRule, name: &str) -> Vec<dlog_lint::Violation> {
+    run_rule(rule, &fixture(name))
+}
+
+#[test]
+fn blocking_under_lock_fixtures() {
+    let vs = dataflow_fixture(
+        &rules::blocking_under_lock::BlockingUnderLock,
+        "blocking_under_lock_fail.rs",
+    );
+    assert_eq!(vs.len(), 2, "{vs:?}");
+    assert!(vs.iter().any(|v| v.scope == "hold_across_force"));
+    assert!(vs.iter().any(|v| v.scope == "temporary_guard_chain"));
+    let vs = dataflow_fixture(
+        &rules::blocking_under_lock::BlockingUnderLock,
+        "blocking_under_lock_pass.rs",
+    );
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+#[test]
+fn lsn_checked_arith_fixtures() {
+    let vs = dataflow_fixture(
+        &rules::lsn_checked_arith::LsnCheckedArith,
+        "lsn_checked_arith_fail.rs",
+    );
+    assert_eq!(vs.len(), 3, "{vs:?}");
+    assert!(vs.iter().all(|v| v.scope == "bump"));
+    let vs = dataflow_fixture(
+        &rules::lsn_checked_arith::LsnCheckedArith,
+        "lsn_checked_arith_pass.rs",
+    );
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+#[test]
+fn seal_typestate_fixtures() {
+    let vs = dataflow_fixture(&rules::seal_typestate::SealTypestate, "seal_typestate_fail.rs");
+    assert_eq!(vs.len(), 2, "{vs:?}");
+    assert!(vs.iter().any(|v| v.scope == "straight_line"));
+    assert!(vs.iter().any(|v| v.scope == "sealed_on_one_branch"));
+    let vs = dataflow_fixture(&rules::seal_typestate::SealTypestate, "seal_typestate_pass.rs");
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+#[test]
+fn result_swallow_fixtures() {
+    let vs = dataflow_fixture(&rules::result_swallow::ResultSwallow, "result_swallow_fail.rs");
+    assert_eq!(vs.len(), 3, "{vs:?}");
+    assert!(vs.iter().all(|v| v.scope == "swallow"));
+    assert!(vs.iter().any(|v| v.message.contains("never consumed on some path")));
+    let vs = dataflow_fixture(&rules::result_swallow::ResultSwallow, "result_swallow_pass.rs");
+    assert!(vs.is_empty(), "{vs:?}");
+}
+
+/// The pinned fixture expectations (shared with the tier-1 gate) must
+/// hold — a rule edit that changes what the catalog catches is drift.
+#[test]
+fn fixtures_are_pinned() {
+    let dir = format!("{}/tests/fixtures", env!("CARGO_MANIFEST_DIR"));
+    let checked = dlog_lint::fixtures::verify_fixtures(std::path::Path::new(&dir))
+        .unwrap_or_else(|e| panic!("{e}"));
+    assert!(checked >= 20, "only {checked} fixture runs checked");
 }
 
 /// The workspace itself must be clean: zero unallowlisted violations and

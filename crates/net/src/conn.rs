@@ -153,7 +153,7 @@ impl Connection {
 
     fn raw_packet(&mut self, msg: Message) -> Packet {
         let seq = self.next_seq;
-        self.next_seq += 1;
+        self.next_seq = self.next_seq.saturating_add(1);
         Packet {
             conn: self.conn_id(),
             seq,
@@ -210,20 +210,20 @@ impl Connection {
                     self.recv_floor = *isn;
                     self.peer_allocation = pkt.alloc;
                     self.state = State::Established;
-                    self.next_seq += 1; // the SYN consumed a sequence number
+                    self.next_seq = self.next_seq.saturating_add(1); // the SYN consumed a sequence number
                     out.replies.push(Packet {
                         conn: self.conn_id(),
                         seq: self.next_seq,
                         alloc: self.grant(),
                         msg: Message::HandshakeAck { ack: *isn },
                     });
-                    self.next_seq += 1;
+                    self.next_seq = self.next_seq.saturating_add(1);
                 }
             }
             (Message::HandshakeAck { ack }, State::SynReceived) => {
                 if *ack == self.next_seq {
                     self.state = State::Established;
-                    self.next_seq += 1; // the SYNACK consumed one
+                    self.next_seq = self.next_seq.saturating_add(1); // the SYNACK consumed one
                     self.peer_allocation = pkt.alloc;
                     self.recv_floor += 1; // the SYN is consumed
                 }

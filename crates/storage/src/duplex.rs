@@ -158,9 +158,9 @@ impl DuplexLog {
             .ok_or(DlogError::NoSuchRecord { lsn })?;
         let buffered_from = self.tail;
         let bytes = if off >= buffered_from {
-            let s = (off - buffered_from) as usize;
+            let s = off.saturating_sub(buffered_from) as usize;
             self.buffer
-                .get(s..s + len as usize)
+                .get(s..s.saturating_add(len as usize))
                 .ok_or_else(|| DlogError::Corrupt(format!("bad index entry for {lsn}")))?
                 .to_vec()
         } else {
@@ -182,7 +182,7 @@ impl DuplexLog {
     /// LSN of the most recently appended record.
     #[must_use]
     pub fn end_of_log(&self) -> Lsn {
-        Lsn(self.next_lsn.0 - 1)
+        Lsn(self.next_lsn.0.saturating_sub(1))
     }
 
     /// Operation counters.

@@ -733,9 +733,10 @@ impl LogStore {
             f.sync_data()?;
         }
         fs::rename(&tmp, &fin)?;
-        // Make the rename durable.
+        // Make the rename durable; a failed sync means the checkpoint
+        // may not survive a crash, so it must not be reported written.
         if let Ok(d) = File::open(&self.dir) {
-            let _ = d.sync_data();
+            d.sync_data()?;
         }
         self.bytes_since_ckpt = 0;
         self.stats.checkpoints += 1;

@@ -123,8 +123,8 @@ pub fn verify_dir(dir: impl AsRef<Path>, opts: &StoreOptions) -> Result<VerifyRe
             },
         }
     })?;
-    report.valid_bytes = end - stream.start();
-    report.torn_tail_bytes = stream.end() - end;
+    report.valid_bytes = end.saturating_sub(stream.start());
+    report.torn_tail_bytes = stream.end().saturating_sub(end);
     for c in table.clients().collect::<Vec<_>>() {
         report.clients.insert(c, table.interval_list(c));
     }

@@ -1,19 +1,30 @@
 //! Tier-1 gate: the workspace must be clean under `dlog-lint`.
 //!
-//! Runs the full rule catalog (wire-exhaustiveness, lock-order,
-//! panic-freedom, ack-after-force, status-parity, forbid-unsafe) against
-//! the repository and fails `cargo test` on any violation not covered by
-//! a justified `lint.allow` entry, and on stale allowlist entries. The
-//! same report is available interactively via `cargo run -p dlog-lint`.
+//! One pass runs the full rule catalog — the six lexical rules
+//! (wire-exhaustiveness, lock-order, panic-freedom, ack-after-force,
+//! status-parity, forbid-unsafe) and the four flow-sensitive rules on
+//! the dataflow engine (blocking-under-lock, lsn-checked-arith,
+//! seal-typestate, result-swallow) — against the repository and fails
+//! `cargo test` on any violation not covered by a justified
+//! `lint.allow` entry, on stale allowlist entries, on fixture drift
+//! (a rule whose pinned pass/fail fixtures no longer behave), and on a
+//! blown latency budget. The same report is available interactively via
+//! `cargo run -p dlog-lint` (add `--timing` for the per-rule table).
 
 use std::path::Path;
+use std::time::Instant;
+
+fn root() -> std::path::PathBuf {
+    // CARGO_MANIFEST_DIR is crates/bench; walk up to the workspace root.
+    dlog_lint::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/bench")
+}
 
 #[test]
 fn workspace_passes_dlog_lint() {
-    // CARGO_MANIFEST_DIR is crates/bench; walk up to the workspace root.
-    let root = dlog_lint::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
-        .expect("workspace root above crates/bench");
-    let report = dlog_lint::lint_workspace(&root).expect("lint run failed");
+    let t0 = Instant::now();
+    let report = dlog_lint::lint_workspace(&root()).expect("lint run failed");
+    let elapsed = t0.elapsed();
     assert!(
         report.ok(),
         "dlog-lint found unallowlisted violations — fix them or add a \
@@ -26,6 +37,34 @@ fn workspace_passes_dlog_lint() {
          them):\n{}",
         report.unused_allows.join("\n")
     );
-    // Sanity: the run actually scanned the workspace.
+    // Sanity: the run actually scanned the workspace and every rule ran.
     assert!(report.files_scanned > 20, "suspiciously few files scanned");
+    for rule in dlog_lint::rules::ALL_RULES {
+        assert!(
+            report.timings.iter().any(|t| t.rule == *rule),
+            "rule {rule} has no timing entry — did its pass run?"
+        );
+    }
+    // Latency budget: the gate runs on every `cargo test`; the full
+    // catalog (CFG construction and fixpoints included) must stay
+    // interactive. Measured ~80ms debug; 2s leaves 25x headroom for
+    // slow CI machines.
+    assert!(
+        elapsed.as_secs_f64() < 2.0,
+        "full-workspace lint took {elapsed:?} (budget 2s) — see \
+         `cargo run -p dlog-lint -- --timing` for the per-rule split"
+    );
+}
+
+/// Every rule's pass/fail fixtures must behave exactly as pinned: the
+/// fail fixture fires the recorded number of findings, the pass fixture
+/// stays silent. This catches a rule edit that silently weakens (or
+/// over-tightens) the catalog even when the workspace sweep still
+/// passes.
+#[test]
+fn rule_fixtures_have_not_drifted() {
+    let dir = root().join("crates/lint/tests/fixtures");
+    let checked =
+        dlog_lint::fixtures::verify_fixtures(&dir).unwrap_or_else(|e| panic!("{e}"));
+    assert!(checked >= 20, "only {checked} fixture runs checked");
 }
