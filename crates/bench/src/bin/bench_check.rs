@@ -1,0 +1,65 @@
+//! `bench_check` — the bench-regression gate: compare a fresh
+//! `obs_bench` report against the committed baseline and exit nonzero
+//! on regression.
+//!
+//! ```text
+//! cargo run --release -p dlog-bench --bin bench_check -- \
+//!     --baseline BENCH_PR5.json --fresh fresh.json [--tolerance 0.30]
+//! ```
+//!
+//! Exit codes: 0 = within tolerance, 1 = regression, 2 = usage or
+//! unreadable/unparseable input.
+
+use dlog_bench::check::{compare, Json};
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn run() -> Result<Vec<String>, String> {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let baseline_path = get("--baseline")
+        .ok_or("usage: bench_check --baseline <json> --fresh <json> [--tolerance 0.30]")?;
+    let fresh_path = get("--fresh").ok_or("missing --fresh <json>")?;
+    let tolerance: f64 = match get("--tolerance") {
+        Some(t) => t
+            .parse()
+            .map_err(|_| format!("bad --tolerance '{t}' (want e.g. 0.30)"))?,
+        None => 0.30,
+    };
+    if !(0.0..1.0).contains(&tolerance) {
+        return Err(format!("tolerance {tolerance} outside [0, 1)"));
+    }
+    let baseline = load(&baseline_path)?;
+    let fresh = load(&fresh_path)?;
+    eprintln!(
+        "bench_check: {fresh_path} vs baseline {baseline_path} (tolerance {:.0}%)",
+        tolerance * 100.0
+    );
+    Ok(compare(&baseline, &fresh, tolerance))
+}
+
+fn main() {
+    match run() {
+        Ok(failures) if failures.is_empty() => {
+            println!("bench_check: OK — no regressions");
+        }
+        Ok(failures) => {
+            for f in &failures {
+                println!("REGRESSION: {f}");
+            }
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,25 +1,30 @@
-//! `obs_bench` — the PR 3 observability trajectory: drive a real
-//! cluster under a reliable and a flaky fault plan with tracing and
-//! histograms enabled, then write write/force throughput and per-stage
-//! latency percentiles to `BENCH_PR3.json` at the repository root.
+//! `obs_bench` — the PR 5 group-commit trajectory: drive real clusters
+//! under reliable and flaky fault plans with tracing and histograms
+//! enabled, with force coalescing on and off (the ablation), plus a
+//! concurrent multi-client scenario that shows physical forces being
+//! amortized across clients. Results go to `BENCH_PR5.json` at the
+//! repository root (or to `--out <path>`).
 //!
 //! ```text
-//! cargo run --release -p dlog-bench --bin obs_bench
+//! cargo run --release -p dlog-bench --bin obs_bench [-- --out fresh.json]
 //! ```
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use dlog_bench::{payload, Cluster, ClusterOptions};
 use dlog_net::FaultPlan;
 use dlog_obs::{HistogramSnapshot, Obs, ObsOptions, Stage};
 
-const RECORDS: u64 = 4000;
+const RECORDS: u64 = 12000;
 const PAYLOAD: usize = 128;
 const FORCE_EVERY: u64 = 8;
 const SERVERS: u64 = 4;
+const COALESCE_WINDOW: Duration = Duration::from_millis(2);
 
 struct ScenarioResult {
     label: &'static str,
+    coalesce_window_us: u64,
+    clients: u64,
     elapsed_ms: f64,
     writes_per_sec: f64,
     forces_per_sec: f64,
@@ -27,6 +32,8 @@ struct ScenarioResult {
     server: Vec<(Stage, HistogramSnapshot)>,
     trace_events: u64,
     trace_dropped: u64,
+    coalesced_forces: u64,
+    group_commits: u64,
 }
 
 fn stage_rows(obs_list: &[Obs]) -> Vec<(Stage, HistogramSnapshot)> {
@@ -44,25 +51,51 @@ fn stage_rows(obs_list: &[Obs]) -> Vec<(Stage, HistogramSnapshot)> {
     merged
 }
 
-fn run_scenario(label: &'static str, plan: FaultPlan) -> ScenarioResult {
+/// Drive `clients` concurrent clients, each writing `RECORDS / clients`
+/// records and forcing every `FORCE_EVERY`, against a fresh cluster.
+fn run_scenario(
+    label: &'static str,
+    plan: FaultPlan,
+    window: Duration,
+    clients: u64,
+) -> ScenarioResult {
     let mut opts = ClusterOptions::new(SERVERS);
     opts.plan = plan;
     opts.obs = ObsOptions::on();
-    let cluster = Cluster::start(&format!("obs-bench-{label}"), opts);
-    let mut log = cluster.client(1, 2, 8);
-    log.initialize().expect("initialize");
+    opts.coalesce_window = window;
+    let mut cluster = Cluster::start(&format!("obs-bench-{label}"), opts);
 
-    let start = Instant::now();
-    let mut forces = 0u64;
-    for i in 1..=RECORDS {
-        log.write(payload(i, PAYLOAD)).expect("write");
-        if i % FORCE_EVERY == 0 {
-            log.force().expect("force");
-            forces += 1;
-        }
+    let per_client = RECORDS / clients;
+    // Construct and initialize clients outside the timed section so the
+    // measured phase is purely the write/force pipeline.
+    let mut logs = Vec::new();
+    for c in 1..=clients {
+        let mut log = cluster.client(c, 2, 8);
+        log.initialize().expect("initialize");
+        logs.push(log);
     }
-    log.force().expect("final force");
-    forces += 1;
+    let mut forces = 0u64;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for mut log in logs {
+            handles.push(scope.spawn(move || {
+                let mut forces = 0u64;
+                for i in 1..=per_client {
+                    log.write(payload(i, PAYLOAD)).expect("write");
+                    if i % FORCE_EVERY == 0 {
+                        log.force().expect("force");
+                        forces += 1;
+                    }
+                }
+                log.force().expect("final force");
+                forces + 1
+            }));
+        }
+        for h in handles {
+            forces += h.join().expect("client thread");
+        }
+    });
     let elapsed = start.elapsed();
 
     let server_handles: Vec<Obs> = cluster
@@ -71,21 +104,35 @@ fn run_scenario(label: &'static str, plan: FaultPlan) -> ScenarioResult {
         .map(|&sid| cluster.server_obs(sid))
         .collect();
     let (mut trace_events, mut trace_dropped) = (0u64, 0u64);
-    for obs in server_handles.iter().chain(std::iter::once(&cluster.client_obs())) {
+    for obs in server_handles
+        .iter()
+        .chain(std::iter::once(&cluster.client_obs()))
+    {
         if let Some(snap) = obs.snapshot() {
             trace_events += snap.trace_events;
             trace_dropped += snap.trace_dropped;
         }
     }
+    let client_stages = stage_rows(&[cluster.client_obs()]);
+    let server_stages = stage_rows(&server_handles);
+    let (mut coalesced_forces, mut group_commits) = (0u64, 0u64);
+    for (_, st, _) in cluster.stop_all() {
+        coalesced_forces += st.coalesced_forces;
+        group_commits += st.group_commits;
+    }
     ScenarioResult {
         label,
+        coalesce_window_us: window.as_micros() as u64,
+        clients,
         elapsed_ms: elapsed.as_secs_f64() * 1e3,
-        writes_per_sec: RECORDS as f64 / elapsed.as_secs_f64(),
+        writes_per_sec: (per_client * clients) as f64 / elapsed.as_secs_f64(),
         forces_per_sec: forces as f64 / elapsed.as_secs_f64(),
-        client: stage_rows(&[cluster.client_obs()]),
-        server: stage_rows(&server_handles),
+        client: client_stages,
+        server: server_stages,
         trace_events,
         trace_dropped,
+        coalesced_forces,
+        group_commits,
     }
 }
 
@@ -110,13 +157,19 @@ fn stages_json(rows: &[(Stage, HistogramSnapshot)], indent: &str) -> String {
 fn scenario_json(r: &ScenarioResult, last: bool) -> String {
     let comma = if last { "" } else { "," };
     format!(
-        "    \"{}\": {{\n      \"elapsed_ms\": {:.1},\n      \"writes_per_sec\": {:.0},\n      \
-         \"forces_per_sec\": {:.0},\n      \"trace_events\": {},\n      \"trace_dropped\": {},\n      \
+        "    \"{}\": {{\n      \"coalesce_window_us\": {},\n      \"clients\": {},\n      \
+         \"elapsed_ms\": {:.1},\n      \"writes_per_sec\": {:.0},\n      \
+         \"forces_per_sec\": {:.0},\n      \"coalesced_forces\": {},\n      \
+         \"group_commits\": {},\n      \"trace_events\": {},\n      \"trace_dropped\": {},\n      \
          \"client_stages\": {{\n{}      }},\n      \"server_stages\": {{\n{}      }}\n    }}{comma}\n",
         r.label,
+        r.coalesce_window_us,
+        r.clients,
         r.elapsed_ms,
         r.writes_per_sec,
         r.forces_per_sec,
+        r.coalesced_forces,
+        r.group_commits,
         r.trace_events,
         r.trace_dropped,
         stages_json(&r.client, "        "),
@@ -125,23 +178,46 @@ fn scenario_json(r: &ScenarioResult, last: bool) -> String {
 }
 
 fn main() {
-    let reliable = run_scenario("reliable", FaultPlan::reliable());
-    let flaky = run_scenario("flaky", FaultPlan::flaky(42));
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| format!("{}/../../BENCH_PR5.json", env!("CARGO_MANIFEST_DIR")));
+
+    let scenarios = [
+        // Headline numbers: coalescing on.
+        run_scenario("reliable", FaultPlan::reliable(), COALESCE_WINDOW, 1),
+        run_scenario("flaky", FaultPlan::flaky(42), COALESCE_WINDOW, 1),
+        // Ablation: identical load, window zero (the synchronous path).
+        run_scenario(
+            "reliable_nocoalesce",
+            FaultPlan::reliable(),
+            Duration::ZERO,
+            1,
+        ),
+        run_scenario("flaky_nocoalesce", FaultPlan::flaky(42), Duration::ZERO, 1),
+        // Amortization: four concurrent clients share physical forces.
+        run_scenario("group_4clients", FaultPlan::reliable(), COALESCE_WINDOW, 4),
+    ];
 
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"obs_bench\",\n");
     out.push_str(&format!(
         "  \"config\": {{\"servers\": {SERVERS}, \"n\": 2, \"delta\": 8, \"records\": {RECORDS}, \
-         \"payload_bytes\": {PAYLOAD}, \"force_every\": {FORCE_EVERY}}},\n"
+         \"payload_bytes\": {PAYLOAD}, \"force_every\": {FORCE_EVERY}, \
+         \"coalesce_window_us\": {}}},\n",
+        COALESCE_WINDOW.as_micros()
     ));
     out.push_str("  \"scenarios\": {\n");
-    out.push_str(&scenario_json(&reliable, false));
-    out.push_str(&scenario_json(&flaky, true));
+    for (i, r) in scenarios.iter().enumerate() {
+        out.push_str(&scenario_json(r, i + 1 == scenarios.len()));
+    }
     out.push_str("  }\n}\n");
 
-    let path = format!("{}/../../BENCH_PR3.json", env!("CARGO_MANIFEST_DIR"));
-    std::fs::write(&path, &out).expect("write BENCH_PR3.json");
+    std::fs::write(&out_path, &out).expect("write bench json");
     println!("{out}");
-    eprintln!("wrote {path}");
+    eprintln!("wrote {out_path}");
 }

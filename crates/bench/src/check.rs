@@ -1,0 +1,364 @@
+//! Bench-regression comparator: parse two `obs_bench` JSON reports (a
+//! committed baseline and a fresh run) and fail when throughput fell or
+//! the client force tail grew beyond a tolerance. Used by the
+//! `bench-regression` CI job via `cargo run -p dlog-bench --bin
+//! bench_check`.
+//!
+//! The JSON parser is deliberately minimal — just enough for the
+//! reports `obs_bench` itself writes — because the workspace takes no
+//! external dependencies.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value (the subset `obs_bench` emits).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number, kept as f64 (bench reports carry no u64 that loses
+    /// precision at f64 scale).
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; BTreeMap keeps iteration deterministic.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parse a JSON document.
+    ///
+    /// # Errors
+    /// Describes the first syntax error with its byte offset.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Walk a dotted path of object keys (`"scenarios.flaky.writes_per_sec"`).
+    #[must_use]
+    pub fn at(&self, path: &str) -> Option<&Json> {
+        let mut cur = self;
+        for key in path.split('.') {
+            match cur {
+                Json::Obj(m) => cur = m.get(key)?,
+                _ => return None,
+            }
+        }
+        Some(cur)
+    }
+
+    /// The numeric value at a dotted path, if present.
+    #[must_use]
+    pub fn num_at(&self, path: &str) -> Option<f64> {
+        match self.at(path) {
+            Some(Json::Num(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Object keys at a dotted path (empty when absent or not an object).
+    #[must_use]
+    pub fn keys_at(&self, path: &str) -> Vec<String> {
+        match self.at(path) {
+            Some(Json::Obj(m)) => m.keys().cloned().collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while b.get(*pos).is_some_and(|c| c.is_ascii_whitespace()) {
+        *pos = pos.saturating_add(1);
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+    if b.get(*pos) == Some(&ch) {
+        *pos = pos.saturating_add(1);
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", ch as char))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_str(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_num(b, pos),
+        _ => Err(format!("unexpected input at byte {pos}")),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    let end = pos.saturating_add(lit.len());
+    if b.get(*pos..end) == Some(lit.as_bytes()) {
+        *pos = end;
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while b
+        .get(*pos)
+        .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+    {
+        *pos = pos.saturating_add(1);
+    }
+    let s = std::str::from_utf8(b.get(start..*pos).unwrap_or_default())
+        .map_err(|_| format!("bad number at byte {start}"))?;
+    s.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("bad number '{s}' at byte {start}"))
+}
+
+fn parse_str(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            Some(b'"') => {
+                *pos = pos.saturating_add(1);
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos = pos.saturating_add(1);
+                let esc = b.get(*pos).ok_or("unterminated escape")?;
+                out.push(match esc {
+                    b'"' => '"',
+                    b'\\' => '\\',
+                    b'/' => '/',
+                    b'n' => '\n',
+                    b't' => '\t',
+                    b'r' => '\r',
+                    _ => return Err(format!("unsupported escape at byte {pos}")),
+                });
+                *pos = pos.saturating_add(1);
+            }
+            Some(&c) => {
+                // Multi-byte UTF-8 passes through byte by byte; the
+                // final String is rebuilt from valid input text.
+                out.push(c as char);
+                *pos = pos.saturating_add(1);
+            }
+            None => return Err("unterminated string".to_string()),
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut m = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos = pos.saturating_add(1);
+        return Ok(Json::Obj(m));
+    }
+    loop {
+        skip_ws(b, pos);
+        let k = parse_str(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let v = parse_value(b, pos)?;
+        m.insert(k, v);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos = pos.saturating_add(1),
+            Some(b'}') => {
+                *pos = pos.saturating_add(1);
+                return Ok(Json::Obj(m));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut a = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos = pos.saturating_add(1);
+        return Ok(Json::Arr(a));
+    }
+    loop {
+        a.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos = pos.saturating_add(1),
+            Some(b']') => {
+                *pos = pos.saturating_add(1);
+                return Ok(Json::Arr(a));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+/// Compare a fresh `obs_bench` report against a committed baseline.
+///
+/// For every scenario the baseline names:
+/// * `writes_per_sec` must not fall below `baseline × (1 − tolerance)`;
+/// * the client-side `force` p99 must not exceed
+///   `baseline × (1 + tolerance)` (checked only when both reports carry
+///   the gauge).
+///
+/// Returns the list of regressions — empty means pass. Scenarios only
+/// present in the fresh report are ignored (adding scenarios is not a
+/// regression); scenarios *missing* from the fresh report fail.
+#[must_use]
+pub fn compare(baseline: &Json, fresh: &Json, tolerance: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for scenario in baseline.keys_at("scenarios") {
+        let base_wps = baseline.num_at(&format!("scenarios.{scenario}.writes_per_sec"));
+        let fresh_wps = fresh.num_at(&format!("scenarios.{scenario}.writes_per_sec"));
+        match (base_wps, fresh_wps) {
+            (Some(b), Some(f)) => {
+                let floor = b * (1.0 - tolerance);
+                if f < floor {
+                    failures.push(format!(
+                        "{scenario}: writes_per_sec {f:.0} below {floor:.0} \
+                         (baseline {b:.0}, tolerance {:.0}%)",
+                        tolerance * 100.0
+                    ));
+                }
+            }
+            (Some(_), None) => {
+                failures.push(format!("{scenario}: missing from fresh report"));
+            }
+            _ => {}
+        }
+        let p99 = format!("scenarios.{scenario}.client_stages.force.p99_ns");
+        if let (Some(b), Some(f)) = (baseline.num_at(&p99), fresh.num_at(&p99)) {
+            let ceil = b * (1.0 + tolerance);
+            if f > ceil {
+                failures.push(format!(
+                    "{scenario}: client force p99 {f:.0}ns above {ceil:.0}ns \
+                     (baseline {b:.0}ns, tolerance {:.0}%)",
+                    tolerance * 100.0
+                ));
+            }
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(wps_reliable: f64, wps_flaky: f64, p99_flaky: f64) -> String {
+        format!(
+            r#"{{
+              "bench": "obs_bench",
+              "scenarios": {{
+                "reliable": {{
+                  "writes_per_sec": {wps_reliable},
+                  "client_stages": {{ "force": {{ "p99_ns": 100000 }} }}
+                }},
+                "flaky": {{
+                  "writes_per_sec": {wps_flaky},
+                  "client_stages": {{ "force": {{ "p99_ns": {p99_flaky} }} }}
+                }}
+              }}
+            }}"#
+        )
+    }
+
+    #[test]
+    fn parser_roundtrips_bench_shape() {
+        let j = Json::parse(&report(117000.0, 5400.0, 2e6)).unwrap();
+        assert_eq!(
+            j.num_at("scenarios.reliable.writes_per_sec"),
+            Some(117000.0)
+        );
+        assert_eq!(
+            j.num_at("scenarios.flaky.client_stages.force.p99_ns"),
+            Some(2e6)
+        );
+        assert_eq!(j.keys_at("scenarios"), vec!["flaky", "reliable"]);
+        assert_eq!(j.num_at("scenarios.absent.writes_per_sec"), None);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse(r#"{"a": }"#).is_err());
+        assert!(Json::parse(r#"{"a": 1} trailing"#).is_err());
+        assert!(Json::parse("").is_err());
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let base = Json::parse(&report(100000.0, 5000.0, 1e6)).unwrap();
+        let fresh = Json::parse(&report(100000.0, 5000.0, 1e6)).unwrap();
+        assert!(compare(&base, &fresh, 0.30).is_empty());
+    }
+
+    #[test]
+    fn small_wobble_within_tolerance_passes() {
+        let base = Json::parse(&report(100000.0, 5000.0, 1e6)).unwrap();
+        let fresh = Json::parse(&report(85000.0, 4200.0, 1.2e6)).unwrap();
+        assert!(compare(&base, &fresh, 0.30).is_empty());
+    }
+
+    #[test]
+    fn degraded_throughput_fails() {
+        let base = Json::parse(&report(100000.0, 5000.0, 1e6)).unwrap();
+        // Flaky throughput collapsed far past the 30% tolerance.
+        let fresh = Json::parse(&report(100000.0, 500.0, 1e6)).unwrap();
+        let fails = compare(&base, &fresh, 0.30);
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("flaky"), "{fails:?}");
+        assert!(fails[0].contains("writes_per_sec"), "{fails:?}");
+    }
+
+    #[test]
+    fn degraded_force_tail_fails() {
+        let base = Json::parse(&report(100000.0, 5000.0, 1e6)).unwrap();
+        let fresh = Json::parse(&report(100000.0, 5000.0, 1e8)).unwrap();
+        let fails = compare(&base, &fresh, 0.30);
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("p99"), "{fails:?}");
+    }
+
+    #[test]
+    fn missing_scenario_fails() {
+        let base = Json::parse(&report(100000.0, 5000.0, 1e6)).unwrap();
+        let fresh =
+            Json::parse(r#"{"scenarios": {"reliable": {"writes_per_sec": 100000}}}"#).unwrap();
+        let fails = compare(&base, &fresh, 0.30);
+        assert!(
+            fails
+                .iter()
+                .any(|f| f.contains("flaky") && f.contains("missing")),
+            "{fails:?}"
+        );
+    }
+
+    #[test]
+    fn extra_fresh_scenarios_ignored() {
+        let base =
+            Json::parse(r#"{"scenarios": {"reliable": {"writes_per_sec": 100000}}}"#).unwrap();
+        let fresh = Json::parse(&report(100000.0, 1.0, 9e9)).unwrap();
+        assert!(compare(&base, &fresh, 0.30).is_empty());
+    }
+}

@@ -54,6 +54,9 @@ pub struct ClusterOptions {
     /// Observability: when enabled, every server (and every client built
     /// by [`Cluster::client`]) gets a tracing/histogram handle.
     pub obs: dlog_obs::ObsOptions,
+    /// Group-commit coalescing window for every server (`ZERO`: the
+    /// synchronous force-per-message path).
+    pub coalesce_window: std::time::Duration,
     /// Where to place server directories (`None`: a temp dir).
     pub root: Option<PathBuf>,
 }
@@ -72,6 +75,7 @@ impl ClusterOptions {
             segment_bytes: None,
             archive: false,
             obs: dlog_obs::ObsOptions::off(),
+            coalesce_window: std::time::Duration::ZERO,
             root: None,
         }
     }
@@ -161,7 +165,9 @@ impl Cluster {
         let nvram = self.nvrams.get(&sid).expect("registered").clone();
         let store = LogStore::open(&dir, store_opts, nvram).expect("open store");
         let gens = GenStore::open(dir.join("gens")).expect("open gens");
-        let mut server = LogServer::new(ServerConfig::new(sid), store, gens).expect("server");
+        let mut config = ServerConfig::new(sid);
+        config.coalesce_window = self.opts.coalesce_window;
+        let mut server = LogServer::new(config, store, gens).expect("server");
         if self.opts.archive {
             let objects =
                 dlog_archive::LocalDirStore::open(self.archive_dir(sid)).expect("open archive dir");

@@ -155,12 +155,17 @@ fn run() -> Result<(), String> {
                     pending_upload_bytes,
                     last_manifest_lsn,
                     upload_retries,
+                    coalesced_forces,
+                    group_commits,
                 }) => {
                     println!(
                         "{sock}: {records_stored} records, {clients} clients, {on_disk_bytes} bytes on disk, {tracks_flushed} tracks, {forces_acked} forces acked, {rpcs} rpcs, {naks_sent} naks, {duplicates_ignored} dups ignored, {writes_shed} shed"
                     );
                     println!(
                         "{sock}: archive: {archived_bytes} bytes archived, {pending_upload_bytes} pending upload, last manifest lsn {last_manifest_lsn}, {upload_retries} upload retries"
+                    );
+                    println!(
+                        "{sock}: group commit: {coalesced_forces} forces coalesced into {group_commits} commits"
                     );
                 }
                 Ok(other) => println!("{sock}: unexpected reply {other:?}"),

@@ -4,6 +4,7 @@
 //! dlog-server --dir /var/lib/dlog/s1 --listen 127.0.0.1:7001 --id 1
 //!             [--track-kb 64] [--nvram-kb 1024] [--no-fsync true]
 //!             [--archive-dir /var/lib/dlog/archive1] [--archive-interval-ms 1000]
+//!             [--force-coalesce-us 2000] [--force-coalesce-max 64]
 //! ```
 //!
 //! The server stores every client's records in one sequential CRC-framed
@@ -85,8 +86,21 @@ fn run() -> Result<(), String> {
     let store = LogStore::open(&dir, opts, nvram).map_err(|e| format!("open store: {e}"))?;
     let gens =
         GenStore::open(format!("{dir}/gens")).map_err(|e| format!("open generator store: {e}"))?;
-    let mut server = LogServer::new(ServerConfig::new(ServerId(id)), store, gens)
-        .map_err(|e| format!("construct server: {e}"))?;
+    // Group commit: forces arriving within the window share one physical
+    // durability round. 0 (the default) keeps forces synchronous.
+    let coalesce_us: u64 = args.get_or("force-coalesce-us", 0)?;
+    let coalesce_max: usize = args.get_or("force-coalesce-max", 64)?;
+    let mut config = ServerConfig::new(ServerId(id));
+    config.coalesce_window = std::time::Duration::from_micros(coalesce_us);
+    config.coalesce_max_batch = coalesce_max.max(1);
+    if coalesce_us > 0 {
+        eprintln!(
+            "dlog-server {id}: group commit on (window {coalesce_us} us, max batch {})",
+            config.coalesce_max_batch
+        );
+    }
+    let mut server =
+        LogServer::new(config, store, gens).map_err(|e| format!("construct server: {e}"))?;
 
     // Observability on by default so `dlog stats` has data to show;
     // --no-obs true reverts to the zero-cost disabled handle.
@@ -119,14 +133,29 @@ fn run() -> Result<(), String> {
     eprintln!("dlog-server {id}: serving {dir} on {bound} (ctrl-c to stop)");
 
     loop {
-        match ep.recv(std::time::Duration::from_millis(100)) {
+        // With forces pending, poll instead of blocking so the group
+        // commits the moment the socket drains (the window is the
+        // maximum extra latency, not a fixed delay).
+        let timeout = if server.has_pending_forces() {
+            std::time::Duration::ZERO
+        } else {
+            std::time::Duration::from_millis(100)
+        };
+        match ep.recv(timeout) {
             Ok(Some((from, pkt))) => {
                 for (to, reply) in server.handle(from, &pkt) {
                     let _ = ep.send(to, &reply);
                 }
+                for (to, reply) in server.force_tick() {
+                    let _ = ep.send(to, &reply);
+                }
             }
             Ok(None) => {
-                if let Err(e) = server.archive_tick() {
+                if server.has_pending_forces() {
+                    for (to, reply) in server.flush_pending_forces() {
+                        let _ = ep.send(to, &reply);
+                    }
+                } else if let Err(e) = server.archive_tick() {
                     // Retried next interval; the watermark holds retention
                     // back until the upload goes through.
                     eprintln!("dlog-server {id}: archive round failed: {e}");
@@ -143,7 +172,8 @@ fn main() {
         eprintln!(
             "usage: dlog-server --dir DIR --listen HOST:PORT [--id N] \
              [--track-kb 64] [--nvram-kb 1024] [--no-fsync true] [--no-obs true] \
-             [--archive-dir DIR] [--archive-interval-ms 1000]"
+             [--archive-dir DIR] [--archive-interval-ms 1000] \
+             [--force-coalesce-us 0] [--force-coalesce-max 64]"
         );
         exit(1);
     }

@@ -31,9 +31,16 @@ pub struct ClientOptions {
     /// Generator state representatives for epoch numbers (Appendix I);
     /// defaults to all M servers when empty.
     pub epoch_representatives: Vec<ServerId>,
-    /// How long to wait for acknowledgments before re-forcing.
+    /// Cap on the ack-wait backoff: no single wait for acknowledgments
+    /// exceeds this, and a server is only charged a failed attempt (see
+    /// [`ClientOptions::force_retries`]) once waits have grown to it.
     pub ack_timeout: Duration,
-    /// Re-force attempts per server before switching away from it
+    /// First ack-wait of the retry schedule; successive timeouts double
+    /// it (with deterministic jitter) up to [`ClientOptions::ack_timeout`].
+    /// Small by design: a lost ack under light loss should cost
+    /// milliseconds, not a full timeout period.
+    pub retry_base: Duration,
+    /// Capped re-force attempts per server before switching away from it
     /// ("it retries a number of times before moving to a different
     /// server", §4.2).
     pub force_retries: u32,
@@ -50,10 +57,37 @@ impl ClientOptions {
             strategy: AssignStrategy::Striped,
             epoch_representatives: Vec::new(),
             ack_timeout: Duration::from_millis(120),
+            retry_base: Duration::from_millis(2),
             force_retries: 3,
             read_ahead: 64,
         }
     }
+}
+
+/// One wait of the jittered exponential backoff schedule:
+/// `base << round` capped at `cap`, scaled by a factor in [0.75, 1.25)
+/// drawn from `state`, an xorshift64 stream. The jitter source is
+/// deliberately *not* wall-clock entropy: seeded replays must stay
+/// byte-identical (tests/trace_determinism.rs), and a per-client
+/// deterministic stream de-convoys retries just as well.
+fn backoff_wait(base: Duration, cap: Duration, round: u32, state: &mut u64) -> Duration {
+    let base = base.max(Duration::from_micros(100));
+    let cap = cap.max(base);
+    let w = base.saturating_mul(1u32 << round.min(16)).min(cap);
+    let mut x = *state | 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    let nanos = w.as_nanos() as u64;
+    Duration::from_nanos(nanos - nanos / 4 + x % (nanos / 2 + 1))
+}
+
+/// True once the un-jittered backoff for `round` has reached the cap.
+fn backoff_at_cap(base: Duration, cap: Duration, round: u32) -> bool {
+    base.max(Duration::from_micros(100))
+        .saturating_mul(1u32 << round.min(16))
+        >= cap
 }
 
 /// Client-side operation counters.
@@ -77,6 +111,9 @@ pub struct ClientStats {
     pub initializations: u64,
     /// Records rewritten by the recovery procedure (CopyLog).
     pub recovery_copies: u64,
+    /// Times the δ window was full while more records waited — each is a
+    /// flow-control stall spent waiting on acknowledgments.
+    pub window_stalls: u64,
 }
 
 /// The replicated log abstraction (§3.1): an append-only record sequence
@@ -103,6 +140,9 @@ pub struct ReplicatedLog<E: Endpoint> {
     read_cache: BTreeMap<Lsn, LogRecord>,
     stats: ClientStats,
     obs: dlog_obs::Obs,
+    /// xorshift64 state for retry jitter; seeded from the client id so
+    /// replays are deterministic but distinct clients de-convoy.
+    jitter: u64,
 }
 
 impl<E: Endpoint> ReplicatedLog<E> {
@@ -125,6 +165,7 @@ impl<E: Endpoint> ReplicatedLog<E> {
             read_cache: BTreeMap::new(),
             stats: ClientStats::default(),
             obs: dlog_obs::Obs::off(),
+            jitter: id.0 ^ 0x9E37_79B9_7F4A_7C15,
         }
     }
 
@@ -641,6 +682,7 @@ impl<E: Endpoint> ReplicatedLog<E> {
     /// Move buffered records through the δ window to the targets; when
     /// `drain` is set, do not return until everything is on N servers.
     fn pump(&mut self, drain: bool) -> Result<()> {
+        let mut demanded_ack = false;
         loop {
             // Admit buffered records into the δ window.
             let mut fresh: Vec<(Lsn, LogData)> = Vec::new();
@@ -655,9 +697,32 @@ impl<E: Endpoint> ReplicatedLog<E> {
             }
             let window_full =
                 (self.in_flight.len() as u64) >= self.opts.config.delta && !self.buffer.is_empty();
+            if window_full {
+                self.stats.window_stalls += 1;
+            }
             let need_ack = drain || window_full;
             if !fresh.is_empty() {
                 self.transmit(&fresh, need_ack)?;
+                if need_ack {
+                    demanded_ack = true;
+                }
+            } else if need_ack && !demanded_ack && !self.in_flight.is_empty() {
+                // The whole window went out earlier as asynchronous
+                // WriteLog, so the servers owe us nothing. An empty
+                // ForceLog demands the force and its ack without
+                // resending a single record — this replaces a silent
+                // full-timeout wait for acks that were never coming.
+                for &t in &self.targets.clone() {
+                    self.net.send(
+                        t,
+                        Message::ForceLog {
+                            client: self.id,
+                            epoch: self.epoch,
+                            records: Vec::new(),
+                        },
+                    )?;
+                }
+                demanded_ack = true;
             }
             if need_ack {
                 // Fully drain only on the final round of a force; flow
@@ -699,8 +764,16 @@ impl<E: Endpoint> ReplicatedLog<E> {
     }
 
     /// Block until the window drains (`drain`: fully; otherwise: below δ).
+    ///
+    /// Waits follow a jittered exponential backoff from
+    /// [`ClientOptions::retry_base`] up to the [`ClientOptions::ack_timeout`]
+    /// cap: fixed-interval retries convoy under loss (every waiter
+    /// re-fires in lockstep, and a single lost ack costs a whole
+    /// period), while small first retries recover in milliseconds and
+    /// the cap bounds the tail.
     fn await_acks(&mut self, drain: bool) -> Result<()> {
         let mut attempts: HashMap<ServerId, u32> = HashMap::new();
+        let mut round: u32 = 0;
         // With most servers unreachable, target switching would otherwise
         // ping-pong among dead candidates forever; bound the churn per
         // wait and report the quorum loss instead.
@@ -715,15 +788,27 @@ impl<E: Endpoint> ReplicatedLog<E> {
             if done {
                 return Ok(());
             }
-            let progressed = self.net.poll(self.opts.ack_timeout)?;
+            let wait = backoff_wait(
+                self.opts.retry_base,
+                self.opts.ack_timeout,
+                round,
+                &mut self.jitter,
+            );
+            let progressed = self.net.poll(wait)?;
             self.process_naks()?;
             self.harvest_completions();
             if progressed {
+                round = 0;
                 continue;
             }
-            // Timeout: re-force to laggards, eventually switching. A
-            // laggard has not acknowledged the newest *sent* record (or
-            // does not cover the window head at all).
+            // Timeout: re-send each laggard the window suffix it has not
+            // acknowledged, eventually switching. A laggard has not
+            // acknowledged the newest *sent* record (or does not cover
+            // the window head at all). Switching is charged only for
+            // capped-length waits — early, milliseconds-long rounds must
+            // not evict a merely slow server.
+            let at_cap = backoff_at_cap(self.opts.retry_base, self.opts.ack_timeout, round);
+            round = round.saturating_add(1);
             let newest_sent = self.in_flight.back().expect("in-flight nonempty").0;
             let laggards: Vec<ServerId> = self
                 .targets
@@ -733,7 +818,9 @@ impl<E: Endpoint> ReplicatedLog<E> {
                 .collect();
             for t in laggards {
                 let n = attempts.entry(t).or_insert(0);
-                *n += 1;
+                if at_cap {
+                    *n += 1;
+                }
                 if *n > self.opts.force_retries {
                     if switch_budget == 0 {
                         return Err(DlogError::QuorumUnavailable {
@@ -750,18 +837,20 @@ impl<E: Endpoint> ReplicatedLog<E> {
                     self.switch_target(t)?;
                     attempts.remove(&t);
                 } else {
-                    self.resend_in_flight(t, true)?;
+                    let from = self.net.acked(t).next();
+                    self.resend_from(t, from, true)?;
                 }
             }
         }
     }
 
-    /// Apply pending NAKs: the server is told to start a new interval at
-    /// our oldest incomplete record and receives the window again.
+    /// Apply pending NAKs: a NAK names the first gap the server sees, and
+    /// a server refuses everything after a gap — so the window suffix
+    /// from the gap's low edge is exactly what it is missing.
     fn process_naks(&mut self) -> Result<()> {
         while let Some(nak) = self.net.take_nak() {
             let start = self.in_flight.front().map_or(self.next_lsn, |(l, _)| *l);
-            if nak.lo < start {
+            let resend_lo = if nak.lo < start {
                 // The gap predates the window: those records are already
                 // on N other servers; skip them on this one.
                 self.net.send(
@@ -773,17 +862,31 @@ impl<E: Endpoint> ReplicatedLog<E> {
                     },
                 )?;
                 self.covers_from.insert(nak.server, start);
-            }
-            self.resend_in_flight(nak.server, true)?;
+                start
+            } else {
+                nak.lo
+            };
+            self.resend_from(nak.server, resend_lo, true)?;
         }
         Ok(())
     }
 
-    fn resend_in_flight(&mut self, server: ServerId, force: bool) -> Result<()> {
-        if self.in_flight.is_empty() {
+    /// Selective retransmit: resend the in-flight suffix starting at
+    /// `from`. Window slots below `from` are skipped — the server either
+    /// acknowledged them already (timeout path: `from` is its acked
+    /// high-water mark + 1) or was told to start a fresh interval past
+    /// them (NAK path) — which is what keeps retransmission cost
+    /// proportional to what was actually lost.
+    fn resend_from(&mut self, server: ServerId, from: Lsn, force: bool) -> Result<()> {
+        let records: Vec<(Lsn, LogData)> = self
+            .in_flight
+            .iter()
+            .filter(|(l, _)| *l >= from)
+            .cloned()
+            .collect();
+        if records.is_empty() {
             return Ok(());
         }
-        let records: Vec<(Lsn, LogData)> = self.in_flight.iter().cloned().collect();
         self.stats.resends += records.len() as u64;
         for batch in dlog_net::wire::pack_batches(&records) {
             let msg = if force {
@@ -833,7 +936,8 @@ impl<E: Endpoint> ReplicatedLog<E> {
             },
         )?;
         self.covers_from.insert(replacement, start);
-        self.resend_in_flight(replacement, true)?;
+        // A replacement starts cold: it needs the whole window.
+        self.resend_from(replacement, start, true)?;
         Ok(())
     }
 
@@ -947,5 +1051,63 @@ impl<E: Endpoint> ReplicatedLog<E> {
                 break;
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: Duration = Duration::from_millis(2);
+    const CAP: Duration = Duration::from_millis(120);
+
+    #[test]
+    fn backoff_stays_within_jitter_bounds_per_round() {
+        let mut state = 7u64;
+        for round in 0..20 {
+            let nominal = BASE.saturating_mul(1u32 << round.min(16)).min(CAP);
+            let w = backoff_wait(BASE, CAP, round, &mut state);
+            assert!(
+                w >= nominal.mul_f64(0.74) && w <= nominal.mul_f64(1.26),
+                "round {round}: {w:?} outside jitter bounds of {nominal:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_caps_at_ack_timeout() {
+        let mut state = 3u64;
+        for round in 0..64 {
+            let w = backoff_wait(BASE, CAP, round, &mut state);
+            assert!(w <= CAP.mul_f64(1.26), "round {round}: {w:?} exceeds cap");
+        }
+        assert!(!backoff_at_cap(BASE, CAP, 0));
+        assert!(backoff_at_cap(BASE, CAP, 6));
+        assert!(backoff_at_cap(BASE, CAP, 63));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let mut a = 42u64;
+        let mut b = 42u64;
+        for round in 0..12 {
+            assert_eq!(
+                backoff_wait(BASE, CAP, round, &mut a),
+                backoff_wait(BASE, CAP, round, &mut b),
+            );
+        }
+        // And actually jittered: two rounds at the cap differ.
+        let w1 = backoff_wait(BASE, CAP, 10, &mut a);
+        let w2 = backoff_wait(BASE, CAP, 10, &mut a);
+        assert_ne!(w1, w2, "jitter stream should not repeat immediately");
+    }
+
+    #[test]
+    fn backoff_survives_degenerate_options() {
+        let mut state = 0u64; // zero seed must not wedge xorshift
+        let w = backoff_wait(Duration::ZERO, Duration::ZERO, 40, &mut state);
+        assert!(w > Duration::ZERO);
+        assert!(w <= Duration::from_micros(130));
+        assert_ne!(state, 0);
     }
 }

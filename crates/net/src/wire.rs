@@ -294,6 +294,10 @@ pub enum Response {
         last_manifest_lsn: u64,
         /// Failed archive put attempts (each triggered a retry).
         upload_retries: u64,
+        /// `ForceLog` acks deferred into a group-commit batch.
+        coalesced_forces: u64,
+        /// Physical group-commit rounds flushed.
+        group_commits: u64,
     },
     /// Per-stage latency histograms (see [`StageStats`]) and trace-ring
     /// counters from the server's `dlog-obs` handle. All fields are zero
@@ -731,6 +735,8 @@ fn encode_response(body: &Response, out: &mut BytesMut) {
             pending_upload_bytes,
             last_manifest_lsn,
             upload_retries,
+            coalesced_forces,
+            group_commits,
         } => {
             out.put_u8(S_STATUS);
             for v in [
@@ -747,6 +753,8 @@ fn encode_response(body: &Response, out: &mut BytesMut) {
                 pending_upload_bytes,
                 last_manifest_lsn,
                 upload_retries,
+                coalesced_forces,
+                group_commits,
             ] {
                 out.put_u64_le(*v);
             }
@@ -759,7 +767,7 @@ fn encode_response(body: &Response, out: &mut BytesMut) {
             out.put_u8(S_STATS);
             out.put_u64_le(*trace_events);
             out.put_u64_le(*trace_dropped);
-            // At most `Stage::COUNT` (6) stages ever travel; u8 is ample.
+            // At most `Stage::COUNT` (7) stages ever travel; u8 is ample.
             out.put_u8(stages.len().min(u8::MAX as usize) as u8);
             for s in stages.iter().take(u8::MAX as usize) {
                 out.put_u8(s.stage);
@@ -959,7 +967,7 @@ fn decode_response(r: &mut &[u8]) -> Result<Response, DecodeError> {
             })
         }
         S_STATUS => {
-            need!(r, 104);
+            need!(r, 120);
             Ok(Response::Status {
                 records_stored: r.get_u64_le(),
                 duplicates_ignored: r.get_u64_le(),
@@ -974,6 +982,8 @@ fn decode_response(r: &mut &[u8]) -> Result<Response, DecodeError> {
                 pending_upload_bytes: r.get_u64_le(),
                 last_manifest_lsn: r.get_u64_le(),
                 upload_retries: r.get_u64_le(),
+                coalesced_forces: r.get_u64_le(),
+                group_commits: r.get_u64_le(),
             })
         }
         S_STATS => {

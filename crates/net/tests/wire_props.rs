@@ -4,7 +4,9 @@
 
 use proptest::prelude::*;
 
-use dlog_net::wire::{pack_batches, Message, Packet, Request, Response, StageStats, MAX_PACKET_BYTES};
+use dlog_net::wire::{
+    pack_batches, Message, Packet, Request, Response, StageStats, MAX_PACKET_BYTES,
+};
 use dlog_types::{ClientId, Epoch, Interval, IntervalList, LogData, LogRecord, Lsn};
 
 fn arb_data() -> impl Strategy<Value = LogData> {
@@ -85,7 +87,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
 
 fn arb_stage_stats() -> impl Strategy<Value = StageStats> {
     (
-        0u8..6,
+        0u8..7,
         any::<u64>(),
         any::<u64>(),
         proptest::collection::vec((0u8..64, any::<u64>()), 0..6),
@@ -106,7 +108,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
         Just(Response::Ok),
         (0u16..10, "[a-z ]{0,40}").prop_map(|(code, detail)| Response::Err { code, detail }),
         (0u64..u64::MAX).prop_map(|value| Response::GenValue { value }),
-        proptest::collection::vec(any::<u64>(), 13).prop_map(|v| Response::Status {
+        proptest::collection::vec(any::<u64>(), 15).prop_map(|v| Response::Status {
             records_stored: v[0],
             duplicates_ignored: v[1],
             naks_sent: v[2],
@@ -120,6 +122,8 @@ fn arb_response() -> impl Strategy<Value = Response> {
             pending_upload_bytes: v[10],
             last_manifest_lsn: v[11],
             upload_retries: v[12],
+            coalesced_forces: v[13],
+            group_commits: v[14],
         }),
         (
             proptest::collection::vec(arb_stage_stats(), 0..7),

@@ -33,11 +33,17 @@ pub enum Stage {
     /// Archive tier uploaded during an idle tick (`lsn` = last manifest
     /// LSN, `detail` = archived bytes).
     ArchiveTick,
+    /// Group-commit round: one physical force covering every client
+    /// whose `ForceLog` arrived within the coalescing window (`lsn` =
+    /// highest LSN forced in the round, `detail` = batch size in
+    /// clients). The stage histogram records **batch sizes**, not
+    /// latencies — each round samples its client count.
+    GroupCommit,
 }
 
 impl Stage {
     /// Number of stages.
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
 
     /// Every stage, in tag order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -47,6 +53,7 @@ impl Stage {
         Stage::Force,
         Stage::AckHighLsn,
         Stage::ArchiveTick,
+        Stage::GroupCommit,
     ];
 
     /// Dense index (also the wire tag).
@@ -59,6 +66,7 @@ impl Stage {
             Stage::Force => 3,
             Stage::AckHighLsn => 4,
             Stage::ArchiveTick => 5,
+            Stage::GroupCommit => 6,
         }
     }
 
@@ -84,6 +92,7 @@ impl Stage {
             Stage::Force => "force",
             Stage::AckHighLsn => "ack_high_lsn",
             Stage::ArchiveTick => "archive_tick",
+            Stage::GroupCommit => "group_commit",
         }
     }
 }
@@ -235,7 +244,7 @@ mod tests {
         for s in Stage::ALL {
             assert_eq!(Stage::from_u8(s.as_u8()), Some(s));
         }
-        assert_eq!(Stage::from_u8(6), None);
+        assert_eq!(Stage::from_u8(7), None);
     }
 
     #[test]

@@ -62,6 +62,16 @@ pub struct ServerConfig {
     pub ack_every: u64,
     /// Cap on records packed into a read response.
     pub read_batch: u32,
+    /// Group-commit coalescing window: a `ForceLog` ack may be deferred
+    /// up to this long so forces from concurrently-waiting clients share
+    /// one physical durability round. The window is the *maximum* extra
+    /// latency under sustained load — the runner flushes the pending
+    /// batch as soon as its inbox drains. Zero (the default) keeps the
+    /// fully synchronous force-per-message path.
+    pub coalesce_window: Duration,
+    /// Flush the pending group-commit batch early once this many clients
+    /// are waiting, regardless of the window.
+    pub coalesce_max_batch: usize,
 }
 
 impl ServerConfig {
@@ -72,6 +82,8 @@ impl ServerConfig {
             id,
             ack_every: 64,
             read_batch: 512,
+            coalesce_window: Duration::ZERO,
+            coalesce_max_batch: 64,
         }
     }
 }
@@ -95,6 +107,12 @@ pub struct ServerStats {
     pub rpcs: u64,
     /// Forces acknowledged.
     pub forces_acked: u64,
+    /// `ForceLog` requests whose ack was deferred into a group-commit
+    /// batch (always 0 when `coalesce_window` is zero).
+    pub coalesced_forces: u64,
+    /// Physical group-commit rounds flushed. Amortization shows as
+    /// `coalesced_forces / group_commits` > 1.
+    pub group_commits: u64,
 }
 
 /// The archive tier attached to a server: the background archiver, a
@@ -120,6 +138,13 @@ pub struct LogServer {
     stats: ServerStats,
     archive: Option<ArchiveTier>,
     obs: dlog_obs::Obs,
+    /// Clients whose `ForceLog` ack is deferred into the next group
+    /// commit, with the address each ack must go to. A `Vec` (not a map)
+    /// keeps the fan-out order deterministic: first-force order.
+    pending_forces: Vec<(ClientId, NodeAddr)>,
+    /// When the oldest pending force arrived; the coalescing window is
+    /// measured from here.
+    coalesce_since: Option<Instant>,
 }
 
 impl LogServer {
@@ -138,6 +163,8 @@ impl LogServer {
             stats: ServerStats::default(),
             archive: None,
             obs: dlog_obs::Obs::off(),
+            pending_forces: Vec::new(),
+            coalesce_since: None,
         })
     }
 
@@ -384,23 +411,41 @@ impl LogServer {
         }
 
         if force {
-            if let Err(e) = self.store.force(client) {
-                // A force that cannot reach stable storage is fatal for a
-                // log server.
-                panic!("force failed: {e}");
-            }
-            self.stats.forces_acked += 1;
-            self.unacked.insert(client, 0);
-            if let Some(iv) = self.store.last_interval(client) {
-                // Forced acks set bit 0 of the detail word: the trace
-                // invariant checker requires a preceding Force event for
-                // exactly these.
-                self.obs
-                    .event(dlog_obs::Stage::AckHighLsn, iv.hi.0, (client.0 << 1) | 1);
-                out.push((
-                    from,
-                    Packet::bare(Message::NewHighLsn { client, lsn: iv.hi }),
-                ));
+            if self.config.coalesce_window.is_zero() {
+                if let Err(e) = self.store.force(client) {
+                    // A force that cannot reach stable storage is fatal for a
+                    // log server.
+                    panic!("force failed: {e}");
+                }
+                self.stats.forces_acked += 1;
+                self.unacked.insert(client, 0);
+                if let Some(iv) = self.store.last_interval(client) {
+                    // Forced acks set bit 0 of the detail word: the trace
+                    // invariant checker requires a preceding Force event for
+                    // exactly these.
+                    self.obs
+                        .event(dlog_obs::Stage::AckHighLsn, iv.hi.0, (client.0 << 1) | 1);
+                    out.push((
+                        from,
+                        Packet::bare(Message::NewHighLsn { client, lsn: iv.hi }),
+                    ));
+                }
+            } else {
+                // Defer: the group-commit scheduler owns this ack. A
+                // repeat force from the same client just refreshes its
+                // reply address; the durability obligation is already
+                // queued.
+                self.stats.coalesced_forces += 1;
+                match self.pending_forces.iter_mut().find(|(c, _)| *c == client) {
+                    Some(slot) => slot.1 = from,
+                    None => self.pending_forces.push((client, from)),
+                }
+                if self.coalesce_since.is_none() {
+                    self.coalesce_since = Some(Instant::now());
+                }
+                if self.pending_forces.len() >= self.config.coalesce_max_batch {
+                    self.flush_forces(out);
+                }
             }
         } else if self.config.ack_every > 0 {
             let n = self.unacked.entry(client).or_insert(0);
@@ -424,6 +469,89 @@ impl LogServer {
         self.obs
             .event(dlog_obs::Stage::ServerIngest, batch_hi, accepted);
         self.obs.sample_since(dlog_obs::Stage::ServerIngest, span);
+    }
+
+    /// True when at least one `ForceLog` ack is waiting on the next group
+    /// commit. The runner uses this to shrink its receive timeout so a
+    /// pending batch is never stranded behind a quiet socket.
+    #[must_use]
+    pub fn has_pending_forces(&self) -> bool {
+        !self.pending_forces.is_empty()
+    }
+
+    /// Flush the pending group-commit batch if it is due — its coalescing
+    /// window has expired or it reached the size cap — returning the
+    /// `NewHighLSN` fan-out to transmit.
+    #[must_use]
+    pub fn force_tick(&mut self) -> Vec<(NodeAddr, Packet)> {
+        let due = match self.coalesce_since {
+            Some(t) => {
+                t.elapsed() >= self.config.coalesce_window
+                    || self.pending_forces.len() >= self.config.coalesce_max_batch
+            }
+            None => false,
+        };
+        let mut out = Vec::new();
+        if due {
+            self.flush_forces(&mut out);
+        }
+        self.stats.packets_out += out.len() as u64;
+        out
+    }
+
+    /// Flush the pending batch *now*, regardless of the window. The
+    /// runner calls this when its inbox drains: the window is the maximum
+    /// extra latency under sustained load, while an otherwise-idle server
+    /// acks a lone client's force immediately.
+    #[must_use]
+    pub fn flush_pending_forces(&mut self) -> Vec<(NodeAddr, Packet)> {
+        let mut out = Vec::new();
+        self.flush_forces(&mut out);
+        self.stats.packets_out += out.len() as u64;
+        out
+    }
+
+    /// One group commit: a single physical durability round covering
+    /// every waiting client, then per-client `NewHighLSN` fan-out.
+    fn flush_forces(&mut self, out: &mut Vec<(NodeAddr, Packet)>) {
+        if self.pending_forces.is_empty() {
+            return;
+        }
+        self.coalesce_since = None;
+        let batch = std::mem::take(&mut self.pending_forces);
+        let clients: Vec<ClientId> = batch.iter().map(|(c, _)| *c).collect();
+        if self.store.force_batch(&clients).is_err() {
+            // A failed physical force must not ack ANY client in the
+            // batch: acking without durability is exactly the bug the
+            // ack-after-force invariant exists to prevent. Dropping the
+            // obligations un-acked lets each client's retry path
+            // re-issue its ForceLog against a store that may have
+            // recovered in the meantime.
+            return;
+        }
+        self.stats.group_commits += 1;
+        let batch_size = batch.len() as u64;
+        let mut round_hi = 0u64;
+        for (client, addr) in batch {
+            self.stats.forces_acked += 1;
+            self.unacked.insert(client, 0);
+            if let Some(iv) = self.store.last_interval(client) {
+                round_hi = round_hi.max(iv.hi.0);
+                // Forced ack (bit 0 set): the runtime checker demands the
+                // Force event `force_batch` just emitted for this client.
+                self.obs
+                    .event(dlog_obs::Stage::AckHighLsn, iv.hi.0, (client.0 << 1) | 1);
+                out.push((
+                    addr,
+                    Packet::bare(Message::NewHighLsn { client, lsn: iv.hi }),
+                ));
+            }
+        }
+        // The GroupCommit histogram records batch sizes, not latencies:
+        // amortization is the quantity of interest here.
+        self.obs
+            .event(dlog_obs::Stage::GroupCommit, round_hi, batch_size);
+        self.obs.sample(dlog_obs::Stage::GroupCommit, batch_size);
     }
 
     /// Serve a strict RPC.
@@ -522,6 +650,8 @@ impl LogServer {
                     pending_upload_bytes: pending,
                     last_manifest_lsn: ar.last_manifest_lsn,
                     upload_retries: ar.upload_retries,
+                    coalesced_forces: st.coalesced_forces,
+                    group_commits: st.group_commits,
                 }
             }
             Request::Stats => {
@@ -942,6 +1072,98 @@ mod tests {
         // 25 buffered records with ack_every=10: the counter crosses the
         // threshold (and resets) after batches 2 and 4 → 2 unsolicited acks.
         assert_eq!(acks, 2);
+    }
+
+    #[test]
+    fn coalescing_defers_ack_until_flush() {
+        let mut s = server("coalesce");
+        s.config.coalesce_window = Duration::from_millis(250);
+        let out = force(&mut s, 1, 1, 7);
+        assert!(out.is_empty(), "ack must wait for the group commit");
+        assert!(s.has_pending_forces());
+        assert_eq!(s.stats().coalesced_forces, 1);
+        assert_eq!(s.stats().forces_acked, 0);
+        // Window not expired: force_tick is a no-op.
+        assert!(s.force_tick().is_empty());
+        assert!(s.has_pending_forces());
+        // Idle flush commits immediately.
+        let out = s.flush_pending_forces();
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            out[0].1.msg,
+            Message::NewHighLsn {
+                client: CL,
+                lsn: Lsn(7)
+            }
+        );
+        assert!(!s.has_pending_forces());
+        assert_eq!(s.stats().forces_acked, 1);
+        assert_eq!(s.stats().group_commits, 1);
+    }
+
+    #[test]
+    fn repeat_force_refreshes_slot_not_batch() {
+        let mut s = server("refresh");
+        s.config.coalesce_window = Duration::from_millis(250);
+        force(&mut s, 1, 1, 3);
+        // A retried force (same client, new address) must not grow the
+        // batch — and the ack must go to the newest address.
+        let out = s.handle(
+            NodeAddr(55),
+            &Packet::bare(Message::ForceLog {
+                client: CL,
+                epoch: Epoch(1),
+                records: batch(1, 3),
+            }),
+        );
+        assert!(out.is_empty());
+        assert_eq!(s.stats().coalesced_forces, 2);
+        let out = s.flush_pending_forces();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, NodeAddr(55));
+        assert_eq!(s.stats().group_commits, 1);
+    }
+
+    #[test]
+    fn batch_cap_flushes_inline() {
+        let mut s = server("cap");
+        s.config.coalesce_window = Duration::from_secs(3600);
+        s.config.coalesce_max_batch = 2;
+        let out = force(&mut s, 1, 1, 2);
+        assert!(out.is_empty());
+        // A second client's force hits the cap: one physical round, two
+        // fan-out acks, in first-force order.
+        let out = s.handle(
+            NodeAddr(42),
+            &Packet::bare(Message::ForceLog {
+                client: ClientId(8),
+                epoch: Epoch(1),
+                records: vec![(Lsn(1), LogData::from(vec![1u8; 10]))],
+            }),
+        );
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, FROM);
+        assert_eq!(out[1].0, NodeAddr(42));
+        assert_eq!(s.stats().group_commits, 1);
+        assert_eq!(s.stats().forces_acked, 2);
+        assert!(!s.has_pending_forces());
+    }
+
+    #[test]
+    fn force_tick_flushes_after_window() {
+        let mut s = server("tick");
+        s.config.coalesce_window = Duration::from_millis(1);
+        force(&mut s, 1, 1, 4);
+        std::thread::sleep(Duration::from_millis(5));
+        let out = s.force_tick();
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            out[0].1.msg,
+            Message::NewHighLsn {
+                client: CL,
+                lsn: Lsn(4)
+            }
+        );
     }
 
     #[test]

@@ -26,21 +26,46 @@ impl ServerRunner {
             .name(format!("log-server-{}", server.id()))
             .spawn(move || {
                 while !stop2.load(Ordering::Relaxed) {
-                    match endpoint.recv(Duration::from_millis(20)) {
+                    // With forces waiting on a group commit, poll rather
+                    // than block: the batch must flush the moment the
+                    // inbox drains, so the coalescing window only adds
+                    // latency while more work is actually arriving.
+                    let timeout = if server.has_pending_forces() {
+                        Duration::ZERO
+                    } else {
+                        Duration::from_millis(20)
+                    };
+                    match endpoint.recv(timeout) {
                         Ok(Some((from, pkt))) => {
                             for (to, reply) in server.handle(from, &pkt) {
                                 // Send failures are network loss — the
                                 // protocol recovers end to end.
                                 let _ = endpoint.send(to, &reply);
                             }
+                            for (to, reply) in server.force_tick() {
+                                let _ = endpoint.send(to, &reply);
+                            }
                         }
                         Ok(None) => {
-                            // Idle: let the archive tier make progress.
-                            // Upload failures are retried next interval.
-                            let _ = server.archive_tick();
+                            if server.has_pending_forces() {
+                                // Inbox drained: commit the group now.
+                                for (to, reply) in server.flush_pending_forces() {
+                                    let _ = endpoint.send(to, &reply);
+                                }
+                            } else {
+                                // Idle: let the archive tier make progress.
+                                // Upload failures are retried next interval.
+                                let _ = server.archive_tick();
+                            }
                         }
                         Err(_) => break, // endpoint torn down
                     }
+                }
+                // Never strand queued force obligations at shutdown: the
+                // graceful path finishes the round and even tries to get
+                // the acks out before the endpoint goes away.
+                for (to, reply) in server.flush_pending_forces() {
+                    let _ = endpoint.send(to, &reply);
                 }
                 // Leave storage clean on graceful shutdown.
                 let _ = server.store_mut().sync();

@@ -314,6 +314,36 @@ impl LogStore {
         Ok(())
     }
 
+    /// Satisfy forces for several clients with **one** physical
+    /// durability round (group commit): under
+    /// [`Durability::FsyncPerForce`] the track is flushed and fsynced
+    /// once for the whole batch; under [`Durability::Nvram`] everything
+    /// is already durable. Either way a `Force` trace event is emitted
+    /// per client — the ack invariant needs a durability point for every
+    /// client whose `NewHighLsn` the caller fans out afterwards.
+    ///
+    /// # Errors
+    /// Propagates I/O failures; on error **no** client in the batch may
+    /// be acknowledged.
+    pub fn force_batch(&mut self, clients: &[ClientId]) -> Result<()> {
+        if clients.is_empty() {
+            return Ok(());
+        }
+        let span = self.obs.start();
+        self.stats.forces += clients.len() as u64;
+        if self.opts.durability == Durability::FsyncPerForce {
+            self.flush_track()?;
+            self.stream.sync()?;
+            self.stats.fsyncs += 1;
+        }
+        for client in clients {
+            let hi = self.table.last(*client).map_or(0, |iv| iv.hi.0);
+            self.obs.event(dlog_obs::Stage::Force, hi, client.0);
+        }
+        self.obs.sample_since(dlog_obs::Stage::Force, span);
+        Ok(())
+    }
+
     /// Read the record with the highest epoch at `lsn` for `client`
     /// (the `ServerReadLog` operation). `Ok(None)` when the server does
     /// not store the LSN.

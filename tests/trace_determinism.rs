@@ -120,8 +120,9 @@ fn fresh_dir(label: &str) -> PathBuf {
 }
 
 /// Run the fixed workload under `plan` and return the ordered trace as
-/// bytes (25 bytes per event, wall-clock-free by construction).
-fn run_once(plan: FaultPlan, dir: &Path) -> Vec<u8> {
+/// bytes (25 bytes per event, wall-clock-free by construction) plus the
+/// client's counters.
+fn run_once(plan: FaultPlan, dir: &Path) -> (Vec<u8>, dlog_core::client::ClientStats) {
     let obs = Obs::new(&ObsOptions::on());
     let mut servers = HashMap::new();
     for id in 1..=M {
@@ -172,30 +173,52 @@ fn run_once(plan: FaultPlan, dir: &Path) -> Vec<u8> {
         snap.trace.len()
     );
     dlog_obs::check_force_before_ack(&snap.trace).expect("force-before-ack invariant");
-    snap.trace.iter().flat_map(|e| e.to_bytes()).collect()
+    let bytes = snap.trace.iter().flat_map(|e| e.to_bytes()).collect();
+    (bytes, log.stats())
 }
 
 #[test]
 fn same_seed_replays_byte_identical_reliable() {
-    let a = run_once(FaultPlan::reliable(), &fresh_dir("reliable-a"));
-    let b = run_once(FaultPlan::reliable(), &fresh_dir("reliable-b"));
+    let (a, _) = run_once(FaultPlan::reliable(), &fresh_dir("reliable-a"));
+    let (b, _) = run_once(FaultPlan::reliable(), &fresh_dir("reliable-b"));
     assert_eq!(a.len(), b.len(), "event counts differ across replays");
     assert!(a == b, "reliable-plan trace bytes differ across replays");
 }
 
 #[test]
 fn same_seed_replays_byte_identical_flaky() {
-    let a = run_once(FaultPlan::flaky(0xD106), &fresh_dir("flaky-a"));
-    let b = run_once(FaultPlan::flaky(0xD106), &fresh_dir("flaky-b"));
+    let (a, _) = run_once(FaultPlan::flaky(0xD106), &fresh_dir("flaky-a"));
+    let (b, _) = run_once(FaultPlan::flaky(0xD106), &fresh_dir("flaky-b"));
     assert_eq!(a.len(), b.len(), "event counts differ across replays");
     assert!(a == b, "flaky-plan trace bytes differ across replays");
+}
+
+/// Pins the retry-backoff bugfix: the client's jittered exponential
+/// backoff draws from a xorshift generator seeded by the client id —
+/// never from wall clock or OS entropy — so even a hostile schedule
+/// (15% loss, 5% duplication, 10% reorder) that drives the timeout and
+/// NAK retransmit paths hard must replay byte-identically.
+#[test]
+fn same_seed_replays_byte_identical_hostile() {
+    let (a, sa) = run_once(FaultPlan::hostile(0xBACC0FF), &fresh_dir("hostile-a"));
+    let (b, sb) = run_once(FaultPlan::hostile(0xBACC0FF), &fresh_dir("hostile-b"));
+    assert!(
+        sa.resends > 0,
+        "hostile plan never exercised the retry path; the test pins nothing"
+    );
+    assert_eq!(
+        sa.resends, sb.resends,
+        "resend counts differ across replays"
+    );
+    assert_eq!(a.len(), b.len(), "event counts differ across replays");
+    assert!(a == b, "hostile-plan trace bytes differ across replays");
 }
 
 #[test]
 fn different_fault_schedules_diverge() {
     // Sanity check that the comparison has teeth: a lossy schedule
     // produces a different event sequence than the reliable one.
-    let a = run_once(FaultPlan::reliable(), &fresh_dir("div-a"));
-    let b = run_once(FaultPlan::flaky(7), &fresh_dir("div-b"));
+    let (a, _) = run_once(FaultPlan::reliable(), &fresh_dir("div-a"));
+    let (b, _) = run_once(FaultPlan::flaky(7), &fresh_dir("div-b"));
     assert!(a != b, "flaky and reliable schedules produced equal traces");
 }
