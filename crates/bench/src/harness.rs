@@ -178,12 +178,24 @@ impl Cluster {
                 )
                 .expect("attach archive");
         }
+        // An obs handle registered before this boot means the server ran
+        // earlier in this cluster's life — this boot is a recovery, and
+        // the surviving handle gets a `Stage::Recover` marker so the
+        // trace reads crash → recover in one timeline.
+        let rebooting = self.server_obs.contains_key(&sid);
         let obs = self
             .server_obs
             .entry(sid)
             .or_insert_with(|| dlog_obs::Obs::new(&self.opts.obs))
             .clone();
         server.set_obs(obs.clone());
+        if rebooting {
+            obs.event(
+                dlog_obs::Stage::Recover,
+                server.store_mut().stream_end(),
+                sid.0,
+            );
+        }
         let mut ep = self.net.endpoint(server_addr(sid));
         ep.set_obs(obs);
         self.net.set_down(server_addr(sid), false);
@@ -210,11 +222,16 @@ impl Cluster {
             .insert(sid, NvramDevice::new(self.opts.nvram_bytes));
     }
 
-    /// Take a server down hard.
+    /// Take a server down hard, stamping a `Stage::Crash` marker (with
+    /// the durable stream end) into the server's trace so crash
+    /// schedules are legible in observability dumps.
     pub fn kill_server(&mut self, sid: ServerId) {
         self.net.set_down(server_addr(sid), true);
         if let Some(r) = self.runners.remove(&sid) {
-            r.crash();
+            let stream_end = r.crash();
+            if let Some(obs) = self.server_obs.get(&sid) {
+                obs.event(dlog_obs::Stage::Crash, stream_end, sid.0);
+            }
         }
     }
 

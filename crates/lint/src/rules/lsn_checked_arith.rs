@@ -68,6 +68,7 @@ impl DataflowRule for LsnCheckedArith {
             "crates/obs/src",
             "crates/types/src",
             "crates/archive/src",
+            "crates/mc/src",
         ]
     }
 

@@ -22,6 +22,7 @@ pub const HOT_PATH_CRATES: &[&str] = &[
     "crates/storage/src",
     "crates/append-forest/src",
     "crates/obs/src",
+    "crates/mc/src",
 ];
 
 /// Files scanned for `.lock()` acquisition ordering (rule `lock-order`).

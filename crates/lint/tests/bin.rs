@@ -113,6 +113,7 @@ fn mini_workspace(tag: &str) -> PathBuf {
         "crates/append-forest/src",
         "crates/obs/src",
         "crates/types/src",
+        "crates/mc/src",
     ] {
         fs::create_dir_all(root.join(dir)).unwrap();
     }

@@ -1,0 +1,41 @@
+//! `dlog-mc`: an explicit-state model checker for the protocol core.
+//!
+//! The paper's correctness story rests on a handful of invariants —
+//! WriteLog atomicity via epoch + present flags (§3.1.2), δ-bounded
+//! recovery and ack-after-force (§4.2), and the group-commit obligation
+//! rule (no `ForceLog` ack without a completed durable round). The
+//! property-test suites check them on the interleavings proptest
+//! happens to sample; this crate checks them on **all** interleavings
+//! of {deliver, drop, duplicate, client step, retransmit, group-commit
+//! flush, server crash, server recover} up to a bounded depth, driving
+//! the *real* `LogServer` and `LogStore` — not an abstraction — through
+//! a nondeterministic packet bag.
+//!
+//! Layout:
+//!
+//! * [`harness`] — the synchronous sans-I/O cluster (`SyncWorld` /
+//!   `SyncEndpoint`) shared by `tests/trace_determinism.rs` and
+//!   `tests/group_commit.rs`, which used to carry private copies.
+//! * [`model`] — the checker's world: the action alphabet, a steppable
+//!   model client, crash/recover semantics, canonical state
+//!   fingerprinting, and the invariant catalog.
+//! * [`explore`] — BFS frontier exploration with visited-state dedup, a
+//!   random-walk mode for beyond-frontier depths, counterexample
+//!   minimization, and trace replay for pinned regressions.
+//!
+//! States are restored by **replay**: `LogServer` holds real files and
+//! cannot be cloned, so each explored state is reached by replaying its
+//! action prefix from a fresh root world in a scratch directory. Every
+//! action is deterministic (the checker draws no randomness inside a
+//! transition), so replay is exact — which is also what makes a found
+//! counterexample a replayable artifact rather than a flaky anecdote.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod explore;
+pub mod harness;
+pub mod model;
+
+pub use explore::{render_counterexample, replay_trace, CounterExample, Explorer, Report};
+pub use model::{mc_payload, Action, ClientOp, McConfig, McWorld, Mutation, Violation};

@@ -767,7 +767,7 @@ fn encode_response(body: &Response, out: &mut BytesMut) {
             out.put_u8(S_STATS);
             out.put_u64_le(*trace_events);
             out.put_u64_le(*trace_dropped);
-            // At most `Stage::COUNT` (7) stages ever travel; u8 is ample.
+            // At most `Stage::COUNT` (9) stages ever travel; u8 is ample.
             out.put_u8(stages.len().min(u8::MAX as usize) as u8);
             for s in stages.iter().take(u8::MAX as usize) {
                 out.put_u8(s.stage);

@@ -39,11 +39,22 @@ pub enum Stage {
     /// clients). The stage histogram records **batch sizes**, not
     /// latencies — each round samples its client count.
     GroupCommit,
+    /// A server crashed, losing volatile state — sessions, unacked
+    /// counters, and pending group-commit obligations — while NVRAM and
+    /// the on-disk stream survive (`lsn` = durable stream end position,
+    /// `detail` = server id). Emitted by harnesses that simulate
+    /// crashes (the model checker, the soak cluster), so counterexample
+    /// traces show exactly where volatile state was lost.
+    Crash,
+    /// A crashed server completed recovery — checkpoint load, tail
+    /// scan, NVRAM replay — and is serving again (`lsn` = durable
+    /// stream end after recovery, `detail` = server id).
+    Recover,
 }
 
 impl Stage {
     /// Number of stages.
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 9;
 
     /// Every stage, in tag order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -54,6 +65,8 @@ impl Stage {
         Stage::AckHighLsn,
         Stage::ArchiveTick,
         Stage::GroupCommit,
+        Stage::Crash,
+        Stage::Recover,
     ];
 
     /// Dense index (also the wire tag).
@@ -67,6 +80,8 @@ impl Stage {
             Stage::AckHighLsn => 4,
             Stage::ArchiveTick => 5,
             Stage::GroupCommit => 6,
+            Stage::Crash => 7,
+            Stage::Recover => 8,
         }
     }
 
@@ -93,6 +108,8 @@ impl Stage {
             Stage::AckHighLsn => "ack_high_lsn",
             Stage::ArchiveTick => "archive_tick",
             Stage::GroupCommit => "group_commit",
+            Stage::Crash => "crash",
+            Stage::Recover => "recover",
         }
     }
 }
@@ -244,7 +261,7 @@ mod tests {
         for s in Stage::ALL {
             assert_eq!(Stage::from_u8(s.as_u8()), Some(s));
         }
-        assert_eq!(Stage::from_u8(7), None);
+        assert_eq!(Stage::from_u8(9), None);
     }
 
     #[test]

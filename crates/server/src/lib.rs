@@ -353,7 +353,18 @@ impl LogServer {
         for (lsn, data) in records {
             let last = self.store.last_interval(client);
             let accept = match last {
-                None => true, // first record ever: any start is fine
+                // First contact: only the canonical origin, or a start
+                // the client explicitly declared via `NewInterval`, may
+                // open the log. Accepting an arbitrary first LSN would
+                // let a lossy/reordered first contact open the log past
+                // a dropped record — the hole is then invisible
+                // (duplicate suppression swallows the straggler when it
+                // arrives) and the cumulative `NewHighLSN` ack
+                // overstates what this server holds. NAKing instead
+                // makes the client resend from the origin; dlog-mc's
+                // durable-prefix invariant exists to catch exactly the
+                // ack-overstatement this guard prevents.
+                None => *lsn == Lsn::FIRST || pending == Some((epoch, *lsn)),
                 Some(iv) => {
                     if epoch < iv.epoch {
                         // Stale epoch: a pre-crash straggler. Ignore.
@@ -477,6 +488,31 @@ impl LogServer {
     #[must_use]
     pub fn has_pending_forces(&self) -> bool {
         !self.pending_forces.is_empty()
+    }
+
+    /// Clients whose `ForceLog` ack is deferred into the next group
+    /// commit, in first-force order (the order the ack fan-out will
+    /// use). The model checker folds this into its state fingerprint —
+    /// two states differing only in deferred obligations must not be
+    /// merged — and checks every obligation is acked by a flush.
+    #[must_use]
+    pub fn coalescing_obligations(&self) -> Vec<ClientId> {
+        self.pending_forces.iter().map(|(c, _)| *c).collect()
+    }
+
+    /// Outstanding `NewInterval` authorizations, sorted by client: the
+    /// next noncontiguous record each client is allowed to open a fresh
+    /// interval with. Part of the model checker's state fingerprint —
+    /// an unconsumed grant changes which future writes are accepted.
+    #[must_use]
+    pub fn interval_grants(&self) -> Vec<(ClientId, Epoch, Lsn)> {
+        let mut grants: Vec<(ClientId, Epoch, Lsn)> = self
+            .sessions
+            .iter()
+            .filter_map(|(c, s)| s.pending_interval.map(|(e, l)| (*c, e, l)))
+            .collect();
+        grants.sort_unstable();
+        grants
     }
 
     /// Flush the pending group-commit batch if it is due — its coalescing

@@ -91,16 +91,21 @@ impl ServerRunner {
 
     /// Simulate a hard crash: the thread stops without syncing anything
     /// beyond what already happened; the store is dropped where it stands.
-    pub fn crash(mut self) {
+    /// Returns the durable stream end at the moment of the crash, so
+    /// harnesses can stamp a `Stage::Crash` trace event with it.
+    pub fn crash(mut self) -> u64 {
         self.stop.store(true, Ordering::Relaxed);
-        if let Some(h) = self.handle.take() {
-            let server = h.join().expect("server thread panicked");
-            // Drop without further syncing. (The graceful-path sync in the
-            // thread already ran; true torn-write crashes are exercised at
-            // the storage layer, where the disk state can be manipulated
-            // directly.)
-            drop(server);
-        }
+        let Some(h) = self.handle.take() else {
+            return 0;
+        };
+        let mut server = h.join().expect("server thread panicked");
+        let end = server.store_mut().stream_end();
+        // Drop without further syncing. (The graceful-path sync in the
+        // thread already ran; true torn-write crashes are exercised at
+        // the storage layer, where the disk state can be manipulated
+        // directly.)
+        drop(server);
+        end
     }
 }
 

@@ -10,147 +10,30 @@
 //!    client wrote, even when records were NAK- or timeout-retransmitted
 //!    into a coalescing server.
 //!
-//! The cluster is the synchronous single-threaded world from
-//! `trace_determinism.rs`: `LogServer::handle` runs inline on the test
-//! thread, so deferred force obligations only flush at the batch cap,
-//! at seeded random flush points, or when the client's inbox drains —
-//! the worst-case interleavings a threaded runner would only hit by
-//! luck.
+//! The cluster is the `dlog_mc::harness` synchronous single-threaded
+//! world: `LogServer::handle` runs inline on the test thread, so
+//! deferred force obligations only flush at the batch cap, at seeded
+//! random flush points, or when the client's inbox drains — the
+//! worst-case interleavings a threaded runner would only hit by luck.
 
-use std::collections::{HashMap, VecDeque};
-use std::io;
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use dlog_core::client::{ClientOptions, ReplicatedLog};
 use dlog_core::net::ClientNet;
-use dlog_net::wire::{Message, NodeAddr, Packet};
-use dlog_net::{Endpoint, FaultPlan};
-use dlog_obs::{check_force_before_ack, Obs, ObsOptions};
-use dlog_server::gen::GenStore;
-use dlog_server::{LogServer, ServerConfig};
-use dlog_storage::{LogStore, NvramDevice, StoreOptions};
+use dlog_mc::harness::{build_world, SyncEndpoint, SyncWorldOptions};
+use dlog_net::wire::NodeAddr;
+use dlog_net::FaultPlan;
+use dlog_obs::check_force_before_ack;
 use dlog_types::{ClientId, Lsn, ReplicationConfig, ServerId};
 
 const M: u64 = 3;
 const RECORDS: u64 = 60;
 const CLIENT_ADDR: NodeAddr = NodeAddr(1000);
-
-struct World {
-    servers: HashMap<NodeAddr, LogServer>,
-    inbox: VecDeque<(NodeAddr, Packet)>,
-    plan: FaultPlan,
-    rng: StdRng,
-    /// Probability of flushing a server's pending forces right after it
-    /// handles a packet — exercises partial-batch group commits.
-    flush_p: f64,
-    /// Highest forced-ack LSN each server has *generated* (pre-fault),
-    /// for the monotonicity invariant.
-    last_ack: HashMap<NodeAddr, Lsn>,
-}
-
-impl World {
-    fn deliver(&mut self, from: NodeAddr, to: NodeAddr, pkt: &Packet) {
-        // Invariant 2: acks are checked where they are generated, before
-        // the fault schedule gets a chance to drop or reorder them.
-        if self.servers.contains_key(&from) {
-            if let Message::NewHighLsn { lsn, .. } = &pkt.msg {
-                let prev = self.last_ack.entry(from).or_insert(Lsn::ZERO);
-                assert!(
-                    *lsn >= *prev,
-                    "server {from:?} acked {lsn:?} after {prev:?} (out of order)"
-                );
-                *prev = *lsn;
-            }
-        }
-        if self.plan.loss > 0.0 && self.rng.gen_bool(self.plan.loss) {
-            return;
-        }
-        let copies = if self.plan.duplicate > 0.0 && self.rng.gen_bool(self.plan.duplicate) {
-            2
-        } else {
-            1
-        };
-        for _ in 0..copies {
-            self.route(from, to, pkt.clone());
-        }
-    }
-
-    fn route(&mut self, from: NodeAddr, to: NodeAddr, pkt: Packet) {
-        if self.servers.contains_key(&to) {
-            let (replies, flushed) = {
-                let server = self.servers.get_mut(&to).expect("server exists");
-                let replies = server.handle(from, &pkt);
-                let flush = server.has_pending_forces() && self.rng.gen_bool(self.flush_p);
-                let flushed = if flush {
-                    server.flush_pending_forces()
-                } else {
-                    Vec::new()
-                };
-                (replies, flushed)
-            };
-            for (rto, rpkt) in replies.into_iter().chain(flushed) {
-                self.deliver(to, rto, &rpkt);
-            }
-        } else if self.plan.reorder > 0.0
-            && !self.inbox.is_empty()
-            && self.rng.gen_bool(self.plan.reorder)
-        {
-            let idx = self.inbox.len() - 1;
-            self.inbox.insert(idx, (from, pkt));
-        } else {
-            self.inbox.push_back((from, pkt));
-        }
-    }
-
-    /// The inbox ran dry while the client is waiting: flush every
-    /// server's deferred obligations (the sync-world analogue of the
-    /// runner's idle flush).
-    fn idle_flush(&mut self) {
-        let addrs: Vec<NodeAddr> = self.servers.keys().copied().collect();
-        for a in addrs {
-            let out = self
-                .servers
-                .get_mut(&a)
-                .map(LogServer::flush_pending_forces)
-                .unwrap_or_default();
-            for (to, pkt) in out {
-                self.deliver(a, to, &pkt);
-            }
-        }
-    }
-}
-
-struct SyncEndpoint {
-    addr: NodeAddr,
-    world: Arc<Mutex<World>>,
-}
-
-impl Endpoint for SyncEndpoint {
-    fn local_addr(&self) -> NodeAddr {
-        self.addr
-    }
-
-    fn send(&self, to: NodeAddr, packet: &Packet) -> io::Result<()> {
-        let mut w = self.world.lock().expect("world lock");
-        w.deliver(self.addr, to, packet);
-        Ok(())
-    }
-
-    fn recv(&self, _timeout: Duration) -> io::Result<Option<(NodeAddr, Packet)>> {
-        let mut w = self.world.lock().expect("world lock");
-        if w.inbox.is_empty() {
-            w.idle_flush();
-        }
-        Ok(w.inbox.pop_front())
-    }
-}
 
 fn fresh_dir() -> PathBuf {
     static SEQ: AtomicU64 = AtomicU64::new(0);
@@ -167,38 +50,20 @@ fn fresh_dir() -> PathBuf {
 #[allow(clippy::needless_pass_by_value)]
 fn run_case(plan: FaultPlan, window_us: u64, max_batch: usize, delta: u64, flush_p: f64) {
     let dir = fresh_dir();
-    let mut servers = HashMap::new();
-    let mut observers: Vec<(NodeAddr, Obs)> = Vec::new();
-    for id in 1..=M {
-        let d = dir.join(format!("server-{id}"));
-        let opts = StoreOptions {
-            fsync: false,
-            checkpoint_every: 0,
-            ..StoreOptions::default()
-        };
-        let store = LogStore::open(&d, opts, NvramDevice::new(1 << 20)).expect("open store");
-        let gens = GenStore::open(d.join("gens")).expect("open gens");
-        let mut config = ServerConfig::new(ServerId(id));
-        config.coalesce_window = Duration::from_micros(window_us);
-        config.coalesce_max_batch = max_batch;
-        let mut server = LogServer::new(config, store, gens).expect("construct server");
-        let obs = Obs::new(&ObsOptions::on());
-        server.set_obs(obs.clone());
-        observers.push((NodeAddr(id), obs));
-        servers.insert(NodeAddr(id), server);
-    }
-    let world = Arc::new(Mutex::new(World {
-        servers,
-        inbox: VecDeque::new(),
-        rng: StdRng::seed_from_u64(plan.seed ^ 0xC0A1_E5CE),
-        plan,
-        flush_p,
-        last_ack: HashMap::new(),
-    }));
-    let ep = SyncEndpoint {
-        addr: CLIENT_ADDR,
-        world: Arc::clone(&world),
-    };
+    let rng_seed = plan.seed ^ 0xC0A1_E5CE;
+    let (world, observers) = build_world(
+        &dir,
+        SyncWorldOptions::coalescing(
+            M,
+            plan,
+            rng_seed,
+            Duration::from_micros(window_us),
+            max_batch,
+            flush_p,
+        ),
+    )
+    .expect("build world");
+    let ep = SyncEndpoint::new(CLIENT_ADDR, std::sync::Arc::clone(&world));
     let addrs: HashMap<ServerId, NodeAddr> = (1..=M).map(|i| (ServerId(i), NodeAddr(i))).collect();
     let net = ClientNet::new(ep, addrs);
     let config = ReplicationConfig::new((1..=M).map(ServerId).collect(), 2, delta)
@@ -231,7 +96,9 @@ fn run_case(plan: FaultPlan, window_us: u64, max_batch: usize, delta: u64, flush
     }
 
     // Invariant 1, per server: no forced ack without a prior durable
-    // force covering it.
+    // force covering it. (Invariant 2 — cumulative-ack monotonicity — is
+    // asserted inside the sync world, where acks are generated, before
+    // the fault schedule can drop or reorder them.)
     let w = world.lock().expect("world lock");
     let mut coalesced_total = 0;
     for (addr, obs) in &observers {

@@ -1,0 +1,201 @@
+//! Tier-1 model-checking gate: exhaustive bounded exploration of the
+//! protocol core must come back clean, and the checker itself must be
+//! able to catch bugs — each seeded mutation is detected with a
+//! minimized, replayable counterexample.
+//!
+//! The nightly lane (`.github/workflows/nightly-mc.yml`) runs the same
+//! binary at deeper bounds; this file keeps the fast configuration in
+//! every `cargo test` run.
+
+use dlog_mc::explore::{default_scratch, replay_trace, Explorer};
+use dlog_mc::{render_counterexample, Action, McConfig, Mutation};
+
+/// The tier-1 configuration: 2 servers, 1 client, write+force script,
+/// one crash, one duplicate, one retransmit — and a depth that covers
+/// the full write → force → ack → crash → recover cycle (see
+/// `cycle_fits_inside_tier1_depth`).
+const TIER1_DEPTH: usize = 9;
+
+fn parse_trace(lines: &[&str]) -> Vec<Action> {
+    lines
+        .iter()
+        .map(|s| s.parse().expect("well-formed pinned action"))
+        .collect()
+}
+
+/// The headline gate: every interleaving of the faithful protocol up to
+/// `TIER1_DEPTH` actions holds every invariant, and the exploration is
+/// big enough to mean something (≥ 10k deduplicated states) while
+/// staying inside the tier-1 time budget.
+#[test]
+fn exhaustive_bfs_is_clean_at_tier1_depth() {
+    let cfg = McConfig::default();
+    let explorer = Explorer::new(&cfg, &default_scratch("t1-exhaustive"));
+    let report = explorer.run_bfs(TIER1_DEPTH).expect("exploration runs");
+    if let Some(ce) = &report.violation {
+        let rendered = render_counterexample(&cfg, ce, &default_scratch("t1-exhaustive-render"))
+            .unwrap_or_else(|e| format!("(render failed: {e})"));
+        panic!("model checker found a violation:\n{rendered}");
+    }
+    assert!(
+        report.states_unique >= 10_000,
+        "exploration too small to be meaningful: {} unique states",
+        report.states_unique
+    );
+    assert!(
+        report.dedup_hits > 0,
+        "fingerprint dedup never fired; canonicalization is broken"
+    );
+    assert!(
+        report.elapsed_ms < 60_000,
+        "tier-1 exploration blew its time budget: {} ms",
+        report.elapsed_ms
+    );
+}
+
+/// Witness that the tier-1 depth really contains the full protocol
+/// cycle: one write delivered, its force delivered, the group-commit
+/// flush, the ack delivered back, then a crash and a recovery — 8
+/// actions, all applicable, no violation.
+#[test]
+fn cycle_fits_inside_tier1_depth() {
+    let trace = parse_trace(&[
+        "step:0",    // write record 1 (WriteLog to both servers)
+        "deliver:0", // WriteLog reaches server 1
+        "step:0",    // force (ForceLog to both servers)
+        "deliver:1", // ForceLog reaches server 1; obligation queued
+        "flush:1",   // group-commit window expires: durable round + ack
+        "deliver:2", // forced NewHighLsn reaches the client
+        "crash:1",   // server 1 loses volatile state
+        "recover:1", // reopen: checkpoint + tail scan + NVRAM replay
+    ]);
+    assert!(trace.len() <= TIER1_DEPTH, "cycle no longer fits the bound");
+    let violation = replay_trace(&McConfig::default(), &trace, &default_scratch("t1-cycle"))
+        .expect("cycle trace applies cleanly");
+    assert!(violation.is_none(), "clean cycle violated: {violation:?}");
+}
+
+/// Each seeded mutation must be caught, with the right invariant, and
+/// the minimized counterexample must be short and must reproduce the
+/// violation when replayed from scratch — that replay is exactly what
+/// makes a counterexample actionable.
+fn assert_mutation_caught(mutation: Mutation, tag: &str, invariant: &str, max_len: usize) {
+    let cfg = McConfig {
+        mutation,
+        ..McConfig::default()
+    };
+    let explorer = Explorer::new(&cfg, &default_scratch(tag));
+    let report = explorer.run_bfs(6).expect("exploration runs");
+    let ce = report
+        .violation
+        .unwrap_or_else(|| panic!("{tag}: seeded bug escaped the checker"));
+    assert_eq!(
+        ce.violation.invariant, invariant,
+        "{tag}: caught by the wrong invariant: {}",
+        ce.violation.detail
+    );
+    assert!(
+        ce.trace.len() <= max_len,
+        "{tag}: counterexample not minimized: {} actions: {:?}",
+        ce.trace.len(),
+        ce.trace
+    );
+    assert!(
+        ce.trace.len() <= ce.original_len,
+        "{tag}: minimization grew the trace"
+    );
+    let replayed = replay_trace(&cfg, &ce.trace, &default_scratch(&format!("{tag}-replay")))
+        .expect("minimized trace applies")
+        .unwrap_or_else(|| panic!("{tag}: minimized trace no longer reproduces"));
+    assert_eq!(
+        replayed.invariant, invariant,
+        "{tag}: replay found a different bug"
+    );
+    // The rendered artifact must carry the pieces a human needs: the
+    // invariant, and the replayable action syntax.
+    let rendered = render_counterexample(&cfg, &ce, &default_scratch(&format!("{tag}-render")))
+        .expect("render succeeds");
+    assert!(rendered.contains(invariant), "render lost the invariant");
+    for action in &ce.trace {
+        assert!(
+            rendered.contains(&action.to_string()),
+            "render lost action {action}"
+        );
+    }
+}
+
+#[test]
+fn mutation_early_ack_is_caught() {
+    // Ack fabricated on ForceLog arrival, before any durable round.
+    assert_mutation_caught(Mutation::EarlyAck, "mut-early-ack", "ack-after-force", 4);
+}
+
+#[test]
+fn mutation_skip_force_is_caught() {
+    // Obligations acked without running force_batch (the failed-force
+    // ack bug the PR 5 obligation rule exists to prevent).
+    assert_mutation_caught(Mutation::SkipForce, "mut-skip-force", "ack-after-force", 5);
+}
+
+#[test]
+fn mutation_lost_ack_is_caught() {
+    // The durable round runs but obligation acks are discarded.
+    assert_mutation_caught(Mutation::LostAck, "mut-lost-ack", "obligation-safety", 5);
+}
+
+#[test]
+fn mutation_amnesia_is_caught() {
+    // Recovery with a blank NVRAM device loses the durable tail.
+    assert_mutation_caught(Mutation::Amnesia, "mut-amnesia", "recovery-consistency", 5);
+}
+
+/// The random-walk mode reaches depths the exhaustive frontier cannot;
+/// on the faithful protocol it must also come back clean, and the
+/// walker must actually cover fresh states.
+#[test]
+fn random_walks_stay_clean() {
+    let cfg = McConfig::default();
+    let explorer = Explorer::new(&cfg, &default_scratch("t1-walk"));
+    let report = explorer.run_walk(150, 24, 0xD1CE).expect("walks run");
+    assert!(
+        report.violation.is_none(),
+        "random walk violated: {:?}",
+        report.violation
+    );
+    assert!(
+        report.states_unique > 200,
+        "walks covered suspiciously few states: {}",
+        report.states_unique
+    );
+    assert!(
+        report.max_depth > TIER1_DEPTH,
+        "walks never went deeper than the exhaustive frontier"
+    );
+}
+
+/// Crash/recover markers must land in the per-server observability
+/// trace — the counterexample renderer (and the soak cluster) depend on
+/// them to make crash schedules legible.
+#[test]
+fn crash_and_recover_land_in_server_trace() {
+    let cfg = McConfig::default();
+    let mut world =
+        dlog_mc::McWorld::new(&cfg, &default_scratch("t1-markers")).expect("world builds");
+    for line in ["step:0", "deliver:0", "crash:1", "recover:1"] {
+        let action: Action = line.parse().expect("well-formed action");
+        let v = world.apply(action).expect("action applies");
+        assert!(v.is_none(), "unexpected violation: {v:?}");
+    }
+    let (_, obs) = world
+        .server_obs()
+        .into_iter()
+        .next()
+        .expect("server 1 has an obs handle");
+    let snap = obs.snapshot().expect("obs enabled");
+    let names: Vec<&str> = snap.trace.iter().map(|e| e.stage.name()).collect();
+    assert!(names.contains(&"crash"), "no crash marker in {names:?}");
+    assert!(names.contains(&"recover"), "no recover marker in {names:?}");
+    let crash_at = names.iter().position(|n| *n == "crash").unwrap();
+    let recover_at = names.iter().position(|n| *n == "recover").unwrap();
+    assert!(crash_at < recover_at, "markers out of order");
+}

@@ -4,8 +4,17 @@
 //! crashes mid-force) so they stay in coverage verbatim even if the
 //! sweep range changes. Every scenario also re-checks the
 //! force-before-ack trace invariant on every server.
+//!
+//! The second half pins `dlog-mc` counterexample traces: the minimized
+//! action sequences the model checker produced for each seeded protocol
+//! mutation. Replaying them is instant (a handful of actions against a
+//! fresh world) and guards two things at once — the mutations stay
+//! detectable, and the action-trace syntax stays replayable, so any
+//! counterexample the nightly lane uploads can be re-run verbatim.
 
 use dlog_bench::scenario::run_soak_scenario;
+use dlog_mc::explore::{default_scratch, replay_trace};
+use dlog_mc::{Action, McConfig, Mutation};
 
 /// Seeds deliberately disjoint from the `0..6` sweep in
 /// `tests/soak.rs`.
@@ -18,4 +27,87 @@ fn pinned_seed_corpus_holds() {
         total += run_soak_scenario(seed);
     }
     assert!(total > 0, "the corpus must force something");
+}
+
+/// Minimized counterexamples as found by `Explorer::run_bfs` on the
+/// default 2-server/1-client configuration, pinned in replayable text
+/// form. Each entry: (mutation, violated invariant, trace).
+const MC_PINS: [(Mutation, &str, &[&str]); 4] = [
+    (
+        // Ack fabricated the moment the ForceLog arrives: the write and
+        // force are issued back-to-back, and delivering the ForceLog
+        // (slot 2) alone is enough — it carries the unacked suffix, so
+        // the server stores record 1 and "acks" it in one step with no
+        // durable round in between.
+        Mutation::EarlyAck,
+        "ack-after-force",
+        &["step:0", "step:0", "deliver:2"],
+    ),
+    (
+        // The flush acks its obligation without running force_batch.
+        Mutation::SkipForce,
+        "ack-after-force",
+        &["step:0", "step:0", "deliver:2", "flush:1"],
+    ),
+    (
+        // The flush runs the durable round but drops the ack.
+        Mutation::LostAck,
+        "obligation-safety",
+        &["step:0", "step:0", "deliver:2", "flush:1"],
+    ),
+    (
+        // Recovery reopens with a blank NVRAM device: the record that
+        // was delivered before the crash vanishes from the store.
+        Mutation::Amnesia,
+        "recovery-consistency",
+        &["step:0", "deliver:0", "crash:1", "recover:1"],
+    ),
+];
+
+#[test]
+fn pinned_mc_counterexamples_still_reproduce() {
+    for (i, (mutation, invariant, lines)) in MC_PINS.iter().enumerate() {
+        let cfg = McConfig {
+            mutation: *mutation,
+            ..McConfig::default()
+        };
+        let trace: Vec<Action> = lines
+            .iter()
+            .map(|s| s.parse().expect("pinned action parses"))
+            .collect();
+        let violation = replay_trace(&cfg, &trace, &default_scratch(&format!("corpus-mc-{i}")))
+            .expect("pinned trace applies")
+            .unwrap_or_else(|| {
+                panic!("pin {i} ({mutation:?}): counterexample no longer reproduces")
+            });
+        assert_eq!(
+            violation.invariant, *invariant,
+            "pin {i} ({mutation:?}): different invariant now trips: {}",
+            violation.detail
+        );
+    }
+}
+
+/// The same traces must run clean without the mutation — otherwise the
+/// pins would be testing a protocol bug, not the checker's ability to
+/// see a seeded one.
+#[test]
+fn pinned_mc_traces_are_clean_without_mutation() {
+    for (i, (_, _, lines)) in MC_PINS.iter().enumerate() {
+        let cfg = McConfig::default();
+        let trace: Vec<Action> = lines
+            .iter()
+            .map(|s| s.parse().expect("pinned action parses"))
+            .collect();
+        let violation = replay_trace(
+            &cfg,
+            &trace,
+            &default_scratch(&format!("corpus-mc-clean-{i}")),
+        )
+        .expect("pinned trace applies");
+        assert!(
+            violation.is_none(),
+            "pin {i}: faithful protocol violates on the pinned trace: {violation:?}"
+        );
+    }
 }

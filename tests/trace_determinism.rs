@@ -2,113 +2,30 @@
 //! byte-identical ordered trace-event sequence across two runs.
 //!
 //! Threads are the only source of nondeterminism in the full harness,
-//! so this test drives real `LogServer`s *synchronously*: a
-//! `SyncEndpoint` delivers each packet by calling the sans-I/O
-//! `LogServer::handle` inline (under one lock, on the test thread) and
-//! queues replies for the client, applying `FaultPlan`-style loss,
-//! duplication, and reordering from a seeded RNG consumed only per
-//! send. Client, servers, and the network share ONE `dlog_obs::Obs`
-//! handle, so the interleaved `ClientWrite` / `PacketSend` /
-//! `ServerIngest` / `Force` / `AckHighLsn` stream is totally ordered by
-//! the shared sequence counter — and must replay exactly.
+//! so this test drives real `LogServer`s *synchronously* on the
+//! `dlog_mc::harness` sync world: a `SyncEndpoint` delivers each packet
+//! by calling the sans-I/O `LogServer::handle` inline (under one lock,
+//! on the test thread) and queues replies for the client, applying
+//! `FaultPlan`-style loss, duplication, and reordering from a seeded
+//! RNG consumed only per send. Client, servers, and the network share
+//! ONE `dlog_obs::Obs` handle, so the interleaved `ClientWrite` /
+//! `PacketSend` / `ServerIngest` / `Force` / `AckHighLsn` stream is
+//! totally ordered by the shared sequence counter — and must replay
+//! exactly.
 
-use std::collections::{HashMap, VecDeque};
-use std::io;
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use dlog_core::client::{ClientOptions, ReplicatedLog};
 use dlog_core::net::ClientNet;
-use dlog_net::wire::{NodeAddr, Packet};
-use dlog_net::{Endpoint, FaultPlan};
-use dlog_obs::{Obs, ObsOptions, Stage};
-use dlog_server::gen::GenStore;
-use dlog_server::{LogServer, ServerConfig};
-use dlog_storage::{LogStore, NvramDevice, StoreOptions};
+use dlog_mc::harness::{build_world, SyncEndpoint, SyncWorldOptions};
+use dlog_net::wire::NodeAddr;
+use dlog_net::FaultPlan;
+use dlog_obs::{Obs, ObsOptions};
 use dlog_types::{ClientId, ReplicationConfig, ServerId};
 
 const M: u64 = 3;
 const CLIENT_ADDR: NodeAddr = NodeAddr(1000);
-
-/// The single-threaded cluster: servers are pumped inline on delivery.
-struct World {
-    servers: HashMap<NodeAddr, LogServer>,
-    /// Packets awaiting the client's next `recv`.
-    inbox: VecDeque<(NodeAddr, Packet)>,
-    plan: FaultPlan,
-    rng: StdRng,
-    obs: Obs,
-}
-
-impl World {
-    /// One send attempt: trace it, roll the fault schedule, and route
-    /// every surviving copy. Server replies are routed recursively
-    /// (servers only ever reply toward the client, so depth is bounded).
-    fn deliver(&mut self, from: NodeAddr, to: NodeAddr, pkt: &Packet) {
-        self.obs.event(Stage::PacketSend, pkt.lsn_hint(), to.0);
-        if self.plan.loss > 0.0 && self.rng.gen_bool(self.plan.loss) {
-            return;
-        }
-        let copies = if self.plan.duplicate > 0.0 && self.rng.gen_bool(self.plan.duplicate) {
-            2
-        } else {
-            1
-        };
-        for _ in 0..copies {
-            self.route(from, to, pkt.clone());
-        }
-    }
-
-    fn route(&mut self, from: NodeAddr, to: NodeAddr, pkt: Packet) {
-        if let Some(server) = self.servers.get_mut(&to) {
-            let replies = server.handle(from, &pkt);
-            for (rto, rpkt) in replies {
-                self.deliver(to, rto, &rpkt);
-            }
-        } else {
-            // Client-bound: occasionally deliver behind the packet that
-            // is already queued (reordering).
-            if self.plan.reorder > 0.0
-                && !self.inbox.is_empty()
-                && self.rng.gen_bool(self.plan.reorder)
-            {
-                let idx = self.inbox.len() - 1;
-                self.inbox.insert(idx, (from, pkt));
-            } else {
-                self.inbox.push_back((from, pkt));
-            }
-        }
-    }
-}
-
-/// The client's endpoint over the synchronous world.
-struct SyncEndpoint {
-    addr: NodeAddr,
-    world: Arc<Mutex<World>>,
-}
-
-impl Endpoint for SyncEndpoint {
-    fn local_addr(&self) -> NodeAddr {
-        self.addr
-    }
-
-    fn send(&self, to: NodeAddr, packet: &Packet) -> io::Result<()> {
-        let mut w = self.world.lock().expect("world lock");
-        w.deliver(self.addr, to, packet);
-        Ok(())
-    }
-
-    fn recv(&self, _timeout: Duration) -> io::Result<Option<(NodeAddr, Packet)>> {
-        // Never blocks: everything that will ever arrive is already in
-        // the inbox (delivery happened inside `send`).
-        let mut w = self.world.lock().expect("world lock");
-        Ok(w.inbox.pop_front())
-    }
-}
 
 fn fresh_dir(label: &str) -> PathBuf {
     let d = std::env::temp_dir()
@@ -124,31 +41,9 @@ fn fresh_dir(label: &str) -> PathBuf {
 /// client's counters.
 fn run_once(plan: FaultPlan, dir: &Path) -> (Vec<u8>, dlog_core::client::ClientStats) {
     let obs = Obs::new(&ObsOptions::on());
-    let mut servers = HashMap::new();
-    for id in 1..=M {
-        let d = dir.join(format!("server-{id}"));
-        let opts = StoreOptions {
-            fsync: false,
-            checkpoint_every: 0,
-            ..StoreOptions::default()
-        };
-        let store = LogStore::open(&d, opts, NvramDevice::new(1 << 20)).unwrap();
-        let gens = GenStore::open(d.join("gens")).unwrap();
-        let mut server = LogServer::new(ServerConfig::new(ServerId(id)), store, gens).unwrap();
-        server.set_obs(obs.clone());
-        servers.insert(NodeAddr(id), server);
-    }
-    let world = Arc::new(Mutex::new(World {
-        servers,
-        inbox: VecDeque::new(),
-        rng: StdRng::seed_from_u64(plan.seed),
-        plan,
-        obs: obs.clone(),
-    }));
-    let ep = SyncEndpoint {
-        addr: CLIENT_ADDR,
-        world,
-    };
+    let (world, _observers) =
+        build_world(dir, SyncWorldOptions::shared(M, plan, obs.clone())).expect("build world");
+    let ep = SyncEndpoint::new(CLIENT_ADDR, world);
     let addrs: HashMap<ServerId, NodeAddr> = (1..=M).map(|i| (ServerId(i), NodeAddr(i))).collect();
     let net = ClientNet::new(ep, addrs);
     let servers: Vec<ServerId> = (1..=M).map(ServerId).collect();
