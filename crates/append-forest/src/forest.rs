@@ -231,7 +231,8 @@ impl<K: Ord + Copy, V> AppendForest<K, V> {
                 }
             }
         }
-        best.and_then(|id| self.node(id)).map(|n| (&n.key, &n.value))
+        best.and_then(|id| self.node(id))
+            .map(|n| (&n.key, &n.value))
     }
 
     /// Iterate all `(key, value)` pairs in increasing key order.

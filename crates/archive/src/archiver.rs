@@ -298,6 +298,8 @@ impl Archiver {
                 }
             }
         }
-        Err(DlogError::Io(last_err.expect("at least one attempt")))
+        Err(DlogError::Io(last_err.unwrap_or_else(|| {
+            std::io::Error::other("upload failed with zero attempts")
+        })))
     }
 }

@@ -143,23 +143,35 @@ impl Manifest {
             return Err(corrupt("truncated header"));
         }
         let (body, tail) = bytes.split_at(bytes.len() - 4);
-        let stored = u32::from_le_bytes(tail.try_into().unwrap());
+        let stored = u32::from_le_bytes(tail.try_into().map_err(|_| corrupt("truncated crc"))?);
         if crc32(body) != stored {
             return Err(corrupt("crc mismatch"));
         }
-        let u32_at = |o: usize| u32::from_le_bytes(body[o..o + 4].try_into().unwrap());
-        let u64_at = |o: usize| u64::from_le_bytes(body[o..o + 8].try_into().unwrap());
-        if u32_at(0) != MANIFEST_MAGIC {
+        // Total readers: decode runs on bytes from the object store, so
+        // every fetch is guarded — a short read is `Corrupt`, not a panic.
+        let u32_at = |o: usize| {
+            body.get(o..o + 4)
+                .and_then(|s| <[u8; 4]>::try_from(s).ok())
+                .map(u32::from_le_bytes)
+                .ok_or_else(|| corrupt("truncated field"))
+        };
+        let u64_at = |o: usize| {
+            body.get(o..o + 8)
+                .and_then(|s| <[u8; 8]>::try_from(s).ok())
+                .map(u64::from_le_bytes)
+                .ok_or_else(|| corrupt("truncated field"))
+        };
+        if u32_at(0)? != MANIFEST_MAGIC {
             return Err(corrupt("bad magic"));
         }
-        if u32_at(4) != MANIFEST_VERSION {
+        if u32_at(4)? != MANIFEST_VERSION {
             return Err(corrupt("unsupported version"));
         }
-        let generation = u64_at(8);
-        let segment_bytes = u64_at(16);
-        let restore_end = u64_at(24);
-        let cut = u64_at(32);
-        let nsegs = u32_at(40) as usize;
+        let generation = u64_at(8)?;
+        let segment_bytes = u64_at(16)?;
+        let restore_end = u64_at(24)?;
+        let cut = u64_at(32)?;
+        let nsegs = u32_at(40)? as usize;
         let mut off = HEADER_BYTES;
         if body.len() < off + nsegs * 20 + 4 {
             return Err(corrupt("truncated segment table"));
@@ -167,18 +179,18 @@ impl Manifest {
         let mut segments = Vec::with_capacity(nsegs);
         for _ in 0..nsegs {
             segments.push(SegmentEntry {
-                index: u64_at(off),
-                len: u64_at(off + 8),
-                crc: u32_at(off + 16),
+                index: u64_at(off)?,
+                len: u64_at(off + 8)?,
+                crc: u32_at(off + 16)?,
             });
             off += 20;
         }
-        let state_len = u32_at(off) as usize;
+        let state_len = u32_at(off)? as usize;
         off += 4;
         if body.len() != off + state_len {
             return Err(corrupt("state length mismatch"));
         }
-        let state = body[off..].to_vec();
+        let state = body.get(off..).unwrap_or_default().to_vec();
         Ok(Manifest {
             generation,
             segment_bytes,

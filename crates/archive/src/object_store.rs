@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// A flat key → blob store. Keys are short path-safe names (the archiver
 /// uses `seg-NNNNNNNN.seg` and `manifest-NNNNNNNN`). `put` must be
@@ -150,6 +150,13 @@ pub struct MemStore {
 }
 
 impl MemStore {
+    /// Lock the inner state, recovering from poisoning: every operation
+    /// leaves `MemInner` consistent before returning, so a panicked
+    /// holder cannot leave a half-applied update worth dying over.
+    fn locked(&self) -> MutexGuard<'_, MemInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// An empty store with no faults armed.
     #[must_use]
     pub fn new() -> MemStore {
@@ -160,14 +167,14 @@ impl MemStore {
     /// fails (leaving a torn object when `tear` is set) until
     /// [`MemStore::clear_faults`].
     pub fn fail_after_puts(&self, n: u64, tear: bool) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.locked();
         inner.puts_until_fault = Some(n);
         inner.tear_on_fault = tear;
     }
 
     /// Disarm any injected fault.
     pub fn clear_faults(&self) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.locked();
         inner.puts_until_fault = None;
         inner.tear_on_fault = false;
     }
@@ -175,25 +182,25 @@ impl MemStore {
     /// Successful puts observed so far.
     #[must_use]
     pub fn put_count(&self) -> u64 {
-        self.inner.lock().unwrap().puts
+        self.locked().puts
     }
 
     /// Snapshot of the object under `key` (test assertions).
     #[must_use]
     pub fn object(&self, key: &str) -> Option<Vec<u8>> {
-        self.inner.lock().unwrap().objects.get(key).cloned()
+        self.locked().objects.get(key).cloned()
     }
 
     /// All keys currently stored, sorted.
     #[must_use]
     pub fn keys(&self) -> Vec<String> {
-        self.inner.lock().unwrap().objects.keys().cloned().collect()
+        self.locked().objects.keys().cloned().collect()
     }
 }
 
 impl ObjectStore for MemStore {
     fn put(&self, key: &str, bytes: &[u8]) -> io::Result<()> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.locked();
         let faulting = match inner.puts_until_fault.as_mut() {
             Some(0) => true,
             Some(n) => {
@@ -204,7 +211,7 @@ impl ObjectStore for MemStore {
         };
         if faulting {
             if inner.tear_on_fault {
-                let torn = bytes[..bytes.len() / 2].to_vec();
+                let torn: Vec<u8> = bytes.iter().copied().take(bytes.len() / 2).collect();
                 inner.objects.insert(key.to_string(), torn);
             }
             return Err(io::Error::new(
@@ -218,14 +225,12 @@ impl ObjectStore for MemStore {
     }
 
     fn get(&self, key: &str) -> io::Result<Option<Vec<u8>>> {
-        Ok(self.inner.lock().unwrap().objects.get(key).cloned())
+        Ok(self.locked().objects.get(key).cloned())
     }
 
     fn list(&self, prefix: &str) -> io::Result<Vec<String>> {
         Ok(self
-            .inner
-            .lock()
-            .unwrap()
+            .locked()
             .objects
             .keys()
             .filter(|k| k.starts_with(prefix))
@@ -234,7 +239,7 @@ impl ObjectStore for MemStore {
     }
 
     fn delete(&self, key: &str) -> io::Result<()> {
-        self.inner.lock().unwrap().objects.remove(key);
+        self.locked().objects.remove(key);
         Ok(())
     }
 }

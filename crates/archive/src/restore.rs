@@ -167,7 +167,12 @@ impl ArchiveReader {
             return Ok(None);
         };
         let envelope = self.read_bytes(pos, 8)?;
-        let body_len = u32::from_le_bytes(envelope[0..4].try_into().unwrap()) as usize;
+        let body_len = envelope
+            .get(0..4)
+            .and_then(|s| <[u8; 4]>::try_from(s).ok())
+            .map(u32::from_le_bytes)
+            .ok_or_else(|| DlogError::Corrupt("archived envelope truncated".to_string()))?
+            as usize;
         let bytes = self.read_bytes(pos, 8 + body_len)?;
         match Frame::decode(&bytes)? {
             Some((
@@ -192,13 +197,13 @@ impl ArchiveReader {
             let off = (cursor % sb) as usize;
             let take = (sb as usize - off).min(len - out.len());
             let bytes = self.segment(seg)?;
-            if off + take > bytes.len() {
+            let Some(chunk) = bytes.get(off..off + take) else {
                 return Err(DlogError::Corrupt(format!(
                     "archived read [{pos}, {}) runs past segment {seg}",
                     pos + len as u64
                 )));
-            }
-            out.extend_from_slice(&bytes[off..off + take]);
+            };
+            out.extend_from_slice(chunk);
             cursor += take as u64;
         }
         Ok(out)
@@ -216,7 +221,9 @@ impl ArchiveReader {
             }
             self.cache.insert(seg, bytes);
         }
-        Ok(&self.cache[&seg])
+        self.cache
+            .get(&seg)
+            .ok_or_else(|| DlogError::Corrupt(format!("archive segment {seg} evicted mid-read")))
     }
 }
 

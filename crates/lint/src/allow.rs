@@ -99,9 +99,9 @@ impl Allowlist {
     /// Index of the first entry covering `(rule, path, scope)`.
     #[must_use]
     pub fn matches(&self, rule: &str, path: &str, scope: &str) -> Option<usize> {
-        self.entries.iter().position(|e| {
-            e.rule == rule && e.path == path && (e.scope == "*" || e.scope == scope)
-        })
+        self.entries
+            .iter()
+            .position(|e| e.rule == rule && e.path == path && (e.scope == "*" || e.scope == scope))
     }
 }
 
@@ -118,7 +118,9 @@ mod tests {
         )
         .unwrap();
         assert_eq!(a.len(), 2);
-        assert!(a.matches("panic-freedom", "crates/x.rs", "ingest").is_some());
+        assert!(a
+            .matches("panic-freedom", "crates/x.rs", "ingest")
+            .is_some());
         assert!(a.matches("panic-freedom", "crates/x.rs", "other").is_none());
         assert!(a.matches("lock-order", "crates/y.rs", "anything").is_some());
     }

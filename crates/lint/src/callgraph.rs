@@ -1,0 +1,547 @@
+//! Workspace-wide call graph over the lexer/[`SourceFile`] model.
+//!
+//! Every intraprocedural rule stops at function boundaries: a hot-path
+//! handler that calls a helper which panics, blocks under a lock, or
+//! allocates per record is invisible to the gate. This module builds
+//! the structure the interprocedural rules (see [`crate::summary`])
+//! need: a function-definition index keyed by crate/file/name, call-site
+//! resolution from the token stream, and an SCC condensation of the
+//! resulting graph so summaries can be computed bottom-up.
+//!
+//! Resolution is deliberately heuristic — there is no type information —
+//! and errs toward *more* edges, the safe direction for a may-analysis:
+//!
+//! * a free call `foo(…)` (including `Qual::foo(…)`) resolves to
+//!   definitions named `foo`, preferring the same file, then the same
+//!   crate, then any definition in the caller's dependency closure;
+//! * a method call `.foo(…)` resolves to **every** definition named
+//!   `foo` in the caller's dependency closure (the conservative
+//!   any-match fallback — receivers are untyped tokens);
+//! * a call that matches no workspace definition is *extern*
+//!   (`Vec::push`, `std::…`) and carries no edge.
+//!
+//! Each edge records whether it is *confident* — a free call resolved
+//!   within the caller's file or crate, or a `self.foo(…)` call resolved
+//! in the caller's crate. The `unbounded-recursion` rule only trusts
+//! confident edges, because any-match method fallback would invent
+//! cycles between unrelated functions that happen to share a name.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// Index of a function definition in [`CallGraph::defs`].
+pub type FnId = usize;
+
+/// One function definition discovered in the workspace.
+#[derive(Clone, Debug)]
+pub struct FnDef {
+    /// Index of the defining file in the slice passed to [`CallGraph::build`].
+    pub file: usize,
+    /// Workspace-relative path of the defining file.
+    pub path: String,
+    /// Crate directory name (`server` for `crates/server/src/…`), or
+    /// `""` when the path is not under `crates/`.
+    pub krate: String,
+    /// Function name.
+    pub name: String,
+    /// Token index of the body's opening `{` in the defining file.
+    pub open: usize,
+    /// Token index of the matching `}`.
+    pub close: usize,
+    /// 1-based line of the function body.
+    pub line: u32,
+}
+
+/// How a call site was written.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CallKind {
+    /// `foo(…)` or `Qual::foo(…)`.
+    Free,
+    /// `.foo(…)`.
+    Method,
+}
+
+/// One call site inside a function body.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// Token index of the callee name in the caller's file.
+    pub token: usize,
+    /// 1-based line of the call.
+    pub line: u32,
+    /// Callee name as written.
+    pub name: String,
+    /// Free call vs. method call.
+    pub kind: CallKind,
+    /// Resolved candidate definitions; empty means *extern*.
+    pub callees: Vec<FnId>,
+    /// True when the resolution is trustworthy enough for cycle
+    /// detection (same-file/same-crate free call, or `self.foo(…)`
+    /// resolved in the caller's crate).
+    pub confident: bool,
+}
+
+/// The workspace call graph: definitions, per-function call sites, and
+/// the SCC condensation (callees-first order).
+pub struct CallGraph {
+    /// All function definitions, in (file, token) order.
+    pub defs: Vec<FnDef>,
+    /// `calls[f]` are the call sites inside `defs[f]`, in token order.
+    pub calls: Vec<Vec<CallSite>>,
+    /// Strongly connected components over *all* resolved edges, in
+    /// reverse topological order of the condensation: every SCC appears
+    /// after the SCCs it calls into, so iterating front-to-back visits
+    /// callees before callers (bottom-up).
+    pub sccs: Vec<Vec<FnId>>,
+    /// `scc_of[f]` is the index into [`CallGraph::sccs`] holding `f`.
+    pub scc_of: Vec<usize>,
+}
+
+/// Identifiers that look like calls but are control flow or bindings.
+const NOT_A_CALL: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "in", "as", "move", "else", "fn", "let",
+    "mut", "ref", "box", "yield", "await", "unsafe", "impl", "where", "dyn",
+];
+
+impl CallGraph {
+    /// Build the graph over `files`. `deps` maps a crate directory name
+    /// to its dependency closure (crate names it may call into,
+    /// including itself); a crate absent from the map may call any
+    /// crate — fixtures and tests use an empty map.
+    #[must_use]
+    pub fn build(files: &[&SourceFile], deps: &BTreeMap<String, BTreeSet<String>>) -> CallGraph {
+        let mut defs: Vec<FnDef> = Vec::new();
+        // Definition collection: every non-test fn body in every file.
+        for (fi, file) in files.iter().enumerate() {
+            for f in &file.fns {
+                if file.test[f.open] {
+                    continue;
+                }
+                defs.push(FnDef {
+                    file: fi,
+                    path: file.path.clone(),
+                    krate: crate_of(&file.path),
+                    name: f.name.clone(),
+                    open: f.open,
+                    close: f.close,
+                    line: file.tokens[f.open].line,
+                });
+            }
+        }
+        let mut by_name: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        for (id, d) in defs.iter().enumerate() {
+            by_name.entry(d.name.as_str()).or_default().push(id);
+        }
+
+        // Innermost-definition map per file: `inner[fi][tok]` is the
+        // def whose body most tightly encloses the token. `fns` lists
+        // nested definitions after their parents, so later writes win.
+        let mut inner: Vec<Vec<Option<FnId>>> =
+            files.iter().map(|f| vec![None; f.tokens.len()]).collect();
+        for (id, d) in defs.iter().enumerate() {
+            for slot in &mut inner[d.file][d.open..=d.close] {
+                *slot = Some(id);
+            }
+        }
+
+        // Call-site detection and resolution.
+        let mut calls: Vec<Vec<CallSite>> = vec![Vec::new(); defs.len()];
+        for (fi, file) in files.iter().enumerate() {
+            let toks = &file.tokens;
+            let mut i = 0usize;
+            while i < toks.len() {
+                // Skip attribute contents (`#[derive(Debug)]` is not a call).
+                if toks[i].is("#")
+                    && (matches!(toks.get(i + 1), Some(t) if t.is("["))
+                        || (matches!(toks.get(i + 1), Some(t) if t.is("!"))
+                            && matches!(toks.get(i + 2), Some(t) if t.is("["))))
+                {
+                    let open = if toks[i + 1].is("[") { i + 1 } else { i + 2 };
+                    let mut depth = 0i32;
+                    let mut j = open;
+                    while j < toks.len() {
+                        if toks[j].is("[") {
+                            depth += 1;
+                        } else if toks[j].is("]") {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                    i = j + 1;
+                    continue;
+                }
+                let is_call = toks[i].kind == TokenKind::Ident
+                    && !file.test[i]
+                    && toks.get(i + 1).is_some_and(|t| t.is("("))
+                    && !NOT_A_CALL.contains(&toks[i].text.as_str())
+                    && !(i > 0 && toks[i - 1].is("fn"));
+                if !is_call {
+                    i += 1;
+                    continue;
+                }
+                let Some(caller) = inner[fi][i] else {
+                    i += 1;
+                    continue;
+                };
+                let kind = if i > 0 && toks[i - 1].is(".") {
+                    CallKind::Method
+                } else {
+                    CallKind::Free
+                };
+                let name = toks[i].text.as_str();
+                let caller_krate = defs[caller].krate.clone();
+                let closure = deps.get(&caller_krate);
+                let in_closure = |id: &FnId| closure.is_none_or(|c| c.contains(&defs[*id].krate));
+                let candidates: Vec<FnId> = by_name
+                    .get(name)
+                    .map(|v| v.iter().copied().filter(in_closure).collect())
+                    .unwrap_or_default();
+                let same_file: Vec<FnId> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&c| defs[c].file == fi && c != caller)
+                    .collect();
+                let same_crate: Vec<FnId> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&c| defs[c].krate == caller_krate)
+                    .collect();
+                let self_recv = kind == CallKind::Method && i >= 2 && toks[i - 2].is("self");
+                // `Qual::name(…)` — the qualifier is untyped, so the
+                // bare-name match may land on an unrelated impl
+                // (`Vec::new(…)` inside `fn new` is not recursion).
+                // Keep the may-edges, but never call them confident.
+                let qualified = i >= 2 && toks[i - 1].is(":") && toks[i - 2].is(":");
+                let (callees, confident) = match kind {
+                    CallKind::Free => {
+                        if !same_file.is_empty() {
+                            (same_file, !qualified)
+                        } else if !same_crate.is_empty() {
+                            (same_crate, !qualified)
+                        } else {
+                            (candidates, false)
+                        }
+                    }
+                    CallKind::Method => {
+                        if self_recv && !same_crate.is_empty() {
+                            (same_crate, true)
+                        } else {
+                            (candidates, false)
+                        }
+                    }
+                };
+                calls[caller].push(CallSite {
+                    token: i,
+                    line: toks[i].line,
+                    name: name.to_string(),
+                    kind,
+                    callees,
+                    confident,
+                });
+                i += 1;
+            }
+        }
+
+        let adj: Vec<Vec<FnId>> = calls
+            .iter()
+            .map(|sites| {
+                let mut out: Vec<FnId> = sites.iter().flat_map(|s| s.callees.clone()).collect();
+                out.sort_unstable();
+                out.dedup();
+                out
+            })
+            .collect();
+        let (sccs, scc_of) = sccs_of(&adj);
+        CallGraph {
+            defs,
+            calls,
+            sccs,
+            scc_of,
+        }
+    }
+
+    /// Adjacency restricted to confident edges (for cycle detection).
+    #[must_use]
+    pub fn confident_adj(&self) -> Vec<Vec<FnId>> {
+        self.calls
+            .iter()
+            .map(|sites| {
+                let mut out: Vec<FnId> = sites
+                    .iter()
+                    .filter(|s| s.confident)
+                    .flat_map(|s| s.callees.clone())
+                    .collect();
+                out.sort_unstable();
+                out.dedup();
+                out
+            })
+            .collect()
+    }
+
+    /// Definitions matching `(path, name)` exactly.
+    #[must_use]
+    pub fn defs_named(&self, path: &str, name: &str) -> Vec<FnId> {
+        self.defs
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.path == path && d.name == name)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// BFS over all resolved edges from `roots`. Returns, per function,
+    /// `Some((parent, call_line))` for reached functions — roots map to
+    /// `Some((themselves, 0))` — and `None` for unreached ones.
+    #[must_use]
+    pub fn reach_from(&self, roots: &[FnId]) -> Vec<Option<(FnId, u32)>> {
+        let mut parent: Vec<Option<(FnId, u32)>> = vec![None; self.defs.len()];
+        let mut queue: std::collections::VecDeque<FnId> = std::collections::VecDeque::new();
+        for &r in roots {
+            if parent[r].is_none() {
+                parent[r] = Some((r, 0));
+                queue.push_back(r);
+            }
+        }
+        while let Some(f) = queue.pop_front() {
+            for site in &self.calls[f] {
+                for &c in &site.callees {
+                    if parent[c].is_none() {
+                        parent[c] = Some((f, site.line));
+                        queue.push_back(c);
+                    }
+                }
+            }
+        }
+        parent
+    }
+
+    /// The call path `root → … → f` implied by a [`CallGraph::reach_from`]
+    /// parent map, as function names.
+    #[must_use]
+    pub fn path_to(&self, parent: &[Option<(FnId, u32)>], f: FnId) -> Vec<String> {
+        let mut chain = vec![self.defs[f].name.clone()];
+        let mut cur = f;
+        let mut hops = 0usize;
+        while let Some((p, _)) = parent[cur] {
+            if p == cur || hops > self.defs.len() {
+                break;
+            }
+            chain.push(self.defs[p].name.clone());
+            cur = p;
+            hops += 1;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Check that the SCC condensation over all edges is acyclic and in
+    /// callees-first order: every cross-SCC edge must point from a
+    /// later SCC to an earlier one. Used by the property tests.
+    #[must_use]
+    pub fn condensation_is_acyclic(&self) -> bool {
+        self.calls.iter().enumerate().all(|(f, sites)| {
+            sites
+                .iter()
+                .flat_map(|s| &s.callees)
+                .all(|&c| self.scc_of[f] >= self.scc_of[c])
+        })
+    }
+}
+
+/// Crate directory name for a workspace-relative path.
+#[must_use]
+pub fn crate_of(path: &str) -> String {
+    path.strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("")
+        .to_string()
+}
+
+/// Iterative Tarjan SCC. Returns the components in reverse topological
+/// order (callees first) plus the component index of each node.
+#[must_use]
+pub fn sccs_of(adj: &[Vec<usize>]) -> (Vec<Vec<usize>>, Vec<usize>) {
+    let n = adj.len();
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    let mut scc_of = vec![0usize; n];
+
+    // Explicit DFS frames: (node, next-child position).
+    for start in 0..n {
+        if index[start] != UNSET {
+            continue;
+        }
+        let mut frames: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut ci)) = frames.last_mut() {
+            if index[v] == UNSET {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if *ci < adj[v].len() {
+                let w = adj[v][*ci];
+                *ci += 1;
+                if index[w] == UNSET {
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+                continue;
+            }
+            frames.pop();
+            if let Some(&(parent, _)) = frames.last() {
+                low[parent] = low[parent].min(low[v]);
+            }
+            if low[v] == index[v] {
+                let mut comp = Vec::new();
+                while let Some(w) = stack.pop() {
+                    on_stack[w] = false;
+                    comp.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                comp.sort_unstable();
+                for &w in &comp {
+                    scc_of[w] = sccs.len();
+                }
+                sccs.push(comp);
+            }
+        }
+    }
+    (sccs, scc_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(sources: &[(&str, &str)]) -> (Vec<SourceFile>, CallGraph) {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(p, s)| SourceFile::parse(p, s))
+            .collect();
+        let refs: Vec<&SourceFile> = files.iter().collect();
+        let g = CallGraph::build(&refs, &BTreeMap::new());
+        (files, g)
+    }
+
+    #[test]
+    fn free_calls_prefer_same_file_then_crate() {
+        let (_, g) = graph(&[
+            (
+                "crates/server/src/lib.rs",
+                "fn helper() {} fn entry() { helper(); }",
+            ),
+            ("crates/types/src/lib.rs", "fn helper() {}"),
+        ]);
+        let entry = g.defs_named("crates/server/src/lib.rs", "entry")[0];
+        let site = &g.calls[entry][0];
+        assert_eq!(site.callees.len(), 1, "{site:?}");
+        assert_eq!(g.defs[site.callees[0]].path, "crates/server/src/lib.rs");
+        assert!(site.confident);
+    }
+
+    #[test]
+    fn method_calls_any_match_and_extern() {
+        let (_, g) = graph(&[
+            (
+                "crates/server/src/lib.rs",
+                "fn entry(&self) { self.helper(); x.helper(); x.push(1); }",
+            ),
+            ("crates/types/src/lib.rs", "fn helper() {}"),
+        ]);
+        let entry = g.defs_named("crates/server/src/lib.rs", "entry")[0];
+        let sites = &g.calls[entry];
+        assert_eq!(sites.len(), 3);
+        // `self.helper()`: no same-crate def, falls back to any-match.
+        assert_eq!(sites[0].callees.len(), 1);
+        assert!(
+            !sites[0].confident,
+            "cross-crate self call is not confident"
+        );
+        // `x.helper()`: any-match, not confident.
+        assert_eq!(sites[1].callees.len(), 1);
+        assert!(!sites[1].confident);
+        // `x.push(…)`: extern.
+        assert!(sites[2].callees.is_empty());
+    }
+
+    #[test]
+    fn dep_closure_restricts_candidates() {
+        let mut deps = BTreeMap::new();
+        deps.insert(
+            "server".to_string(),
+            ["server".to_string(), "types".to_string()]
+                .into_iter()
+                .collect(),
+        );
+        let files = [
+            ("crates/server/src/lib.rs", "fn entry() { x.helper(); }"),
+            ("crates/workload/src/lib.rs", "fn helper() {}"),
+        ];
+        let parsed: Vec<SourceFile> = files.iter().map(|(p, s)| SourceFile::parse(p, s)).collect();
+        let refs: Vec<&SourceFile> = parsed.iter().collect();
+        let g = CallGraph::build(&refs, &deps);
+        let entry = g.defs_named("crates/server/src/lib.rs", "entry")[0];
+        assert!(
+            g.calls[entry][0].callees.is_empty(),
+            "workload is not in server's dep closure"
+        );
+    }
+
+    #[test]
+    fn recursion_forms_an_scc() {
+        let (_, g) = graph(&[(
+            "crates/server/src/lib.rs",
+            "fn a() { b(); } fn b() { a(); } fn c() { a(); }",
+        )]);
+        let a = g.defs_named("crates/server/src/lib.rs", "a")[0];
+        let b = g.defs_named("crates/server/src/lib.rs", "b")[0];
+        let c = g.defs_named("crates/server/src/lib.rs", "c")[0];
+        assert_eq!(g.scc_of[a], g.scc_of[b]);
+        assert_ne!(g.scc_of[a], g.scc_of[c]);
+        // Callees-first: the {a,b} SCC precedes c's.
+        assert!(g.scc_of[a] < g.scc_of[c]);
+        assert!(g.condensation_is_acyclic());
+    }
+
+    #[test]
+    fn test_code_and_attributes_are_skipped() {
+        let (_, g) = graph(&[(
+            "crates/server/src/lib.rs",
+            "#[derive(Debug)] struct S; fn live() { go(); }\n\
+             #[cfg(test)] mod t { fn dead() { live(); } }\n fn go() {}",
+        )]);
+        assert_eq!(g.defs.len(), 2, "test fn is not a def");
+        let live = g.defs_named("crates/server/src/lib.rs", "live")[0];
+        assert_eq!(g.calls[live].len(), 1);
+        assert_eq!(g.calls[live][0].name, "go");
+    }
+
+    #[test]
+    fn reachability_and_witness_path() {
+        let (_, g) = graph(&[(
+            "crates/server/src/lib.rs",
+            "fn handle() { mid(); } fn mid() { leaf(); } fn leaf() {} fn island() {}",
+        )]);
+        let handle = g.defs_named("crates/server/src/lib.rs", "handle")[0];
+        let leaf = g.defs_named("crates/server/src/lib.rs", "leaf")[0];
+        let island = g.defs_named("crates/server/src/lib.rs", "island")[0];
+        let parent = g.reach_from(&[handle]);
+        assert!(parent[leaf].is_some());
+        assert!(parent[island].is_none());
+        assert_eq!(g.path_to(&parent, leaf), vec!["handle", "mid", "leaf"]);
+    }
+}

@@ -68,7 +68,16 @@ pub struct Cfg {
 /// Item keywords that introduce a nested item inside a function body;
 /// their bodies are skipped (nested `fn`s get their own CFG).
 const ITEM_KEYWORDS: &[&str] = &[
-    "fn", "struct", "enum", "impl", "mod", "trait", "use", "static", "type", "macro_rules",
+    "fn",
+    "struct",
+    "enum",
+    "impl",
+    "mod",
+    "trait",
+    "use",
+    "static",
+    "type",
+    "macro_rules",
 ];
 
 impl Cfg {
@@ -587,7 +596,11 @@ mod tests {
         let seen = cfg.reachable();
         for (i, b) in cfg.blocks.iter().enumerate() {
             if !b.stmts.is_empty() {
-                assert!(seen[i], "block {i} with {} stmts unreachable", b.stmts.len());
+                assert!(
+                    seen[i],
+                    "block {i} with {} stmts unreachable",
+                    b.stmts.len()
+                );
             }
         }
         assert!(seen[cfg.exit], "exit unreachable");
@@ -708,9 +721,8 @@ mod tests {
 
     #[test]
     fn struct_literals_and_closures_stay_inline() {
-        let (_, cfg) = cfg_for(
-            "let s = Foo { a: 1, b: 2 }; let f = xs.iter().map(|x| { x + 1 }); g(s, f);",
-        );
+        let (_, cfg) =
+            cfg_for("let s = Foo { a: 1, b: 2 }; let f = xs.iter().map(|x| { x + 1 }); g(s, f);");
         assert_eq!(plain_count(&cfg), 3);
         assert_eq!(cfg.blocks[cfg.entry].succs, vec![cfg.exit]);
     }

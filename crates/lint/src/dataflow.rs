@@ -144,7 +144,11 @@ fn analyze_fn(rule: &dyn DataflowRule, file: &SourceFile, f: &FnSpan, out: &mut 
             dirty[b] = false;
             let mut facts = inn[b].clone();
             for &stmt in &cfg.blocks[b].stmts {
-                let cx = StmtCx { file, func: f, stmt };
+                let cx = StmtCx {
+                    file,
+                    func: f,
+                    stmt,
+                };
                 apply(rule, &cx, &mut facts);
             }
             for &s in &cfg.blocks[b].succs {
@@ -171,7 +175,11 @@ fn analyze_fn(rule: &dyn DataflowRule, file: &SourceFile, f: &FnSpan, out: &mut 
         }
         let mut facts = inn[b].clone();
         for &stmt in &cfg.blocks[b].stmts {
-            let cx = StmtCx { file, func: f, stmt };
+            let cx = StmtCx {
+                file,
+                func: f,
+                stmt,
+            };
             if stmt.kind == StmtKind::Plain {
                 rule.check(&cx, &facts, out);
             }
@@ -205,7 +213,10 @@ pub fn let_bindings(cx: &StmtCx<'_>) -> Vec<(usize, String)> {
             break;
         } else if t.kind == TokenKind::Ident
             && !matches!(t.text.as_str(), "let" | "mut" | "ref" | "_" | "box")
-            && t.text.chars().next().is_some_and(|c| c.is_lowercase() || c == '_')
+            && t.text
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_lowercase() || c == '_')
         {
             out.push((cx.stmt.lo + i, t.text.clone()));
         }
@@ -250,18 +261,16 @@ pub fn receiver_path(file: &SourceFile, end: usize) -> Option<String> {
 pub fn method_calls(cx: &StmtCx<'_>) -> Vec<usize> {
     let toks = cx.tokens();
     (1..toks.len().saturating_sub(1))
-        .filter(|&i| {
-            toks[i - 1].is(".")
-                && toks[i].kind == TokenKind::Ident
-                && toks[i + 1].is("(")
-        })
+        .filter(|&i| toks[i - 1].is(".") && toks[i].kind == TokenKind::Ident && toks[i + 1].is("("))
         .collect()
 }
 
 /// True when the statement mentions identifier `name` anywhere.
 #[must_use]
 pub fn mentions(cx: &StmtCx<'_>, name: &str) -> bool {
-    cx.tokens().iter().any(|t| t.kind == TokenKind::Ident && t.text == name)
+    cx.tokens()
+        .iter()
+        .any(|t| t.kind == TokenKind::Ident && t.text == name)
 }
 
 /// Kill every fact whose key is exactly `key` or a dotted extension of
@@ -297,7 +306,8 @@ mod tests {
             }
             let toks = cx.tokens();
             for i in 0..toks.len() {
-                if toks[i].is("clear") && toks.get(i + 2).is_some_and(|t| t.kind == TokenKind::Ident)
+                if toks[i].is("clear")
+                    && toks.get(i + 2).is_some_and(|t| t.kind == TokenKind::Ident)
                 {
                     kill_key_prefix(facts, &format!("t:{}", toks[i + 2].text));
                 }
@@ -326,10 +336,16 @@ mod tests {
     #[test]
     fn may_analysis_joins_branches() {
         // Fact gen'd on one branch only still reaches the sink (may).
-        assert_eq!(run("if c { let g = taint(); } else { pure(); } x.sink();").len(), 0);
+        assert_eq!(
+            run("if c { let g = taint(); } else { pure(); } x.sink();").len(),
+            0
+        );
         // …unless its scope ended: the branch-local binding dies at `}`.
         // A fact on a binding declared *before* the branch survives.
-        assert_eq!(run("let g = 0; if c { let g = taint(); } x.sink();").len(), 0);
+        assert_eq!(
+            run("let g = 0; if c { let g = taint(); } x.sink();").len(),
+            0
+        );
     }
 
     #[test]
@@ -346,9 +362,7 @@ mod tests {
         // (fact flows around the back edge: binding declared outside).
         let vs = run("loop { x.sink(); let q = 1; taint_free(); if c { break; } }");
         assert!(vs.is_empty());
-        let vs = run(
-            "let mut g = 0; loop { x.sink(); g = taint_marker(); if c { break; } }",
-        );
+        let vs = run("let mut g = 0; loop { x.sink(); g = taint_marker(); if c { break; } }");
         // `taint_marker` does not gen (gen needs a `let` + `taint`);
         // rewrite with an inner let whose scope is the loop body:
         assert!(vs.is_empty());
@@ -368,7 +382,11 @@ mod tests {
         let f = file.fn_named("f").unwrap().clone();
         let cfg = Cfg::build(&file, &f);
         let stmt = cfg.blocks[cfg.entry].stmts[0];
-        let cx = StmtCx { file: &file, func: &f, stmt };
+        let cx = StmtCx {
+            file: &file,
+            func: &f,
+            stmt,
+        };
         let names: Vec<String> = let_bindings(&cx).into_iter().map(|(_, n)| n).collect();
         assert_eq!(names, vec!["a", "b"]);
     }
@@ -377,7 +395,10 @@ mod tests {
     fn helper_receiver_path() {
         let file = SourceFile::parse("x.rs", "fn f() { self.state.lock(); foo().lock(); }");
         let lock1 = file.tokens.iter().position(|t| t.is("lock")).unwrap();
-        assert_eq!(receiver_path(&file, lock1 - 2), Some("self.state".to_string()));
+        assert_eq!(
+            receiver_path(&file, lock1 - 2),
+            Some("self.state".to_string())
+        );
         let lock2 = file
             .tokens
             .iter()
@@ -386,6 +407,10 @@ mod tests {
             .find(|(_, t)| t.is("lock"))
             .map(|(i, _)| i)
             .unwrap();
-        assert_eq!(receiver_path(&file, lock2 - 2), None, "call-result receiver");
+        assert_eq!(
+            receiver_path(&file, lock2 - 2),
+            None,
+            "call-result receiver"
+        );
     }
 }

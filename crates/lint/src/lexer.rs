@@ -332,6 +332,9 @@ mod tests {
     #[test]
     fn numbers_and_ranges() {
         let toks = texts("buf[0..4] 0xD10C 1_000u64");
-        assert_eq!(toks, vec!["buf", "[", "0", ".", ".", "4", "]", "0xD10C", "1_000u64"]);
+        assert_eq!(
+            toks,
+            vec!["buf", "[", "0", ".", ".", "4", "]", "0xD10C", "1_000u64"]
+        );
     }
 }

@@ -6,7 +6,7 @@
 //! stay in lock-step with its codec and property coverage, and a log
 //! server must not panic on hostile bytes. This crate walks the
 //! workspace sources with a hand-rolled lexer (no external parser — it
-//! must build offline against the vendored stubs) and enforces ten
+//! must build offline against the vendored stubs) and enforces twelve
 //! repo-specific rules, gated in tier-1 via `tests/lint_gate.rs`.
 //!
 //! Six rules are *lexical* — token-stream scans:
@@ -20,7 +20,7 @@
 //! | `status-parity` | `Response::Status` fields match the `docs/PROTOCOL.md` gauge table |
 //! | `forbid-unsafe` | every first-party crate root carries `#![forbid(unsafe_code)]` |
 //!
-//! Four rules are *flow-sensitive*: [`cfg`] builds a statement-level
+//! Four rules are *flow-sensitive*: [`mod@cfg`] builds a statement-level
 //! control-flow graph per function body, and [`dataflow`] runs a
 //! forward may-analysis over it to a fixpoint, so these rules see
 //! *paths*, not just token order:
@@ -32,6 +32,18 @@
 //! | `seal-typestate` | no `append`/`write_at` on a segment after `.seal()` (archive CRC immutability) |
 //! | `result-swallow` | the `Result` of force/flush/upload is consumed on every path (§4.2 ack-after-force) |
 //!
+//! Two rules are *interprocedural*: [`callgraph`] resolves every call
+//! token against a workspace-wide function index (SCC-condensed), and
+//! [`summary`] computes bottom-up effect summaries to a fixpoint, so
+//! findings carry full call-chain witnesses. The same machinery also
+//! promotes `panic-freedom` and `blocking-under-lock` to whole-program
+//! analyses:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `hot-path-alloc` | allocation sites reachable from the request-path roots are inventoried (ROADMAP item 3 zero-copy worklist) |
+//! | `unbounded-recursion` | no confident call cycle touches the hot-path crates (input-controlled stack depth = crashable by input) |
+//!
 //! Audited exceptions live in `lint.allow` (rule, file, function scope,
 //! mandatory justification). See `docs/LINT.md` for the full catalog,
 //! the allowlist workflow, and how to add a rule.
@@ -40,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod allow;
+pub mod callgraph;
 pub mod cfg;
 pub mod dataflow;
 pub mod fixtures;
@@ -47,6 +60,7 @@ pub mod lexer;
 pub mod report;
 pub mod rules;
 pub mod source;
+pub mod summary;
 pub mod workspace;
 
 pub use report::{Report, Violation};

@@ -57,11 +57,29 @@ pub struct Report {
 impl Report {
     /// Partition raw findings against the allowlist.
     #[must_use]
-    pub fn build(mut raw: Vec<Violation>, allows: &Allowlist, files_scanned: usize) -> Report {
+    pub fn build(raw: Vec<Violation>, allows: &Allowlist, files_scanned: usize) -> Report {
+        Report::build_with_used(raw, allows, files_scanned, &[])
+    }
+
+    /// [`Report::build`] with entry indices already consumed elsewhere
+    /// (e.g. interprocedural seed suppression, see [`crate::summary`]) —
+    /// they are excluded from the stale-entry warning.
+    #[must_use]
+    pub fn build_with_used(
+        mut raw: Vec<Violation>,
+        allows: &Allowlist,
+        files_scanned: usize,
+        pre_used: &[usize],
+    ) -> Report {
         raw.sort_by(|a, b| {
             (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
         });
         let mut used = vec![false; allows.len()];
+        for &idx in pre_used {
+            if idx < used.len() {
+                used[idx] = true;
+            }
+        }
         let mut violations = Vec::new();
         let mut allowed = Vec::new();
         for v in raw {
@@ -155,12 +173,7 @@ impl Report {
     /// Render the per-rule timing table (for `--timing`).
     #[must_use]
     pub fn timing_table(&self) -> String {
-        let width = self
-            .timings
-            .iter()
-            .map(|t| t.rule.len())
-            .max()
-            .unwrap_or(0);
+        let width = self.timings.iter().map(|t| t.rule.len()).max().unwrap_or(0);
         let mut s = String::from("per-rule wall time:\n");
         let mut total: u128 = 0;
         for t in &self.timings {
@@ -181,7 +194,7 @@ impl Report {
 }
 
 /// Escape a string for JSON output.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -220,7 +233,10 @@ mod tests {
             "panic-freedom crates/a.rs f # fine\nlock-order crates/b.rs * # stale\n",
         )
         .unwrap();
-        let raw = vec![v("panic-freedom", "crates/a.rs", "f"), v("panic-freedom", "crates/a.rs", "g")];
+        let raw = vec![
+            v("panic-freedom", "crates/a.rs", "f"),
+            v("panic-freedom", "crates/a.rs", "g"),
+        ];
         let r = Report::build(raw, &allows, 2);
         assert_eq!(r.violations.len(), 1);
         assert_eq!(r.allowed.len(), 1);

@@ -57,10 +57,7 @@ pub fn check(files: &[&SourceFile]) -> Vec<Violation> {
     let mut out = Vec::new();
     for cycle in find_cycles(&edges) {
         // Witness: the edge closing the cycle (last -> first).
-        let close = (
-            cycle[cycle.len() - 1].clone(),
-            cycle[0].clone(),
-        );
+        let close = (cycle[cycle.len() - 1].clone(), cycle[0].clone());
         let (fi, tok) = edges[&close];
         let file = files[fi];
         let path = cycle.join(" -> ");
@@ -70,7 +67,10 @@ pub fn check(files: &[&SourceFile]) -> Vec<Violation> {
             line: file.tokens[tok].line,
             scope: file.scope_at(tok),
             message: if cycle.len() == 1 {
-                format!("lock `{}` re-acquired while already held (self-deadlock)", cycle[0])
+                format!(
+                    "lock `{}` re-acquired while already held (self-deadlock)",
+                    cycle[0]
+                )
             } else {
                 format!(
                     "lock acquisition cycle: {path} -> {} (potential deadlock)",
@@ -104,9 +104,7 @@ fn lock_sites(file: &SourceFile, open: usize, close: usize) -> Vec<LockSite> {
             if prev.kind == crate::lexer::TokenKind::Ident {
                 parts.push(prev.text.clone());
                 j -= 1;
-            } else if prev.is(".") && j >= 2
-                && toks[j - 2].kind == crate::lexer::TokenKind::Ident
-            {
+            } else if prev.is(".") && j >= 2 && toks[j - 2].kind == crate::lexer::TokenKind::Ident {
                 j -= 1;
             } else {
                 break;

@@ -27,7 +27,8 @@ fn lsn_shaped(name: &str) -> bool {
         || lower.contains("epoch")
         || lower.contains("seq")
         || lower == "generation"
-        || name == "Lsn" || name == "Epoch"
+        || name == "Lsn"
+        || name == "Epoch"
 }
 
 /// Identifier segments of the operand adjacent to the operator at `i`:
@@ -83,7 +84,9 @@ impl DataflowRule for LsnCheckedArith {
         }
         // RHS mentions an LSN-shaped name or constructor → the binding
         // itself is LSN-shaped.
-        let rhs_lsn = toks.iter().any(|t| t.kind == TokenKind::Ident && lsn_shaped(&t.text));
+        let rhs_lsn = toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && lsn_shaped(&t.text));
         if !rhs_lsn {
             return;
         }
@@ -120,11 +123,14 @@ impl DataflowRule for LsnCheckedArith {
                 continue;
             }
             let mut names = operand_idents(toks, i, true);
-            names.extend(operand_idents(toks, if compound { i + 1 } else { i }, false));
-            let hit = names.iter().find(|n| {
-                lsn_shaped(n)
-                    || facts.iter().any(|f| f.key == format!("lsn:{}", n))
-            });
+            names.extend(operand_idents(
+                toks,
+                if compound { i + 1 } else { i },
+                false,
+            ));
+            let hit = names
+                .iter()
+                .find(|n| lsn_shaped(n) || facts.iter().any(|f| f.key == format!("lsn:{}", n)));
             if let Some(name) = hit {
                 let op = if compound {
                     format!("{}=", t.text)
@@ -175,8 +181,9 @@ mod tests {
 
     #[test]
     fn checked_and_saturating_are_clean() {
-        assert!(run("let next = lsn.0.checked_add(1)?; let p = epoch.0.saturating_sub(1);")
-            .is_empty());
+        assert!(
+            run("let next = lsn.0.checked_add(1)?; let p = epoch.0.saturating_sub(1);").is_empty()
+        );
     }
 
     #[test]

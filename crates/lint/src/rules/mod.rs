@@ -12,12 +12,14 @@ use crate::source::SourceFile;
 pub mod ack_after_force;
 pub mod blocking_under_lock;
 pub mod forbid_unsafe;
+pub mod hot_path_alloc;
 pub mod lock_order;
 pub mod lsn_checked_arith;
 pub mod panic_freedom;
 pub mod result_swallow;
 pub mod seal_typestate;
 pub mod status_parity;
+pub mod unbounded_recursion;
 pub mod wire_exhaustive;
 
 /// A lexical per-file rule: scans one token stream at a time.
@@ -74,4 +76,6 @@ pub const ALL_RULES: &[&str] = &[
     lsn_checked_arith::RULE,
     seal_typestate::RULE,
     result_swallow::RULE,
+    hot_path_alloc::RULE,
+    unbounded_recursion::RULE,
 ];

@@ -24,9 +24,48 @@ const NON_INDEX_KEYWORDS: &[&str] = &[
     "await",
 ];
 
-/// Scan one file for panic-adjacent constructs in non-test code.
+/// What kind of panic-adjacent construct a site is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PanicKind {
+    /// `.unwrap(`.
+    Unwrap,
+    /// `.expect(`.
+    Expect,
+    /// `panic!(…)`.
+    Macro,
+    /// `expr[…]` slice/array indexing.
+    Index,
+}
+
+impl PanicKind {
+    /// Short label used in interprocedural witness chains.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PanicKind::Unwrap => "`unwrap()`",
+            PanicKind::Expect => "`expect()`",
+            PanicKind::Macro => "`panic!`",
+            PanicKind::Index => "slice indexing",
+        }
+    }
+}
+
+/// One panic-adjacent site in non-test code.
+#[derive(Clone, Debug)]
+pub struct PanicSite {
+    /// Token index the site is anchored to.
+    pub token: usize,
+    /// Construct kind.
+    pub kind: PanicKind,
+    /// Text of the token preceding a `[` (for the indexing message).
+    pub prev: String,
+}
+
+/// Scan one file for panic-adjacent sites in non-test code. Shared by
+/// the intraprocedural rule below and the interprocedural summary
+/// seeds ([`crate::summary`]).
 #[must_use]
-pub fn check(file: &SourceFile) -> Vec<Violation> {
+pub fn panic_sites(file: &SourceFile) -> Vec<PanicSite> {
     let mut out = Vec::new();
     let toks = &file.tokens;
     for i in 0..toks.len() {
@@ -41,20 +80,24 @@ pub fn check(file: &SourceFile) -> Vec<Violation> {
                 .is_some_and(|n| n.is("unwrap") || n.is("expect"))
             && toks.get(i + 2).is_some_and(|n| n.is("("))
         {
-            let name = &toks[i + 1].text;
-            out.push(violation(
-                file,
-                i + 1,
-                format!("call to `{name}()` can panic; propagate the error instead"),
-            ));
+            let kind = if toks[i + 1].is("unwrap") {
+                PanicKind::Unwrap
+            } else {
+                PanicKind::Expect
+            };
+            out.push(PanicSite {
+                token: i + 1,
+                kind,
+                prev: String::new(),
+            });
         }
         // `panic!(…)`
         if t.is("panic") && toks.get(i + 1).is_some_and(|n| n.is("!")) {
-            out.push(violation(
-                file,
-                i,
-                "explicit `panic!` in hot-path code".to_string(),
-            ));
+            out.push(PanicSite {
+                token: i,
+                kind: PanicKind::Macro,
+                prev: String::new(),
+            });
         }
         // Indexing: `expr[…]` — a `[` directly after an identifier (that
         // is not a keyword), `)`, or `]`. Out-of-range indexes panic;
@@ -67,15 +110,75 @@ pub fn check(file: &SourceFile) -> Vec<Violation> {
                 _ => false,
             };
             if is_index {
-                out.push(violation(
-                    file,
-                    i,
-                    format!(
-                        "slice/array indexing after `{}` can panic; use `.get()` or a guarded read",
-                        prev.text
-                    ),
-                ));
+                out.push(PanicSite {
+                    token: i,
+                    kind: PanicKind::Index,
+                    prev: prev.text.clone(),
+                });
             }
+        }
+    }
+    out
+}
+
+/// Scan one file for panic-adjacent constructs in non-test code.
+#[must_use]
+pub fn check(file: &SourceFile) -> Vec<Violation> {
+    panic_sites(file)
+        .into_iter()
+        .map(|site| {
+            let message = match site.kind {
+                PanicKind::Unwrap | PanicKind::Expect => {
+                    let name = &file.tokens[site.token].text;
+                    format!("call to `{name}()` can panic; propagate the error instead")
+                }
+                PanicKind::Macro => "explicit `panic!` in hot-path code".to_string(),
+                PanicKind::Index => format!(
+                    "slice/array indexing after `{}` can panic; use `.get()` or a guarded read",
+                    site.prev
+                ),
+            };
+            violation(file, site.token, message)
+        })
+        .collect()
+}
+
+/// Interprocedural promotion: flag call sites in hot-path functions
+/// whose callee (defined *outside* the hot-path crates, so the direct
+/// scan above never sees it) may panic. The violation carries the full
+/// call-chain witness down to the panicking token.
+#[must_use]
+pub fn check_ipa(
+    graph: &crate::callgraph::CallGraph,
+    summaries: &crate::summary::Summaries,
+    hot: &[&str],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (f, def) in graph.defs.iter().enumerate() {
+        if !hot.iter().any(|p| def.path.starts_with(p)) {
+            continue;
+        }
+        for site in &graph.calls[f] {
+            // One finding per call site: the first panicking non-hot
+            // callee. Hot callees' sites are flagged directly.
+            let Some(&c) = site.callees.iter().find(|&&c| {
+                summaries.fns[c].may_panic.is_some()
+                    && !hot.iter().any(|p| graph.defs[c].path.starts_with(p))
+            }) else {
+                continue;
+            };
+            let chain = summaries.panic_chain(graph, c);
+            out.push(Violation {
+                rule: RULE,
+                file: def.path.clone(),
+                line: site.line,
+                scope: def.name.clone(),
+                message: format!(
+                    "call chain may panic: {} → {chain}; a hot-path fail-stop must be \
+                     deliberate (§3.1) — make the helper total or allowlist with justification",
+                    def.name
+                ),
+            });
         }
     }
     out

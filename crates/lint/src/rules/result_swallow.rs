@@ -28,7 +28,13 @@ pub const RULE: &str = "result-swallow";
 
 /// Calls whose `Result` carries a durability promise.
 const DURABLE_CALLS: &[&str] = &[
-    "force", "flush", "sync", "sync_all", "sync_data", "upload", "put",
+    "force",
+    "flush",
+    "sync",
+    "sync_all",
+    "sync_data",
+    "upload",
+    "put",
 ];
 
 /// The rule as a [`DataflowRule`] instance.
@@ -136,7 +142,11 @@ impl DataflowRule for ResultSwallow {
         let has_assign = (0..toks.len()).any(|i| {
             toks[i].is("=")
                 && !toks.get(i + 1).is_some_and(|t| t.is("="))
-                && (i == 0 || !matches!(toks[i - 1].text.as_str(), "=" | "!" | "<" | ">" | "+" | "-" | "*" | "/"))
+                && (i == 0
+                    || !matches!(
+                        toks[i - 1].text.as_str(),
+                        "=" | "!" | "<" | ">" | "+" | "-" | "*" | "/"
+                    ))
         });
         if consuming_start || has_assign {
             return;
@@ -161,7 +171,9 @@ impl DataflowRule for ResultSwallow {
 
     fn at_exit(&self, file: &SourceFile, func: &FnSpan, facts: &FactSet, out: &mut Vec<Violation>) {
         for f in facts {
-            let Some(name) = f.key.strip_prefix("res:") else { continue };
+            let Some(name) = f.key.strip_prefix("res:") else {
+                continue;
+            };
             out.push(Violation {
                 rule: RULE,
                 file: file.path.clone(),
@@ -222,8 +234,9 @@ mod tests {
     fn inspected_result_is_consumption() {
         assert!(run("let r = self.dev.force(c); if r.is_err() { fail(); } Ok(())").is_empty());
         assert!(run("let r = self.dev.force(c); r").is_empty());
-        assert!(run("match self.dev.force(c) { Ok(()) => {}, Err(e) => log(e), } Ok(())")
-            .is_empty());
+        assert!(
+            run("match self.dev.force(c) { Ok(()) => {}, Err(e) => log(e), } Ok(())").is_empty()
+        );
     }
 
     #[test]

@@ -11,8 +11,7 @@
 //! in the same variable) clears the fact.
 
 use crate::dataflow::{
-    kill_key_prefix, let_bindings, method_calls, receiver_path, DataflowRule, Fact, FactSet,
-    StmtCx,
+    kill_key_prefix, let_bindings, method_calls, receiver_path, DataflowRule, Fact, FactSet, StmtCx,
 };
 use crate::report::Violation;
 
@@ -30,7 +29,8 @@ pub struct SealTypestate;
 fn call_receiver(cx: &StmtCx<'_>, i: usize) -> Option<String> {
     // `i` is the method name; the receiver ends two tokens earlier.
     let abs = cx.stmt.lo + i;
-    abs.checked_sub(2).and_then(|end| receiver_path(cx.file, end))
+    abs.checked_sub(2)
+        .and_then(|end| receiver_path(cx.file, end))
 }
 
 impl DataflowRule for SealTypestate {
@@ -52,9 +52,10 @@ impl DataflowRule for SealTypestate {
         if !toks.first().is_some_and(|t| t.is("let")) {
             // Leading `path = …` assignment (not `==`).
             let mut end = 0usize;
-            while toks.get(end).is_some_and(|t| {
-                t.kind == crate::lexer::TokenKind::Ident || t.is(".")
-            }) {
+            while toks
+                .get(end)
+                .is_some_and(|t| t.kind == crate::lexer::TokenKind::Ident || t.is("."))
+            {
                 end += 1;
             }
             if end > 0
@@ -88,7 +89,9 @@ impl DataflowRule for SealTypestate {
             if !MUTATORS.contains(&toks[i].text.as_str()) {
                 continue;
             }
-            let Some(path) = call_receiver(cx, i) else { continue };
+            let Some(path) = call_receiver(cx, i) else {
+                continue;
+            };
             if let Some(f) = facts.iter().find(|f| f.key == format!("sealed:{path}")) {
                 out.push(cx.violation(
                     RULE,
@@ -96,8 +99,7 @@ impl DataflowRule for SealTypestate {
                     format!(
                         "`.{}()` on `{path}` after `.seal()` (line {}); a sealed segment is \
                          immutable — archived CRCs cover its exact bytes",
-                        toks[i].text,
-                        cx.file.tokens[f.origin].line
+                        toks[i].text, cx.file.tokens[f.origin].line
                     ),
                 ));
             }
@@ -138,8 +140,9 @@ mod tests {
     #[test]
     fn rebinding_clears_the_fact() {
         assert!(run("seg.seal(); let seg = fresh(); seg.append(bytes);").is_empty());
-        assert!(run("self.active.seal(); self.active = fresh(); self.active.append(b);")
-            .is_empty());
+        assert!(
+            run("self.active.seal(); self.active = fresh(); self.active.append(b);").is_empty()
+        );
     }
 
     #[test]

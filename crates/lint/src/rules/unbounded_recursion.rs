@@ -1,0 +1,101 @@
+//! `unbounded-recursion`: no call-graph cycles inside the hot-path
+//! crates without an audited allowlist entry.
+//!
+//! A recursive hot-path function turns attacker-controlled input into
+//! attacker-controlled stack depth — a stack overflow aborts the whole
+//! server just like a `panic!`, defeating §3.1's fail-stop discipline
+//! the slow way. The rule runs SCC detection over the *confident*
+//! edges only (same-file/same-crate free calls, `self.foo()` resolved
+//! in-crate): the any-match method fallback would invent cycles between
+//! unrelated functions that merely share a name (`force` calling
+//! `self.primary.force()` is delegation, not recursion).
+
+use crate::callgraph::{sccs_of, CallGraph, FnId};
+use crate::report::Violation;
+
+/// Rule identifier.
+pub const RULE: &str = "unbounded-recursion";
+
+/// Report every cycle over confident edges whose members live under one
+/// of the `hot` path prefixes. Each cycle yields one violation anchored
+/// at its lexically-first member.
+#[must_use]
+pub fn check(graph: &CallGraph, hot: &[&str]) -> Vec<Violation> {
+    let adj = graph.confident_adj();
+    let (sccs, _) = sccs_of(&adj);
+    let mut out = Vec::new();
+    for scc in &sccs {
+        let cyclic = scc.len() > 1 || adj[scc[0]].contains(&scc[0]);
+        if !cyclic {
+            continue;
+        }
+        let members: Vec<&FnId> = scc
+            .iter()
+            .filter(|&&f| hot.iter().any(|p| graph.defs[f].path.starts_with(p)))
+            .collect();
+        let Some(&&anchor) = members.first() else {
+            continue;
+        };
+        let mut names: Vec<&str> = scc.iter().map(|&f| graph.defs[f].name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        let cycle = names.join(" ↔ ");
+        let def = &graph.defs[anchor];
+        out.push(Violation {
+            rule: RULE,
+            file: def.path.clone(),
+            line: def.line,
+            scope: def.name.clone(),
+            message: format!(
+                "recursive call cycle on the hot path: {cycle}; input-controlled recursion \
+                 depth can overflow the stack (§3.1 fail-stop) — rewrite iteratively or \
+                 allowlist with a depth-bound justification"
+            ),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+    use std::collections::BTreeMap;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let file = SourceFile::parse("crates/server/src/lib.rs", src);
+        let refs = vec![&file];
+        let g = CallGraph::build(&refs, &BTreeMap::new());
+        check(&g, &["crates/server/src"])
+    }
+
+    #[test]
+    fn mutual_recursion_is_one_finding() {
+        let vs = run("fn a(d: u32) { b(d); } fn b(d: u32) { a(d); } fn c() { a(0); }");
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(vs[0].message.contains("a ↔ b"), "{}", vs[0].message);
+    }
+
+    #[test]
+    fn self_recursion_fires() {
+        let vs = run("fn walk(&self, d: u32) { self.walk(d); }");
+        assert_eq!(vs.len(), 1, "{vs:?}");
+    }
+
+    #[test]
+    fn delegation_via_any_match_does_not_fire() {
+        // `self.primary.force()` is a method call on a field — the
+        // receiver is not `self`, so the edge is not confident even
+        // though a same-name fn exists.
+        let vs = run("fn force(&mut self) { self.primary.force(); }");
+        assert!(vs.is_empty(), "{vs:?}");
+    }
+
+    #[test]
+    fn cold_path_recursion_is_ignored() {
+        let file = SourceFile::parse("crates/cli/src/main.rs", "fn a() { b(); } fn b() { a(); }");
+        let refs = vec![&file];
+        let g = CallGraph::build(&refs, &BTreeMap::new());
+        assert!(check(&g, &["crates/server/src"]).is_empty());
+    }
+}

@@ -84,8 +84,11 @@ impl SourceFile {
         if pat.is_empty() || from >= to {
             return None;
         }
-        (from..to.saturating_sub(pat.len() - 1))
-            .find(|&i| pat.iter().enumerate().all(|(k, p)| self.tokens[i + k].is(p)))
+        (from..to.saturating_sub(pat.len() - 1)).find(|&i| {
+            pat.iter()
+                .enumerate()
+                .all(|(k, p)| self.tokens[i + k].is(p))
+        })
     }
 }
 
@@ -282,10 +285,7 @@ mod tests {
 
     #[test]
     fn cfg_test_on_use_item_ends_at_semicolon() {
-        let f = SourceFile::parse(
-            "x.rs",
-            "#[cfg(test)]\nuse foo::bar;\nfn live() { bar(); }",
-        );
+        let f = SourceFile::parse("x.rs", "#[cfg(test)]\nuse foo::bar;\nfn live() { bar(); }");
         let live = f.tokens.iter().position(|t| t.is("live")).unwrap();
         assert!(!f.test[live]);
         assert!(f.test[0]);

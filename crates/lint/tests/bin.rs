@@ -106,7 +106,11 @@ fn mini_workspace(tag: &str) -> PathBuf {
     write(&root, "crates/net/src/mem.rs", "// no locks here\n");
     write(&root, "crates/net/tests/wire_props.rs", WIRE_PROPS_RS);
     write(&root, "crates/storage/src/nvram.rs", "// no locks here\n");
-    write(&root, "crates/archive/src/object_store.rs", "// no locks here\n");
+    write(
+        &root,
+        "crates/archive/src/object_store.rs",
+        "// no locks here\n",
+    );
     write(&root, "docs/PROTOCOL.md", PROTOCOL_MD);
     for dir in [
         "crates/server/src",
@@ -230,6 +234,93 @@ fn timing_flag_prints_all_rules() {
     for rule in dlog_lint::rules::ALL_RULES {
         assert!(text.contains(rule), "missing timing row for {rule}: {text}");
     }
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn callgraph_text_dumps_functions() {
+    let root = mini_workspace("cg-text");
+    let out = run_at(&root, &["--callgraph"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("crates/net/src/wire.rs::encode_message"),
+        "stdout: {text}"
+    );
+    assert!(text.contains("summary pass(es)"), "stdout: {text}");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn callgraph_dot_is_a_digraph() {
+    let root = mini_workspace("cg-dot");
+    let out = run_at(&root, &["--callgraph", "--dot"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.starts_with("digraph dlog_callgraph {"),
+        "stdout: {text}"
+    );
+    assert!(text.trim_end().ends_with('}'), "stdout: {text}");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn callgraph_json_includes_summaries() {
+    let root = mini_workspace("cg-json");
+    let out = run_at(&root, &["--callgraph", "--json"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
+    assert!(text.contains("\"fns\": ["), "stdout: {text}");
+    assert!(text.contains("\"may_panic\": "), "stdout: {text}");
+    assert!(text.contains("\"summary_passes\": "), "stdout: {text}");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn callgraph_exit_two_on_io_error() {
+    let out = run(&["--callgraph", "--root", "/nonexistent/dlog-lint-missing"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn dot_without_callgraph_is_a_usage_error() {
+    let out = run(&["--dot"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--dot requires --callgraph"));
+}
+
+#[test]
+fn unused_allow_entry_is_warned_and_reported() {
+    let root = mini_workspace("stale-allow");
+    write(
+        &root,
+        "lint.allow",
+        "panic-freedom crates/net/src/wire.rs no_such_fn # audited exception that went stale\n",
+    );
+    let out = run_at(&root, &[]);
+    // Stale entries warn but do not fail the gate by themselves.
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("warning: unused lint.allow entry"),
+        "stdout: {text}"
+    );
+
+    let out = run_at(&root, &["--json"]);
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        json.contains(
+            "\"unused_allow_entries\": [\"lint.allow:1: panic-freedom crates/net/src/wire.rs no_such_fn\"]"
+        ),
+        "stdout: {json}"
+    );
     let _ = fs::remove_dir_all(&root);
 }
 

@@ -1,0 +1,11 @@
+// Failing fixture for hot-path-alloc: the hot-path root allocates
+// directly, and a helper it calls allocates too — two inventoried fns.
+pub fn handle(input: &[u8]) -> Vec<u8> {
+    let mut out = input.to_vec();
+    out.extend_from_slice(&stamp(input.len()));
+    out
+}
+
+fn stamp(n: usize) -> Vec<u8> {
+    format!("{n}").into_bytes()
+}

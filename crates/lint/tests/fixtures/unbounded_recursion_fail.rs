@@ -1,0 +1,10 @@
+// Failing fixture for unbounded-recursion: a two-function cycle with
+// no visible depth bound. Both calls are free calls resolved in-file,
+// so the cycle is confident.
+fn walk_left(depth: u64) -> u64 {
+    walk_right(depth) + 1
+}
+
+fn walk_right(depth: u64) -> u64 {
+    walk_left(depth) + 1
+}

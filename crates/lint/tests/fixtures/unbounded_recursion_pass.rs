@@ -1,0 +1,27 @@
+// Passing fixture for unbounded-recursion: the same traversal written
+// as a loop, plus a constructor whose `Self::new` qualified call must
+// not be mistaken for confident self-recursion.
+pub struct Walker {
+    depth: u64,
+}
+
+impl Walker {
+    pub fn new() -> Walker {
+        Walker { depth: 0 }
+    }
+
+    pub fn with_depth(depth: u64) -> Walker {
+        let mut w = Walker::new();
+        w.depth = depth;
+        w
+    }
+}
+
+fn walk(mut depth: u64) -> u64 {
+    let mut steps = 0;
+    while depth > 0 {
+        depth -= 1;
+        steps += 1;
+    }
+    steps
+}

@@ -10,9 +10,9 @@ use dlog_obs::{bucket_ceiling, bucket_index, HistogramSnapshot, LatencyHistogram
 fn arb_values() -> impl Strategy<Value = Vec<u64>> {
     proptest::collection::vec(
         prop_oneof![
-            0u64..16,                   // tiny values around bucket 0
-            1u64..1_000_000,            // realistic nanosecond latencies
-            any::<u64>(),               // the whole range, extremes included
+            0u64..16,        // tiny values around bucket 0
+            1u64..1_000_000, // realistic nanosecond latencies
+            any::<u64>(),    // the whole range, extremes included
         ],
         0..64,
     )

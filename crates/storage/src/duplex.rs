@@ -71,7 +71,11 @@ impl DuplexLog {
             // Intentionally no truncate: existing replica contents are the
             // recovery source.
             #[allow(clippy::suspicious_open_options)]
-            OpenOptions::new().read(true).write(true).create(true).open(p)
+            OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .open(p)
         };
         let mut replicas = [open_replica(path_a)?, open_replica(path_b)?];
         // Repair the lagging replica by copying the valid prefix.

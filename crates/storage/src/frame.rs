@@ -122,8 +122,7 @@ impl Frame {
     /// content within a CRC-valid frame (which indicates a software bug or
     /// deliberate tampering rather than a torn write).
     pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>> {
-        let (Some(body_len), Some(expected_crc)) = (u32_le_at(buf, 0), u32_le_at(buf, 4))
-        else {
+        let (Some(body_len), Some(expected_crc)) = (u32_le_at(buf, 0), u32_le_at(buf, 4)) else {
             return Ok(None);
         };
         let body_len = body_len as usize;
@@ -179,8 +178,8 @@ impl Frame {
                 Ok(Frame::Install { client, epoch })
             }
             KIND_CHECKPOINT => {
-                let len = u32_le_at(rest, 0).ok_or_else(|| corrupt("short checkpoint frame"))?
-                    as usize;
+                let len =
+                    u32_le_at(rest, 0).ok_or_else(|| corrupt("short checkpoint frame"))? as usize;
                 if rest.len() != 4 + len {
                     return Err(corrupt("checkpoint frame length mismatch"));
                 }

@@ -213,11 +213,10 @@ impl IntervalTable {
                 if lo > hi || lo == Lsn::ZERO {
                     return Err("corrupt interval bounds".into());
                 }
-                let count = hi
-                    .0
-                    .checked_sub(lo.0)
-                    .and_then(|d| d.checked_add(1))
-                    .ok_or_else(|| "corrupt interval count".to_string())?;
+                let count =
+                    hi.0.checked_sub(lo.0)
+                        .and_then(|d| d.checked_add(1))
+                        .ok_or_else(|| "corrupt interval count".to_string())?;
                 let mut positions = Vec::with_capacity(count as usize);
                 for _ in 0..count {
                     positions.push(r.u64()?);

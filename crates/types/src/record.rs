@@ -174,7 +174,7 @@ impl LogData {
     /// Empty payload (used for records marked *not present*).
     #[must_use]
     pub fn empty() -> Self {
-        LogData(Arc::from(&[][..]))
+        LogData(Arc::new([]))
     }
 
     /// The payload bytes.

@@ -46,12 +46,13 @@ fn workspace_passes_dlog_lint() {
         );
     }
     // Latency budget: the gate runs on every `cargo test`; the full
-    // catalog (CFG construction and fixpoints included) must stay
-    // interactive. Measured ~80ms debug; 2s leaves 25x headroom for
+    // catalog (CFG construction, dataflow fixpoints, and the
+    // interprocedural call-graph + summary passes) must stay
+    // interactive. Measured ~150ms debug; 3s leaves 20x headroom for
     // slow CI machines.
     assert!(
-        elapsed.as_secs_f64() < 2.0,
-        "full-workspace lint took {elapsed:?} (budget 2s) — see \
+        elapsed.as_secs_f64() < 3.0,
+        "full-workspace lint took {elapsed:?} (budget 3s) — see \
          `cargo run -p dlog-lint -- --timing` for the per-rule split"
     );
 }
@@ -64,7 +65,6 @@ fn workspace_passes_dlog_lint() {
 #[test]
 fn rule_fixtures_have_not_drifted() {
     let dir = root().join("crates/lint/tests/fixtures");
-    let checked =
-        dlog_lint::fixtures::verify_fixtures(&dir).unwrap_or_else(|e| panic!("{e}"));
+    let checked = dlog_lint::fixtures::verify_fixtures(&dir).unwrap_or_else(|e| panic!("{e}"));
     assert!(checked >= 20, "only {checked} fixture runs checked");
 }
