@@ -89,8 +89,7 @@ impl Manifest {
     /// # Errors
     /// Fails when the state bytes are corrupt.
     pub fn replay_state(&self) -> Result<ReplayState> {
-        ReplayState::decode(&self.state)
-            .map_err(|e| DlogError::Corrupt(format!("manifest {} state: {e}", self.generation)))
+        ReplayState::decode(&self.state).map_err(DlogError::Corrupt)
     }
 
     /// Highest installed LSN across all clients in the archived table
@@ -138,7 +137,7 @@ impl Manifest {
     /// # Errors
     /// Fails on bad magic/version, truncation, or CRC mismatch.
     pub fn decode(bytes: &[u8]) -> Result<Manifest> {
-        let corrupt = |m: &str| DlogError::Corrupt(format!("manifest: {m}"));
+        let corrupt = |m: &str| DlogError::Corrupt(m.into());
         if bytes.len() < HEADER_BYTES + 8 {
             return Err(corrupt("truncated header"));
         }

@@ -171,7 +171,7 @@ impl ArchiveReader {
             .get(0..4)
             .and_then(|s| <[u8; 4]>::try_from(s).ok())
             .map(u32::from_le_bytes)
-            .ok_or_else(|| DlogError::Corrupt("archived envelope truncated".to_string()))?
+            .ok_or_else(|| DlogError::Corrupt("archived envelope truncated".into()))?
             as usize;
         let bytes = self.read_bytes(pos, 8 + body_len)?;
         match Frame::decode(&bytes)? {
@@ -181,9 +181,9 @@ impl ArchiveReader {
                 },
                 _,
             )) if c == client && record.lsn == lsn => Ok(Some(record)),
-            _ => Err(DlogError::Corrupt(format!(
-                "archive index for {client} {lsn} points at a foreign frame (position {pos})"
-            ))),
+            _ => Err(DlogError::Corrupt(
+                "archive index points at a foreign frame".into(),
+            )),
         }
     }
 
@@ -198,10 +198,9 @@ impl ArchiveReader {
             let take = (sb as usize - off).min(len - out.len());
             let bytes = self.segment(seg)?;
             let Some(chunk) = bytes.get(off..off + take) else {
-                return Err(DlogError::Corrupt(format!(
-                    "archived read [{pos}, {}) runs past segment {seg}",
-                    pos + len as u64
-                )));
+                return Err(DlogError::Corrupt(
+                    "archived read runs past its segment".into(),
+                ));
             };
             out.extend_from_slice(chunk);
             cursor += take as u64;
@@ -215,7 +214,7 @@ impl ArchiveReader {
             let bytes = self
                 .objects
                 .get(&key)?
-                .ok_or_else(|| DlogError::Corrupt(format!("archive object {key} missing")))?;
+                .ok_or_else(|| DlogError::Corrupt("archive segment object missing".into()))?;
             if self.cache.len() >= 4 {
                 self.cache.clear();
             }
@@ -223,7 +222,7 @@ impl ArchiveReader {
         }
         self.cache
             .get(&seg)
-            .ok_or_else(|| DlogError::Corrupt(format!("archive segment {seg} evicted mid-read")))
+            .ok_or_else(|| DlogError::Corrupt("archive segment evicted mid-read".into()))
     }
 }
 

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cargo run --release -p dlog-bench --bin bench_check -- \
-//!     --baseline BENCH_PR5.json --fresh fresh.json [--tolerance 0.30]
+//!     --baseline BENCH_PR8.json --fresh fresh.json [--tolerance 0.30]
 //! ```
 //!
 //! Exit codes: 0 = within tolerance, 1 = regression, 2 = usage or

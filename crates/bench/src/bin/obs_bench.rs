@@ -1,9 +1,12 @@
-//! `obs_bench` — the PR 5 group-commit trajectory: drive real clusters
-//! under reliable and flaky fault plans with tracing and histograms
-//! enabled, with force coalescing on and off (the ablation), plus a
-//! concurrent multi-client scenario that shows physical forces being
-//! amortized across clients. Results go to `BENCH_PR5.json` at the
-//! repository root (or to `--out <path>`).
+//! `obs_bench` — the PR 5 group-commit trajectory plus the PR 8
+//! allocation gauge: drive real clusters under reliable and flaky fault
+//! plans with tracing and histograms enabled, with force coalescing on
+//! and off (the ablation), plus a concurrent multi-client scenario that
+//! shows physical forces being amortized across clients. Every scenario
+//! also reports `allocs_per_write` — the process-wide counting-allocator
+//! delta over the timed section divided by records written, the number
+//! the zero-copy wire path exists to hold down. Results go to
+//! `BENCH_PR8.json` at the repository root (or to `--out <path>`).
 //!
 //! ```text
 //! cargo run --release -p dlog-bench --bin obs_bench [-- --out fresh.json]
@@ -34,6 +37,7 @@ struct ScenarioResult {
     trace_dropped: u64,
     coalesced_forces: u64,
     group_commits: u64,
+    allocs_per_write: f64,
 }
 
 fn stage_rows(obs_list: &[Obs]) -> Vec<(Stage, HistogramSnapshot)> {
@@ -74,15 +78,26 @@ fn run_scenario(
         log.initialize().expect("initialize");
         logs.push(log);
     }
+    // Payload synthesis is workload generation, not pipeline cost:
+    // materialize every record up front so the timed section (and the
+    // alloc gauge) measures the write/force path, not `vec!` fills.
+    let payloads: Vec<dlog_types::LogData> = (1..=per_client)
+        .map(|i| dlog_types::LogData::new(payload(i, PAYLOAD)))
+        .collect();
     let mut forces = 0u64;
+    // Process-wide allocation delta over the timed section: counts every
+    // thread (clients and the server runners they drive), so it is the
+    // end-to-end cost of a write, not just the ingest slice.
+    let allocs_before = dlog_obs::gauge::process_allocs();
     let start = Instant::now();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for mut log in logs {
+            let payloads = &payloads;
             handles.push(scope.spawn(move || {
                 let mut forces = 0u64;
-                for i in 1..=per_client {
-                    log.write(payload(i, PAYLOAD)).expect("write");
+                for (i, data) in (1..=per_client).zip(payloads) {
+                    log.write(data.share()).expect("write");
                     if i % FORCE_EVERY == 0 {
                         log.force().expect("force");
                         forces += 1;
@@ -97,6 +112,7 @@ fn run_scenario(
         }
     });
     let elapsed = start.elapsed();
+    let allocs = dlog_obs::gauge::process_allocs() - allocs_before;
 
     let server_handles: Vec<Obs> = cluster
         .servers
@@ -133,6 +149,7 @@ fn run_scenario(
         trace_dropped,
         coalesced_forces,
         group_commits,
+        allocs_per_write: allocs as f64 / (per_client * clients) as f64,
     }
 }
 
@@ -159,7 +176,8 @@ fn scenario_json(r: &ScenarioResult, last: bool) -> String {
     format!(
         "    \"{}\": {{\n      \"coalesce_window_us\": {},\n      \"clients\": {},\n      \
          \"elapsed_ms\": {:.1},\n      \"writes_per_sec\": {:.0},\n      \
-         \"forces_per_sec\": {:.0},\n      \"coalesced_forces\": {},\n      \
+         \"forces_per_sec\": {:.0},\n      \"allocs_per_write\": {:.3},\n      \
+         \"coalesced_forces\": {},\n      \
          \"group_commits\": {},\n      \"trace_events\": {},\n      \"trace_dropped\": {},\n      \
          \"client_stages\": {{\n{}      }},\n      \"server_stages\": {{\n{}      }}\n    }}{comma}\n",
         r.label,
@@ -168,6 +186,7 @@ fn scenario_json(r: &ScenarioResult, last: bool) -> String {
         r.elapsed_ms,
         r.writes_per_sec,
         r.forces_per_sec,
+        r.allocs_per_write,
         r.coalesced_forces,
         r.group_commits,
         r.trace_events,
@@ -184,7 +203,14 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| format!("{}/../../BENCH_PR5.json", env!("CARGO_MANIFEST_DIR")));
+        .unwrap_or_else(|| format!("{}/../../BENCH_PR8.json", env!("CARGO_MANIFEST_DIR")));
+
+    // Throwaway warm-up: pays the process's one-time costs (lazy CRC
+    // tables, allocator arenas, page faults, scheduler ramp-up) so the
+    // first recorded scenario measures the pipeline, not cold start —
+    // and so the CI gate's baseline/fresh comparison isn't skewed by
+    // which run happened to be colder.
+    let _ = run_scenario("warmup", FaultPlan::reliable(), COALESCE_WINDOW, 4);
 
     let scenarios = [
         // Headline numbers: coalescing on.

@@ -182,6 +182,8 @@ fn run() -> Result<(), String> {
         let mut merged: Vec<(u8, HistogramSnapshot)> = Vec::new();
         let mut total_events = 0u64;
         let mut total_dropped = 0u64;
+        let mut total_allocs = 0u64;
+        let mut total_records = 0u64;
         let mut reached = 0usize;
         for (i, sock) in servers.iter().enumerate() {
             let sid = dlog_types::ServerId(i as u64 + 1);
@@ -190,14 +192,19 @@ fn run() -> Result<(), String> {
                     stages,
                     trace_events,
                     trace_dropped,
+                    ingest_allocs,
+                    ingest_records,
                 }) => {
                     reached += 1;
                     total_events += trace_events;
                     total_dropped += trace_dropped;
+                    total_allocs += ingest_allocs;
+                    total_records += ingest_records;
                     if !json {
                         println!(
                             "{sock}: {trace_events} trace events ({trace_dropped} dropped), \
-                             {} instrumented stages",
+                             {} instrumented stages, {ingest_records} records ingested \
+                             ({ingest_allocs} ingest allocs)",
                             stages.len()
                         );
                     }
@@ -222,6 +229,12 @@ fn run() -> Result<(), String> {
             out.push_str(&format!("  \"servers_reached\": {reached},\n"));
             out.push_str(&format!("  \"trace_events\": {total_events},\n"));
             out.push_str(&format!("  \"trace_dropped\": {total_dropped},\n"));
+            out.push_str(&format!("  \"ingest_allocs\": {total_allocs},\n"));
+            out.push_str(&format!("  \"ingest_records\": {total_records},\n"));
+            out.push_str(&format!(
+                "  \"allocs_per_write\": {:.3},\n",
+                total_allocs as f64 / total_records.max(1) as f64
+            ));
             out.push_str("  \"stages\": {\n");
             for (k, (s, h)) in merged.iter().enumerate() {
                 let comma = if k + 1 < merged.len() { "," } else { "" };
@@ -252,6 +265,12 @@ fn run() -> Result<(), String> {
             }
             if merged.is_empty() {
                 println!("no instrumented stages reported (servers run with obs off?)");
+            }
+            if total_records > 0 {
+                println!(
+                    "allocs_per_write: {:.3} ({total_allocs} allocs / {total_records} records)",
+                    total_allocs as f64 / total_records as f64
+                );
             }
         }
         return Ok(());

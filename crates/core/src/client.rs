@@ -712,16 +712,15 @@ impl<E: Endpoint> ReplicatedLog<E> {
                 // ForceLog demands the force and its ack without
                 // resending a single record — this replaces a silent
                 // full-timeout wait for acks that were never coming.
-                for &t in &self.targets.clone() {
-                    self.net.send(
-                        t,
-                        Message::ForceLog {
-                            client: self.id,
-                            epoch: self.epoch,
-                            records: Vec::new(),
-                        },
-                    )?;
-                }
+                let targets = self.targets.clone();
+                self.net.send_many(
+                    &targets,
+                    Message::ForceLog {
+                        client: self.id,
+                        epoch: self.epoch,
+                        records: Vec::new(),
+                    },
+                )?;
                 demanded_ack = true;
             }
             if need_ack {
@@ -740,25 +739,27 @@ impl<E: Endpoint> ReplicatedLog<E> {
     }
 
     /// Send records to every target, as `ForceLog` when an ack is needed.
+    /// Each batch is encoded once and fanned out: the replicas receive
+    /// byte-identical packets, so the message is built and serialized a
+    /// single time regardless of the replica count.
     fn transmit(&mut self, records: &[(Lsn, LogData)], force: bool) -> Result<()> {
+        let targets = self.targets.clone();
         let batches = dlog_net::wire::pack_batches(records);
         for batch in batches {
-            for &t in &self.targets.clone() {
-                let msg = if force {
-                    Message::ForceLog {
-                        client: self.id,
-                        epoch: self.epoch,
-                        records: batch.clone(),
-                    }
-                } else {
-                    Message::WriteLog {
-                        client: self.id,
-                        epoch: self.epoch,
-                        records: batch.clone(),
-                    }
-                };
-                self.net.send(t, msg)?;
-            }
+            let msg = if force {
+                Message::ForceLog {
+                    client: self.id,
+                    epoch: self.epoch,
+                    records: batch,
+                }
+            } else {
+                Message::WriteLog {
+                    client: self.id,
+                    epoch: self.epoch,
+                    records: batch,
+                }
+            };
+            self.net.send_many(&targets, msg)?;
         }
         Ok(())
     }

@@ -102,6 +102,32 @@ impl<E: Endpoint> ClientNet<E> {
             .map_err(DlogError::Io)
     }
 
+    /// Fire-and-forget the same message to several servers with one
+    /// encode: the replication fan-out sends byte-identical packets, so
+    /// the endpoint serializes once and fans the buffer out.
+    ///
+    /// # Errors
+    /// Only local send failures; network loss is silent.
+    pub fn send_many(&mut self, servers: &[ServerId], msg: Message) -> Result<()> {
+        let mut addrs = [NodeAddr(0); 16];
+        let mut chunk = servers;
+        let packet = Packet::bare(msg);
+        // Fixed-size scratch keeps this allocation-free for any realistic
+        // replica set; larger sets just fan out in chunks.
+        while !chunk.is_empty() {
+            let n = chunk.len().min(addrs.len());
+            for (slot, server) in addrs.iter_mut().zip(&chunk[..n]) {
+                *slot = self.addr_of(*server)?;
+            }
+            self.stats.packets_out += n as u64;
+            self.endpoint
+                .send_many(&addrs[..n], &packet)
+                .map_err(DlogError::Io)?;
+            chunk = &chunk[n..];
+        }
+        Ok(())
+    }
+
     /// Highest LSN `server` has acknowledged.
     #[must_use]
     pub fn acked(&self, server: ServerId) -> Lsn {

@@ -21,7 +21,12 @@
 //!   seed-driven fault injection (loss, duplication, reordering, delay,
 //!   partitions) used by tests and simulations;
 //! * [`udp`] — the same endpoint interface over real `std::net` UDP
-//!   sockets, demonstrating the protocol on an actual network.
+//!   sockets, demonstrating the protocol on an actual network;
+//! * [`pool`] — the fixed-size buffer pool behind the zero-copy wire
+//!   path: packets are encoded single-pass into pooled buffers
+//!   ([`Packet::encode_into`](wire::Packet::encode_into)) and decoded
+//!   with payload views borrowed from the receive buffer
+//!   ([`Packet::decode_shared`](wire::Packet::decode_shared)).
 //!
 //! The paper also notes (§4.2, final paragraphs) that when records are
 //! smaller than a packet, "the log sequence numbers themselves can be used
@@ -35,10 +40,12 @@
 
 pub mod conn;
 pub mod mem;
+pub mod pool;
 pub mod udp;
 pub mod wire;
 
 pub use mem::{FaultPlan, MemEndpoint, MemNetwork};
+pub use pool::BufPool;
 pub use wire::{Message, NodeAddr, Packet, Request, Response, MAX_PACKET_BYTES};
 
 use std::io;
@@ -65,4 +72,17 @@ pub trait Endpoint: Send {
     /// # Errors
     /// Propagates socket errors; a timeout yields `Ok(None)`.
     fn recv(&self, timeout: Duration) -> io::Result<Option<(NodeAddr, Packet)>>;
+
+    /// Send the same datagram to several destinations. Transports that
+    /// can encode once and fan the bytes out (replication sends identical
+    /// packets to every replica) override this; the default just loops.
+    ///
+    /// # Errors
+    /// As [`Endpoint::send`]; the first local failure aborts the fan-out.
+    fn send_many(&self, tos: &[NodeAddr], packet: &Packet) -> io::Result<()> {
+        for &to in tos {
+            self.send(to, packet)?;
+        }
+        Ok(())
+    }
 }

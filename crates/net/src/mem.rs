@@ -6,18 +6,24 @@
 //! nodes — from a seeded RNG, so every failure schedule is reproducible.
 //!
 //! Every packet is round-tripped through the real wire encoding
-//! ([`Packet::encode`] / [`Packet::decode`]), so the in-memory network
-//! exercises exactly the bytes UDP would carry.
+//! ([`Packet::encode_into`] / [`Packet::decode_shared`]), so the
+//! in-memory network exercises exactly the bytes UDP would carry — and
+//! the same pooled, zero-copy buffer discipline: packets are encoded into
+//! pooled buffers, queues pass `Arc` handles around (duplicates are
+//! refcount bumps, not copies), and receivers decode payload views
+//! straight out of the shared buffer.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::pool::BufPool;
 use crate::wire::{NodeAddr, Packet, MAX_PACKET_BYTES};
 use crate::Endpoint;
 
@@ -86,21 +92,74 @@ pub struct NetStats {
     pub bytes: u64,
 }
 
-struct Hub {
-    queues: HashMap<NodeAddr, VecDeque<(NodeAddr, Vec<u8>)>>,
-    /// Held packet per destination, released after the next send to it.
-    held: HashMap<NodeAddr, (NodeAddr, Vec<u8>)>,
+/// One endpoint's delivery queue, with its own lock and condvar so a
+/// send wakes exactly the destination thread — never the whole cluster.
+/// On a loaded box the difference between `notify_one` on the target and
+/// a global `notify_all` is the difference between one context switch
+/// per packet and N.
+struct EndpointQueue {
+    inbox: Mutex<Inbox>,
+    cv: Condvar,
+}
+
+/// The queue plus a count of receivers blocked on the condvar, guarded
+/// by the same mutex: a sender that sees `sleepers == 0` skips the
+/// notify syscall entirely (the receiver is running, or spin-polling,
+/// and will find the packet itself), and the shared lock makes the
+/// check race-free — a receiver increments before releasing the lock to
+/// sleep, so a sender can never observe stale zero.
+#[derive(Default)]
+struct Inbox {
+    q: VecDeque<(NodeAddr, Arc<Vec<u8>>)>,
+    sleepers: u32,
+}
+
+/// Yields a receiver burns on an empty queue before paying the futex
+/// sleep. On an oversubscribed box the sender is usually runnable:
+/// `yield_now` lets it push and the next poll finds the packet, saving
+/// the sleep/wake syscall pair on both sides of every round trip.
+const SPIN_YIELDS: u32 = 64;
+
+/// Read-mostly cluster topology: which endpoints exist, which links are
+/// severed, which nodes are down. Senders and receivers take the read
+/// lock; only control-plane calls (partition/heal/set_down/endpoint)
+/// write, so concurrent traffic to different endpoints never serializes
+/// here.
+struct Topology {
+    queues: HashMap<NodeAddr, Arc<EndpointQueue>>,
     partitions: HashSet<(NodeAddr, NodeAddr)>,
     down: HashSet<NodeAddr>,
+}
+
+/// Seeded fault schedule state. Only locked when the plan can actually
+/// inject faults — a reliable plan's send path never touches it.
+struct FaultState {
     rng: StdRng,
+    /// Held packet per destination, released after the next send to it.
+    held: HashMap<NodeAddr, (NodeAddr, Arc<Vec<u8>>)>,
+}
+
+#[derive(Default)]
+struct AtomicNetStats {
+    sent: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    reordered: AtomicU64,
+    bytes: AtomicU64,
+}
+
+struct Inner {
+    topo: RwLock<Topology>,
+    faults: Mutex<FaultState>,
+    stats: AtomicNetStats,
     plan: FaultPlan,
-    stats: NetStats,
 }
 
 /// A shared in-process network. Clone handles freely.
 #[derive(Clone)]
 pub struct MemNetwork {
-    hub: Arc<(Mutex<Hub>, Condvar)>,
+    inner: Arc<Inner>,
 }
 
 impl MemNetwork {
@@ -108,139 +167,226 @@ impl MemNetwork {
     #[must_use]
     pub fn new(plan: FaultPlan) -> Self {
         MemNetwork {
-            hub: Arc::new((
-                Mutex::new(Hub {
+            inner: Arc::new(Inner {
+                topo: RwLock::new(Topology {
                     queues: HashMap::new(),
-                    held: HashMap::new(),
                     partitions: HashSet::new(),
                     down: HashSet::new(),
-                    rng: StdRng::seed_from_u64(plan.seed),
-                    plan,
-                    stats: NetStats::default(),
                 }),
-                Condvar::new(),
-            )),
+                faults: Mutex::new(FaultState {
+                    rng: StdRng::seed_from_u64(plan.seed),
+                    held: HashMap::new(),
+                }),
+                stats: AtomicNetStats::default(),
+                plan,
+            }),
         }
     }
 
     /// Register an endpoint at `addr` (replacing any previous queue).
     #[must_use]
     pub fn endpoint(&self, addr: NodeAddr) -> MemEndpoint {
-        let (hub, _) = &*self.hub;
-        hub.lock().queues.insert(addr, VecDeque::new());
+        self.inner.topo.write().queues.insert(
+            addr,
+            Arc::new(EndpointQueue {
+                inbox: Mutex::new(Inbox::default()),
+                cv: Condvar::new(),
+            }),
+        );
         MemEndpoint {
             net: self.clone(),
             addr,
             obs: dlog_obs::Obs::off(),
+            pool: BufPool::for_packets(),
         }
     }
 
     /// Sever both directions between `a` and `b`.
     pub fn partition(&self, a: NodeAddr, b: NodeAddr) {
-        let (hub, _) = &*self.hub;
-        let mut h = hub.lock();
-        h.partitions.insert((a, b));
-        h.partitions.insert((b, a));
+        let mut t = self.inner.topo.write();
+        t.partitions.insert((a, b));
+        t.partitions.insert((b, a));
     }
 
     /// Restore connectivity between `a` and `b`.
     pub fn heal(&self, a: NodeAddr, b: NodeAddr) {
-        let (hub, _) = &*self.hub;
-        let mut h = hub.lock();
-        h.partitions.remove(&(a, b));
-        h.partitions.remove(&(b, a));
+        let mut t = self.inner.topo.write();
+        t.partitions.remove(&(a, b));
+        t.partitions.remove(&(b, a));
     }
 
     /// Mark a node down (all its traffic is dropped) or back up.
     pub fn set_down(&self, addr: NodeAddr, down: bool) {
-        let (hub, _) = &*self.hub;
-        let mut h = hub.lock();
+        let mut t = self.inner.topo.write();
         if down {
-            h.down.insert(addr);
+            t.down.insert(addr);
             // A downed node loses anything in flight to it.
-            if let Some(q) = h.queues.get_mut(&addr) {
-                q.clear();
+            if let Some(ep) = t.queues.get(&addr) {
+                ep.inbox.lock().q.clear();
             }
         } else {
-            h.down.remove(&addr);
+            t.down.remove(&addr);
         }
     }
 
     /// True if the node is currently marked down.
     #[must_use]
     pub fn is_down(&self, addr: NodeAddr) -> bool {
-        let (hub, _) = &*self.hub;
-        hub.lock().down.contains(&addr)
+        self.inner.topo.read().down.contains(&addr)
     }
 
     /// Delivery counters.
     #[must_use]
     pub fn stats(&self) -> NetStats {
-        let (hub, _) = &*self.hub;
-        hub.lock().stats
+        let s = &self.inner.stats;
+        NetStats {
+            sent: s.sent.load(Ordering::Relaxed),
+            delivered: s.delivered.load(Ordering::Relaxed),
+            dropped: s.dropped.load(Ordering::Relaxed),
+            duplicated: s.duplicated.load(Ordering::Relaxed),
+            reordered: s.reordered.load(Ordering::Relaxed),
+            bytes: s.bytes.load(Ordering::Relaxed),
+        }
     }
 
-    fn send_impl(&self, from: NodeAddr, to: NodeAddr, packet: &Packet) -> io::Result<()> {
-        let bytes = packet.encode().to_vec();
+    fn send_impl(
+        &self,
+        pool: &BufPool,
+        from: NodeAddr,
+        to: NodeAddr,
+        packet: &Packet,
+    ) -> io::Result<()> {
+        self.send_many_impl(pool, from, std::slice::from_ref(&to), packet)
+    }
+
+    /// Fan one packet out to several destinations with a single encode:
+    /// replication sends the same bytes to every target, so the encode +
+    /// CRC pass is paid once and each delivery is an `Arc` refcount bump
+    /// onto the same pooled buffer.
+    fn send_many_impl(
+        &self,
+        pool: &BufPool,
+        from: NodeAddr,
+        tos: &[NodeAddr],
+        packet: &Packet,
+    ) -> io::Result<()> {
+        // Encode single-pass into a buffer from the *sender's own* pool:
+        // per-endpoint pools keep checkout order deterministic and spare
+        // the hot path a network-global lock. The queue entries below are
+        // Arc handles onto this one buffer — a duplicate delivery is a
+        // refcount bump, not a second copy of the bytes. The pool parks
+        // our handle immediately and reissues the buffer once the receiver
+        // (and any payload views it decoded) let go.
+        let mut bytes = pool.checkout();
+        packet.encode_into(Arc::make_mut(&mut bytes));
         if bytes.len() > MAX_PACKET_BYTES {
+            let len = bytes.len();
+            pool.give_back(bytes);
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
-                format!(
-                    "packet of {} bytes exceeds MTU {MAX_PACKET_BYTES}",
-                    bytes.len()
-                ),
+                format!("packet of {len} bytes exceeds MTU {MAX_PACKET_BYTES}"),
             ));
         }
-        let (hub, cv) = &*self.hub;
-        let mut h = hub.lock();
-        h.stats.sent += 1;
-        h.stats.bytes += bytes.len() as u64;
-
-        if h.down.contains(&from) || h.down.contains(&to) || h.partitions.contains(&(from, to)) {
-            h.stats.dropped += 1;
-            return Ok(());
+        let stats = &self.inner.stats;
+        let plan = self.inner.plan;
+        let faulty = plan.loss > 0.0 || plan.duplicate > 0.0 || plan.reorder > 0.0;
+        let topo = self.inner.topo.read();
+        for &to in tos {
+            stats.sent.fetch_add(1, Ordering::Relaxed);
+            stats.bytes.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+            self.deliver(&topo, from, to, &bytes, faulty, plan);
         }
-        if !h.queues.contains_key(&to) {
-            h.stats.dropped += 1; // no such node: a LAN just loses it
-            return Ok(());
-        }
-        let plan = h.plan;
-        if h.rng.gen_bool(plan.loss) {
-            h.stats.dropped += 1;
-            return Ok(());
-        }
-        let duplicate = plan.duplicate > 0.0 && h.rng.gen_bool(plan.duplicate);
-        let hold = plan.reorder > 0.0 && h.rng.gen_bool(plan.reorder);
-
-        // Release a previously held packet *after* this one (reordering).
-        let mut deliveries: Vec<(NodeAddr, Vec<u8>)> = Vec::with_capacity(3);
-        if hold && !h.held.contains_key(&to) {
-            h.held.insert(to, (from, bytes.clone()));
-        } else {
-            deliveries.push((from, bytes.clone()));
-        }
-        if let Some((hf, hb)) = h.held.remove(&to) {
-            if !deliveries.is_empty() || !hold {
-                h.stats.reordered += 1;
-                deliveries.push((hf, hb));
-            } else {
-                h.held.insert(to, (hf, hb));
-            }
-        }
-        if duplicate {
-            h.stats.duplicated += 1;
-            deliveries.push((from, bytes));
-        }
-        if !deliveries.is_empty() {
-            h.stats.delivered += deliveries.len() as u64;
-            if let Some(q) = h.queues.get_mut(&to) {
-                for d in deliveries {
-                    q.push_back(d);
-                }
-                cv.notify_all();
-            }
-        }
+        drop(topo);
+        pool.give_back(bytes);
         Ok(())
+    }
+
+    /// Decide one destination's fate and enqueue accordingly. Stats are
+    /// atomics; `topo` is the caller's read guard (held across a whole
+    /// fan-out so a concurrent `set_down` can't split it).
+    fn deliver(
+        &self,
+        topo: &Topology,
+        from: NodeAddr,
+        to: NodeAddr,
+        bytes: &Arc<Vec<u8>>,
+        faulty: bool,
+        plan: FaultPlan,
+    ) {
+        let stats = &self.inner.stats;
+        'fate: {
+            if topo.down.contains(&from)
+                || topo.down.contains(&to)
+                || topo.partitions.contains(&(from, to))
+            {
+                stats.dropped.fetch_add(1, Ordering::Relaxed);
+                break 'fate;
+            }
+            let Some(ep) = topo.queues.get(&to) else {
+                stats.dropped.fetch_add(1, Ordering::Relaxed); // a LAN just loses it
+                break 'fate;
+            };
+
+            if !faulty {
+                // Reliable fast path: no RNG draw, no fault-state lock —
+                // concurrent senders only share this read guard and the
+                // destination's own queue lock.
+                stats.delivered.fetch_add(1, Ordering::Relaxed);
+                let mut b = ep.inbox.lock();
+                b.q.push_back((from, Arc::clone(bytes)));
+                let wake = b.sleepers > 0;
+                drop(b);
+                if wake {
+                    ep.cv.notify_one();
+                }
+                break 'fate;
+            }
+
+            // The fault-state lock serializes fate decisions AND delivery
+            // into the destination queue, so the delivery order of a
+            // seeded schedule stays exactly the fate order.
+            let mut f = self.inner.faults.lock();
+            if f.rng.gen_bool(plan.loss) {
+                stats.dropped.fetch_add(1, Ordering::Relaxed);
+                break 'fate;
+            }
+            let duplicate = plan.duplicate > 0.0 && f.rng.gen_bool(plan.duplicate);
+            let hold = plan.reorder > 0.0 && f.rng.gen_bool(plan.reorder);
+
+            // Release a previously held packet *after* this one (reordering).
+            let mut deliveries: Vec<(NodeAddr, Arc<Vec<u8>>)> = Vec::with_capacity(3);
+            if hold && !f.held.contains_key(&to) {
+                f.held.insert(to, (from, Arc::clone(bytes)));
+            } else {
+                deliveries.push((from, Arc::clone(bytes)));
+            }
+            if let Some((hf, hb)) = f.held.remove(&to) {
+                if !deliveries.is_empty() || !hold {
+                    stats.reordered.fetch_add(1, Ordering::Relaxed);
+                    deliveries.push((hf, hb));
+                } else {
+                    f.held.insert(to, (hf, hb));
+                }
+            }
+            if duplicate {
+                stats.duplicated.fetch_add(1, Ordering::Relaxed);
+                deliveries.push((from, Arc::clone(bytes)));
+            }
+            if !deliveries.is_empty() {
+                stats
+                    .delivered
+                    .fetch_add(deliveries.len() as u64, Ordering::Relaxed);
+                let mut b = ep.inbox.lock();
+                for d in deliveries {
+                    b.q.push_back(d);
+                }
+                let wake = b.sleepers > 0;
+                drop(b);
+                if wake {
+                    ep.cv.notify_one();
+                }
+            }
+        }
     }
 
     fn recv_impl(
@@ -248,30 +394,52 @@ impl MemNetwork {
         addr: NodeAddr,
         timeout: Duration,
     ) -> io::Result<Option<(NodeAddr, Packet)>> {
-        let (hub, cv) = &*self.hub;
         let deadline = Instant::now() + timeout;
-        let mut h = hub.lock();
+        // Resolve our queue under the topology read lock, then wait on the
+        // queue's own lock/condvar — senders to *other* endpoints never
+        // touch it.
+        let ep = self.inner.topo.read().queues.get(&addr).map(Arc::clone);
+        let Some(ep) = ep else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "endpoint unregistered",
+            ));
+        };
+        let mut spins = 0u32;
         loop {
-            if let Some(q) = h.queues.get_mut(&addr) {
-                if let Some((from, bytes)) = q.pop_front() {
-                    drop(h);
-                    return match Packet::decode(&bytes) {
-                        Ok(p) => Ok(Some((from, p))),
-                        // A corrupt datagram is dropped, as a NIC would.
-                        Err(_) => Ok(None),
-                    };
+            {
+                let mut b = ep.inbox.lock();
+                loop {
+                    if let Some((from, bytes)) = b.q.pop_front() {
+                        drop(b);
+                        // Zero-copy decode: payloads are views into
+                        // `bytes`; dropping our handle leaves the buffer
+                        // parked in the pool until those views are
+                        // released.
+                        return match Packet::decode_shared(&bytes) {
+                            Ok(p) => Ok(Some((from, p))),
+                            // A corrupt datagram is dropped, as a NIC
+                            // would.
+                            Err(_) => Ok(None),
+                        };
+                    }
+                    if Instant::now() >= deadline {
+                        return Ok(None);
+                    }
+                    if spins < SPIN_YIELDS {
+                        // Cooperative poll: release the lock and cede the
+                        // CPU below so the sender can run, then re-check —
+                        // cheaper than a futex sleep when the packet is
+                        // about to arrive anyway.
+                        break;
+                    }
+                    b.sleepers += 1;
+                    ep.cv.wait_until(&mut b, deadline);
+                    b.sleepers -= 1;
                 }
-            } else {
-                return Err(io::Error::new(
-                    io::ErrorKind::NotFound,
-                    "endpoint unregistered",
-                ));
             }
-            let now = Instant::now();
-            if now >= deadline {
-                return Ok(None);
-            }
-            cv.wait_until(&mut h, deadline);
+            spins += 1;
+            std::thread::yield_now();
         }
     }
 }
@@ -281,6 +449,9 @@ pub struct MemEndpoint {
     net: MemNetwork,
     addr: NodeAddr,
     obs: dlog_obs::Obs,
+    /// Send-side wire buffers; endpoint-local so checkout never contends
+    /// with other nodes' traffic (and stays deterministic under replay).
+    pool: BufPool,
 }
 
 impl MemEndpoint {
@@ -298,7 +469,7 @@ impl Endpoint for MemEndpoint {
 
     fn send(&self, to: NodeAddr, packet: &Packet) -> io::Result<()> {
         let span = self.obs.start();
-        self.net.send_impl(self.addr, to, packet)?;
+        self.net.send_impl(&self.pool, self.addr, to, packet)?;
         self.obs
             .event(dlog_obs::Stage::PacketSend, packet.lsn_hint(), to.0);
         self.obs.sample_since(dlog_obs::Stage::PacketSend, span);
@@ -307,6 +478,18 @@ impl Endpoint for MemEndpoint {
 
     fn recv(&self, timeout: Duration) -> io::Result<Option<(NodeAddr, Packet)>> {
         self.net.recv_impl(self.addr, timeout)
+    }
+
+    fn send_many(&self, tos: &[NodeAddr], packet: &Packet) -> io::Result<()> {
+        let span = self.obs.start();
+        self.net
+            .send_many_impl(&self.pool, self.addr, tos, packet)?;
+        for &to in tos {
+            self.obs
+                .event(dlog_obs::Stage::PacketSend, packet.lsn_hint(), to.0);
+        }
+        self.obs.sample_since(dlog_obs::Stage::PacketSend, span);
+        Ok(())
     }
 }
 

@@ -11,10 +11,12 @@
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
+use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::RwLock;
 
+use crate::pool::BufPool;
 use crate::wire::{NodeAddr, Packet, MAX_PACKET_BYTES};
 use crate::Endpoint;
 
@@ -22,6 +24,9 @@ use crate::Endpoint;
 pub struct UdpEndpoint {
     socket: UdpSocket,
     addr: NodeAddr,
+    /// Reusable send/receive buffers: sends encode single-pass into a
+    /// pooled buffer, receives decode zero-copy payload views out of one.
+    pool: BufPool,
     /// Logical → socket address directory.
     directory: RwLock<HashMap<NodeAddr, SocketAddr>>,
     /// Reverse map for attributing received datagrams.
@@ -45,6 +50,7 @@ impl UdpEndpoint {
         Ok(UdpEndpoint {
             socket,
             addr,
+            pool: BufPool::for_packets(),
             directory: RwLock::new(HashMap::new()),
             reverse: RwLock::new(HashMap::new()),
             promiscuous: std::sync::atomic::AtomicBool::new(false),
@@ -93,17 +99,56 @@ impl Endpoint for UdpEndpoint {
                 format!("unknown peer {to}"),
             ));
         };
-        let bytes = packet.encode();
+        let mut bytes = self.pool.checkout();
+        packet.encode_into(Arc::make_mut(&mut bytes));
         if bytes.len() > MAX_PACKET_BYTES {
+            self.pool.give_back(bytes);
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
                 "packet exceeds MTU",
             ));
         }
         let span = self.obs.start();
-        self.socket.send_to(&bytes, dest)?;
+        let sent = self.socket.send_to(&bytes, dest);
+        self.pool.give_back(bytes);
+        sent?;
         self.obs
             .event(dlog_obs::Stage::PacketSend, packet.lsn_hint(), to.0);
+        self.obs.sample_since(dlog_obs::Stage::PacketSend, span);
+        Ok(())
+    }
+
+    fn send_many(&self, tos: &[NodeAddr], packet: &Packet) -> io::Result<()> {
+        // Replication fan-out: one encode + CRC pass, one `send_to`
+        // syscall per destination on the same pooled buffer.
+        let mut bytes = self.pool.checkout();
+        packet.encode_into(Arc::make_mut(&mut bytes));
+        if bytes.len() > MAX_PACKET_BYTES {
+            self.pool.give_back(bytes);
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "packet exceeds MTU",
+            ));
+        }
+        let span = self.obs.start();
+        let mut result = Ok(());
+        for &to in tos {
+            let Some(dest) = self.directory.read().get(&to).copied() else {
+                result = Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("unknown peer {to}"),
+                ));
+                break;
+            };
+            if let Err(e) = self.socket.send_to(&bytes, dest) {
+                result = Err(e);
+                break;
+            }
+            self.obs
+                .event(dlog_obs::Stage::PacketSend, packet.lsn_hint(), to.0);
+        }
+        self.pool.give_back(bytes);
+        result?;
         self.obs.sample_since(dlog_obs::Stage::PacketSend, span);
         Ok(())
     }
@@ -113,9 +158,15 @@ impl Endpoint for UdpEndpoint {
         // blocking forever, so clamp to 1ms.
         self.socket
             .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))?;
-        let mut buf = vec![0u8; MAX_PACKET_BYTES + 64];
-        match self.socket.recv_from(&mut buf) {
+        // Pooled receive buffer: after the first few packets the resize
+        // is a no-op (capacity is retained) and the datagram is read into
+        // reused memory.
+        let mut arc = self.pool.checkout();
+        let buf = Arc::make_mut(&mut arc);
+        buf.resize(MAX_PACKET_BYTES + 64, 0);
+        match self.socket.recv_from(buf) {
             Ok((n, from)) => {
+                buf.truncate(n.min(buf.len()));
                 let known = self.reverse.read().get(&from).copied();
                 let peer = match known {
                     Some(p) => p,
@@ -130,9 +181,16 @@ impl Endpoint for UdpEndpoint {
                         self.reverse.write().insert(from, peer);
                         peer
                     }
-                    None => return Ok(None), // unknown party: drop
+                    None => {
+                        self.pool.give_back(arc);
+                        return Ok(None); // unknown party: drop
+                    }
                 };
-                match Packet::decode(buf.get(..n).unwrap_or(&[])) {
+                // Zero-copy decode: payloads are views into the pooled
+                // buffer; it is reissued once they drop.
+                let decoded = Packet::decode_shared(&arc);
+                self.pool.give_back(arc);
+                match decoded {
                     Ok(p) => Ok(Some((peer, p))),
                     Err(_) => Ok(None), // corrupt datagram: drop
                 }
@@ -140,9 +198,13 @@ impl Endpoint for UdpEndpoint {
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
+                self.pool.give_back(arc);
                 Ok(None)
             }
-            Err(e) => Err(e),
+            Err(e) => {
+                self.pool.give_back(arc);
+                Err(e)
+            }
         }
     }
 }

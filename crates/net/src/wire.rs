@@ -2,8 +2,20 @@
 //! RPC envelopes, CRC-protected, hand-encoded (no external serializer — a
 //! 1987 log server could afford a thousand instructions per packet, and so
 //! can we).
+//!
+//! The hot path is zero-copy in both directions:
+//!
+//! * **encode**: [`Packet::encode_into`] serializes in a single pass into
+//!   a caller-provided (usually pooled) buffer and patches the CRC into
+//!   the header afterwards — no intermediate body buffer, no copy into a
+//!   framed output. [`Packet::encoded_len`] computes the exact size by
+//!   arithmetic, so callers can reserve without encoding twice.
+//! * **decode**: [`Packet::decode_shared`] borrows record payloads
+//!   straight out of the shared receive buffer as [`LogData`] views — a
+//!   refcount bump per record instead of a heap copy per record. The
+//!   plain [`Packet::decode`] (from a transient `&[u8]`) still copies.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::sync::Arc;
 
 use dlog_types::{ClientId, Epoch, Interval, IntervalList, LogData, LogRecord, Lsn};
 
@@ -300,8 +312,10 @@ pub enum Response {
         group_commits: u64,
     },
     /// Per-stage latency histograms (see [`StageStats`]) and trace-ring
-    /// counters from the server's `dlog-obs` handle. All fields are zero
-    /// or empty when the server runs with observability off.
+    /// counters from the server's `dlog-obs` handle, plus the server's
+    /// ingest allocation gauge (`dlog-alloc`). Histogram and trace fields
+    /// are zero or empty when the server runs with observability off; the
+    /// allocation gauge is always live.
     Stats {
         /// One summary per instrumented stage, in stage-tag order.
         stages: Vec<StageStats>,
@@ -309,6 +323,12 @@ pub enum Response {
         trace_events: u64,
         /// Trace events evicted from the ring.
         trace_dropped: u64,
+        /// Allocations performed on the server's ingest thread while
+        /// handling write/force traffic (numerator of `allocs_per_write`).
+        ingest_allocs: u64,
+        /// Log records ingested by write/force handling (denominator of
+        /// `allocs_per_write`).
+        ingest_records: u64,
     },
 }
 
@@ -370,235 +390,224 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
-impl Packet {
-    /// Encode to bytes (with magic and CRC).
-    #[must_use]
-    pub fn encode(&self) -> Bytes {
-        let mut body = BytesMut::with_capacity(256);
-        body.put_u64_le(self.conn);
-        body.put_u64_le(self.seq);
-        body.put_u64_le(self.alloc);
-        encode_message(&self.msg, &mut body);
+/// Encoded frame header: magic (2) + reserved (2) + crc32 (4).
+const HEADER_BYTES: usize = 8;
 
-        let mut out = BytesMut::with_capacity(body.len() + 8);
-        out.put_u16_le(MAGIC);
-        out.put_u16_le(0); // reserved
-        out.put_u32_le(crc32(&body));
-        out.extend_from_slice(&body);
-        out.freeze()
+impl Packet {
+    /// Encode to a fresh byte vector (with magic and CRC). Convenience
+    /// wrapper over [`Packet::encode_into`] for cold paths and tests; the
+    /// hot path reuses a pooled buffer instead.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
     }
 
-    /// Decode from bytes.
+    /// Serialize into `out` in a single pass: the buffer is cleared, the
+    /// header is laid down with a zero CRC placeholder, the body is
+    /// written directly behind it, and the CRC is patched into the header
+    /// at the end. No intermediate body buffer exists; when `out` has
+    /// capacity (a pooled buffer), the call performs no allocation.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(self.encoded_len());
+        put_u16(out, MAGIC);
+        put_u16(out, 0); // reserved
+        put_u32(out, 0); // crc placeholder, patched below
+        put_u64(out, self.conn);
+        put_u64(out, self.seq);
+        put_u64(out, self.alloc);
+        encode_message(&self.msg, out);
+        let crc = crc32(out.get(HEADER_BYTES..).unwrap_or(&[]));
+        if let Some(slot) = out.get_mut(4..HEADER_BYTES) {
+            slot.copy_from_slice(&crc.to_le_bytes());
+        }
+    }
+
+    /// Exact encoded size in bytes, computed by arithmetic (no encoding
+    /// pass): `encoded_len() == encode().len()` for every packet.
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        HEADER_BYTES + 24 + message_len(&self.msg)
+    }
+
+    /// Decode from a transient byte slice. Record payloads are copied out
+    /// of `bytes` (the slice may be reused immediately).
     ///
     /// # Errors
     /// [`DecodeError`] on bad magic, CRC mismatch, or malformed body.
     pub fn decode(bytes: &[u8]) -> Result<Packet, DecodeError> {
-        if bytes.len() < 8 {
-            return Err(DecodeError("short packet".into()));
-        }
-        let mut hdr = bytes;
-        let magic = hdr.get_u16_le();
-        let reserved = hdr.get_u16_le();
-        let crc = hdr.get_u32_le();
-        if magic != MAGIC {
-            return Err(DecodeError("bad magic".into()));
-        }
-        if reserved != 0 {
-            return Err(DecodeError("nonzero reserved field".into()));
-        }
-        let body = bytes.get(8..).unwrap_or(&[]);
-        if crc32(body) != crc {
-            return Err(DecodeError("crc mismatch".into()));
-        }
-        let mut r = body;
-        if r.remaining() < 24 {
-            return Err(DecodeError("short header".into()));
-        }
-        let conn = r.get_u64_le();
-        let seq = r.get_u64_le();
-        let alloc = r.get_u64_le();
-        let msg = decode_message(&mut r)?;
-        if r.has_remaining() {
-            return Err(DecodeError("trailing bytes".into()));
-        }
-        Ok(Packet {
-            conn,
-            seq,
-            alloc,
-            msg,
-        })
+        decode_frame(bytes, None)
     }
 
-    /// Encoded size in bytes.
-    #[must_use]
-    pub fn encoded_len(&self) -> usize {
-        self.encode().len()
+    /// Decode from a shared receive buffer. Record payloads become
+    /// zero-copy [`LogData`] views into `buf` (refcount bumps, no byte
+    /// copies); the buffer stays alive until every view is dropped, at
+    /// which point a pool can reuse it.
+    ///
+    /// # Errors
+    /// [`DecodeError`] on bad magic, CRC mismatch, or malformed body.
+    pub fn decode_shared(buf: &Arc<Vec<u8>>) -> Result<Packet, DecodeError> {
+        decode_frame(buf.as_slice(), Some(buf))
     }
 }
 
-fn crc32(data: &[u8]) -> u32 {
-    // Small local CRC (same polynomial as the storage layer); duplicated
-    // rather than shared to keep the net crate free of the storage
-    // dependency.
-    let mut state = 0xFFFF_FFFFu32;
-    for &b in data {
-        state ^= u32::from(b);
-        for _ in 0..8 {
+fn decode_frame(bytes: &[u8], share: Option<&Arc<Vec<u8>>>) -> Result<Packet, DecodeError> {
+    let mut r = Reader::new(bytes, share);
+    if r.remaining() < HEADER_BYTES {
+        return Err(DecodeError("short packet".into()));
+    }
+    let magic = r.u16()?;
+    let reserved = r.u16()?;
+    let crc = r.u32()?;
+    if magic != MAGIC {
+        return Err(DecodeError("bad magic".into()));
+    }
+    if reserved != 0 {
+        return Err(DecodeError("nonzero reserved field".into()));
+    }
+    if crc32(bytes.get(HEADER_BYTES..).unwrap_or(&[])) != crc {
+        return Err(DecodeError("crc mismatch".into()));
+    }
+    if r.remaining() < 24 {
+        return Err(DecodeError("short header".into()));
+    }
+    let conn = r.u64()?;
+    let seq = r.u64()?;
+    let alloc = r.u64()?;
+    let msg = decode_message(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(DecodeError("trailing bytes".into()));
+    }
+    Ok(Packet {
+        conn,
+        seq,
+        alloc,
+        msg,
+    })
+}
+
+// CRC-32 (IEEE polynomial, reflected), table-driven: one lookup per byte
+// instead of eight branchy shifts. Same polynomial as the storage layer;
+// duplicated rather than shared to keep the net crate free of the storage
+// dependency.
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut state = i as u32;
+        let mut k = 0;
+        while k < 8 {
             state = if state & 1 != 0 {
                 (state >> 1) ^ 0xEDB8_8320
             } else {
                 state >> 1
             };
+            k += 1;
         }
+        table[i] = state;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = build_crc_table();
+
+fn crc32(data: &[u8]) -> u32 {
+    let mut state = 0xFFFF_FFFFu32;
+    for &b in data {
+        let idx = ((state ^ u32::from(b)) & 0xFF) as usize;
+        let entry = match CRC_TABLE.get(idx) {
+            Some(v) => *v,
+            None => 0, // unreachable: idx is masked to 0..256
+        };
+        state = (state >> 8) ^ entry;
     }
     state ^ 0xFFFF_FFFF
 }
 
-fn put_data(out: &mut BytesMut, d: &LogData) {
-    out.put_u32_le(d.len() as u32);
-    out.put_slice(d.as_bytes());
+// ---------------------------------------------------------------------------
+// Single-pass writers: append little-endian scalars straight onto the
+// output vector. With a pre-reserved buffer none of these allocate.
+
+fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
 }
 
-fn get_data(r: &mut &[u8]) -> Result<LogData, DecodeError> {
-    if r.remaining() < 4 {
-        return Err(DecodeError("short data length".into()));
-    }
-    let len = r.get_u32_le() as usize;
-    let d = LogData::from(
-        r.get(..len)
-            .ok_or_else(|| DecodeError("short data".into()))?,
-    );
-    r.advance(len);
-    Ok(d)
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_lsn_batch(out: &mut BytesMut, records: &[(Lsn, LogData)]) {
-    out.put_u32_le(records.len() as u32);
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_data(out: &mut Vec<u8>, d: &LogData) {
+    put_u32(out, d.len() as u32);
+    out.extend_from_slice(d.as_bytes());
+}
+
+fn put_lsn_batch(out: &mut Vec<u8>, records: &[(Lsn, LogData)]) {
+    put_u32(out, records.len() as u32);
     for (lsn, data) in records {
-        out.put_u64_le(lsn.0);
+        put_u64(out, lsn.0);
         put_data(out, data);
     }
 }
 
-fn get_lsn_batch(r: &mut &[u8]) -> Result<Vec<(Lsn, LogData)>, DecodeError> {
-    if r.remaining() < 4 {
-        return Err(DecodeError("short batch".into()));
-    }
-    let n = r.get_u32_le() as usize;
-    if n > MAX_PACKET_BYTES {
-        return Err(DecodeError("batch count absurd".into()));
-    }
-    let mut out = Vec::with_capacity(n);
-    for _ in 0..n {
-        if r.remaining() < 8 {
-            return Err(DecodeError("short batch entry".into()));
-        }
-        let lsn = Lsn(r.get_u64_le());
-        let data = get_data(r)?;
-        out.push((lsn, data));
-    }
-    Ok(out)
-}
-
-fn put_records(out: &mut BytesMut, records: &[LogRecord]) {
-    out.put_u32_le(records.len() as u32);
+fn put_records(out: &mut Vec<u8>, records: &[LogRecord]) {
+    put_u32(out, records.len() as u32);
     for rec in records {
-        out.put_u64_le(rec.lsn.0);
-        out.put_u64_le(rec.epoch.0);
-        out.put_u8(u8::from(rec.present));
+        put_u64(out, rec.lsn.0);
+        put_u64(out, rec.epoch.0);
+        put_u8(out, u8::from(rec.present));
         put_data(out, &rec.data);
     }
 }
 
-fn get_records(r: &mut &[u8]) -> Result<Vec<LogRecord>, DecodeError> {
-    if r.remaining() < 4 {
-        return Err(DecodeError("short records".into()));
-    }
-    let n = r.get_u32_le() as usize;
-    if n > MAX_PACKET_BYTES {
-        return Err(DecodeError("record count absurd".into()));
-    }
-    let mut out = Vec::with_capacity(n);
-    for _ in 0..n {
-        if r.remaining() < 17 {
-            return Err(DecodeError("short record".into()));
-        }
-        let lsn = Lsn(r.get_u64_le());
-        let epoch = Epoch(r.get_u64_le());
-        let present = r.get_u8() != 0;
-        let data = get_data(r)?;
-        out.push(LogRecord {
-            lsn,
-            epoch,
-            present,
-            data,
-        });
-    }
-    Ok(out)
-}
-
-fn put_intervals(out: &mut BytesMut, list: &IntervalList) {
-    out.put_u32_le(list.len() as u32);
+fn put_intervals(out: &mut Vec<u8>, list: &IntervalList) {
+    put_u32(out, list.len() as u32);
     for iv in list {
-        out.put_u64_le(iv.epoch.0);
-        out.put_u64_le(iv.lo.0);
-        out.put_u64_le(iv.hi.0);
+        put_u64(out, iv.epoch.0);
+        put_u64(out, iv.lo.0);
+        put_u64(out, iv.hi.0);
     }
 }
 
-fn get_intervals(r: &mut &[u8]) -> Result<IntervalList, DecodeError> {
-    if r.remaining() < 4 {
-        return Err(DecodeError("short interval list".into()));
-    }
-    let n = r.get_u32_le() as usize;
-    if n > MAX_PACKET_BYTES {
-        return Err(DecodeError("interval count absurd".into()));
-    }
-    let mut intervals = Vec::with_capacity(n);
-    for _ in 0..n {
-        if r.remaining() < 24 {
-            return Err(DecodeError("short interval".into()));
-        }
-        let epoch = Epoch(r.get_u64_le());
-        let lo = Lsn(r.get_u64_le());
-        let hi = Lsn(r.get_u64_le());
-        if lo > hi || lo == Lsn::ZERO {
-            return Err(DecodeError("invalid interval bounds".into()));
-        }
-        intervals.push(Interval::new(epoch, lo, hi));
-    }
-    IntervalList::from_intervals(intervals).map_err(DecodeError)
-}
-
-fn encode_message(msg: &Message, out: &mut BytesMut) {
+fn encode_message(msg: &Message, out: &mut Vec<u8>) {
     match msg {
         Message::Syn { incarnation, isn } => {
-            out.put_u8(K_SYN);
-            out.put_u64_le(*incarnation);
-            out.put_u64_le(*isn);
+            put_u8(out, K_SYN);
+            put_u64(out, *incarnation);
+            put_u64(out, *isn);
         }
         Message::SynAck {
             incarnation,
             isn,
             ack,
         } => {
-            out.put_u8(K_SYNACK);
-            out.put_u64_le(*incarnation);
-            out.put_u64_le(*isn);
-            out.put_u64_le(*ack);
+            put_u8(out, K_SYNACK);
+            put_u64(out, *incarnation);
+            put_u64(out, *isn);
+            put_u64(out, *ack);
         }
         Message::HandshakeAck { ack } => {
-            out.put_u8(K_HSACK);
-            out.put_u64_le(*ack);
+            put_u8(out, K_HSACK);
+            put_u64(out, *ack);
         }
         Message::WriteLog {
             client,
             epoch,
             records,
         } => {
-            out.put_u8(K_WRITELOG);
-            out.put_u64_le(client.0);
-            out.put_u64_le(epoch.0);
+            put_u8(out, K_WRITELOG);
+            put_u64(out, client.0);
+            put_u64(out, epoch.0);
             put_lsn_batch(out, records);
         }
         Message::ForceLog {
@@ -606,9 +615,9 @@ fn encode_message(msg: &Message, out: &mut BytesMut) {
             epoch,
             records,
         } => {
-            out.put_u8(K_FORCELOG);
-            out.put_u64_le(client.0);
-            out.put_u64_le(epoch.0);
+            put_u8(out, K_FORCELOG);
+            put_u64(out, client.0);
+            put_u64(out, epoch.0);
             put_lsn_batch(out, records);
         }
         Message::NewInterval {
@@ -616,110 +625,110 @@ fn encode_message(msg: &Message, out: &mut BytesMut) {
             epoch,
             starting_lsn,
         } => {
-            out.put_u8(K_NEWINTERVAL);
-            out.put_u64_le(client.0);
-            out.put_u64_le(epoch.0);
-            out.put_u64_le(starting_lsn.0);
+            put_u8(out, K_NEWINTERVAL);
+            put_u64(out, client.0);
+            put_u64(out, epoch.0);
+            put_u64(out, starting_lsn.0);
         }
         Message::NewHighLsn { client, lsn } => {
-            out.put_u8(K_NEWHIGHLSN);
-            out.put_u64_le(client.0);
-            out.put_u64_le(lsn.0);
+            put_u8(out, K_NEWHIGHLSN);
+            put_u64(out, client.0);
+            put_u64(out, lsn.0);
         }
         Message::MissingInterval { client, lo, hi } => {
-            out.put_u8(K_MISSING);
-            out.put_u64_le(client.0);
-            out.put_u64_le(lo.0);
-            out.put_u64_le(hi.0);
+            put_u8(out, K_MISSING);
+            put_u64(out, client.0);
+            put_u64(out, lo.0);
+            put_u64(out, hi.0);
         }
         Message::Request { id, body } => {
-            out.put_u8(K_REQUEST);
-            out.put_u64_le(*id);
+            put_u8(out, K_REQUEST);
+            put_u64(out, *id);
             encode_request(body, out);
         }
         Message::Response { id, body } => {
-            out.put_u8(K_RESPONSE);
-            out.put_u64_le(*id);
+            put_u8(out, K_RESPONSE);
+            put_u64(out, *id);
             encode_response(body, out);
         }
     }
 }
 
-fn encode_request(body: &Request, out: &mut BytesMut) {
+fn encode_request(body: &Request, out: &mut Vec<u8>) {
     match body {
         Request::IntervalList { client } => {
-            out.put_u8(R_INTERVALS);
-            out.put_u64_le(client.0);
+            put_u8(out, R_INTERVALS);
+            put_u64(out, client.0);
         }
         Request::ReadLogForward {
             client,
             lsn,
             max_records,
         } => {
-            out.put_u8(R_READFWD);
-            out.put_u64_le(client.0);
-            out.put_u64_le(lsn.0);
-            out.put_u32_le(*max_records);
+            put_u8(out, R_READFWD);
+            put_u64(out, client.0);
+            put_u64(out, lsn.0);
+            put_u32(out, *max_records);
         }
         Request::ReadLogBackward {
             client,
             lsn,
             max_records,
         } => {
-            out.put_u8(R_READBWD);
-            out.put_u64_le(client.0);
-            out.put_u64_le(lsn.0);
-            out.put_u32_le(*max_records);
+            put_u8(out, R_READBWD);
+            put_u64(out, client.0);
+            put_u64(out, lsn.0);
+            put_u32(out, *max_records);
         }
         Request::CopyLog {
             client,
             epoch,
             records,
         } => {
-            out.put_u8(R_COPYLOG);
-            out.put_u64_le(client.0);
-            out.put_u64_le(epoch.0);
+            put_u8(out, R_COPYLOG);
+            put_u64(out, client.0);
+            put_u64(out, epoch.0);
             put_records(out, records);
         }
         Request::InstallCopies { client, epoch } => {
-            out.put_u8(R_INSTALL);
-            out.put_u64_le(client.0);
-            out.put_u64_le(epoch.0);
+            put_u8(out, R_INSTALL);
+            put_u64(out, client.0);
+            put_u64(out, epoch.0);
         }
         Request::GenRead { generator } => {
-            out.put_u8(R_GENREAD);
-            out.put_u64_le(*generator);
+            put_u8(out, R_GENREAD);
+            put_u64(out, *generator);
         }
         Request::GenWrite { generator, value } => {
-            out.put_u8(R_GENWRITE);
-            out.put_u64_le(*generator);
-            out.put_u64_le(*value);
+            put_u8(out, R_GENWRITE);
+            put_u64(out, *generator);
+            put_u64(out, *value);
         }
-        Request::Status => out.put_u8(R_STATUS),
-        Request::Stats => out.put_u8(R_STATS),
+        Request::Status => put_u8(out, R_STATUS),
+        Request::Stats => put_u8(out, R_STATS),
     }
 }
 
-fn encode_response(body: &Response, out: &mut BytesMut) {
+fn encode_response(body: &Response, out: &mut Vec<u8>) {
     match body {
         Response::Intervals { intervals } => {
-            out.put_u8(S_INTERVALS);
+            put_u8(out, S_INTERVALS);
             put_intervals(out, intervals);
         }
         Response::Records { records } => {
-            out.put_u8(S_RECORDS);
+            put_u8(out, S_RECORDS);
             put_records(out, records);
         }
-        Response::Ok => out.put_u8(S_OK),
+        Response::Ok => put_u8(out, S_OK),
         Response::Err { code, detail } => {
-            out.put_u8(S_ERR);
-            out.put_u16_le(*code);
-            out.put_u32_le(detail.len() as u32);
-            out.put_slice(detail.as_bytes());
+            put_u8(out, S_ERR);
+            put_u16(out, *code);
+            put_u32(out, detail.len() as u32);
+            out.extend_from_slice(detail.as_bytes());
         }
         Response::GenValue { value } => {
-            out.put_u8(S_GENVALUE);
-            out.put_u64_le(*value);
+            put_u8(out, S_GENVALUE);
+            put_u64(out, *value);
         }
         Response::Status {
             records_stored,
@@ -738,7 +747,7 @@ fn encode_response(body: &Response, out: &mut BytesMut) {
             coalesced_forces,
             group_commits,
         } => {
-            out.put_u8(S_STATUS);
+            put_u8(out, S_STATUS);
             for v in [
                 records_stored,
                 duplicates_ignored,
@@ -756,70 +765,252 @@ fn encode_response(body: &Response, out: &mut BytesMut) {
                 coalesced_forces,
                 group_commits,
             ] {
-                out.put_u64_le(*v);
+                put_u64(out, *v);
             }
         }
         Response::Stats {
             stages,
             trace_events,
             trace_dropped,
+            ingest_allocs,
+            ingest_records,
         } => {
-            out.put_u8(S_STATS);
-            out.put_u64_le(*trace_events);
-            out.put_u64_le(*trace_dropped);
+            put_u8(out, S_STATS);
+            put_u64(out, *trace_events);
+            put_u64(out, *trace_dropped);
+            put_u64(out, *ingest_allocs);
+            put_u64(out, *ingest_records);
             // At most `Stage::COUNT` (9) stages ever travel; u8 is ample.
-            out.put_u8(stages.len().min(u8::MAX as usize) as u8);
+            put_u8(out, stages.len().min(u8::MAX as usize) as u8);
             for s in stages.iter().take(u8::MAX as usize) {
-                out.put_u8(s.stage);
-                out.put_u64_le(s.count);
-                out.put_u64_le(s.max_ns);
-                out.put_u16_le(s.buckets.len().min(u16::MAX as usize) as u16);
+                put_u8(out, s.stage);
+                put_u64(out, s.count);
+                put_u64(out, s.max_ns);
+                put_u16(out, s.buckets.len().min(u16::MAX as usize) as u16);
                 for (bucket, count) in s.buckets.iter().take(u16::MAX as usize) {
-                    out.put_u8(*bucket);
-                    out.put_u64_le(*count);
+                    put_u8(out, *bucket);
+                    put_u64(out, *count);
                 }
             }
         }
     }
 }
 
-macro_rules! need {
-    ($r:expr, $n:expr) => {
-        if $r.remaining() < $n {
-            return Err(DecodeError("truncated message".into()));
-        }
-    };
+// ---------------------------------------------------------------------------
+// Exact length arithmetic, mirroring the writers above byte for byte.
+
+fn data_len(d: &LogData) -> usize {
+    4 + d.len()
 }
 
-fn decode_message(r: &mut &[u8]) -> Result<Message, DecodeError> {
-    need!(r, 1);
-    let kind = r.get_u8();
+fn write_batch_len(records: &[(Lsn, LogData)]) -> usize {
+    4 + records
+        .iter()
+        .map(|(_, data)| 8 + data_len(data))
+        .sum::<usize>()
+}
+
+fn records_len(records: &[LogRecord]) -> usize {
+    4 + records
+        .iter()
+        .map(|rec| 17 + data_len(&rec.data))
+        .sum::<usize>()
+}
+
+fn intervals_len(list: &IntervalList) -> usize {
+    4 + 24 * list.len()
+}
+
+fn message_len(msg: &Message) -> usize {
+    1 + match msg {
+        Message::Syn { .. } => 16,
+        Message::SynAck { .. } => 24,
+        Message::HandshakeAck { .. } => 8,
+        Message::WriteLog { records, .. } | Message::ForceLog { records, .. } => {
+            16 + write_batch_len(records)
+        }
+        Message::NewInterval { .. } => 24,
+        Message::NewHighLsn { .. } => 16,
+        Message::MissingInterval { .. } => 24,
+        Message::Request { body, .. } => 8 + request_len(body),
+        Message::Response { body, .. } => 8 + response_len(body),
+    }
+}
+
+fn request_len(body: &Request) -> usize {
+    1 + match body {
+        Request::IntervalList { .. } => 8,
+        Request::ReadLogForward { .. } | Request::ReadLogBackward { .. } => 20,
+        Request::CopyLog { records, .. } => 16 + records_len(records),
+        Request::InstallCopies { .. } => 16,
+        Request::GenRead { .. } => 8,
+        Request::GenWrite { .. } => 16,
+        Request::Status | Request::Stats => 0,
+    }
+}
+
+fn response_len(body: &Response) -> usize {
+    1 + match body {
+        Response::Intervals { intervals } => intervals_len(intervals),
+        Response::Records { records } => records_len(records),
+        Response::Ok => 0,
+        Response::Err { detail, .. } => 6 + detail.len(),
+        Response::GenValue { .. } => 8,
+        Response::Status { .. } => 120,
+        Response::Stats { stages, .. } => {
+            // Mirrors the writer's caps: at most 255 stages, 65535 buckets.
+            33 + stages
+                .iter()
+                .take(u8::MAX as usize)
+                .map(|s| 19 + 9 * s.buckets.len().min(u16::MAX as usize))
+                .sum::<usize>()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decode: a bounds-checked cursor that can hand out zero-copy payload
+// views when the underlying buffer is shared.
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    /// When decoding from a shared receive buffer: the buffer to slice
+    /// payloads out of. `buf` is always `share[..]` in that case, so
+    /// `pos` doubles as the offset into the shared buffer.
+    share: Option<&'a Arc<Vec<u8>>>,
+}
+
+fn truncated() -> DecodeError {
+    DecodeError("truncated message".into())
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8], share: Option<&'a Arc<Vec<u8>>>) -> Self {
+        Reader { buf, pos: 0, share }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or_else(truncated)?;
+        let s = self.buf.get(self.pos..end).ok_or_else(truncated)?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let s = self.take(1)?;
+        s.first().copied().ok_or_else(truncated)
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        let s = self.take(2)?;
+        let arr: [u8; 2] = s.try_into().map_err(|_| truncated())?;
+        Ok(u16::from_le_bytes(arr))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let s = self.take(4)?;
+        let arr: [u8; 4] = s.try_into().map_err(|_| truncated())?;
+        Ok(u32::from_le_bytes(arr))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let s = self.take(8)?;
+        let arr: [u8; 8] = s.try_into().map_err(|_| truncated())?;
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    /// Length-prefixed payload. Zero-copy (a view into the shared buffer)
+    /// when decoding with [`Packet::decode_shared`]; a copy otherwise.
+    fn data(&mut self) -> Result<LogData, DecodeError> {
+        let len = self.u32()? as usize;
+        if len > self.remaining() {
+            return Err(DecodeError("short data".into()));
+        }
+        match self.share {
+            Some(arc) => {
+                let start = self.pos;
+                self.take(len)?;
+                LogData::slice_of(arc, start, len).ok_or_else(|| DecodeError("short data".into()))
+            }
+            None => Ok(LogData::from(self.take(len)?)),
+        }
+    }
+}
+
+fn get_lsn_batch(r: &mut Reader<'_>) -> Result<Vec<(Lsn, LogData)>, DecodeError> {
+    let n = r.u32()? as usize;
+    if n > MAX_PACKET_BYTES {
+        return Err(DecodeError("batch count absurd".into()));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let lsn = Lsn(r.u64()?);
+        let data = r.data()?;
+        out.push((lsn, data));
+    }
+    Ok(out)
+}
+
+fn get_records(r: &mut Reader<'_>) -> Result<Vec<LogRecord>, DecodeError> {
+    let n = r.u32()? as usize;
+    if n > MAX_PACKET_BYTES {
+        return Err(DecodeError("record count absurd".into()));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let lsn = Lsn(r.u64()?);
+        let epoch = Epoch(r.u64()?);
+        let present = r.u8()? != 0;
+        let data = r.data()?;
+        out.push(LogRecord {
+            lsn,
+            epoch,
+            present,
+            data,
+        });
+    }
+    Ok(out)
+}
+
+fn get_intervals(r: &mut Reader<'_>) -> Result<IntervalList, DecodeError> {
+    let n = r.u32()? as usize;
+    if n > MAX_PACKET_BYTES {
+        return Err(DecodeError("interval count absurd".into()));
+    }
+    let mut intervals = Vec::with_capacity(n);
+    for _ in 0..n {
+        let epoch = Epoch(r.u64()?);
+        let lo = Lsn(r.u64()?);
+        let hi = Lsn(r.u64()?);
+        if lo > hi || lo == Lsn::ZERO {
+            return Err(DecodeError("invalid interval bounds".into()));
+        }
+        intervals.push(Interval::new(epoch, lo, hi));
+    }
+    IntervalList::from_intervals(intervals).map_err(DecodeError)
+}
+
+fn decode_message(r: &mut Reader<'_>) -> Result<Message, DecodeError> {
+    let kind = r.u8()?;
     match kind {
-        K_SYN => {
-            need!(r, 16);
-            Ok(Message::Syn {
-                incarnation: r.get_u64_le(),
-                isn: r.get_u64_le(),
-            })
-        }
-        K_SYNACK => {
-            need!(r, 24);
-            Ok(Message::SynAck {
-                incarnation: r.get_u64_le(),
-                isn: r.get_u64_le(),
-                ack: r.get_u64_le(),
-            })
-        }
-        K_HSACK => {
-            need!(r, 8);
-            Ok(Message::HandshakeAck {
-                ack: r.get_u64_le(),
-            })
-        }
+        K_SYN => Ok(Message::Syn {
+            incarnation: r.u64()?,
+            isn: r.u64()?,
+        }),
+        K_SYNACK => Ok(Message::SynAck {
+            incarnation: r.u64()?,
+            isn: r.u64()?,
+            ack: r.u64()?,
+        }),
+        K_HSACK => Ok(Message::HandshakeAck { ack: r.u64()? }),
         K_WRITELOG | K_FORCELOG => {
-            need!(r, 16);
-            let client = ClientId(r.get_u64_le());
-            let epoch = Epoch(r.get_u64_le());
+            let client = ClientId(r.u64()?);
+            let epoch = Epoch(r.u64()?);
             let records = get_lsn_batch(r)?;
             Ok(if kind == K_WRITELOG {
                 Message::WriteLog {
@@ -835,38 +1026,27 @@ fn decode_message(r: &mut &[u8]) -> Result<Message, DecodeError> {
                 }
             })
         }
-        K_NEWINTERVAL => {
-            need!(r, 24);
-            Ok(Message::NewInterval {
-                client: ClientId(r.get_u64_le()),
-                epoch: Epoch(r.get_u64_le()),
-                starting_lsn: Lsn(r.get_u64_le()),
-            })
-        }
-        K_NEWHIGHLSN => {
-            need!(r, 16);
-            Ok(Message::NewHighLsn {
-                client: ClientId(r.get_u64_le()),
-                lsn: Lsn(r.get_u64_le()),
-            })
-        }
-        K_MISSING => {
-            need!(r, 24);
-            Ok(Message::MissingInterval {
-                client: ClientId(r.get_u64_le()),
-                lo: Lsn(r.get_u64_le()),
-                hi: Lsn(r.get_u64_le()),
-            })
-        }
+        K_NEWINTERVAL => Ok(Message::NewInterval {
+            client: ClientId(r.u64()?),
+            epoch: Epoch(r.u64()?),
+            starting_lsn: Lsn(r.u64()?),
+        }),
+        K_NEWHIGHLSN => Ok(Message::NewHighLsn {
+            client: ClientId(r.u64()?),
+            lsn: Lsn(r.u64()?),
+        }),
+        K_MISSING => Ok(Message::MissingInterval {
+            client: ClientId(r.u64()?),
+            lo: Lsn(r.u64()?),
+            hi: Lsn(r.u64()?),
+        }),
         K_REQUEST => {
-            need!(r, 8);
-            let id = r.get_u64_le();
+            let id = r.u64()?;
             let body = decode_request(r)?;
             Ok(Message::Request { id, body })
         }
         K_RESPONSE => {
-            need!(r, 8);
-            let id = r.get_u64_le();
+            let id = r.u64()?;
             let body = decode_response(r)?;
             Ok(Message::Response { id, body })
         }
@@ -874,21 +1054,16 @@ fn decode_message(r: &mut &[u8]) -> Result<Message, DecodeError> {
     }
 }
 
-fn decode_request(r: &mut &[u8]) -> Result<Request, DecodeError> {
-    need!(r, 1);
-    let kind = r.get_u8();
+fn decode_request(r: &mut Reader<'_>) -> Result<Request, DecodeError> {
+    let kind = r.u8()?;
     match kind {
-        R_INTERVALS => {
-            need!(r, 8);
-            Ok(Request::IntervalList {
-                client: ClientId(r.get_u64_le()),
-            })
-        }
+        R_INTERVALS => Ok(Request::IntervalList {
+            client: ClientId(r.u64()?),
+        }),
         R_READFWD | R_READBWD => {
-            need!(r, 20);
-            let client = ClientId(r.get_u64_le());
-            let lsn = Lsn(r.get_u64_le());
-            let max_records = r.get_u32_le();
+            let client = ClientId(r.u64()?);
+            let lsn = Lsn(r.u64()?);
+            let max_records = r.u32()?;
             Ok(if kind == R_READFWD {
                 Request::ReadLogForward {
                     client,
@@ -904,9 +1079,8 @@ fn decode_request(r: &mut &[u8]) -> Result<Request, DecodeError> {
             })
         }
         R_COPYLOG => {
-            need!(r, 16);
-            let client = ClientId(r.get_u64_le());
-            let epoch = Epoch(r.get_u64_le());
+            let client = ClientId(r.u64()?);
+            let epoch = Epoch(r.u64()?);
             let records = get_records(r)?;
             Ok(Request::CopyLog {
                 client,
@@ -914,35 +1088,25 @@ fn decode_request(r: &mut &[u8]) -> Result<Request, DecodeError> {
                 records,
             })
         }
-        R_INSTALL => {
-            need!(r, 16);
-            Ok(Request::InstallCopies {
-                client: ClientId(r.get_u64_le()),
-                epoch: Epoch(r.get_u64_le()),
-            })
-        }
-        R_GENREAD => {
-            need!(r, 8);
-            Ok(Request::GenRead {
-                generator: r.get_u64_le(),
-            })
-        }
-        R_GENWRITE => {
-            need!(r, 16);
-            Ok(Request::GenWrite {
-                generator: r.get_u64_le(),
-                value: r.get_u64_le(),
-            })
-        }
+        R_INSTALL => Ok(Request::InstallCopies {
+            client: ClientId(r.u64()?),
+            epoch: Epoch(r.u64()?),
+        }),
+        R_GENREAD => Ok(Request::GenRead {
+            generator: r.u64()?,
+        }),
+        R_GENWRITE => Ok(Request::GenWrite {
+            generator: r.u64()?,
+            value: r.u64()?,
+        }),
         R_STATUS => Ok(Request::Status),
         R_STATS => Ok(Request::Stats),
         other => Err(DecodeError(format!("unknown request kind {other}"))),
     }
 }
 
-fn decode_response(r: &mut &[u8]) -> Result<Response, DecodeError> {
-    need!(r, 1);
-    let kind = r.get_u8();
+fn decode_response(r: &mut Reader<'_>) -> Result<Response, DecodeError> {
+    let kind = r.u8()?;
     match kind {
         S_INTERVALS => Ok(Response::Intervals {
             intervals: get_intervals(r)?,
@@ -952,56 +1116,47 @@ fn decode_response(r: &mut &[u8]) -> Result<Response, DecodeError> {
         }),
         S_OK => Ok(Response::Ok),
         S_ERR => {
-            need!(r, 6);
-            let code = r.get_u16_le();
-            let len = r.get_u32_le() as usize;
-            need!(r, len);
-            let detail = String::from_utf8_lossy(r.get(..len).unwrap_or(&[])).into_owned();
-            r.advance(len);
+            let code = r.u16()?;
+            let len = r.u32()? as usize;
+            if len > r.remaining() {
+                return Err(truncated());
+            }
+            let detail = String::from_utf8_lossy(r.take(len)?).into_owned();
             Ok(Response::Err { code, detail })
         }
-        S_GENVALUE => {
-            need!(r, 8);
-            Ok(Response::GenValue {
-                value: r.get_u64_le(),
-            })
-        }
-        S_STATUS => {
-            need!(r, 120);
-            Ok(Response::Status {
-                records_stored: r.get_u64_le(),
-                duplicates_ignored: r.get_u64_le(),
-                naks_sent: r.get_u64_le(),
-                writes_shed: r.get_u64_le(),
-                rpcs: r.get_u64_le(),
-                forces_acked: r.get_u64_le(),
-                clients: r.get_u64_le(),
-                on_disk_bytes: r.get_u64_le(),
-                tracks_flushed: r.get_u64_le(),
-                archived_bytes: r.get_u64_le(),
-                pending_upload_bytes: r.get_u64_le(),
-                last_manifest_lsn: r.get_u64_le(),
-                upload_retries: r.get_u64_le(),
-                coalesced_forces: r.get_u64_le(),
-                group_commits: r.get_u64_le(),
-            })
-        }
+        S_GENVALUE => Ok(Response::GenValue { value: r.u64()? }),
+        S_STATUS => Ok(Response::Status {
+            records_stored: r.u64()?,
+            duplicates_ignored: r.u64()?,
+            naks_sent: r.u64()?,
+            writes_shed: r.u64()?,
+            rpcs: r.u64()?,
+            forces_acked: r.u64()?,
+            clients: r.u64()?,
+            on_disk_bytes: r.u64()?,
+            tracks_flushed: r.u64()?,
+            archived_bytes: r.u64()?,
+            pending_upload_bytes: r.u64()?,
+            last_manifest_lsn: r.u64()?,
+            upload_retries: r.u64()?,
+            coalesced_forces: r.u64()?,
+            group_commits: r.u64()?,
+        }),
         S_STATS => {
-            need!(r, 17);
-            let trace_events = r.get_u64_le();
-            let trace_dropped = r.get_u64_le();
-            let nstages = r.get_u8() as usize;
+            let trace_events = r.u64()?;
+            let trace_dropped = r.u64()?;
+            let ingest_allocs = r.u64()?;
+            let ingest_records = r.u64()?;
+            let nstages = r.u8()? as usize;
             let mut stages = Vec::with_capacity(nstages.min(16));
             for _ in 0..nstages {
-                need!(r, 19);
-                let stage = r.get_u8();
-                let count = r.get_u64_le();
-                let max_ns = r.get_u64_le();
-                let nbuckets = r.get_u16_le() as usize;
+                let stage = r.u8()?;
+                let count = r.u64()?;
+                let max_ns = r.u64()?;
+                let nbuckets = r.u16()? as usize;
                 let mut buckets = Vec::with_capacity(nbuckets.min(64));
                 for _ in 0..nbuckets {
-                    need!(r, 9);
-                    buckets.push((r.get_u8(), r.get_u64_le()));
+                    buckets.push((r.u8()?, r.u64()?));
                 }
                 stages.push(StageStats {
                     stage,
@@ -1014,6 +1169,8 @@ fn decode_response(r: &mut &[u8]) -> Result<Response, DecodeError> {
                 stages,
                 trace_events,
                 trace_dropped,
+                ingest_allocs,
+                ingest_records,
             })
         }
         other => Err(DecodeError(format!("unknown response kind {other}"))),
@@ -1022,26 +1179,56 @@ fn decode_response(r: &mut &[u8]) -> Result<Response, DecodeError> {
 
 /// Pack `(LSN, data)` records into batches whose encoded `WriteLog`
 /// packets stay below [`MAX_PACKET_BYTES`]. Each batch holds at least one
-/// record (an oversized record travels alone).
+/// record (an oversized record travels alone). Payloads are shared into
+/// the batches ([`LogData::share`]) — one refcount bump per record, no
+/// byte copies.
 #[must_use]
 pub fn pack_batches(records: &[(Lsn, LogData)]) -> Vec<Vec<(Lsn, LogData)>> {
     const HEADER_SLACK: usize = 64;
-    let mut batches = Vec::new();
-    let mut current: Vec<(Lsn, LogData)> = Vec::new();
-    let mut current_bytes = HEADER_SLACK;
-    for (lsn, data) in records {
-        let cost = 12 + data.len();
-        if !current.is_empty() && current_bytes + cost > MAX_PACKET_BYTES {
-            batches.push(std::mem::take(&mut current));
-            current_bytes = HEADER_SLACK;
+    let cost = |data: &LogData| 12 + data.len();
+    // Pass 1: walk the cost model to count batch boundaries, so pass 2
+    // can size every Vec exactly — 1 + batches allocations total, and
+    // zero payload byte copies (records are shared into the batches).
+    let mut nbatches = 0usize;
+    let mut in_batch = 0usize;
+    let mut bytes = HEADER_SLACK;
+    for (_, data) in records {
+        if in_batch > 0 && bytes + cost(data) > MAX_PACKET_BYTES {
+            nbatches += 1;
+            in_batch = 0;
+            bytes = HEADER_SLACK;
         }
-        current.push((*lsn, data.clone()));
-        current_bytes += cost;
+        in_batch += 1;
+        bytes += cost(data);
     }
-    if !current.is_empty() {
-        batches.push(current);
+    if in_batch > 0 {
+        nbatches += 1;
+    }
+    // Pass 2: replay the same boundaries, pushing into pre-sized Vecs.
+    let mut batches: Vec<Vec<(Lsn, LogData)>> = Vec::with_capacity(nbatches);
+    let mut start = 0usize;
+    bytes = HEADER_SLACK;
+    for (i, (_, data)) in records.iter().enumerate() {
+        if i > start && bytes + cost(data) > MAX_PACKET_BYTES {
+            batches.push(share_range(records, start, i));
+            start = i;
+            bytes = HEADER_SLACK;
+        }
+        bytes += cost(data);
+    }
+    if start < records.len() {
+        batches.push(share_range(records, start, records.len()));
     }
     batches
+}
+
+/// Share `records[start..end]` into a new exactly-sized batch.
+fn share_range(records: &[(Lsn, LogData)], start: usize, end: usize) -> Vec<(Lsn, LogData)> {
+    let mut batch = Vec::with_capacity(end.saturating_sub(start));
+    for (lsn, data) in records.get(start..end).unwrap_or(&[]) {
+        batch.push((*lsn, data.share()));
+    }
+    batch
 }
 
 #[cfg(test)]
@@ -1056,8 +1243,16 @@ mod tests {
             msg,
         };
         let bytes = p.encode();
+        assert_eq!(
+            bytes.len(),
+            p.encoded_len(),
+            "encoded_len arithmetic disagrees with the writer"
+        );
         let q = Packet::decode(&bytes).unwrap();
         assert_eq!(p, q);
+        let shared = Arc::new(bytes);
+        let s = Packet::decode_shared(&shared).unwrap();
+        assert_eq!(p, s);
     }
 
     #[test]
@@ -1172,9 +1367,51 @@ mod tests {
                 detail: "busy".into(),
             },
             Response::GenValue { value: 1234 },
+            Response::Stats {
+                stages: vec![StageStats {
+                    stage: 2,
+                    count: 40,
+                    max_ns: 9000,
+                    buckets: vec![(10, 30), (11, 10)],
+                }],
+                trace_events: 123,
+                trace_dropped: 4,
+                ingest_allocs: 77,
+                ingest_records: 40,
+            },
         ] {
             roundtrip(Message::Response { id: 55, body });
         }
+    }
+
+    #[test]
+    fn decode_shared_borrows_payloads() {
+        let payload = vec![0xAB; 256];
+        let p = Packet::bare(Message::WriteLog {
+            client: ClientId(1),
+            epoch: Epoch(1),
+            records: vec![(Lsn(1), LogData::from(payload))],
+        });
+        let buf = Arc::new(p.encode());
+        let q = Packet::decode_shared(&buf).unwrap();
+        // The decoded payload must be a view into `buf`, not a copy:
+        // while it is alive the buffer is shared...
+        assert!(
+            Arc::strong_count(&buf) > 1,
+            "payload did not share the buffer"
+        );
+        let Message::WriteLog { records, .. } = &q.msg else {
+            panic!("wrong message kind");
+        };
+        let base = buf.as_ptr() as usize;
+        let ptr = records[0].1.as_bytes().as_ptr() as usize;
+        assert!(
+            ptr >= base && ptr < base + buf.len(),
+            "payload bytes live outside the receive buffer"
+        );
+        // ...and dropping the packet releases it for pool reuse.
+        drop(q);
+        assert_eq!(Arc::strong_count(&buf), 1);
     }
 
     #[test]
@@ -1183,22 +1420,27 @@ mod tests {
             client: ClientId(1),
             lsn: Lsn(5),
         });
-        let mut bytes = p.encode().to_vec();
+        let mut bytes = p.encode();
         for i in 0..bytes.len() {
-            bytes[i] ^= 0x40;
+            if let Some(b) = bytes.get_mut(i) {
+                *b ^= 0x40;
+            }
             assert!(
                 Packet::decode(&bytes).is_err(),
                 "undetected corruption at byte {i}"
             );
-            bytes[i] ^= 0x40;
+            if let Some(b) = bytes.get_mut(i) {
+                *b ^= 0x40;
+            }
         }
-        assert!(Packet::decode(&bytes[..4]).is_err());
+        assert!(Packet::decode(bytes.get(..4).unwrap()).is_err());
         assert!(Packet::decode(&[]).is_err());
     }
 
     #[test]
     fn invalid_interval_list_rejected() {
-        // Hand-craft a Response::Intervals with a reversed interval.
+        // Hand-craft a Response::Intervals with a reversed interval: the
+        // CRC is valid but the interval bounds are not.
         let good = Packet::bare(Message::Response {
             id: 1,
             body: Response::Intervals {
@@ -1210,23 +1452,21 @@ mod tests {
                 .unwrap(),
             },
         });
-        // Decode body, flip lo/hi in raw bytes, re-CRC — simpler: encode a
-        // packet manually with lo > hi.
-        let mut body = BytesMut::new();
-        body.put_u64_le(0);
-        body.put_u64_le(0);
-        body.put_u64_le(0);
-        body.put_u8(K_RESPONSE);
-        body.put_u64_le(1);
-        body.put_u8(S_INTERVALS);
-        body.put_u32_le(1);
-        body.put_u64_le(1); // epoch
-        body.put_u64_le(5); // lo
-        body.put_u64_le(2); // hi < lo!
-        let mut out = BytesMut::new();
-        out.put_u16_le(MAGIC);
-        out.put_u16_le(0);
-        out.put_u32_le(crc32(&body));
+        let mut body = Vec::new();
+        put_u64(&mut body, 0);
+        put_u64(&mut body, 0);
+        put_u64(&mut body, 0);
+        put_u8(&mut body, K_RESPONSE);
+        put_u64(&mut body, 1);
+        put_u8(&mut body, S_INTERVALS);
+        put_u32(&mut body, 1);
+        put_u64(&mut body, 1); // epoch
+        put_u64(&mut body, 5); // lo
+        put_u64(&mut body, 2); // hi < lo!
+        let mut out = Vec::new();
+        put_u16(&mut out, MAGIC);
+        put_u16(&mut out, 0);
+        put_u32(&mut out, crc32(&body));
         out.extend_from_slice(&body);
         assert!(Packet::decode(&out).is_err());
         assert!(Packet::decode(&good.encode()).is_ok());
@@ -1254,6 +1494,33 @@ mod tests {
             }
         }
         assert_eq!(expected, 101);
+    }
+
+    #[test]
+    fn pack_batches_one_alloc_per_batch() {
+        // Regression for the old double-copy response assembly: packing
+        // must cost exactly one Vec per batch (plus the outer list) and
+        // zero payload copies — payloads ride as refcount bumps.
+        let records: Vec<(Lsn, LogData)> = (1..=60u64)
+            .map(|i| (Lsn(i), LogData::from(vec![i as u8; 700])))
+            .collect();
+        let before = dlog_obs::gauge::thread_allocs();
+        let batches = pack_batches(&records);
+        let after = dlog_obs::gauge::thread_allocs();
+        assert!(batches.len() > 1);
+        assert!(
+            after.wrapping_sub(before) <= 1 + batches.len() as u64,
+            "pack_batches made {} allocations for {} batches",
+            after.wrapping_sub(before),
+            batches.len()
+        );
+        // And the payload bytes really are shared, not copied.
+        let (_, first_src) = &records[0];
+        let (_, first_packed) = &batches[0][0];
+        assert_eq!(
+            first_src.as_bytes().as_ptr(),
+            first_packed.as_bytes().as_ptr()
+        );
     }
 
     #[test]

@@ -129,12 +129,20 @@ fn arb_response() -> impl Strategy<Value = Response> {
             proptest::collection::vec(arb_stage_stats(), 0..7),
             any::<u64>(),
             any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
         )
-            .prop_map(|(stages, trace_events, trace_dropped)| Response::Stats {
-                stages,
-                trace_events,
-                trace_dropped,
-            }),
+            .prop_map(
+                |(stages, trace_events, trace_dropped, ingest_allocs, ingest_records)| {
+                    Response::Stats {
+                        stages,
+                        trace_events,
+                        trace_dropped,
+                        ingest_allocs,
+                        ingest_records,
+                    }
+                },
+            ),
     ]
 }
 

@@ -18,13 +18,15 @@
 //! so instrumentation compiles down to near-zero cost when off, and is
 //! allocation-free on the hot path when on.
 //!
-//! This crate depends on nothing (not even `dlog-types`) so every layer
-//! of the workspace can carry a handle.
+//! This crate depends only on `dlog-alloc` (the counting global
+//! allocator behind [`gauge`]) so every layer of the workspace can
+//! carry a handle.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod counter;
+pub mod gauge;
 pub mod hist;
 pub mod trace;
 

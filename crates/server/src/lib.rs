@@ -145,6 +145,13 @@ pub struct LogServer {
     /// When the oldest pending force arrived; the coalescing window is
     /// measured from here.
     coalesce_since: Option<Instant>,
+    /// Allocations observed on the handling thread during write/force
+    /// ingest (`dlog-alloc` thread gauge deltas): the numerator of the
+    /// `allocs_per_write` gauge served by `Request::Stats`.
+    ingest_allocs: u64,
+    /// Records offered to ingest (accepted + duplicates): the
+    /// denominator of `allocs_per_write`.
+    ingest_records: u64,
 }
 
 impl LogServer {
@@ -163,8 +170,10 @@ impl LogServer {
             stats: ServerStats::default(),
             archive: None,
             obs: dlog_obs::Obs::off(),
-            pending_forces: Vec::new(),
+            pending_forces: Vec::default(),
             coalesce_since: None,
+            ingest_allocs: 0,
+            ingest_records: 0,
         })
     }
 
@@ -284,10 +293,30 @@ impl LogServer {
         self.shedding = on;
     }
 
-    /// Handle one packet; returns the packets to transmit.
+    /// The ingest allocation gauge: `(allocations, records)` observed by
+    /// write/force handling since startup. `allocations / records` is the
+    /// `allocs_per_write` figure reported by `dlog stats` and the bench
+    /// gate; the gauge is live even with observability off.
+    #[must_use]
+    pub fn ingest_alloc_gauge(&self) -> (u64, u64) {
+        (self.ingest_allocs, self.ingest_records)
+    }
+
+    /// Handle one packet; returns the packets to transmit. Convenience
+    /// wrapper over [`LogServer::handle_into`] — the runner's hot loop
+    /// calls `handle_into` with a reused reply buffer instead.
     pub fn handle(&mut self, from: NodeAddr, pkt: &Packet) -> Vec<(NodeAddr, Packet)> {
+        let mut out = Vec::default();
+        self.handle_into(from, pkt, &mut out);
+        out
+    }
+
+    /// Handle one packet, appending the packets to transmit onto `out`
+    /// (which is *not* cleared — the caller owns its lifecycle, so a
+    /// reused buffer adds no per-packet allocation).
+    pub fn handle_into(&mut self, from: NodeAddr, pkt: &Packet, out: &mut Vec<(NodeAddr, Packet)>) {
         self.stats.packets_in += 1;
-        let mut out: Vec<(NodeAddr, Packet)> = Vec::new();
+        let out_before = out.len();
         match &pkt.msg {
             Message::WriteLog {
                 client,
@@ -297,7 +326,7 @@ impl LogServer {
                 if self.shedding {
                     self.stats.writes_shed += 1;
                 } else {
-                    self.ingest(from, *client, *epoch, records, false, &mut out);
+                    self.ingest(from, *client, *epoch, records, false, out);
                 }
             }
             Message::ForceLog {
@@ -308,7 +337,7 @@ impl LogServer {
                 if self.shedding {
                     self.stats.writes_shed += 1;
                 } else {
-                    self.ingest(from, *client, *epoch, records, true, &mut out);
+                    self.ingest(from, *client, *epoch, records, true, out);
                 }
             }
             Message::NewInterval {
@@ -329,8 +358,7 @@ impl LogServer {
             // data-plane server; ignore.
             _ => {}
         }
-        self.stats.packets_out += out.len() as u64;
-        out
+        self.stats.packets_out += (out.len() - out_before) as u64;
     }
 
     /// Ingest a write/force batch, producing NAKs or acks.
@@ -344,6 +372,7 @@ impl LogServer {
         out: &mut Vec<(NodeAddr, Packet)>,
     ) {
         let span = self.obs.start();
+        let allocs_at_entry = dlog_obs::gauge::thread_allocs();
         let stored_before = self.stats.records_stored;
         let session = self.sessions.entry(client).or_default();
         session.last_addr = Some(from);
@@ -386,7 +415,10 @@ impl LogServer {
                 }
             };
             if accept {
-                let record = LogRecord::present(*lsn, epoch, data.clone());
+                // `share()`: a refcount bump onto the receive buffer's
+                // payload view — the record travels from wire to store
+                // without its bytes ever being copied here.
+                let record = LogRecord::present(*lsn, epoch, data.share());
                 match self.store.write(client, &record) {
                     Ok(()) => {
                         self.stats.records_stored += 1;
@@ -480,6 +512,10 @@ impl LogServer {
         self.obs
             .event(dlog_obs::Stage::ServerIngest, batch_hi, accepted);
         self.obs.sample_since(dlog_obs::Stage::ServerIngest, span);
+        self.ingest_allocs = self
+            .ingest_allocs
+            .wrapping_add(dlog_obs::gauge::thread_allocs().wrapping_sub(allocs_at_entry));
+        self.ingest_records += records.len() as u64;
     }
 
     /// True when at least one `ForceLog` ack is waiting on the next group
@@ -620,26 +656,26 @@ impl LogServer {
             } => {
                 for r in records {
                     if r.epoch != *epoch {
+                        // Static detail strings: the code is the machine-
+                        // readable part, and a formatted epoch would be
+                        // the only allocation on this path.
                         return Response::Err {
                             code: codes::PROTOCOL,
-                            detail: format!(
-                                "CopyLog record epoch {} differs from call epoch {epoch}",
-                                r.epoch
-                            ),
+                            detail: "CopyLog record epoch differs from call epoch".into(),
                         };
                     }
                     match self.store.stage_copy(*client, r) {
                         Ok(()) => {}
-                        Err(DlogError::StaleEpoch { current, .. }) => {
+                        Err(DlogError::StaleEpoch { .. }) => {
                             return Response::Err {
                                 code: codes::STALE_EPOCH,
-                                detail: format!("server already at epoch {current}"),
+                                detail: "server epoch already at or past the staged epoch".into(),
                             }
                         }
-                        Err(e) => {
+                        Err(_) => {
                             return Response::Err {
                                 code: codes::STORAGE,
-                                detail: e.to_string(),
+                                detail: "storage failure staging recovery copy".into(),
                             }
                         }
                     }
@@ -659,9 +695,9 @@ impl LogServer {
                         // is already installed. Idempotent success.
                         Response::Ok
                     }
-                    Err(e) => Response::Err {
+                    Err(_) => Response::Err {
                         code: codes::STORAGE,
-                        detail: e.to_string(),
+                        detail: "storage failure installing recovery copies".into(),
                     },
                 }
             }
@@ -691,11 +727,16 @@ impl LogServer {
                 }
             }
             Request::Stats => {
+                // The allocation gauge is served even with observability
+                // off: dlog-alloc counts unconditionally.
+                let (ingest_allocs, ingest_records) = self.ingest_alloc_gauge();
                 let Some(snap) = self.obs.snapshot() else {
                     return Response::Stats {
-                        stages: Vec::new(),
+                        stages: Vec::default(),
                         trace_events: 0,
                         trace_dropped: 0,
+                        ingest_allocs,
+                        ingest_records,
                     };
                 };
                 let stages = snap
@@ -712,6 +753,8 @@ impl LogServer {
                     stages,
                     trace_events: snap.trace_events,
                     trace_dropped: snap.trace_dropped,
+                    ingest_allocs,
+                    ingest_records,
                 }
             }
             Request::GenRead { generator } => Response::GenValue {
@@ -719,16 +762,19 @@ impl LogServer {
             },
             Request::GenWrite { generator, value } => match self.gens.write(*generator, *value) {
                 Ok(()) => Response::Ok,
-                Err(e) => Response::Err {
+                Err(_) => Response::Err {
                     code: codes::STORAGE,
-                    detail: e.to_string(),
+                    detail: "storage failure persisting generator state".into(),
                 },
             },
         }
     }
 
     fn read_batch(&mut self, client: ClientId, lsn: Lsn, max: u32, forward: bool) -> Response {
-        let mut records = Vec::new();
+        // One pre-sized allocation for the whole batch: the loop below
+        // never pushes past `max.min(read_batch)` entries.
+        let cap = max.min(self.config.read_batch) as usize;
+        let mut records = Vec::with_capacity(cap);
         let mut bytes = 0usize;
         let mut cursor = lsn;
         // "A log server does not respond to ServerReadLog requests for
@@ -736,7 +782,7 @@ impl LogServer {
         // empty response tells the client to ask elsewhere, while records
         // marked not-present ARE returned.
         loop {
-            if records.len() as u32 >= max.min(self.config.read_batch) {
+            if records.len() >= cap {
                 break;
             }
             // Live store first; a position retention has pruned falls back
@@ -746,19 +792,19 @@ impl LogServer {
                 Ok(None) => match self.archive.as_mut().and_then(|t| t.reader.as_mut()) {
                     Some(reader) => match reader.read(client, cursor) {
                         Ok(rec) => rec,
-                        Err(e) => {
+                        Err(_) => {
                             return Response::Err {
                                 code: codes::STORAGE,
-                                detail: e.to_string(),
+                                detail: "archive read failure".into(),
                             }
                         }
                     },
                     None => None,
                 },
-                Err(e) => {
+                Err(_) => {
                     return Response::Err {
                         code: codes::STORAGE,
-                        detail: e.to_string(),
+                        detail: "storage read failure".into(),
                     }
                 }
             };

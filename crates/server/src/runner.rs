@@ -9,6 +9,11 @@ use dlog_net::Endpoint;
 
 use crate::LogServer;
 
+/// How many queued packets one poll may ingest before replies are
+/// flushed. Bounds the extra latency a burst can impose on the first
+/// sender's ack while still amortizing per-packet overhead.
+const INGEST_BATCH: usize = 32;
+
 /// Handle to a running server thread.
 pub struct ServerRunner {
     stop: Arc<AtomicBool>,
@@ -25,6 +30,10 @@ impl ServerRunner {
         let handle = std::thread::Builder::new()
             .name(format!("log-server-{}", server.id()))
             .spawn(move || {
+                // One reply buffer for the life of the thread: handle_into
+                // appends into it, so after warm-up the steady-state loop
+                // issues no per-packet Vec allocations for replies.
+                let mut replies = Vec::with_capacity(64);
                 while !stop2.load(Ordering::Relaxed) {
                     // With forces waiting on a group commit, poll rather
                     // than block: the batch must flush the moment the
@@ -37,7 +46,22 @@ impl ServerRunner {
                     };
                     match endpoint.recv(timeout) {
                         Ok(Some((from, pkt))) => {
-                            for (to, reply) in server.handle(from, &pkt) {
+                            // Batch ingest: after the first packet, drain
+                            // whatever else is already queued (up to a cap
+                            // that keeps force acks prompt) before sending
+                            // replies, amortizing the send/recv syscall
+                            // boundary across the burst.
+                            replies.clear();
+                            server.handle_into(from, &pkt, &mut replies);
+                            for _ in 0..INGEST_BATCH - 1 {
+                                match endpoint.recv(Duration::ZERO) {
+                                    Ok(Some((from, pkt))) => {
+                                        server.handle_into(from, &pkt, &mut replies);
+                                    }
+                                    _ => break,
+                                }
+                            }
+                            for (to, reply) in replies.drain(..) {
                                 // Send failures are network loss — the
                                 // protocol recovers end to end.
                                 let _ = endpoint.send(to, &reply);

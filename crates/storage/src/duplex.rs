@@ -165,7 +165,7 @@ impl DuplexLog {
             let s = off.saturating_sub(buffered_from) as usize;
             self.buffer
                 .get(s..s.saturating_add(len as usize))
-                .ok_or_else(|| DlogError::Corrupt(format!("bad index entry for {lsn}")))?
+                .ok_or_else(|| DlogError::Corrupt("bad duplex index entry".into()))?
                 .to_vec()
         } else {
             use std::io::Read;
@@ -177,9 +177,7 @@ impl DuplexLog {
         };
         match Frame::decode(&bytes)? {
             Some((Frame::Record { record, .. }, _)) if record.lsn == lsn => Ok(record),
-            _ => Err(DlogError::Corrupt(format!(
-                "bad frame for {lsn} in duplex log"
-            ))),
+            _ => Err(DlogError::Corrupt("bad frame in duplex log".into())),
         }
     }
 

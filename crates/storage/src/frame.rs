@@ -141,7 +141,7 @@ impl Frame {
     }
 
     fn decode_body(body: &[u8]) -> Result<Frame> {
-        let corrupt = |msg: &str| DlogError::Corrupt(msg.to_string());
+        let corrupt = |msg: &str| DlogError::Corrupt(msg.into());
         let kind = u8_at(body, 0).ok_or_else(|| corrupt("empty frame body"))?;
         let rest = body.get(1..).unwrap_or(&[]);
         match kind {
@@ -185,7 +185,7 @@ impl Frame {
                 }
                 Ok(Frame::Checkpoint(rest.get(4..).unwrap_or(&[]).to_vec()))
             }
-            other => Err(corrupt(&format!("unknown frame kind {other}"))),
+            _ => Err(corrupt("unknown frame kind")),
         }
     }
 }

@@ -148,6 +148,10 @@ pub struct LogStore {
     archived_to: Option<u64>,
     stats: StoreStats,
     obs: dlog_obs::Obs,
+    /// Reused frame-encode scratch: `put_frame` serializes every record
+    /// through here, so after warm-up the write hot path performs no
+    /// per-record allocation for framing.
+    frame_buf: Vec<u8>,
 }
 
 impl LogStore {
@@ -181,7 +185,8 @@ impl LogStore {
             }
         })?;
         if let Some(e) = apply_err {
-            return Err(DlogError::Corrupt(format!("recovery scan: {e}")));
+            // apply_err already carries the context; no re-wrapping.
+            return Err(DlogError::Corrupt(e));
         }
         stream.truncate(valid_end)?;
 
@@ -189,9 +194,9 @@ impl LogStore {
         let (base, pending) = nvram.pending();
         if !pending.is_empty() {
             if base > valid_end {
-                return Err(DlogError::Corrupt(format!(
-                    "nvram base {base} is past the recovered stream end {valid_end}"
-                )));
+                return Err(DlogError::Corrupt(
+                    "nvram base is past the recovered stream end".into(),
+                ));
             }
             let overlap = (valid_end - base) as usize;
             if overlap < pending.len() {
@@ -209,7 +214,7 @@ impl LogStore {
                     }
                 })?;
                 if let Some(e) = apply_err {
-                    return Err(DlogError::Corrupt(format!("nvram replay: {e}")));
+                    return Err(DlogError::Corrupt(e));
                 }
                 // NVRAM holds whole frames, so the replay must consume the
                 // entire suffix.
@@ -242,6 +247,7 @@ impl LogStore {
             archived_to: None,
             stats,
             obs: dlog_obs::Obs::off(),
+            frame_buf: Vec::new(),
         })
     }
 
@@ -283,7 +289,7 @@ impl LogStore {
             .map_err(DlogError::Protocol)?;
         self.put_frame(&Frame::Record {
             client,
-            record: record.clone(),
+            record: record.share(),
             staged: false,
         })?;
         self.stats.records_written += 1;
@@ -360,9 +366,9 @@ impl LogStore {
             Frame::Record {
                 client: c, record, ..
             } if c == client && record.lsn == lsn => Ok(Some(record)),
-            _ => Err(DlogError::Corrupt(format!(
-                "index for {client} {lsn} points at a foreign frame (position {pos})"
-            ))),
+            _ => Err(DlogError::Corrupt(
+                "LSN index points at a foreign frame".into(),
+            )),
         }
     }
 
@@ -384,7 +390,7 @@ impl LogStore {
         let pos = self.append_position();
         self.put_frame(&Frame::Record {
             client,
-            record: record.clone(),
+            record: record.share(),
             staged: true,
         })?;
         let slot = self
@@ -396,7 +402,7 @@ impl LogStore {
         // A retried CopyLog may stage the same LSN twice; the newest copy
         // wins so InstallCopies stays well-formed.
         slot.retain(|(r, _)| r.lsn != record.lsn);
-        slot.push((record.clone(), pos));
+        slot.push((record.share(), pos));
         self.stats.records_written += 1;
         self.stats.bytes_written += record.data.len() as u64;
         Ok(())
@@ -409,14 +415,12 @@ impl LogStore {
     /// Fails when nothing is staged for the epoch, or on I/O failure.
     pub fn install_copies(&mut self, client: ClientId, epoch: Epoch) -> Result<()> {
         let Some(per_epoch) = self.staged.get_mut(&client) else {
-            return Err(DlogError::Protocol(format!(
-                "no staged records for {client}"
-            )));
+            return Err(DlogError::Protocol("no staged records for client".into()));
         };
         let Some(mut records) = per_epoch.remove(&epoch) else {
-            return Err(DlogError::Protocol(format!(
-                "no staged records for {client} at epoch {epoch}"
-            )));
+            return Err(DlogError::Protocol(
+                "no staged records for client at this epoch".into(),
+            ));
         };
         // The commit point: a durable install frame. Recovery replays the
         // installation when it sees this frame after the staged records.
@@ -638,15 +642,26 @@ impl LogStore {
     }
 
     fn put_frame(&mut self, frame: &Frame) -> Result<()> {
-        let mut buf = Vec::with_capacity(frame.encoded_len());
+        // Serialize through the store's reused scratch (taken out so the
+        // borrow checker lets the helpers borrow `self`): after warm-up
+        // the per-record framing cost is a memcpy, not an allocation.
+        let mut buf = std::mem::take(&mut self.frame_buf);
+        buf.clear();
+        buf.reserve(frame.encoded_len());
         frame.encode_into(&mut buf);
+        let result = self.put_frame_bytes(&buf);
+        self.frame_buf = buf;
+        result
+    }
+
+    fn put_frame_bytes(&mut self, buf: &[u8]) -> Result<()> {
         if buf.len() > self.nvram.available() {
             self.flush_track()?;
         }
         if buf.len() > self.nvram.capacity() {
             // Oversized frame (streamed bulk data): bypass the buffer.
             // Ordering is preserved because the track was just flushed.
-            let pos = self.stream.append(&buf)?;
+            let pos = self.stream.append(buf)?;
             if self.opts.fsync {
                 self.stream.sync()?;
                 self.stats.fsyncs += 1;
@@ -660,7 +675,7 @@ impl LogStore {
             // §5.1 guarded write: prove this insert was computed from the
             // device's previous state. A mismatch means foreign code wrote
             // the NVRAM behind our back — treat the buffer as corrupt.
-            match self.nvram.insert_guarded(self.seal, &buf) {
+            match self.nvram.insert_guarded(self.seal, buf) {
                 Ok(new_seal) => self.seal = new_seal,
                 Err(crate::nvram::GuardError::Mismatch(m)) => {
                     return Err(DlogError::Corrupt(format!(
@@ -673,7 +688,7 @@ impl LogStore {
             }
         } else {
             self.nvram
-                .insert(&buf)
+                .insert(buf)
                 .map_err(|e| DlogError::Protocol(e.to_string()))?;
         }
         if self.nvram.pending_len() >= self.opts.track_bytes {
@@ -685,15 +700,13 @@ impl LogStore {
     fn read_frame_at(&mut self, pos: u64) -> Result<Frame> {
         let envelope = self.read_bytes(pos, 8)?;
         let body_len = dlog_types::bytes::u32_le_at(&envelope, 0)
-            .ok_or_else(|| DlogError::Corrupt(format!("short frame envelope at {pos}")))?
+            .ok_or_else(|| DlogError::Corrupt("short frame envelope".into()))?
             as usize;
         let total = 8 + body_len;
         let bytes = self.read_bytes(pos, total)?;
         match Frame::decode(&bytes)? {
             Some((frame, _)) => Ok(frame),
-            None => Err(DlogError::Corrupt(format!(
-                "unreadable frame at position {pos}"
-            ))),
+            None => Err(DlogError::Corrupt("unreadable frame".into())),
         }
     }
 
@@ -703,7 +716,7 @@ impl LogStore {
             // Entirely in NVRAM.
             self.nvram
                 .read_at(pos, len)
-                .ok_or_else(|| DlogError::Corrupt(format!("position {pos} not buffered")))
+                .ok_or_else(|| DlogError::Corrupt("read position not buffered".into()))
         } else {
             Ok(self.stream.read_at(pos, len)?)
         }
@@ -810,7 +823,7 @@ fn apply_frame(
             let mut records = staged
                 .get_mut(&client)
                 .and_then(|m| m.remove(&epoch))
-                .ok_or_else(|| format!("install frame without staged records for {client}"))?;
+                .ok_or("install frame without staged records")?;
             records.sort_by_key(|(r, _)| r.lsn);
             for (record, pos) in records {
                 table.append(client, record.lsn, record.epoch, pos)?;
@@ -970,7 +983,7 @@ struct Reader<'a>(&'a [u8]);
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> std::result::Result<&'a [u8], String> {
         if self.0.len() < n {
-            return Err(format!("replay state truncated (need {n} bytes)"));
+            return Err("replay state truncated".into());
         }
         let (head, tail) = self.0.split_at(n);
         self.0 = tail;
@@ -978,18 +991,17 @@ impl<'a> Reader<'a> {
     }
 
     fn u8(&mut self) -> std::result::Result<u8, String> {
-        let short = || "replay state truncated".to_string();
-        dlog_types::bytes::u8_at(self.take(1)?, 0).ok_or_else(short)
+        dlog_types::bytes::u8_at(self.take(1)?, 0).ok_or_else(|| "replay state truncated".into())
     }
 
     fn u32(&mut self) -> std::result::Result<u32, String> {
-        let short = || "replay state truncated".to_string();
-        dlog_types::bytes::u32_le_at(self.take(4)?, 0).ok_or_else(short)
+        dlog_types::bytes::u32_le_at(self.take(4)?, 0)
+            .ok_or_else(|| "replay state truncated".into())
     }
 
     fn u64(&mut self) -> std::result::Result<u64, String> {
-        let short = || "replay state truncated".to_string();
-        dlog_types::bytes::u64_le_at(self.take(8)?, 0).ok_or_else(short)
+        dlog_types::bytes::u64_le_at(self.take(8)?, 0)
+            .ok_or_else(|| "replay state truncated".into())
     }
 }
 

@@ -158,7 +158,7 @@ impl SegmentedStream {
         if pos < self.start || pos > self.end {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
-                format!("write at {pos} outside [{}, {}]", self.start, self.end),
+                "write position outside the stream's live range",
             ));
         }
         let mut cursor = pos;

@@ -161,56 +161,144 @@ impl Ord for RecordId {
 /// algorithms used by the client node" (§3.1). Payloads are shared between
 /// the client's in-flight queue, its undo cache, and the wire encoder, so
 /// they are reference counted.
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
-pub struct LogData(Arc<[u8]>);
+///
+/// A payload is a *view* into a shared buffer: `(Arc<Vec<u8>>, start,
+/// len)`. The wire decoder exploits this to borrow record payloads
+/// directly out of a pooled receive buffer ([`LogData::slice_of`])
+/// instead of copying each record — the zero-copy receive path. The
+/// buffer behind a view returns to its pool once every view on it is
+/// dropped (pools reuse buffers whose `Arc` refcount is back to one).
+#[derive(Clone)]
+pub struct LogData {
+    buf: Arc<Vec<u8>>,
+    start: usize,
+    len: usize,
+}
+
+/// Shared empty buffer so [`LogData::empty`] (and `Default`) never
+/// allocate — not-present records are constructed on the recovery hot
+/// path.
+fn empty_buf() -> Arc<Vec<u8>> {
+    static EMPTY: std::sync::OnceLock<Arc<Vec<u8>>> = std::sync::OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| Arc::new(Vec::default())))
+}
 
 impl LogData {
     /// Wrap a byte vector as log data.
     #[must_use]
-    pub fn new(bytes: impl Into<Arc<[u8]>>) -> Self {
-        LogData(bytes.into())
+    pub fn new(bytes: impl Into<Vec<u8>>) -> Self {
+        let v = bytes.into();
+        let len = v.len();
+        LogData {
+            buf: Arc::new(v),
+            start: 0,
+            len,
+        }
     }
 
-    /// Empty payload (used for records marked *not present*).
+    /// Empty payload (used for records marked *not present*). Never
+    /// allocates: all empty payloads share one static buffer.
     #[must_use]
     pub fn empty() -> Self {
-        LogData(Arc::new([]))
+        LogData {
+            buf: empty_buf(),
+            start: 0,
+            len: 0,
+        }
+    }
+
+    /// A zero-copy view of `buf[start..start + len]`, sharing ownership
+    /// of the buffer. Returns `None` when the range is out of bounds.
+    ///
+    /// This is the receive path's borrow: the wire decoder hands out
+    /// views into the receive buffer instead of copying each record's
+    /// bytes.
+    #[must_use]
+    pub fn slice_of(buf: &Arc<Vec<u8>>, start: usize, len: usize) -> Option<Self> {
+        let end = start.checked_add(len)?;
+        if end > buf.len() {
+            return None;
+        }
+        Some(LogData {
+            buf: Arc::clone(buf),
+            start,
+            len,
+        })
+    }
+
+    /// Another view of the same shared bytes. Semantically identical to
+    /// `clone()`, but named for what it is: a refcount bump, never a
+    /// byte copy or heap allocation — the form the hot-path allocation
+    /// lint budget expects on ingest and response-assembly paths.
+    #[must_use]
+    pub fn share(&self) -> Self {
+        LogData {
+            buf: Arc::clone(&self.buf),
+            start: self.start,
+            len: self.len,
+        }
     }
 
     /// The payload bytes.
     #[must_use]
     pub fn as_bytes(&self) -> &[u8] {
-        &self.0
+        // The range was validated at construction; the guarded access
+        // keeps this panic-free by contract anyway.
+        self.buf
+            .get(self.start..self.start.saturating_add(self.len))
+            .unwrap_or(&[])
     }
 
     /// Payload length in bytes.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.len
     }
 
     /// True when the payload is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.len == 0
+    }
+}
+
+impl Default for LogData {
+    fn default() -> Self {
+        LogData::empty()
+    }
+}
+
+/// Equality is over the payload *bytes*: two views of different buffers
+/// with the same contents are equal (records survive re-encoding).
+impl PartialEq for LogData {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_bytes() == other.as_bytes()
+    }
+}
+
+impl Eq for LogData {}
+
+impl std::hash::Hash for LogData {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_bytes().hash(state);
     }
 }
 
 impl fmt::Debug for LogData {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "LogData({} bytes)", self.0.len())
+        write!(f, "LogData({} bytes)", self.len)
     }
 }
 
 impl From<Vec<u8>> for LogData {
     fn from(v: Vec<u8>) -> Self {
-        LogData(v.into())
+        LogData::new(v)
     }
 }
 
 impl From<&[u8]> for LogData {
     fn from(v: &[u8]) -> Self {
-        LogData(Arc::from(v))
+        LogData::new(v.to_vec())
     }
 }
 
@@ -250,6 +338,20 @@ impl LogRecord {
             epoch,
             present: true,
             data: data.into(),
+        }
+    }
+
+    /// A non-allocating copy of this record: scalars are `Copy` and the
+    /// payload is shared ([`LogData::share`]) rather than duplicated.
+    /// Semantically identical to `clone()` — spelled differently so the
+    /// hot-path allocation lint can tell the two apart.
+    #[must_use]
+    pub fn share(&self) -> Self {
+        LogRecord {
+            lsn: self.lsn,
+            epoch: self.epoch,
+            present: self.present,
+            data: self.data.share(),
         }
     }
 

@@ -47,8 +47,18 @@ fn fresh_dir() -> PathBuf {
     d
 }
 
+/// Per-server replay fingerprint: `(addr, ingest_allocs, ingest_records,
+/// trace_bytes)`, sorted by address. Two same-seed runs must match.
+type CaseFingerprint = Vec<(u64, u64, u64, Vec<u8>)>;
+
 #[allow(clippy::needless_pass_by_value)]
-fn run_case(plan: FaultPlan, window_us: u64, max_batch: usize, delta: u64, flush_p: f64) {
+fn run_case(
+    plan: FaultPlan,
+    window_us: u64,
+    max_batch: usize,
+    delta: u64,
+    flush_p: f64,
+) -> CaseFingerprint {
     let dir = fresh_dir();
     let rng_seed = plan.seed ^ 0xC0A1_E5CE;
     let (world, observers) = build_world(
@@ -101,18 +111,23 @@ fn run_case(plan: FaultPlan, window_us: u64, max_batch: usize, delta: u64, flush
     // the fault schedule can drop or reorder them.)
     let w = world.lock().expect("world lock");
     let mut coalesced_total = 0;
+    let mut fingerprint: CaseFingerprint = Vec::with_capacity(observers.len());
     for (addr, obs) in &observers {
         let snap = obs.snapshot().expect("obs enabled");
         prop_assert_eq!(snap.trace_dropped, 0, "trace ring overflowed on {:?}", addr);
         check_force_before_ack(&snap.trace)
             .unwrap_or_else(|e| panic!("{addr:?}: force-before-ack violated: {e}"));
-        let st = w.servers.get(addr).expect("server exists").stats();
+        let server = w.servers.get(addr).expect("server exists");
+        let st = server.stats();
         coalesced_total += st.coalesced_forces;
         prop_assert!(
             st.group_commits <= st.coalesced_forces,
             "{:?}: more group commits than deferred forces",
             addr
         );
+        let (ingest_allocs, ingest_records) = server.ingest_alloc_gauge();
+        let trace_bytes = snap.trace.iter().flat_map(|e| e.to_bytes()).collect();
+        fingerprint.push((addr.0, ingest_allocs, ingest_records, trace_bytes));
     }
     if window_us > 0 {
         prop_assert!(
@@ -122,6 +137,8 @@ fn run_case(plan: FaultPlan, window_us: u64, max_batch: usize, delta: u64, flush
     }
     drop(w);
     let _ = std::fs::remove_dir_all(&dir);
+    fingerprint.sort_unstable();
+    fingerprint
 }
 
 proptest! {
@@ -141,7 +158,7 @@ proptest! {
             1 => FaultPlan::flaky(seed),
             _ => FaultPlan::hostile(seed),
         };
-        run_case(plan, window_us, max_batch, delta, flush_p);
+        let _ = run_case(plan, window_us, max_batch, delta, flush_p);
     }
 }
 
@@ -149,5 +166,47 @@ proptest! {
 /// network, batch cap 1 below δ, coalescing on, frequent random flushes.
 #[test]
 fn group_commit_hostile_smoke() {
-    run_case(FaultPlan::hostile(0x6C0), 2_000, 3, 4, 0.25);
+    let _ = run_case(FaultPlan::hostile(0x6C0), 2_000, 3, 4, 0.25);
+}
+
+/// Same seed ⇒ identical per-server traces AND identical per-server
+/// ingest alloc gauges. The zero-copy ingest path may not allocate
+/// nondeterministically: every delivered packet replays exactly, so the
+/// counting-allocator deltas attributed to ingest must too. A warm-up
+/// run pays one-time lazy-init allocations (CRC tables, empty-buf
+/// singletons) before the measured pair. Wall-clock effects are fenced
+/// out of the measured pair: the coalesce window is an hour (expiry
+/// never fires mid-test, leaving the deterministic flush triggers —
+/// batch cap, seeded rolls, inbox drain) and the plan is reliable (no
+/// loss, so the client's wall-clock retransmit timers never trip, even
+/// when parallel test threads steal CPU).
+#[test]
+fn group_commit_same_seed_identical_allocs() {
+    const HOUR_US: u64 = 3_600_000_000;
+    let _ = run_case(FaultPlan::reliable(), HOUR_US, 3, 4, 0.2);
+    let a = run_case(FaultPlan::reliable(), HOUR_US, 3, 4, 0.2);
+    let b = run_case(FaultPlan::reliable(), HOUR_US, 3, 4, 0.2);
+    let ingested: u64 = a.iter().map(|(_, _, records, _)| records).sum();
+    assert!(
+        ingested > 0,
+        "servers ingested nothing; comparison is vacuous"
+    );
+    for ((addr_a, allocs_a, records_a, trace_a), (addr_b, allocs_b, records_b, trace_b)) in
+        a.iter().zip(&b)
+    {
+        assert_eq!(addr_a, addr_b, "server sets differ across replays");
+        assert!(
+            trace_a == trace_b,
+            "server {addr_a}: trace bytes differ across replays"
+        );
+        assert_eq!(
+            records_a, records_b,
+            "server {addr_a}: ingested record counts differ across replays"
+        );
+        assert_eq!(
+            allocs_a, allocs_b,
+            "server {addr_a}: ingest alloc counts differ across replays — \
+             the zero-copy path allocates nondeterministically"
+        );
+    }
 }

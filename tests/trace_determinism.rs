@@ -36,13 +36,25 @@ fn fresh_dir(label: &str) -> PathBuf {
     d
 }
 
+/// Everything a replay must reproduce exactly: the ordered trace bytes,
+/// the client's counters, the test thread's allocation count over the
+/// workload, and each server's ingest-gauge (allocs, records) pair.
+struct RunFingerprint {
+    trace: Vec<u8>,
+    stats: dlog_core::client::ClientStats,
+    thread_allocs: u64,
+    server_gauges: Vec<(u64, u64, u64)>,
+}
+
 /// Run the fixed workload under `plan` and return the ordered trace as
 /// bytes (25 bytes per event, wall-clock-free by construction) plus the
-/// client's counters.
-fn run_once(plan: FaultPlan, dir: &Path) -> (Vec<u8>, dlog_core::client::ClientStats) {
+/// client's counters and the run's allocation fingerprint.
+fn run_once(plan: FaultPlan, dir: &Path) -> RunFingerprint {
+    let allocs_before = dlog_obs::gauge::thread_allocs();
     let obs = Obs::new(&ObsOptions::on());
     let (world, _observers) =
         build_world(dir, SyncWorldOptions::shared(M, plan, obs.clone())).expect("build world");
+    let world_handle = std::sync::Arc::clone(&world);
     let ep = SyncEndpoint::new(CLIENT_ADDR, world);
     let addrs: HashMap<ServerId, NodeAddr> = (1..=M).map(|i| (ServerId(i), NodeAddr(i))).collect();
     let net = ClientNet::new(ep, addrs);
@@ -68,24 +80,96 @@ fn run_once(plan: FaultPlan, dir: &Path) -> (Vec<u8>, dlog_core::client::ClientS
         snap.trace.len()
     );
     dlog_obs::check_force_before_ack(&snap.trace).expect("force-before-ack invariant");
-    let bytes = snap.trace.iter().flat_map(|e| e.to_bytes()).collect();
-    (bytes, log.stats())
+    let trace = snap.trace.iter().flat_map(|e| e.to_bytes()).collect();
+
+    // The sync world runs every server on this thread, so both the
+    // thread-local allocation count and the servers' ingest gauges are
+    // part of what a deterministic replay must reproduce.
+    let w = world_handle.lock().expect("world lock");
+    let mut server_gauges: Vec<(u64, u64, u64)> = w
+        .servers
+        .iter()
+        .map(|(addr, server)| {
+            let (allocs, records) = server.ingest_alloc_gauge();
+            (addr.0, allocs, records)
+        })
+        .collect();
+    server_gauges.sort_unstable();
+    drop(w);
+
+    RunFingerprint {
+        trace,
+        stats: log.stats(),
+        thread_allocs: dlog_obs::gauge::thread_allocs() - allocs_before,
+        server_gauges,
+    }
+}
+
+/// Compare two same-seed runs: identical trace bytes and identical
+/// per-server ingest alloc gauges always; identical whole-thread
+/// allocation counts only when `strict_thread_allocs` — the client's
+/// poll loop spins on wall-clock deadlines, so under a lossy plan the
+/// number of *empty* polls (and their allocations) varies run to run
+/// even though every delivered packet, and hence every server-side
+/// ingest allocation, replays exactly.
+fn assert_replays_identical(
+    label: &str,
+    a: &RunFingerprint,
+    b: &RunFingerprint,
+    strict_thread_allocs: bool,
+) {
+    assert_eq!(
+        a.trace.len(),
+        b.trace.len(),
+        "{label}: event counts differ across replays"
+    );
+    assert!(
+        a.trace == b.trace,
+        "{label}: trace bytes differ across replays"
+    );
+    if strict_thread_allocs {
+        assert_eq!(
+            a.thread_allocs, b.thread_allocs,
+            "{label}: allocation counts differ across replays — the hot \
+             path allocates nondeterministically"
+        );
+    }
+    assert_eq!(
+        a.server_gauges, b.server_gauges,
+        "{label}: per-server ingest alloc gauges differ across replays"
+    );
+    let ingested: u64 = a.server_gauges.iter().map(|(_, _, records)| records).sum();
+    assert!(
+        ingested > 0,
+        "{label}: servers report zero ingested records; gauge comparison is vacuous"
+    );
+}
+
+/// One throwaway run so lazily initialized globals (CRC tables, empty-buf
+/// singletons, thread-local scratch) pay their one-time allocations
+/// before any measured pair of runs. `label` keeps parallel test threads
+/// out of each other's directories.
+fn warm_up(label: &str) {
+    let _ = run_once(
+        FaultPlan::reliable(),
+        &fresh_dir(&format!("{label}-warmup")),
+    );
 }
 
 #[test]
 fn same_seed_replays_byte_identical_reliable() {
-    let (a, _) = run_once(FaultPlan::reliable(), &fresh_dir("reliable-a"));
-    let (b, _) = run_once(FaultPlan::reliable(), &fresh_dir("reliable-b"));
-    assert_eq!(a.len(), b.len(), "event counts differ across replays");
-    assert!(a == b, "reliable-plan trace bytes differ across replays");
+    warm_up("reliable");
+    let a = run_once(FaultPlan::reliable(), &fresh_dir("reliable-a"));
+    let b = run_once(FaultPlan::reliable(), &fresh_dir("reliable-b"));
+    assert_replays_identical("reliable", &a, &b, true);
 }
 
 #[test]
 fn same_seed_replays_byte_identical_flaky() {
-    let (a, _) = run_once(FaultPlan::flaky(0xD106), &fresh_dir("flaky-a"));
-    let (b, _) = run_once(FaultPlan::flaky(0xD106), &fresh_dir("flaky-b"));
-    assert_eq!(a.len(), b.len(), "event counts differ across replays");
-    assert!(a == b, "flaky-plan trace bytes differ across replays");
+    warm_up("flaky");
+    let a = run_once(FaultPlan::flaky(0xD106), &fresh_dir("flaky-a"));
+    let b = run_once(FaultPlan::flaky(0xD106), &fresh_dir("flaky-b"));
+    assert_replays_identical("flaky", &a, &b, false);
 }
 
 /// Pins the retry-backoff bugfix: the client's jittered exponential
@@ -95,25 +179,28 @@ fn same_seed_replays_byte_identical_flaky() {
 /// NAK retransmit paths hard must replay byte-identically.
 #[test]
 fn same_seed_replays_byte_identical_hostile() {
-    let (a, sa) = run_once(FaultPlan::hostile(0xBACC0FF), &fresh_dir("hostile-a"));
-    let (b, sb) = run_once(FaultPlan::hostile(0xBACC0FF), &fresh_dir("hostile-b"));
+    warm_up("hostile");
+    let a = run_once(FaultPlan::hostile(0xBACC0FF), &fresh_dir("hostile-a"));
+    let b = run_once(FaultPlan::hostile(0xBACC0FF), &fresh_dir("hostile-b"));
     assert!(
-        sa.resends > 0,
+        a.stats.resends > 0,
         "hostile plan never exercised the retry path; the test pins nothing"
     );
     assert_eq!(
-        sa.resends, sb.resends,
+        a.stats.resends, b.stats.resends,
         "resend counts differ across replays"
     );
-    assert_eq!(a.len(), b.len(), "event counts differ across replays");
-    assert!(a == b, "hostile-plan trace bytes differ across replays");
+    assert_replays_identical("hostile", &a, &b, false);
 }
 
 #[test]
 fn different_fault_schedules_diverge() {
     // Sanity check that the comparison has teeth: a lossy schedule
     // produces a different event sequence than the reliable one.
-    let (a, _) = run_once(FaultPlan::reliable(), &fresh_dir("div-a"));
-    let (b, _) = run_once(FaultPlan::flaky(7), &fresh_dir("div-b"));
-    assert!(a != b, "flaky and reliable schedules produced equal traces");
+    let a = run_once(FaultPlan::reliable(), &fresh_dir("div-a"));
+    let b = run_once(FaultPlan::flaky(7), &fresh_dir("div-b"));
+    assert!(
+        a.trace != b.trace,
+        "flaky and reliable schedules produced equal traces"
+    );
 }
