@@ -263,10 +263,13 @@ impl DiskForest {
     /// # Errors
     /// Fails only on I/O or corruption; a missing LSN is `Ok(None)`.
     pub fn lookup(&mut self, lsn: Lsn) -> io::Result<Option<u64>> {
-        // Phase 1: pick the containing tree from the root chain.
+        // Phase 1: pick the containing tree from the root chain. Indexed
+        // access (the entries are Copy) instead of iteration, because
+        // `read_header` needs `&mut self` mid-walk.
         let mut tree: Option<u64> = None;
-        let roots = self.roots.clone();
-        for (off, _, min_key, _) in roots {
+        let mut i = 0;
+        while let Some(&(off, _, min_key, _)) = self.roots.get(i) {
+            i += 1;
             let h = self.read_header(off)?;
             if lsn.0 > h.key {
                 return Ok(None); // beyond the newest tree that could hold it

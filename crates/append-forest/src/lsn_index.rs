@@ -130,17 +130,24 @@ impl LsnIndex {
         Some((first, last))
     }
 
-    /// All indexed positions in LSN order (used for checkpoint encoding).
-    #[must_use]
-    pub fn positions(&self) -> Vec<u64> {
-        let mut out = Vec::with_capacity(self.len());
-        for (_, node) in self.forest.iter() {
-            out.extend_from_slice(&node.positions);
-        }
-        if let Some(open) = &self.open {
-            out.extend_from_slice(&open.positions);
-        }
-        out
+    /// All indexed positions in LSN order, streamed without allocating
+    /// (used for checkpoint encoding).
+    pub fn positions_iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.forest
+            .iter()
+            .flat_map(|(_, n)| n.positions.iter().copied())
+            .chain(
+                self.open
+                    .iter()
+                    .flat_map(|n| n.positions.iter().copied()),
+            )
+    }
+
+    /// Collect every indexed position into `out` (cleared first); callers
+    /// that need a contiguous slice reuse one scratch vector.
+    pub fn positions_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(self.positions_iter());
     }
 
     /// Rebuild an index from its first LSN and the positions of each

@@ -235,7 +235,7 @@ impl Archiver {
                 len: sb,
                 crc: crc32(&bytes),
             };
-            self.put_with_retry(&Manifest::segment_key(index), &bytes)?;
+            self.put_with_retry(Manifest::segment_key(index).as_str(), &bytes)?;
             self.stats.segments_uploaded += 1;
             segments.push(entry);
         }
@@ -248,7 +248,7 @@ impl Archiver {
                 crc: crc32(&bytes),
             };
             if prev.get(&last_full) != Some(&entry) {
-                self.put_with_retry(&Manifest::segment_key(last_full), &bytes)?;
+                self.put_with_retry(Manifest::segment_key(last_full).as_str(), &bytes)?;
                 self.stats.segments_uploaded += 1;
             }
             segments.push(entry);

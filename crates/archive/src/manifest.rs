@@ -66,7 +66,7 @@ impl Manifest {
     /// Object key of segment `index` — identical to the segment's on-disk
     /// file name, so restore is a straight copy.
     #[must_use]
-    pub fn segment_key(index: u64) -> String {
+    pub fn segment_key(index: u64) -> dlog_types::namebuf::NameBuf<32> {
         segment_file_name(index)
     }
 

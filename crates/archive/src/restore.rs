@@ -10,7 +10,7 @@ use std::sync::Arc;
 use dlog_storage::crc::crc32;
 use dlog_storage::frame::Frame;
 use dlog_storage::intervals::IntervalTable;
-use dlog_storage::store::encode_checkpoint_image;
+use dlog_storage::store::encode_checkpoint_image_into;
 use dlog_storage::stream::segment_file_name;
 use dlog_types::{ClientId, DlogError, Interval, IntervalList, LogRecord, Lsn, Result};
 
@@ -58,7 +58,7 @@ pub fn restore_from(
     for e in &manifest.segments {
         let key = Manifest::segment_key(e.index);
         let bytes = objects
-            .get(&key)?
+            .get(key.as_str())?
             .ok_or_else(|| DlogError::Corrupt(format!("archive object {key} missing")))?;
         // A later round may have re-uploaded this segment with more
         // appended bytes; the stream is append-only, so this manifest's
@@ -71,10 +71,11 @@ pub fn restore_from(
                 "archive object {key} does not match its manifest entry"
             )));
         }
-        write_file(dir, &segment_file_name(e.index), view)?;
+        write_file(dir, segment_file_name(e.index).as_str(), view)?;
     }
     let state = manifest.replay_state()?;
-    let image = encode_checkpoint_image(state.table(), manifest.cut);
+    let mut image = Vec::new();
+    encode_checkpoint_image_into(state.table(), manifest.cut, &mut image);
     write_file(dir, "intervals.ckpt", &image)?;
     // Restored files must survive a crash before we report success;
     // a failed directory sync would leave the restore only probably
@@ -213,7 +214,7 @@ impl ArchiveReader {
             let key = Manifest::segment_key(seg);
             let bytes = self
                 .objects
-                .get(&key)?
+                .get(key.as_str())?
                 .ok_or_else(|| DlogError::Corrupt("archive segment object missing".into()))?;
             if self.cache.len() >= 4 {
                 self.cache.clear();

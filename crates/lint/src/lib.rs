@@ -61,6 +61,7 @@ pub mod report;
 pub mod rules;
 pub mod source;
 pub mod summary;
+pub mod threadsafe;
 pub mod workspace;
 
 pub use report::{Report, Violation};

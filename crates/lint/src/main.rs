@@ -8,13 +8,18 @@
 //! cargo run -p dlog-lint -- --callgraph          # resolved call graph
 //! cargo run -p dlog-lint -- --callgraph --dot    # Graphviz rendering
 //! cargo run -p dlog-lint -- --callgraph --json   # per-fn summaries
+//! cargo run -p dlog-lint -- --race-report        # thread-safety access map
+//! cargo run -p dlog-lint -- --race-report --deep # unbounded interprocedural depth
 //! ```
 //!
 //! Exit status: 0 when clean (modulo `lint.allow`), 1 on violations,
 //! 2 on usage or I/O errors. With `--json --timing` the timing table
 //! goes to stderr so stdout stays valid JSON. `--callgraph` dumps the
 //! interprocedural engine's view of the workspace and always exits 0
-//! on success (it reports structure, not findings).
+//! on success (it reports structure, not findings). `--race-report`
+//! dumps the thread-safety layer's per-field access map with locksets
+//! (`race-report.json` in CI); `--deep` lifts the interprocedural
+//! entry-lockset round cap for either mode (the nightly lane).
 
 #![forbid(unsafe_code)]
 
@@ -26,6 +31,8 @@ fn main() -> ExitCode {
     let mut timing = false;
     let mut callgraph = false;
     let mut dot = false;
+    let mut race_report = false;
+    let mut deep = false;
     let mut root_arg: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -34,6 +41,8 @@ fn main() -> ExitCode {
             "--timing" => timing = true,
             "--callgraph" => callgraph = true,
             "--dot" => dot = true,
+            "--race-report" => race_report = true,
+            "--deep" => deep = true,
             "--root" => match args.next() {
                 Some(p) => root_arg = Some(PathBuf::from(p)),
                 None => {
@@ -43,7 +52,8 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: dlog-lint [--json] [--timing] [--root PATH] [--callgraph [--dot]]"
+                    "usage: dlog-lint [--json] [--timing] [--deep] [--root PATH] \
+                     [--callgraph [--dot]] [--race-report]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -78,6 +88,19 @@ fn main() -> ExitCode {
         }
     };
 
+    if race_report {
+        return match dlog_lint::workspace::build_race_report(&root, deep) {
+            Ok(json) => {
+                print!("{json}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
     if callgraph {
         return match dlog_lint::workspace::build_callgraph(&root) {
             Ok((graph, summaries)) => {
@@ -103,7 +126,7 @@ fn main() -> ExitCode {
         };
     }
 
-    match dlog_lint::lint_workspace(&root) {
+    match dlog_lint::workspace::lint_workspace_with(&root, deep) {
         Ok(report) => {
             if json {
                 print!("{}", report.to_json());

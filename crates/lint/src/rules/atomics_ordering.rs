@@ -1,0 +1,67 @@
+//! `atomics-ordering` — a `Relaxed` atomic load must not gate access to
+//! non-atomic shared state.
+//!
+//! The [`crate::threadsafe`] pass classifies every atomic by role:
+//! *counters* (monotone stats like `dlog-obs` counters and the
+//! `dlog-alloc` totals) never feed a branch, while *handoffs* (the
+//! runner `stop` flag, `udp.rs` `promiscuous`) are loaded as branch
+//! conditions. `Relaxed` is fine for a counter — and fine even for a
+//! handoff whose guarded body only touches lock-protected or atomic
+//! state, because the lock supplies the ordering. What it cannot do is
+//! publish plain shared data: if a `Relaxed` load guards a branch whose
+//! body reads a tracked plain field with an empty lockset, the writer's
+//! stores to that field may not be visible to the reader despite the
+//! flag being observed — the classic message-passing bug that needs a
+//! Release store paired with an Acquire load.
+//!
+//! Paper anchor: §4.2 — ack-after-force is exactly a cross-thread
+//! handoff ("the record is durable; readers may proceed"), which is why
+//! the sharded-server work must not weaken these edges.
+
+use crate::report::Violation;
+use crate::threadsafe::ThreadSafety;
+
+/// Rule identifier.
+pub const RULE: &str = "atomics-ordering";
+
+/// Flag `Relaxed` loads that guard a branch touching non-atomic shared
+/// state with no lock held.
+#[must_use]
+pub fn check(ts: &ThreadSafety) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for info in ts.atomics.values() {
+        for a in &info.accesses {
+            if a.method != "load" || a.ordering != "Relaxed" {
+                continue;
+            }
+            let Some((blo, bhi)) = a.guard_span else {
+                continue;
+            };
+            // A shared plain-field access inside the guarded body with
+            // no lock held: the Relaxed load is publishing plain data.
+            let hit = ts.accesses.iter().find(|s| {
+                s.file == a.file
+                    && !s.exclusive
+                    && s.lockset.is_empty()
+                    && s.token > blo
+                    && s.token < bhi
+            });
+            let Some(hit) = hit else { continue };
+            out.push(Violation {
+                rule: RULE,
+                file: a.file.clone(),
+                line: a.line,
+                scope: a.func.clone(),
+                message: format!(
+                    "`{}` ({}) is loaded with Ordering::Relaxed but guards access to \
+                     `{}.{}` at {}:{} with no lock held; a Relaxed flag cannot publish \
+                     plain shared data — store with Release and load with Acquire",
+                    info.id, info.role(), hit.strukt, hit.field, hit.file, hit.line
+                ),
+            });
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line, &a.message).cmp(&(&b.file, b.line, &b.message)));
+    out.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.message == b.message);
+    out
+}

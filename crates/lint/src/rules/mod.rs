@@ -10,6 +10,7 @@ use crate::report::Violation;
 use crate::source::SourceFile;
 
 pub mod ack_after_force;
+pub mod atomics_ordering;
 pub mod blocking_under_lock;
 pub mod forbid_unsafe;
 pub mod hot_path_alloc;
@@ -18,8 +19,10 @@ pub mod lsn_checked_arith;
 pub mod panic_freedom;
 pub mod result_swallow;
 pub mod seal_typestate;
+pub mod shared_field_lockset;
 pub mod status_parity;
 pub mod unbounded_recursion;
+pub mod view_escape;
 pub mod wire_exhaustive;
 
 /// A lexical per-file rule: scans one token stream at a time.
@@ -78,4 +81,7 @@ pub const ALL_RULES: &[&str] = &[
     result_swallow::RULE,
     hot_path_alloc::RULE,
     unbounded_recursion::RULE,
+    shared_field_lockset::RULE,
+    atomics_ordering::RULE,
+    view_escape::RULE,
 ];

@@ -1,0 +1,98 @@
+//! `shared-field-lockset` — every mutable field of a thread-shared
+//! struct must have a non-empty common lockset.
+//!
+//! The [`crate::threadsafe`] pass discovers thread-escape roots (Arc
+//! payloads, statics, sync-interior structs and everything reachable
+//! from them through field types), then records every syntactic access
+//! to a tracked plain field together with the lockset held there — local
+//! guard facts from the must-analysis plus the interprocedural entry
+//! lockset from confident call chains. A field is flagged when some
+//! access writes it outside `&mut self`/owned-`self` and the
+//! intersection of locksets over all shared accesses is empty: two of
+//! those accesses can then race from different threads. The witness
+//! prints both sites with their locksets and, when the lockset was
+//! inherited through callers, the call chain that established it.
+//!
+//! Paper anchor: §4.1-4.2 — the log server's force/ack pipeline is the
+//! state the sharded event loop (ROADMAP item 3) will run concurrently;
+//! this rule is the machine-checked precondition for that PR.
+
+use crate::report::Violation;
+use crate::threadsafe::{FieldKind, ThreadSafety};
+
+/// Rule identifier.
+pub const RULE: &str = "shared-field-lockset";
+
+/// Flag every escaped struct field whose shared accesses have an empty
+/// common lockset and at least one write.
+#[must_use]
+pub fn check(ts: &ThreadSafety) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (name, s) in &ts.structs {
+        if s.escape.is_none() {
+            continue;
+        }
+        for fi in &s.fields {
+            if fi.kind != FieldKind::Plain {
+                continue;
+            }
+            let sites = ts.field_sites(name, &fi.name);
+            let shared: Vec<_> = sites.iter().filter(|a| !a.exclusive).collect();
+            let Some(write) = shared.iter().find(|a| a.write) else {
+                continue;
+            };
+            let common = ts
+                .common_lockset(name, &fi.name)
+                .unwrap_or_default();
+            if !common.is_empty() {
+                continue;
+            }
+            // Witness: the write plus the shared access whose lockset
+            // overlaps it least (prefer a different site).
+            let other = shared
+                .iter()
+                .filter(|a| a.token != write.token || a.file != write.file)
+                .min_by_key(|a| {
+                    a.lockset.intersection(&write.lockset).count()
+                })
+                .unwrap_or(write);
+            let fmt_set = |s: &std::collections::BTreeSet<String>| -> String {
+                if s.is_empty() {
+                    "{}".to_string()
+                } else {
+                    format!("{{{}}}", s.iter().cloned().collect::<Vec<_>>().join(", "))
+                }
+            };
+            let mut msg = format!(
+                "field `{}.{}` is thread-shared ({}) and written with no common lock: \
+                 write at {}:{} in `{}` holds {}, access at {}:{} in `{}` holds {}",
+                name,
+                fi.name,
+                s.escape.as_deref().unwrap_or("?"),
+                write.file,
+                write.line,
+                write.func,
+                fmt_set(&write.lockset),
+                other.file,
+                other.line,
+                other.func,
+                fmt_set(&other.lockset),
+            );
+            for site in [write, other] {
+                let key = format!("{}::{}", site.file, site.func);
+                if let Some((_, chain)) = ts.entry_chains.get(&key) {
+                    msg.push_str(&format!("; via {chain}"));
+                }
+            }
+            out.push(Violation {
+                rule: RULE,
+                file: write.file.clone(),
+                line: write.line,
+                scope: write.func.clone(),
+                message: msg,
+            });
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line, &a.message).cmp(&(&b.file, b.line, &b.message)));
+    out
+}

@@ -1,0 +1,194 @@
+//! `view-escape`: a borrowed `decode_shared` view must not outlive its
+//! handler — promote before storing.
+//!
+//! PR 8's zero-copy receive path hands handlers `LogData` views that
+//! borrow the endpoint's pooled receive buffer (`decode_shared`). Rust's
+//! lifetimes stop a view from literally outliving the buffer, but a
+//! handler can still defeat the pool by stashing `view.to_owned()` — or,
+//! after a refactor swaps a field to an owned type plus a `clone`
+//! somewhere upstream, silently re-introduce a copy per frame. The
+//! invariant this rule pins is structural: a binding produced by
+//! `decode_shared` (or reachable from one by assignment) may be read,
+//! matched, and returned, but any store of it into a struct field or a
+//! collection (`self.x = view`, `self.cache.push(view)`) must go through
+//! an explicit promotion (`to_owned`/`to_vec`/`clone`/`into_owned`/
+//! `promote`) *in that statement*, so every copy off the zero-copy path
+//! is visible and greppable at the store site.
+//!
+//! Paper anchor: §4.1 — the receive path is the wire-to-disk hot loop
+//! whose allocation budget (EXPERIMENTS.md E16) the sharded server work
+//! must not regress.
+
+use crate::dataflow::{
+    kill_key_prefix, let_bindings, mentions, DataflowRule, Fact, FactSet, StmtCx,
+};
+use crate::lexer::TokenKind;
+use crate::report::Violation;
+
+/// Rule identifier.
+pub const RULE: &str = "view-escape";
+
+/// Calls that turn a borrowed view into owned data.
+const PROMOTIONS: &[&str] = &["to_owned", "to_vec", "clone", "into_owned", "promote"];
+
+/// Methods that store a value into a collection.
+const STORES: &[&str] = &[
+    "push", "push_back", "push_front", "insert", "extend", "replace",
+];
+
+/// The rule as a [`DataflowRule`] instance.
+pub struct ViewEscape;
+
+/// True when the statement contains a promotion call.
+fn has_promotion(cx: &StmtCx<'_>) -> bool {
+    let toks = cx.tokens();
+    (1..toks.len().saturating_sub(1)).any(|i| {
+        toks[i - 1].is(".")
+            && PROMOTIONS.contains(&toks[i].text.as_str())
+            && toks[i + 1].is("(")
+    })
+}
+
+/// Statement-relative index of a store target rooted at `self`: either a
+/// leading `self.path = …` assignment or a `self.path.push(…)`-style
+/// collection insert. Returns the index to anchor the violation at.
+fn self_store(cx: &StmtCx<'_>) -> Option<usize> {
+    let toks = cx.tokens();
+    for i in 0..toks.len() {
+        if !toks[i].is("self") {
+            continue;
+        }
+        // Walk the dotted path.
+        let mut j = i;
+        while j + 2 < toks.len()
+            && toks[j + 1].is(".")
+            && (toks[j + 2].kind == TokenKind::Ident || toks[j + 2].kind == TokenKind::Literal)
+        {
+            j += 2;
+        }
+        if j == i {
+            continue;
+        }
+        // `self.path = …` (not `==`, not `=>`).
+        if toks.get(j + 1).is_some_and(|t| t.is("="))
+            && !toks.get(j + 2).is_some_and(|t| t.is("=") || t.is(">"))
+        {
+            return Some(j);
+        }
+        // `self.path.push(…)` — the last path segment was the method.
+        if toks.get(j + 1).is_some_and(|t| t.is("("))
+            && STORES.contains(&toks[j].text.as_str())
+        {
+            return Some(j);
+        }
+    }
+    None
+}
+
+impl DataflowRule for ViewEscape {
+    fn rule(&self) -> &'static str {
+        RULE
+    }
+
+    fn targets(&self) -> &'static [&'static str] {
+        &["crates/net/src", "crates/server/src", "crates/storage/src"]
+    }
+
+    fn transfer(&self, cx: &StmtCx<'_>, facts: &mut FactSet) {
+        let toks = cx.tokens();
+        let binds = let_bindings(cx);
+        // A fresh binding shadows any prior view of the same name…
+        for (_, name) in &binds {
+            kill_key_prefix(facts, &format!("view:{name}"));
+        }
+        // …and becomes a view itself when the initializer mentions
+        // `decode_shared` or a live view without promoting it.
+        let from_decode = toks.iter().any(|t| t.is("decode_shared"));
+        let from_view = facts.iter().any(|f| {
+            f.key
+                .strip_prefix("view:")
+                .is_some_and(|name| mentions(cx, name))
+        });
+        if (from_decode || from_view) && !has_promotion(cx) {
+            for (decl, name) in &binds {
+                facts.insert(Fact {
+                    key: format!("view:{name}"),
+                    decl: Some(*decl),
+                    origin: cx.stmt.lo,
+                });
+            }
+        }
+    }
+
+    fn check(&self, cx: &StmtCx<'_>, facts: &FactSet, out: &mut Vec<Violation>) {
+        if facts.is_empty() || has_promotion(cx) {
+            return;
+        }
+        // A self-rooted store whose statement mentions a live view.
+        let Some(anchor) = self_store(cx) else { return };
+        let live = facts.iter().find(|f| {
+            f.key
+                .strip_prefix("view:")
+                .is_some_and(|name| mentions(cx, name))
+        });
+        let Some(f) = live else { return };
+        let name = f.key.strip_prefix("view:").unwrap_or("?");
+        out.push(cx.violation(
+            RULE,
+            anchor,
+            format!(
+                "borrowed `decode_shared` view `{name}` (line {}) is stored into a \
+                 struct field or collection; promote explicitly (`to_owned`/`to_vec`) \
+                 at the store site or keep the view handler-scoped",
+                cx.file.tokens[f.origin].line
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::run_rule;
+    use crate::source::SourceFile;
+
+    fn run(body: &str) -> Vec<Violation> {
+        let src = format!("fn f(&mut self) {{ {body} }}");
+        let file = SourceFile::parse("crates/net/src/x.rs", &src);
+        run_rule(&ViewEscape, &file)
+    }
+
+    #[test]
+    fn storing_a_view_fires() {
+        let vs = run("let pkt = decode_shared(buf)?; self.cache.push(pkt);");
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(vs[0].message.contains("pkt"));
+    }
+
+    #[test]
+    fn field_assignment_fires() {
+        let vs = run("let v = decode_shared(buf)?; self.last = Some(v);");
+        assert_eq!(vs.len(), 1, "{vs:?}");
+    }
+
+    #[test]
+    fn promotion_at_store_is_fine() {
+        assert!(run("let pkt = decode_shared(buf)?; self.cache.push(pkt.to_owned());").is_empty());
+    }
+
+    #[test]
+    fn promoted_rebinding_is_fine() {
+        assert!(run("let pkt = decode_shared(buf)?; let own = pkt.to_vec(); self.cache.push(own);").is_empty());
+    }
+
+    #[test]
+    fn returning_a_view_is_fine() {
+        assert!(run("let pkt = decode_shared(buf)?; handle(&pkt);").is_empty());
+    }
+
+    #[test]
+    fn alias_chain_is_tracked() {
+        let vs = run("let pkt = decode_shared(buf)?; let alias = pkt; self.cache.push(alias);");
+        assert_eq!(vs.len(), 1, "{vs:?}");
+    }
+}

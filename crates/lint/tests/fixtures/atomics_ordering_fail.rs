@@ -1,0 +1,20 @@
+//! Failing fixture for `atomics-ordering`: `Gate.ready` is loaded with
+//! `Ordering::Relaxed` as a branch condition, and the guarded body
+//! reads the plain shared field `Gate.payload` with no lock held — a
+//! Relaxed flag cannot publish plain data across threads.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub struct Gate {
+    ready: AtomicBool,
+    payload: u64,
+}
+
+impl Gate {
+    pub fn poll(&self) -> u64 {
+        if self.ready.load(Ordering::Relaxed) {
+            return self.payload;
+        }
+        0
+    }
+}

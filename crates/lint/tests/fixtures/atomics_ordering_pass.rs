@@ -1,0 +1,21 @@
+//! Passing fixture for `atomics-ordering`: the handoff flag is loaded
+//! with `Acquire` (pairing with a `Release` store elsewhere), and the
+//! Relaxed atomic is a pure counter that never guards a branch.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub struct Gate {
+    ready: AtomicBool,
+    polls: AtomicU64,
+    payload: u64,
+}
+
+impl Gate {
+    pub fn poll(&self) -> u64 {
+        self.polls.fetch_add(1, Ordering::Relaxed);
+        if self.ready.load(Ordering::Acquire) {
+            return self.payload;
+        }
+        0
+    }
+}

@@ -1,0 +1,27 @@
+//! Failing fixture for `shared-field-lockset`: `Registry.hits` is a
+//! plain field on a sync-interior (thread-escaping) struct, written
+//! under `Registry.lock` in `record` but read with no lock held in
+//! `peek` — the common lockset over all shared accesses is empty.
+
+use std::sync::{Arc, Mutex};
+
+pub struct Registry {
+    lock: Mutex<u32>,
+    hits: u64,
+}
+
+pub fn share(r: Registry) -> Arc<Registry> {
+    Arc::new(r)
+}
+
+impl Registry {
+    pub fn record(&self) {
+        let g = self.lock.lock().unwrap();
+        self.hits += 1;
+        drop(g);
+    }
+
+    pub fn peek(&self) -> u64 {
+        self.hits
+    }
+}

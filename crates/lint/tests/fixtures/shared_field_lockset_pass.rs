@@ -1,0 +1,29 @@
+//! Passing fixture for `shared-field-lockset`: every shared access to
+//! `Registry.hits` holds `Registry.lock`, so the common lockset is
+//! non-empty and the field is consistently protected.
+
+use std::sync::{Arc, Mutex};
+
+pub struct Registry {
+    lock: Mutex<u32>,
+    hits: u64,
+}
+
+pub fn share(r: Registry) -> Arc<Registry> {
+    Arc::new(r)
+}
+
+impl Registry {
+    pub fn record(&self) {
+        let g = self.lock.lock().unwrap();
+        self.hits += 1;
+        drop(g);
+    }
+
+    pub fn peek(&self) -> u64 {
+        let g = self.lock.lock().unwrap();
+        let v = self.hits;
+        drop(g);
+        v
+    }
+}

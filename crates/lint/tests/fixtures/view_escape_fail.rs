@@ -1,0 +1,21 @@
+//! Failing fixture for `view-escape`: borrowed `decode_shared` views
+//! are stored into a collection and a struct field without an explicit
+//! promotion at the store site — the second through an alias chain.
+
+pub struct Cache {
+    last: Option<Frame>,
+    frames: Vec<Frame>,
+}
+
+impl Cache {
+    pub fn stash(&mut self, buf: &[u8]) {
+        let view = decode_shared(buf);
+        self.frames.push(view);
+    }
+
+    pub fn remember(&mut self, buf: &[u8]) {
+        let v = decode_shared(buf);
+        let alias = v;
+        self.last = Some(alias);
+    }
+}

@@ -1,0 +1,25 @@
+//! Passing fixture for `view-escape`: views are promoted at (or before)
+//! the store site, or stay handler-scoped.
+
+pub struct Cache {
+    last: Option<Frame>,
+    frames: Vec<Frame>,
+}
+
+impl Cache {
+    pub fn stash(&mut self, buf: &[u8]) {
+        let view = decode_shared(buf);
+        self.frames.push(view.to_owned());
+    }
+
+    pub fn inspect(&self, buf: &[u8]) -> usize {
+        let view = decode_shared(buf);
+        view.len()
+    }
+
+    pub fn promote_then_store(&mut self, buf: &[u8]) {
+        let view = decode_shared(buf);
+        let own = view.to_vec();
+        self.last = Some(own);
+    }
+}

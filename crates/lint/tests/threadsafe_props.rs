@@ -1,0 +1,226 @@
+//! Property tests for the thread-safety engine's lockset analysis:
+//! random field/lock topologies are rendered to synthetic source, run
+//! through [`dlog_lint::threadsafe::analyze`], and compared against an
+//! exact model.
+//!
+//! The model is simple because the generated shape is: every method
+//! acquires its chosen locks at the top, touches its chosen fields in
+//! the middle, and drops the guards at the end — so the lockset at
+//! every access is precisely the method's acquired set, and the
+//! reported common lockset for a field must be the exact intersection
+//! of the acquired sets over the methods that touch it. From that the
+//! `shared-field-lockset` verdict is fully determined: flag exactly
+//! the fields with at least one writing method and an empty
+//! intersection. Topologies where every accessor shares one lock must
+//! always come back clean.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use dlog_lint::callgraph::CallGraph;
+use dlog_lint::rules::shared_field_lockset;
+use dlog_lint::source::SourceFile;
+use dlog_lint::threadsafe::{self, ThreadSafety};
+
+/// What one method does with one field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Access {
+    None,
+    Read,
+    Write,
+}
+
+/// One method: which locks it acquires, what it does to each field.
+#[derive(Clone, Debug)]
+struct Method {
+    locks: Vec<bool>,
+    accesses: Vec<Access>,
+}
+
+/// A random topology: `n_locks` mutexes and `accesses[0].len()` plain
+/// fields on one Arc-escaping struct, accessed by `methods`.
+#[derive(Clone, Debug)]
+struct Topology {
+    n_locks: usize,
+    n_fields: usize,
+    methods: Vec<Method>,
+}
+
+fn access_strategy() -> impl Strategy<Value = Access> {
+    prop_oneof![
+        2 => Just(Access::None),
+        1 => Just(Access::Read),
+        1 => Just(Access::Write),
+    ]
+}
+
+fn topology_strategy() -> impl Strategy<Value = Topology> {
+    // The vendored proptest has no `prop_flat_map`; generate at the
+    // maximum shape (3 locks, 4 fields, 5 methods) and truncate to the
+    // drawn sizes.
+    let raw_method = (
+        proptest::collection::vec(any::<bool>(), 3usize),
+        proptest::collection::vec(access_strategy(), 4usize),
+    );
+    (
+        1usize..=3,
+        1usize..=4,
+        1usize..=5,
+        proptest::collection::vec(raw_method, 5usize),
+    )
+        .prop_map(|(n_locks, n_fields, n_methods, raw)| Topology {
+            n_locks,
+            n_fields,
+            methods: raw
+                .into_iter()
+                .take(n_methods)
+                .map(|(locks, accesses)| Method {
+                    locks: locks.into_iter().take(n_locks).collect(),
+                    accesses: accesses.into_iter().take(n_fields).collect(),
+                })
+                .collect(),
+        })
+}
+
+/// Render the topology as the kind of source the fixtures use: locks
+/// acquired up front, field accesses in the middle, guards dropped at
+/// the end, and the struct escaping through `Arc`.
+fn render(t: &Topology) -> String {
+    let mut src = String::from("use std::sync::{Arc, Mutex};\n\npub struct Top {\n");
+    for l in 0..t.n_locks {
+        src.push_str(&format!("    lock{l}: Mutex<u32>,\n"));
+    }
+    for f in 0..t.n_fields {
+        src.push_str(&format!("    f{f}: u64,\n"));
+    }
+    src.push_str("}\n\npub fn share(r: Top) -> Arc<Top> {\n    Arc::new(r)\n}\n\nimpl Top {\n");
+    for (m, method) in t.methods.iter().enumerate() {
+        src.push_str(&format!("    pub fn m{m}(&self) {{\n"));
+        for (l, held) in method.locks.iter().enumerate() {
+            if *held {
+                src.push_str(&format!("        let g{l} = self.lock{l}.lock().unwrap();\n"));
+            }
+        }
+        for (f, a) in method.accesses.iter().enumerate() {
+            match a {
+                Access::None => {}
+                Access::Read => src.push_str(&format!("        let _r{f} = self.f{f};\n")),
+                Access::Write => src.push_str(&format!("        self.f{f} += 1;\n")),
+            }
+        }
+        for (l, held) in method.locks.iter().enumerate().rev() {
+            if *held {
+                src.push_str(&format!("        drop(g{l});\n"));
+            }
+        }
+        src.push_str("    }\n");
+    }
+    src.push_str("}\n");
+    src
+}
+
+fn analyze(src: &str) -> ThreadSafety {
+    let file = SourceFile::parse("crates/storage/src/prop_topology.rs", src);
+    let files = [&file];
+    let graph = CallGraph::build(&files, &std::collections::BTreeMap::new());
+    threadsafe::analyze(&files, &graph, Some(threadsafe::DEFAULT_ROUNDS))
+}
+
+/// The model: for field `f`, the exact intersection of acquired-lock
+/// sets over the methods that access it (`None` when nothing does),
+/// plus whether any accessor writes.
+fn model_field(t: &Topology, f: usize) -> (Option<BTreeSet<String>>, bool) {
+    let mut common: Option<BTreeSet<String>> = None;
+    let mut written = false;
+    for m in &t.methods {
+        let a = m.accesses[f];
+        if a == Access::None {
+            continue;
+        }
+        written |= a == Access::Write;
+        let held: BTreeSet<String> = m
+            .locks
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| **h)
+            .map(|(l, _)| format!("Top.lock{l}"))
+            .collect();
+        common = Some(match common {
+            None => held,
+            Some(cur) => cur.intersection(&held).cloned().collect(),
+        });
+    }
+    (common, written)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The engine's reported common lockset is the exact intersection
+    /// the model predicts, for every field of every random topology —
+    /// neither an over-approximation (phantom protection that would
+    /// hide races) nor an under-approximation (false alarms).
+    #[test]
+    fn common_lockset_is_the_exact_intersection(t in topology_strategy()) {
+        let ts = analyze(&render(&t));
+        prop_assert!(
+            ts.structs.get("Top").is_some_and(|s| s.escape.is_some()),
+            "Top did not register as escaping"
+        );
+        for f in 0..t.n_fields {
+            let field = format!("f{f}");
+            let (expect, _) = model_field(&t, f);
+            let got = ts.common_lockset("Top", &field);
+            prop_assert_eq!(
+                got.clone(), expect.clone(),
+                "field {}: engine {:?} vs model {:?}\n{}",
+                field, got, expect, render(&t)
+            );
+            // Site discovery is exact too: one recorded access per
+            // accessing method.
+            let n_accessors = t
+                .methods
+                .iter()
+                .filter(|m| m.accesses[f] != Access::None)
+                .count();
+            prop_assert_eq!(ts.field_sites("Top", &field).len(), n_accessors);
+        }
+    }
+
+    /// The `shared-field-lockset` verdict matches the model: exactly
+    /// the written fields with an empty intersection are flagged.
+    #[test]
+    fn verdict_flags_exactly_the_unprotected_written_fields(t in topology_strategy()) {
+        let ts = analyze(&render(&t));
+        let violations = shared_field_lockset::check(&ts);
+        for f in 0..t.n_fields {
+            let (common, written) = model_field(&t, f);
+            let expect_flag = written && common.as_ref().is_some_and(BTreeSet::is_empty);
+            let needle = format!("field `Top.f{f}`");
+            let flagged = violations.iter().any(|v| v.message.contains(&needle));
+            prop_assert_eq!(
+                flagged, expect_flag,
+                "field f{}: flagged={} expected={}\n{:?}\n{}",
+                f, flagged, expect_flag, violations, render(&t)
+            );
+        }
+    }
+
+    /// Zero-conflict topologies are always clean: when every method
+    /// holds `lock0` (whatever else it holds or touches), no field can
+    /// have an empty common lockset, so the rule must stay silent.
+    #[test]
+    fn fully_locked_topologies_are_clean(mut t in topology_strategy()) {
+        for m in &mut t.methods {
+            m.locks[0] = true;
+        }
+        let ts = analyze(&render(&t));
+        let violations = shared_field_lockset::check(&ts);
+        prop_assert!(
+            violations.is_empty(),
+            "clean topology flagged: {:?}\n{}",
+            violations, render(&t)
+        );
+    }
+}

@@ -41,10 +41,13 @@ impl GenStore {
                 .and_then(|s| s.strip_suffix(".val"))
             {
                 if let Ok(id) = id.parse::<u64>() {
-                    let mut buf = Vec::new();
-                    File::open(entry.path())?.read_to_end(&mut buf)?;
-                    if let Some(v) = dlog_types::bytes::u64_le_at(&buf, 0) {
-                        if buf.len() == 8 {
+                    // A valid value file is exactly 8 bytes; read into a
+                    // 9-byte stack buffer so an oversized file is detected
+                    // (9 bytes read) without heap-allocating per file.
+                    let mut buf = [0u8; 9];
+                    let n = read_up_to(&mut File::open(entry.path())?, &mut buf)?;
+                    if n == 8 {
+                        if let Some(v) = dlog_types::bytes::u64_le_at(&buf, 0) {
                             values.insert(id, v);
                         }
                     }
@@ -72,8 +75,9 @@ impl GenStore {
         if value <= current {
             return Ok(()); // stale retry; ignore
         }
-        let tmp = self.dir.join(format!("gen-{id}.val.tmp"));
-        let fin = self.dir.join(format!("gen-{id}.val"));
+        // `gen-` (4) + 20 digits + `.val.tmp` (8) = 32 bytes worst case.
+        let tmp = self.dir.join(dlog_types::namebuf!(32, "gen-{id}.val.tmp"));
+        let fin = self.dir.join(dlog_types::namebuf!(32, "gen-{id}.val"));
         {
             let mut f = OpenOptions::new()
                 .write(true)
@@ -87,6 +91,23 @@ impl GenStore {
         self.values.insert(id, value);
         Ok(())
     }
+}
+
+/// Read as many bytes as `buf` holds (or until EOF), returning the count.
+fn read_up_to(f: &mut File, buf: &mut [u8]) -> io::Result<usize> {
+    let mut n = 0;
+    loop {
+        let Some(slot) = buf.get_mut(n..) else { break };
+        if slot.is_empty() {
+            break;
+        }
+        let k = f.read(slot)?;
+        if k == 0 {
+            break;
+        }
+        n += k;
+    }
+    Ok(n)
 }
 
 #[cfg(test)]

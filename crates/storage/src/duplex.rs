@@ -41,6 +41,9 @@ pub struct DuplexLog {
     index: Vec<(u64, u32)>,
     /// Buffered (unforced) frames.
     buffer: Vec<u8>,
+    /// Reused scratch for `read`: frame bytes are staged here, so the
+    /// steady-state read path does not allocate.
+    read_buf: Vec<u8>,
     /// Offset at which `buffer` will be written.
     tail: u64,
     next_lsn: Lsn,
@@ -102,6 +105,7 @@ impl DuplexLog {
             paths,
             index,
             buffer: Vec::new(),
+            read_buf: Vec::new(),
             tail: end,
             next_lsn,
             stats: DuplexStats::default(),
@@ -161,21 +165,30 @@ impl DuplexLog {
             .get((lsn.0.saturating_sub(1)) as usize)
             .ok_or(DlogError::NoSuchRecord { lsn })?;
         let buffered_from = self.tail;
-        let bytes = if off >= buffered_from {
+        // Destructure so the scratch can borrow mutably next to the
+        // buffer and replica handles; the frame is staged through it
+        // without a per-read allocation.
+        let DuplexLog {
+            replicas,
+            buffer,
+            read_buf,
+            ..
+        } = self;
+        read_buf.clear();
+        if off >= buffered_from {
             let s = off.saturating_sub(buffered_from) as usize;
-            self.buffer
+            let slice = buffer
                 .get(s..s.saturating_add(len as usize))
-                .ok_or_else(|| DlogError::Corrupt("bad duplex index entry".into()))?
-                .to_vec()
+                .ok_or_else(|| DlogError::Corrupt("bad duplex index entry".into()))?;
+            read_buf.extend_from_slice(slice);
         } else {
             use std::io::Read;
-            let mut buf = vec![0u8; len as usize];
-            let [ra, _] = &mut self.replicas;
+            read_buf.resize(len as usize, 0);
+            let [ra, _] = replicas;
             ra.seek(SeekFrom::Start(off))?;
-            ra.read_exact(&mut buf)?;
-            buf
-        };
-        match Frame::decode(&bytes)? {
+            ra.read_exact(read_buf)?;
+        }
+        match Frame::decode(read_buf)? {
             Some((Frame::Record { record, .. }, _)) if record.lsn == lsn => Ok(record),
             _ => Err(DlogError::Corrupt("bad frame in duplex log".into())),
         }

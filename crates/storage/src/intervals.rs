@@ -146,12 +146,13 @@ impl IntervalTable {
     /// management, §5.3: old segments spooled off or deleted). Entries
     /// straddling the cut are shrunk; emptied entries are removed.
     pub fn prune_below(&mut self, pos: u64) {
+        let mut positions: Vec<u64> = Vec::new();
         for entries in self.clients.values_mut() {
             let mut kept = Vec::with_capacity(entries.len());
             for e in entries.drain(..) {
                 // Positions ascend within an entry (appends are in stream
                 // order), so the survivors are a suffix.
-                let positions = e.index.positions();
+                e.index.positions_into(&mut positions);
                 let first_kept = positions.partition_point(|&p| p < pos);
                 if first_kept >= positions.len() {
                     continue; // wholly below the cut
@@ -172,6 +173,15 @@ impl IntervalTable {
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// [`IntervalTable::encode`] appended to a caller-supplied buffer
+    /// (not cleared — checkpoint images embed the table after a header),
+    /// so periodic checkpoints reuse one scratch vector instead of
+    /// allocating per snapshot.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         let mut clients: Vec<_> = self.clients.iter().collect();
         clients.sort_by_key(|(c, _)| **c);
         out.extend_from_slice(&(clients.len() as u32).to_le_bytes());
@@ -182,12 +192,11 @@ impl IntervalTable {
                 out.extend_from_slice(&e.interval.epoch.0.to_le_bytes());
                 out.extend_from_slice(&e.interval.lo.0.to_le_bytes());
                 out.extend_from_slice(&e.interval.hi.0.to_le_bytes());
-                for p in e.index.positions() {
+                for p in e.index.positions_iter() {
                     out.extend_from_slice(&p.to_le_bytes());
                 }
             }
         }
-        out
     }
 
     /// Rebuild a table from [`IntervalTable::encode`] output.

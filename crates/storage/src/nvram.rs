@@ -224,8 +224,20 @@ impl NvramDevice {
     /// a crash between the write and the retire loses nothing.
     #[must_use]
     pub fn pending(&self) -> (u64, Vec<u8>) {
+        let mut out = Vec::new();
+        let base = self.pending_into(&mut out);
+        (base, out)
+    }
+
+    /// Copy the pending track into `out` (cleared first) and return the
+    /// stream position it begins at. The flush hot path uses this with a
+    /// reused scratch buffer so retiring a track allocates nothing after
+    /// warm-up.
+    pub fn pending_into(&self, out: &mut Vec<u8>) -> u64 {
         let st = self.state.lock();
-        (st.base_pos, st.track.clone())
+        out.clear();
+        out.extend_from_slice(&st.track);
+        st.base_pos
     }
 
     /// Read `len` bytes at stream position `pos` out of the pending track,
@@ -233,10 +245,23 @@ impl NvramDevice {
     /// records that have not reached disk yet.
     #[must_use]
     pub fn read_at(&self, pos: u64, len: usize) -> Option<Vec<u8>> {
+        let mut out = Vec::new();
+        self.read_at_into(pos, len, &mut out)?;
+        Some(out)
+    }
+
+    /// [`NvramDevice::read_at`] into a caller-supplied buffer (cleared
+    /// first); the store's read path reuses one scratch vector across
+    /// frame reads.
+    #[must_use]
+    pub fn read_at_into(&self, pos: u64, len: usize, out: &mut Vec<u8>) -> Option<()> {
         let st = self.state.lock();
         let start = pos.checked_sub(st.base_pos)? as usize;
         let end = start.checked_add(len)?;
-        st.track.get(start..end).map(<[u8]>::to_vec)
+        let slice = st.track.get(start..end)?;
+        out.clear();
+        out.extend_from_slice(slice);
+        Some(())
     }
 
     /// Retire the first `n` pending bytes: they are confirmed on disk and

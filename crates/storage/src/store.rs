@@ -152,6 +152,10 @@ pub struct LogStore {
     /// through here, so after warm-up the write hot path performs no
     /// per-record allocation for framing.
     frame_buf: Vec<u8>,
+    /// Reused I/O scratch: frame reads, track flushes, and checkpoint
+    /// images are all staged through here, so the steady-state read,
+    /// force, and checkpoint paths allocate nothing after warm-up.
+    scratch: Vec<u8>,
 }
 
 impl LogStore {
@@ -248,6 +252,7 @@ impl LogStore {
             stats,
             obs: dlog_obs::Obs::off(),
             frame_buf: Vec::new(),
+            scratch: Vec::new(),
         })
     }
 
@@ -462,13 +467,29 @@ impl LogStore {
     /// # Errors
     /// Propagates I/O failures.
     pub fn flush_track(&mut self) -> Result<()> {
-        let (base, pending) = self.nvram.pending();
+        // Stage the pending track through the reused scratch (taken out
+        // so the borrow checker lets the stream helpers borrow `self`);
+        // the steady-state force path copies, it does not allocate.
+        let mut pending = std::mem::take(&mut self.scratch);
+        let base = self.nvram.pending_into(&mut pending);
         if pending.is_empty() {
+            self.scratch = pending;
             return Ok(());
         }
         let span = self.obs.start();
         debug_assert_eq!(base, self.stream.end(), "stream/nvram positions diverged");
-        self.stream.write_at(base, &pending)?;
+        let result = self.flush_track_inner(base, &pending, span);
+        self.scratch = pending;
+        result
+    }
+
+    fn flush_track_inner(
+        &mut self,
+        base: u64,
+        pending: &[u8],
+        span: Option<std::time::Instant>,
+    ) -> Result<()> {
+        self.stream.write_at(base, pending)?;
         if self.opts.fsync {
             self.stream.sync()?;
             self.stats.fsyncs += 1;
@@ -606,7 +627,9 @@ impl LogStore {
     /// # Errors
     /// Fails when the range is not fully on disk.
     pub fn read_stream(&self, pos: u64, len: usize) -> Result<Vec<u8>> {
-        Ok(self.stream.read_at(pos, len)?)
+        let mut out = Vec::new();
+        self.stream.read_into(pos, len, &mut out)?;
+        Ok(out)
     }
 
     /// Scan on-disk frames from `from`, invoking `f(position, frame)` for
@@ -678,18 +701,23 @@ impl LogStore {
             match self.nvram.insert_guarded(self.seal, buf) {
                 Ok(new_seal) => self.seal = new_seal,
                 Err(crate::nvram::GuardError::Mismatch(m)) => {
-                    return Err(DlogError::Corrupt(format!(
-                        "nvram guard violation: {m} (foreign write detected)"
-                    )))
+                    return Err(DlogError::GuardViolation {
+                        presented: m.presented,
+                        current: m.current,
+                    })
                 }
                 Err(crate::nvram::GuardError::Full(e)) => {
-                    return Err(DlogError::Protocol(e.to_string()))
+                    return Err(DlogError::NvramFull {
+                        requested: e.requested,
+                        available: e.available,
+                    })
                 }
             }
         } else {
-            self.nvram
-                .insert(buf)
-                .map_err(|e| DlogError::Protocol(e.to_string()))?;
+            self.nvram.insert(buf).map_err(|e| DlogError::NvramFull {
+                requested: e.requested,
+                available: e.available,
+            })?;
         }
         if self.nvram.pending_len() >= self.opts.track_bytes {
             self.flush_track()?;
@@ -698,27 +726,30 @@ impl LogStore {
     }
 
     fn read_frame_at(&mut self, pos: u64) -> Result<Frame> {
-        let envelope = self.read_bytes(pos, 8)?;
-        let body_len = dlog_types::bytes::u32_le_at(&envelope, 0)
+        self.read_bytes_into_scratch(pos, 8)?;
+        let body_len = dlog_types::bytes::u32_le_at(&self.scratch, 0)
             .ok_or_else(|| DlogError::Corrupt("short frame envelope".into()))?
             as usize;
         let total = 8 + body_len;
-        let bytes = self.read_bytes(pos, total)?;
-        match Frame::decode(&bytes)? {
+        self.read_bytes_into_scratch(pos, total)?;
+        match Frame::decode(&self.scratch)? {
             Some((frame, _)) => Ok(frame),
             None => Err(DlogError::Corrupt("unreadable frame".into())),
         }
     }
 
-    fn read_bytes(&mut self, pos: u64, len: usize) -> Result<Vec<u8>> {
+    /// Fill `self.scratch` with `len` bytes at stream position `pos`,
+    /// serving from NVRAM for positions past the disk tail. Reusing one
+    /// buffer keeps the steady-state read path allocation-free.
+    fn read_bytes_into_scratch(&mut self, pos: u64, len: usize) -> Result<()> {
         let disk_end = self.stream.end();
         if pos >= disk_end {
             // Entirely in NVRAM.
             self.nvram
-                .read_at(pos, len)
+                .read_at_into(pos, len, &mut self.scratch)
                 .ok_or_else(|| DlogError::Corrupt("read position not buffered".into()))
         } else {
-            Ok(self.stream.read_at(pos, len)?)
+            Ok(self.stream.read_into(pos, len, &mut self.scratch)?)
         }
     }
 
@@ -745,7 +776,11 @@ impl LogStore {
         if self.opts.checkpoint_placement == CheckpointPlacement::InStream {
             // Write-once mode: the snapshot rides the stream. Recovery's
             // scan replaces its running table when it passes this frame.
-            let body = self.table.encode();
+            // The frame owns its body, so this one Vec cannot be staged
+            // through the reused scratch; checkpoints are rate-limited by
+            // `checkpoint_every`, not per-record.
+            let mut body = Vec::new();
+            self.table.encode_into(&mut body);
             self.put_frame(&Frame::Checkpoint(body))?;
             self.flush_track()?;
             self.stream.sync()?;
@@ -762,8 +797,14 @@ impl LogStore {
         // The checkpoint covers exactly what is on disk; flush first.
         self.flush_track()?;
         self.stream.sync()?;
-        let out = encode_checkpoint_image(&self.table, self.stream.end());
+        let mut out = std::mem::take(&mut self.scratch);
+        encode_checkpoint_image_into(&self.table, self.stream.end(), &mut out);
+        let result = self.write_checkpoint_file(&out);
+        self.scratch = out;
+        result
+    }
 
+    fn write_checkpoint_file(&mut self, out: &[u8]) -> Result<()> {
         let tmp = self.dir.join("intervals.ckpt.tmp");
         let fin = self.dir.join("intervals.ckpt");
         {
@@ -772,7 +813,7 @@ impl LogStore {
                 .create(true)
                 .truncate(true)
                 .open(&tmp)?;
-            f.write_all(&out)?;
+            f.write_all(out)?;
             f.sync_data()?;
         }
         fs::rename(&tmp, &fin)?;
@@ -839,20 +880,28 @@ fn apply_frame(
     }
 }
 
-/// Encode an `intervals.ckpt` image: a table snapshot plus the
-/// frame-aligned position recovery should scan from. Written by the store
-/// itself and by archive restore (which fabricates the checkpoint that
-/// makes a rebuilt directory recoverable).
-#[must_use]
-pub fn encode_checkpoint_image(table: &IntervalTable, scan_from: u64) -> Vec<u8> {
-    let body = table.encode();
-    let mut out = Vec::with_capacity(body.len() + 20);
+/// Encode an `intervals.ckpt` image into `out` (cleared first): a table
+/// snapshot plus the frame-aligned position recovery should scan from.
+/// Written by the store itself (through its reused scratch, so periodic
+/// checkpoints do not allocate) and by archive restore (which fabricates
+/// the checkpoint that makes a rebuilt directory recoverable).
+pub fn encode_checkpoint_image_into(table: &IntervalTable, scan_from: u64, out: &mut Vec<u8>) {
+    out.clear();
     out.extend_from_slice(&CKPT_MAGIC.to_le_bytes());
     out.extend_from_slice(&scan_from.to_le_bytes());
-    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
-    out.extend_from_slice(&crc32(&body).to_le_bytes());
-    out.extend_from_slice(&body);
-    out
+    // Body length and CRC are patched in once the body is serialized —
+    // encoding straight into `out` avoids a second staging buffer.
+    out.extend_from_slice(&[0u8; 8]);
+    let body_start = out.len();
+    table.encode_into(out);
+    let body_len = out.len() - body_start;
+    let crc = crc32(out.get(body_start..).unwrap_or(&[]));
+    if let Some(slot) = out.get_mut(body_start - 8..body_start - 4) {
+        slot.copy_from_slice(&(body_len as u32).to_le_bytes());
+    }
+    if let Some(slot) = out.get_mut(body_start - 4..body_start) {
+        slot.copy_from_slice(&crc.to_le_bytes());
+    }
 }
 
 /// Recovery-equivalent frame replay, exposed for the archive tier: an
@@ -898,10 +947,25 @@ impl ReplayState {
     /// client, epoch, LSN).
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
-        let table = self.table.encode();
-        let mut out = Vec::with_capacity(table.len() + 64);
-        out.extend_from_slice(&(table.len() as u32).to_le_bytes());
-        out.extend_from_slice(&table);
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// [`ReplayState::encode`] into a caller-supplied buffer (cleared
+    /// first). Staged records are sorted through borrowed slices — the
+    /// record payloads themselves are never copied.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        // Table length prefix is patched in after the table serializes
+        // straight into `out`.
+        out.extend_from_slice(&[0u8; 4]);
+        let table_start = out.len();
+        self.table.encode_into(out);
+        let table_len = (out.len() - table_start) as u32;
+        if let Some(slot) = out.get_mut(table_start - 4..table_start) {
+            slot.copy_from_slice(&table_len.to_le_bytes());
+        }
         let mut clients: Vec<_> = self.staged.iter().collect();
         clients.sort_by_key(|(c, _)| **c);
         let nonempty = clients
@@ -919,10 +983,10 @@ impl ReplayState {
             out.extend_from_slice(&(epochs.len() as u32).to_le_bytes());
             for (epoch, records) in epochs {
                 out.extend_from_slice(&epoch.0.to_le_bytes());
-                let mut records = records.clone();
+                let mut records: Vec<&(LogRecord, u64)> = records.iter().collect();
                 records.sort_by_key(|(r, _)| r.lsn);
                 out.extend_from_slice(&(records.len() as u32).to_le_bytes());
-                for (r, pos) in &records {
+                for (r, pos) in records {
                     out.extend_from_slice(&r.lsn.0.to_le_bytes());
                     out.extend_from_slice(&r.epoch.0.to_le_bytes());
                     out.push(u8::from(r.present));
@@ -932,7 +996,6 @@ impl ReplayState {
                 }
             }
         }
-        out
     }
 
     /// Decode a serialized state.

@@ -8,15 +8,64 @@
 //! holes.
 
 use std::collections::BTreeSet;
+use std::fmt;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use crate::frame::Frame;
+use dlog_types::namebuf::NameBuf;
 use dlog_types::Result as DlogResult;
 
 /// Chunk size used by sequential scans.
 const SCAN_CHUNK: usize = 256 * 1024;
+
+/// Lazily formatted diagnosis of a corrupt segment directory. Carried
+/// inside an [`io::Error`] so the (cold) failure path renders text only
+/// when somebody actually prints the error.
+#[derive(Debug)]
+struct GeometryError {
+    what: &'static str,
+    seg: u64,
+    len: u64,
+    capacity: u64,
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (segment {}, length {}, capacity {})",
+            self.what, self.seg, self.len, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+/// Lazily formatted out-of-range read diagnosis.
+#[derive(Debug)]
+struct ReadRangeError {
+    pos: u64,
+    len: usize,
+    start: u64,
+    end: u64,
+}
+
+impl fmt::Display for ReadRangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "read [{}, {}) outside [{}, {})",
+            self.pos,
+            self.pos + self.len as u64,
+            self.start,
+            self.end
+        )
+    }
+}
+
+impl std::error::Error for ReadRangeError {}
 
 /// A segmented, append-oriented byte stream with positional reads.
 #[derive(Debug)]
@@ -42,7 +91,10 @@ impl SegmentedStream {
         assert!(segment_bytes >= 1024, "segment capacity unreasonably small");
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
-        let mut indices: Vec<u64> = Vec::new();
+        // Single pass over the directory: only the extremes matter (the
+        // chain is validated below by walking `first..=last` directly).
+        let mut first: Option<u64> = None;
+        let mut last: Option<u64> = None;
         for entry in fs::read_dir(&dir)? {
             let entry = entry?;
             let name = entry.file_name();
@@ -52,39 +104,58 @@ impl SegmentedStream {
                 .and_then(|s| s.strip_suffix(".seg"))
             {
                 if let Ok(i) = idx.parse::<u64>() {
-                    indices.push(i);
+                    first = Some(first.map_or(i, |f| f.min(i)));
+                    last = Some(last.map_or(i, |l| l.max(i)));
                 }
             }
         }
-        indices.sort_unstable();
-        let (start, end) = match (indices.first(), indices.last()) {
-            (Some(&first), Some(&last)) => {
-                // All but the last segment must be full.
-                for w in indices.windows(2) {
-                    if let &[lo, hi] = w {
-                        if hi != lo + 1 {
+        let (start, end) = match (first, last) {
+            (Some(first), Some(last)) => {
+                // Every index in `first..=last` must exist (a missing one
+                // is a gap), all but the last must be exactly full, and
+                // the last must not exceed capacity.
+                let mut last_len = 0;
+                for i in first..=last {
+                    let len = match fs::metadata(segment_path(&dir, i)) {
+                        Ok(md) => md.len(),
+                        Err(e) if e.kind() == io::ErrorKind::NotFound => {
                             return Err(io::Error::new(
                                 io::ErrorKind::InvalidData,
-                                format!("segment gap between {lo} and {hi}"),
+                                GeometryError {
+                                    what: "segment missing (gap in the chain)",
+                                    seg: i,
+                                    len: 0,
+                                    capacity: segment_bytes,
+                                },
                             ));
                         }
-                    }
-                }
-                for &i in indices.get(..indices.len() - 1).unwrap_or(&[]) {
-                    let len = fs::metadata(segment_path(&dir, i))?.len();
-                    if len != segment_bytes {
+                        Err(e) => return Err(e),
+                    };
+                    if i < last && len != segment_bytes {
                         return Err(io::Error::new(
                             io::ErrorKind::InvalidData,
-                            format!("non-final segment {i} has length {len}"),
+                            GeometryError {
+                                what: "non-final segment is not full",
+                                seg: i,
+                                len,
+                                capacity: segment_bytes,
+                            },
                         ));
                     }
-                }
-                let last_len = fs::metadata(segment_path(&dir, last))?.len();
-                if last_len > segment_bytes {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("segment {last} overlong ({last_len} bytes)"),
-                    ));
+                    if i == last {
+                        if len > segment_bytes {
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                GeometryError {
+                                    what: "final segment overlong",
+                                    seg: i,
+                                    len,
+                                    capacity: segment_bytes,
+                                },
+                            ));
+                        }
+                        last_len = len;
+                    }
                 }
                 (first * segment_bytes, last * segment_bytes + last_len)
             }
@@ -179,23 +250,26 @@ impl SegmentedStream {
         Ok(())
     }
 
-    /// Read exactly `len` bytes at `pos`.
+    /// Read exactly `len` bytes at `pos` into `out` (cleared first). The
+    /// caller owns the buffer so steady-state readers reuse its capacity
+    /// instead of allocating per read.
     ///
     /// # Errors
     /// Fails if the range is not fully inside `[start, end)`.
-    pub fn read_at(&self, pos: u64, len: usize) -> io::Result<Vec<u8>> {
+    pub fn read_into(&self, pos: u64, len: usize, out: &mut Vec<u8>) -> io::Result<()> {
         if pos < self.start || pos + len as u64 > self.end {
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
-                format!(
-                    "read [{pos}, {}) outside [{}, {})",
-                    pos + len as u64,
-                    self.start,
-                    self.end
-                ),
+                ReadRangeError {
+                    pos,
+                    len,
+                    start: self.start,
+                    end: self.end,
+                },
             ));
         }
-        let mut out = vec![0u8; len];
+        out.clear();
+        out.resize(len, 0);
         let mut cursor = pos;
         let mut filled = 0;
         while filled < len {
@@ -212,7 +286,7 @@ impl SegmentedStream {
             cursor += take as u64;
             filled += take;
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Truncate the stream to logical length `end` (drops torn tails found
@@ -293,6 +367,7 @@ impl SegmentedStream {
     {
         let mut pos = from.max(self.start);
         let mut buf: Vec<u8> = Vec::new();
+        let mut chunk: Vec<u8> = Vec::new();
         let mut buf_base = pos;
         loop {
             let offset = (pos - buf_base) as usize;
@@ -312,8 +387,7 @@ impl SegmentedStream {
                     let buffered_to = buf_base + buf.len() as u64;
                     if buffered_to < self.end {
                         let take = ((self.end - buffered_to) as usize).min(SCAN_CHUNK);
-                        let chunk = self
-                            .read_at(buffered_to, take)
+                        self.read_into(buffered_to, take, &mut chunk)
                             .map_err(dlog_types::DlogError::Io)?;
                         buf.extend_from_slice(&chunk);
                         continue;
@@ -341,10 +415,13 @@ impl SegmentedStream {
 }
 
 /// The on-disk file name of segment `seg` (shared with the archive tier,
-/// which must recreate segment files byte-for-byte on restore).
+/// which must recreate segment files byte-for-byte on restore). Built on
+/// the stack — segment files are opened on every positional read and
+/// write, so name formatting must not allocate. 32 bytes always fits
+/// `seg-` + ≤ 20 digits + `.seg`.
 #[must_use]
-pub fn segment_file_name(seg: u64) -> String {
-    format!("seg-{seg:08}.seg")
+pub fn segment_file_name(seg: u64) -> NameBuf<32> {
+    dlog_types::namebuf!(32, "seg-{seg:08}.seg")
 }
 
 fn segment_path(dir: &Path, seg: u64) -> PathBuf {
@@ -365,6 +442,12 @@ mod tests {
         d
     }
 
+    fn read_at(s: &SegmentedStream, pos: u64, len: usize) -> io::Result<Vec<u8>> {
+        let mut out = Vec::new();
+        s.read_into(pos, len, &mut out)?;
+        Ok(out)
+    }
+
     fn rec_frame(lsn: u64, size: usize) -> Frame {
         Frame::Record {
             client: ClientId(1),
@@ -379,9 +462,9 @@ mod tests {
         let mut s = SegmentedStream::open(&dir, 4096).unwrap();
         let pos = s.append(b"hello world").unwrap();
         assert_eq!(pos, 0);
-        assert_eq!(s.read_at(0, 11).unwrap(), b"hello world");
+        assert_eq!(read_at(&s, 0, 11).unwrap(), b"hello world");
         assert_eq!(s.end(), 11);
-        assert!(s.read_at(5, 100).is_err());
+        assert!(read_at(&s, 5, 100).is_err());
     }
 
     #[test]
@@ -391,9 +474,9 @@ mod tests {
         let blob: Vec<u8> = (0..3000u32).map(|i| i as u8).collect();
         s.append(&blob).unwrap();
         assert_eq!(s.segment_count(), 3);
-        assert_eq!(s.read_at(0, 3000).unwrap(), blob);
+        assert_eq!(read_at(&s, 0, 3000).unwrap(), blob);
         // A read crossing the first boundary.
-        assert_eq!(s.read_at(1000, 48).unwrap(), &blob[1000..1048]);
+        assert_eq!(read_at(&s, 1000, 48).unwrap(), &blob[1000..1048]);
     }
 
     #[test]
@@ -406,7 +489,7 @@ mod tests {
         }
         let s = SegmentedStream::open(&dir, 1024).unwrap();
         assert_eq!(s.end(), 2500);
-        assert_eq!(s.read_at(2400, 100).unwrap(), vec![7u8; 100]);
+        assert_eq!(read_at(&s, 2400, 100).unwrap(), vec![7u8; 100]);
     }
 
     #[test]
@@ -416,7 +499,7 @@ mod tests {
         s.append(b"aaaaaaaaaa").unwrap();
         s.write_at(5, b"BBBBBBBB").unwrap();
         assert_eq!(s.end(), 13);
-        assert_eq!(s.read_at(0, 13).unwrap(), b"aaaaaBBBBBBBB");
+        assert_eq!(read_at(&s, 0, 13).unwrap(), b"aaaaaBBBBBBBB");
         // Holes are rejected.
         assert!(s.write_at(20, b"x").is_err());
     }
@@ -466,14 +549,14 @@ mod tests {
         s.append(&vec![1u8; 3000]).unwrap();
         s.truncate(2500).unwrap();
         assert_eq!(s.end(), 2500);
-        assert!(s.read_at(2400, 100).is_ok());
-        assert!(s.read_at(2450, 100).is_err());
+        assert!(read_at(&s, 2400, 100).is_ok());
+        assert!(read_at(&s, 2450, 100).is_err());
 
         // Drop the first two segments.
         let new_start = s.drop_before(2100).unwrap();
         assert_eq!(new_start, 2048);
-        assert!(s.read_at(0, 10).is_err());
-        assert!(s.read_at(2048, 100).is_ok());
+        assert!(read_at(&s, 0, 10).is_err());
+        assert!(read_at(&s, 2048, 100).is_ok());
         assert_eq!(s.segment_count(), 1);
     }
 

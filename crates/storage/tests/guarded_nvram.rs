@@ -69,8 +69,8 @@ fn foreign_write_is_detected() {
     nvram.insert(b"wild pointer garbage").unwrap();
 
     match store.write(ClientId(1), &rec(2)) {
-        Err(DlogError::Corrupt(msg)) => {
-            assert!(msg.contains("guard violation"), "{msg}");
+        Err(e @ DlogError::GuardViolation { .. }) => {
+            assert!(e.to_string().contains("guard violation"), "{e}");
         }
         other => panic!("expected guard violation, got {other:?}"),
     }

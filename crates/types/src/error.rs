@@ -51,6 +51,23 @@ pub enum DlogError {
     /// The on-disk log stream is corrupt (bad checksum, truncated frame,
     /// impossible ordering). Carries a human-readable description.
     Corrupt(String),
+    /// A guarded NVRAM write presented a stale seal: foreign code wrote
+    /// the device behind the store's back (§5.1). Structured so the hot
+    /// insert path can construct it without formatting a message.
+    GuardViolation {
+        /// The seal the writer presented.
+        presented: u64,
+        /// The seal the device actually holds.
+        current: u64,
+    },
+    /// The NVRAM buffer cannot accept an insert of this size. Structured
+    /// so the hot insert path can construct it without formatting.
+    NvramFull {
+        /// Bytes the caller tried to insert.
+        requested: usize,
+        /// Bytes currently free.
+        available: usize,
+    },
     /// Protocol violation detected by the packet layer.
     Protocol(String),
     /// Invalid configuration (e.g. N > M, N = 0, δ = 0).
@@ -83,6 +100,15 @@ impl fmt::Display for DlogError {
                 write!(f, "log server {server} is unavailable")
             }
             DlogError::Corrupt(msg) => write!(f, "log storage corrupt: {msg}"),
+            DlogError::GuardViolation { presented, current } => write!(
+                f,
+                "nvram guard violation: presented seal {presented:#x}, device seal \
+                 {current:#x} (foreign write detected)"
+            ),
+            DlogError::NvramFull { requested, available } => write!(
+                f,
+                "nvram full: requested {requested} bytes, {available} available"
+            ),
             DlogError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
             DlogError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             DlogError::NotInitialized => {

@@ -26,6 +26,7 @@ pub mod config;
 pub mod error;
 pub mod ids;
 pub mod interval;
+pub mod namebuf;
 pub mod record;
 
 pub use config::ReplicationConfig;

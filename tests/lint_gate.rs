@@ -2,9 +2,12 @@
 //!
 //! One pass runs the full rule catalog — the six lexical rules
 //! (wire-exhaustiveness, lock-order, panic-freedom, ack-after-force,
-//! status-parity, forbid-unsafe) and the four flow-sensitive rules on
+//! status-parity, forbid-unsafe), the five flow-sensitive rules on
 //! the dataflow engine (blocking-under-lock, lsn-checked-arith,
-//! seal-typestate, result-swallow) — against the repository and fails
+//! seal-typestate, result-swallow, view-escape), the interprocedural
+//! rules (hot-path-alloc, unbounded-recursion), and the thread-safety
+//! pass (shared-field-lockset, atomics-ordering) — against the
+//! repository and fails
 //! `cargo test` on any violation not covered by a justified
 //! `lint.allow` entry, on stale allowlist entries, on fixture drift
 //! (a rule whose pinned pass/fail fixtures no longer behave), and on a
@@ -46,15 +49,45 @@ fn workspace_passes_dlog_lint() {
         );
     }
     // Latency budget: the gate runs on every `cargo test`; the full
-    // catalog (CFG construction, dataflow fixpoints, and the
-    // interprocedural call-graph + summary passes) must stay
-    // interactive. Measured ~150ms debug; 3s leaves 20x headroom for
-    // slow CI machines.
+    // catalog (CFG construction, dataflow fixpoints, the
+    // interprocedural call-graph + summary passes, and the
+    // thread-safety lockset fixpoint) must stay interactive. Measured
+    // ~200ms debug with the thread-safety pass; 4s leaves ~20x headroom
+    // for slow CI machines.
     assert!(
-        elapsed.as_secs_f64() < 3.0,
-        "full-workspace lint took {elapsed:?} (budget 3s) — see \
+        elapsed.as_secs_f64() < 4.0,
+        "full-workspace lint took {elapsed:?} (budget 4s) — see \
          `cargo run -p dlog-lint -- --timing` for the per-rule split"
     );
+}
+
+/// The race report must demonstrably cover the PR 8 concurrency
+/// surface: the in-memory network's endpoint inbox (`Inbox.q`,
+/// `Inbox.sleepers` under `EndpointQueue.inbox`), the receive buffer
+/// pool's free list (`BufPool.slots`), and the server runner's stop
+/// flag (`ServerRunner.stop`). If a refactor renames or drops one of
+/// these out of the access map, the detector has lost its primary
+/// subject and this gate fails before the lint sweep can go quietly
+/// blind.
+#[test]
+fn race_report_covers_the_shared_server_surface() {
+    let json = dlog_lint::workspace::build_race_report(&root(), false).expect("race report");
+    for needle in [
+        "\"name\":\"Inbox\"",
+        "\"name\":\"sleepers\"",
+        "\"name\":\"q\"",
+        "\"name\":\"BufPool\"",
+        "\"name\":\"slots\"",
+        "\"name\":\"ServerRunner\"",
+        "ServerRunner.stop",
+        "crates/server/src/runner.rs::spawn",
+    ] {
+        assert!(
+            json.contains(needle),
+            "race report lost `{needle}` — the thread-safety pass no \
+             longer sees the sharded-server surface"
+        );
+    }
 }
 
 /// Every rule's pass/fail fixtures must behave exactly as pinned: the
