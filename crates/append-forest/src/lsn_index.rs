@@ -136,11 +136,7 @@ impl LsnIndex {
         self.forest
             .iter()
             .flat_map(|(_, n)| n.positions.iter().copied())
-            .chain(
-                self.open
-                    .iter()
-                    .flat_map(|n| n.positions.iter().copied()),
-            )
+            .chain(self.open.iter().flat_map(|n| n.positions.iter().copied()))
     }
 
     /// Collect every indexed position into `out` (cleared first); callers

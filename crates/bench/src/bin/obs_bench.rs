@@ -2,11 +2,15 @@
 //! allocation gauge: drive real clusters under reliable and flaky fault
 //! plans with tracing and histograms enabled, with force coalescing on
 //! and off (the ablation), plus a concurrent multi-client scenario that
-//! shows physical forces being amortized across clients. Every scenario
-//! also reports `allocs_per_write` — the process-wide counting-allocator
-//! delta over the timed section divided by records written, the number
-//! the zero-copy wire path exists to hold down. Results go to
-//! `BENCH_PR8.json` at the repository root (or to `--out <path>`).
+//! shows physical forces being amortized across clients, and a sharded
+//! variant of it that runs every server as four shard event loops with
+//! each client's logical log pinned to one replica (n = 1) — the
+//! partitioned-log deployment the shard router exists for. Every
+//! scenario also reports `allocs_per_write` — the process-wide
+//! counting-allocator delta over the timed section divided by records
+//! written, the number the zero-copy wire path exists to hold down.
+//! Results go to `BENCH_PR10.json` at the repository root (or to
+//! `--out <path>`).
 //!
 //! ```text
 //! cargo run --release -p dlog-bench --bin obs_bench [-- --out fresh.json]
@@ -28,6 +32,8 @@ struct ScenarioResult {
     label: &'static str,
     coalesce_window_us: u64,
     clients: u64,
+    shards: u64,
+    replicas: usize,
     elapsed_ms: f64,
     writes_per_sec: f64,
     forces_per_sec: f64,
@@ -56,17 +62,24 @@ fn stage_rows(obs_list: &[Obs]) -> Vec<(Stage, HistogramSnapshot)> {
 }
 
 /// Drive `clients` concurrent clients, each writing `RECORDS / clients`
-/// records and forcing every `FORCE_EVERY`, against a fresh cluster.
+/// records and forcing every `FORCE_EVERY`, against a fresh cluster
+/// running `shards` shard event loops per server, with each client
+/// replicating to `replicas` servers.
 fn run_scenario(
     label: &'static str,
     plan: FaultPlan,
     window: Duration,
     clients: u64,
+    shards: u64,
+    replicas: usize,
 ) -> ScenarioResult {
     let mut opts = ClusterOptions::new(SERVERS);
     opts.plan = plan;
     opts.obs = ObsOptions::on();
     opts.coalesce_window = window;
+    // Pin the shard count: scenario results must not change shape under
+    // the DLOG_TEST_SHARDS matrix the test suite runs under.
+    opts.shards = shards;
     let mut cluster = Cluster::start(&format!("obs-bench-{label}"), opts);
 
     let per_client = RECORDS / clients;
@@ -74,7 +87,7 @@ fn run_scenario(
     // measured phase is purely the write/force pipeline.
     let mut logs = Vec::new();
     for c in 1..=clients {
-        let mut log = cluster.client(c, 2, 8);
+        let mut log = cluster.client(c, replicas, 8);
         log.initialize().expect("initialize");
         logs.push(log);
     }
@@ -117,7 +130,7 @@ fn run_scenario(
     let server_handles: Vec<Obs> = cluster
         .servers
         .iter()
-        .map(|&sid| cluster.server_obs(sid))
+        .flat_map(|&sid| cluster.server_shard_obs(sid))
         .collect();
     let (mut trace_events, mut trace_dropped) = (0u64, 0u64);
     for obs in server_handles
@@ -140,6 +153,8 @@ fn run_scenario(
         label,
         coalesce_window_us: window.as_micros() as u64,
         clients,
+        shards,
+        replicas,
         elapsed_ms: elapsed.as_secs_f64() * 1e3,
         writes_per_sec: (per_client * clients) as f64 / elapsed.as_secs_f64(),
         forces_per_sec: forces as f64 / elapsed.as_secs_f64(),
@@ -175,6 +190,7 @@ fn scenario_json(r: &ScenarioResult, last: bool) -> String {
     let comma = if last { "" } else { "," };
     format!(
         "    \"{}\": {{\n      \"coalesce_window_us\": {},\n      \"clients\": {},\n      \
+         \"shards\": {},\n      \"replicas\": {},\n      \
          \"elapsed_ms\": {:.1},\n      \"writes_per_sec\": {:.0},\n      \
          \"forces_per_sec\": {:.0},\n      \"allocs_per_write\": {:.3},\n      \
          \"coalesced_forces\": {},\n      \
@@ -183,6 +199,8 @@ fn scenario_json(r: &ScenarioResult, last: bool) -> String {
         r.label,
         r.coalesce_window_us,
         r.clients,
+        r.shards,
+        r.replicas,
         r.elapsed_ms,
         r.writes_per_sec,
         r.forces_per_sec,
@@ -203,29 +221,57 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| format!("{}/../../BENCH_PR8.json", env!("CARGO_MANIFEST_DIR")));
+        .unwrap_or_else(|| format!("{}/../../BENCH_PR10.json", env!("CARGO_MANIFEST_DIR")));
 
     // Throwaway warm-up: pays the process's one-time costs (lazy CRC
     // tables, allocator arenas, page faults, scheduler ramp-up) so the
     // first recorded scenario measures the pipeline, not cold start —
     // and so the CI gate's baseline/fresh comparison isn't skewed by
     // which run happened to be colder.
-    let _ = run_scenario("warmup", FaultPlan::reliable(), COALESCE_WINDOW, 4);
+    let _ = run_scenario("warmup", FaultPlan::reliable(), COALESCE_WINDOW, 4, 1, 2);
 
     let scenarios = [
         // Headline numbers: coalescing on.
-        run_scenario("reliable", FaultPlan::reliable(), COALESCE_WINDOW, 1),
-        run_scenario("flaky", FaultPlan::flaky(42), COALESCE_WINDOW, 1),
+        run_scenario("reliable", FaultPlan::reliable(), COALESCE_WINDOW, 1, 1, 2),
+        run_scenario("flaky", FaultPlan::flaky(42), COALESCE_WINDOW, 1, 1, 2),
         // Ablation: identical load, window zero (the synchronous path).
         run_scenario(
             "reliable_nocoalesce",
             FaultPlan::reliable(),
             Duration::ZERO,
             1,
+            1,
+            2,
         ),
-        run_scenario("flaky_nocoalesce", FaultPlan::flaky(42), Duration::ZERO, 1),
+        run_scenario(
+            "flaky_nocoalesce",
+            FaultPlan::flaky(42),
+            Duration::ZERO,
+            1,
+            1,
+            2,
+        ),
         // Amortization: four concurrent clients share physical forces.
-        run_scenario("group_4clients", FaultPlan::reliable(), COALESCE_WINDOW, 4),
+        run_scenario(
+            "group_4clients",
+            FaultPlan::reliable(),
+            COALESCE_WINDOW,
+            4,
+            1,
+            2,
+        ),
+        // Partitioned logical logs: every server runs four shard event
+        // loops, and each client's log is pinned to a single replica —
+        // per-record work drops to one ingest and one fan-out slot, the
+        // deployment shape §2's logical-log split argues for.
+        run_scenario(
+            "group_4clients_sharded",
+            FaultPlan::reliable(),
+            COALESCE_WINDOW,
+            4,
+            4,
+            1,
+        ),
     ];
 
     let mut out = String::new();

@@ -11,6 +11,7 @@ use dlog_net::wire::NodeAddr;
 use dlog_net::{FaultPlan, MemEndpoint, MemNetwork};
 use dlog_server::gen::GenStore;
 use dlog_server::runner::ServerRunner;
+use dlog_server::shard::ShardSupervisor;
 use dlog_server::{LogServer, ServerConfig, ServerStats};
 use dlog_storage::store::Durability;
 use dlog_storage::{LogStore, NvramDevice, StoreOptions, StoreStats};
@@ -57,12 +58,17 @@ pub struct ClusterOptions {
     /// Group-commit coalescing window for every server (`ZERO`: the
     /// synchronous force-per-message path).
     pub coalesce_window: std::time::Duration,
+    /// Shard event loops per server (1: the classic single-loop runner).
+    /// Defaults to `DLOG_TEST_SHARDS` from the environment so the whole
+    /// test suite can be re-run against a sharded topology unchanged.
+    pub shards: u64,
     /// Where to place server directories (`None`: a temp dir).
     pub root: Option<PathBuf>,
 }
 
 impl ClusterOptions {
-    /// Defaults: reliable network, no fsync, NVRAM durability.
+    /// Defaults: reliable network, no fsync, NVRAM durability,
+    /// `DLOG_TEST_SHARDS` shards (1 when unset).
     #[must_use]
     pub fn new(servers: u64) -> Self {
         ClusterOptions {
@@ -76,9 +82,27 @@ impl ClusterOptions {
             archive: false,
             obs: dlog_obs::ObsOptions::off(),
             coalesce_window: std::time::Duration::ZERO,
+            shards: test_shards(),
             root: None,
         }
     }
+}
+
+/// The suite-wide shard count: `DLOG_TEST_SHARDS` (CI runs the whole
+/// workspace at 1 and at 4), clamped to at least 1.
+#[must_use]
+pub fn test_shards() -> u64 {
+    std::env::var("DLOG_TEST_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map_or(1, |v| v.max(1))
+}
+
+/// A server's event loops: the classic single-loop runner, or a shard
+/// supervisor fanning a dispatcher into N loops.
+enum Backend {
+    Single(ServerRunner),
+    Sharded(ShardSupervisor),
 }
 
 /// A running in-process cluster.
@@ -88,11 +112,12 @@ pub struct Cluster {
     /// The servers' ids.
     pub servers: Vec<ServerId>,
     opts: ClusterOptions,
-    runners: HashMap<ServerId, ServerRunner>,
-    nvrams: HashMap<ServerId, NvramDevice>,
-    /// One observability handle per server; it survives kills and
-    /// reboots so a scenario's trace spans the server's incarnations.
-    server_obs: HashMap<ServerId, dlog_obs::Obs>,
+    backends: HashMap<ServerId, Backend>,
+    nvrams: HashMap<(ServerId, u64), NvramDevice>,
+    /// One observability handle per server *shard*; they survive kills
+    /// and reboots so a scenario's trace spans the server's
+    /// incarnations, and sharded stats never double-count.
+    server_obs: HashMap<ServerId, Vec<dlog_obs::Obs>>,
     /// One handle shared by every client this cluster builds.
     client_obs: dlog_obs::Obs,
     root: PathBuf,
@@ -120,20 +145,26 @@ impl Cluster {
             net,
             servers: (1..=opts.servers).map(ServerId).collect(),
             opts,
-            runners: HashMap::new(),
+            backends: HashMap::new(),
             nvrams: HashMap::new(),
             server_obs: HashMap::new(),
             client_obs,
             root,
             cleanup,
         };
+        let shards = cluster.opts.shards.max(1);
         for sid in cluster.servers.clone() {
-            cluster
-                .nvrams
-                .insert(sid, NvramDevice::new(cluster.opts.nvram_bytes));
-            cluster
-                .server_obs
-                .insert(sid, dlog_obs::Obs::new(&cluster.opts.obs));
+            for k in 0..shards {
+                cluster
+                    .nvrams
+                    .insert((sid, k), NvramDevice::new(cluster.opts.nvram_bytes));
+            }
+            cluster.server_obs.insert(
+                sid,
+                (0..shards)
+                    .map(|_| dlog_obs::Obs::new(&cluster.opts.obs))
+                    .collect(),
+            );
             cluster.boot_server(sid);
         }
         cluster
@@ -143,69 +174,122 @@ impl Cluster {
         self.root.join(format!("server-{}", sid.0))
     }
 
+    /// Shard `k`'s storage root: the server directory itself for an
+    /// unsharded server (the classic layout), a `shard-k/` subdirectory
+    /// otherwise — each shard recovers its own root independently.
+    fn shard_dir(&self, sid: ServerId, k: u64) -> PathBuf {
+        if self.opts.shards.max(1) == 1 {
+            self.server_dir(sid)
+        } else {
+            self.server_dir(sid).join(format!("shard-{k}"))
+        }
+    }
+
     /// Each server's archive tier lives beside its data directory.
     #[must_use]
     pub fn archive_dir(&self, sid: ServerId) -> PathBuf {
         self.root.join(format!("archive-{}", sid.0))
     }
 
-    /// (Re)start a server from its on-disk + NVRAM state.
+    /// (Re)start a server from its on-disk + NVRAM state — every shard,
+    /// each recovering from its own storage root.
     pub fn boot_server(&mut self, sid: ServerId) {
-        let dir = self.server_dir(sid);
-        let mut store_opts = StoreOptions {
-            fsync: self.opts.fsync,
-            durability: self.opts.durability,
-            track_bytes: self.opts.track_bytes,
-            checkpoint_every: 0,
-            ..StoreOptions::default()
-        };
-        if let Some(sb) = self.opts.segment_bytes {
-            store_opts.segment_bytes = sb;
-        }
-        let nvram = self.nvrams.get(&sid).expect("registered").clone();
-        let store = LogStore::open(&dir, store_opts, nvram).expect("open store");
-        let gens = GenStore::open(dir.join("gens")).expect("open gens");
-        let mut config = ServerConfig::new(sid);
-        config.coalesce_window = self.opts.coalesce_window;
-        let mut server = LogServer::new(config, store, gens).expect("server");
-        if self.opts.archive {
-            let objects =
-                dlog_archive::LocalDirStore::open(self.archive_dir(sid)).expect("open archive dir");
-            server
-                .attach_archive(
-                    std::sync::Arc::new(objects),
-                    std::time::Duration::from_millis(10),
-                )
-                .expect("attach archive");
-        }
+        let shards = self.opts.shards.max(1);
         // An obs handle registered before this boot means the server ran
         // earlier in this cluster's life — this boot is a recovery, and
-        // the surviving handle gets a `Stage::Recover` marker so the
+        // the surviving handles get a `Stage::Recover` marker so the
         // trace reads crash → recover in one timeline.
         let rebooting = self.server_obs.contains_key(&sid);
-        let obs = self
+        let obs_list: Vec<dlog_obs::Obs> = self
             .server_obs
             .entry(sid)
-            .or_insert_with(|| dlog_obs::Obs::new(&self.opts.obs))
+            .or_insert_with(|| {
+                (0..shards)
+                    .map(|_| dlog_obs::Obs::new(&self.opts.obs))
+                    .collect()
+            })
             .clone();
-        server.set_obs(obs.clone());
-        if rebooting {
-            obs.event(
-                dlog_obs::Stage::Recover,
-                server.store_mut().stream_end(),
-                sid.0,
-            );
+        let mut servers = Vec::with_capacity(shards as usize);
+        for k in 0..shards {
+            let dir = self.shard_dir(sid, k);
+            let mut store_opts = StoreOptions {
+                fsync: self.opts.fsync,
+                durability: self.opts.durability,
+                track_bytes: self.opts.track_bytes,
+                checkpoint_every: 0,
+                ..StoreOptions::default()
+            };
+            if let Some(sb) = self.opts.segment_bytes {
+                store_opts.segment_bytes = sb;
+            }
+            let nvram = self
+                .nvrams
+                .entry((sid, k))
+                .or_insert_with(|| NvramDevice::new(self.opts.nvram_bytes))
+                .clone();
+            let store = LogStore::open(&dir, store_opts, nvram).expect("open store");
+            let gens = GenStore::open(dir.join("gens")).expect("open gens");
+            let mut config = ServerConfig::new(sid).for_shard(k, shards);
+            config.coalesce_window = self.opts.coalesce_window;
+            let mut server = LogServer::new(config, store, gens).expect("server");
+            if self.opts.archive {
+                let archive_dir = if shards == 1 {
+                    self.archive_dir(sid)
+                } else {
+                    self.archive_dir(sid).join(format!("shard-{k}"))
+                };
+                let objects =
+                    dlog_archive::LocalDirStore::open(archive_dir).expect("open archive dir");
+                server
+                    .attach_archive(
+                        std::sync::Arc::new(objects),
+                        std::time::Duration::from_millis(10),
+                    )
+                    .expect("attach archive");
+            }
+            let obs = obs_list.get(k as usize).cloned().unwrap_or_default();
+            server.set_obs(obs.clone());
+            if rebooting {
+                obs.event(
+                    dlog_obs::Stage::Recover,
+                    server.store_mut().stream_end(),
+                    sid.0,
+                );
+            }
+            servers.push(server);
         }
         let mut ep = self.net.endpoint(server_addr(sid));
-        ep.set_obs(obs);
+        ep.set_obs(obs_list.first().cloned().unwrap_or_default());
         self.net.set_down(server_addr(sid), false);
-        self.runners.insert(sid, ServerRunner::spawn(server, ep));
+        let backend = match (shards, servers.pop()) {
+            (1, Some(only)) => Backend::Single(ServerRunner::spawn(only, ep)),
+            (_, Some(last)) => {
+                servers.push(last);
+                // The in-memory transport routes frames to shard queues
+                // itself (sender-side, from the wire header), so the
+                // sharded backend runs without a dispatcher thread.
+                Backend::Sharded(ShardSupervisor::spawn_routed(servers, ep))
+            }
+            (_, None) => unreachable!("shards >= 1"),
+        };
+        self.backends.insert(sid, backend);
     }
 
-    /// The server's observability handle (disabled unless
-    /// [`ClusterOptions::obs`] enabled it).
+    /// The server's observability handle — shard 0's on a sharded
+    /// server (disabled unless [`ClusterOptions::obs`] enabled it); use
+    /// [`Cluster::server_shard_obs`] for every shard's handle.
     #[must_use]
     pub fn server_obs(&self, sid: ServerId) -> dlog_obs::Obs {
+        self.server_obs
+            .get(&sid)
+            .and_then(|v| v.first().cloned())
+            .unwrap_or_default()
+    }
+
+    /// Every shard's observability handle for `sid` (one entry on an
+    /// unsharded server).
+    #[must_use]
+    pub fn server_shard_obs(&self, sid: ServerId) -> Vec<dlog_obs::Obs> {
         self.server_obs.get(&sid).cloned().unwrap_or_default()
     }
 
@@ -215,37 +299,51 @@ impl Cluster {
         self.client_obs.clone()
     }
 
-    /// Replace a server's NVRAM device with a fresh (empty) one —
-    /// models battery loss or a board swap alongside media events.
+    /// Replace a server's NVRAM devices (every shard's) with fresh
+    /// (empty) ones — models battery loss or a board swap alongside
+    /// media events.
     pub fn nvram_reset(&mut self, sid: ServerId) {
-        self.nvrams
-            .insert(sid, NvramDevice::new(self.opts.nvram_bytes));
+        for k in 0..self.opts.shards.max(1) {
+            self.nvrams
+                .insert((sid, k), NvramDevice::new(self.opts.nvram_bytes));
+        }
     }
 
     /// Take a server down hard, stamping a `Stage::Crash` marker (with
-    /// the durable stream end) into the server's trace so crash
+    /// the durable stream end) into each shard's trace so crash
     /// schedules are legible in observability dumps.
     pub fn kill_server(&mut self, sid: ServerId) {
         self.net.set_down(server_addr(sid), true);
-        if let Some(r) = self.runners.remove(&sid) {
-            let stream_end = r.crash();
-            if let Some(obs) = self.server_obs.get(&sid) {
-                obs.event(dlog_obs::Stage::Crash, stream_end, sid.0);
+        let ends = match self.backends.remove(&sid) {
+            Some(Backend::Single(r)) => vec![r.crash()],
+            Some(Backend::Sharded(s)) => s.crash(),
+            None => return,
+        };
+        if let Some(obs_list) = self.server_obs.get(&sid) {
+            for (obs, end) in obs_list.iter().zip(ends) {
+                obs.event(dlog_obs::Stage::Crash, end, sid.0);
             }
         }
     }
 
-    /// Stop a server gracefully and return it (for stats inspection).
-    pub fn stop_server(&mut self, sid: ServerId) -> Option<LogServer> {
+    /// Stop a server gracefully and return its per-shard servers in
+    /// shard order (a single element on an unsharded server; empty when
+    /// the server is not running).
+    pub fn stop_server(&mut self, sid: ServerId) -> Vec<LogServer> {
         self.net.set_down(server_addr(sid), true);
-        self.runners.remove(&sid).map(ServerRunner::stop)
+        match self.backends.remove(&sid) {
+            Some(Backend::Single(r)) => vec![r.stop()],
+            Some(Backend::Sharded(s)) => s.stop(),
+            None => Vec::new(),
+        }
     }
 
-    /// Stop every server and collect `(protocol stats, storage stats)`.
+    /// Stop every server and collect `(protocol stats, storage stats)`
+    /// — one entry per shard on a sharded cluster.
     pub fn stop_all(&mut self) -> Vec<(ServerId, ServerStats, StoreStats)> {
         let mut out = Vec::new();
         for sid in self.servers.clone() {
-            if let Some(server) = self.stop_server(sid) {
+            for server in self.stop_server(sid) {
                 out.push((sid, server.stats(), server.store_stats()));
             }
         }
@@ -284,7 +382,7 @@ impl Cluster {
 
 impl Drop for Cluster {
     fn drop(&mut self) {
-        for (_, r) in self.runners.drain() {
+        for (_, r) in self.backends.drain() {
             drop(r);
         }
         if self.cleanup {

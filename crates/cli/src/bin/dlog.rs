@@ -157,7 +157,14 @@ fn run() -> Result<(), String> {
                     upload_retries,
                     coalesced_forces,
                     group_commits,
+                    shard,
+                    shards,
                 }) => {
+                    let sock = if shards > 1 {
+                        format!("{sock}/s{shard}")
+                    } else {
+                        sock.to_string()
+                    };
                     println!(
                         "{sock}: {records_stored} records, {clients} clients, {on_disk_bytes} bytes on disk, {tracks_flushed} tracks, {forces_acked} forces acked, {rpcs} rpcs, {naks_sent} naks, {duplicates_ignored} dups ignored, {writes_shed} shed"
                     );
@@ -194,8 +201,13 @@ fn run() -> Result<(), String> {
                     trace_dropped,
                     ingest_allocs,
                     ingest_records,
+                    shard,
+                    shards,
                 }) => {
                     reached += 1;
+                    if !json && shards > 1 {
+                        println!("{sock}: shard {shard} of {shards} (merged rows follow)");
+                    }
                     total_events += trace_events;
                     total_dropped += trace_dropped;
                     total_allocs += ingest_allocs;

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! dlog-server --dir /var/lib/dlog/s1 --listen 127.0.0.1:7001 --id 1
-//!             [--track-kb 64] [--nvram-kb 1024] [--no-fsync true]
+//!             [--shards 4] [--track-kb 64] [--nvram-kb 1024] [--no-fsync true]
 //!             [--archive-dir /var/lib/dlog/archive1] [--archive-interval-ms 1000]
 //!             [--force-coalesce-us 2000] [--force-coalesce-max 64]
 //! ```
@@ -82,55 +82,92 @@ fn run() -> Result<(), String> {
     }
 
     let listen: SocketAddr = args.require("listen")?;
-    let nvram = NvramDevice::new(nvram_kb * 1024);
-    let store = LogStore::open(&dir, opts, nvram).map_err(|e| format!("open store: {e}"))?;
-    let gens =
-        GenStore::open(format!("{dir}/gens")).map_err(|e| format!("open generator store: {e}"))?;
+    let shards: u64 = args.get_or("shards", 1)?;
+    let shards = shards.max(1);
     // Group commit: forces arriving within the window share one physical
     // durability round. 0 (the default) keeps forces synchronous.
     let coalesce_us: u64 = args.get_or("force-coalesce-us", 0)?;
     let coalesce_max: usize = args.get_or("force-coalesce-max", 64)?;
-    let mut config = ServerConfig::new(ServerId(id));
-    config.coalesce_window = std::time::Duration::from_micros(coalesce_us);
-    config.coalesce_max_batch = coalesce_max.max(1);
     if coalesce_us > 0 {
         eprintln!(
             "dlog-server {id}: group commit on (window {coalesce_us} us, max batch {})",
-            config.coalesce_max_batch
+            coalesce_max.max(1)
         );
     }
-    let mut server =
-        LogServer::new(config, store, gens).map_err(|e| format!("construct server: {e}"))?;
-
     // Observability on by default so `dlog stats` has data to show;
-    // --no-obs true reverts to the zero-cost disabled handle.
+    // --no-obs true reverts to the zero-cost disabled handle. Each shard
+    // gets its own handle so per-shard `Stats` rows never double-count.
     let no_obs: bool = args.get_or("no-obs", false)?;
-    let obs = if no_obs {
-        dlog_obs::Obs::off()
-    } else {
-        dlog_obs::Obs::new(&dlog_obs::ObsOptions::on())
-    };
-    server.set_obs(obs.clone());
+    let archive_dir = args.get::<String>("archive-dir")?;
+    let archive_interval_ms: u64 = args.get_or("archive-interval-ms", 1000)?;
 
-    if let Some(archive_dir) = args.get::<String>("archive-dir")? {
-        let interval_ms: u64 = args.get_or("archive-interval-ms", 1000)?;
-        let objects = dlog_archive::LocalDirStore::open(&archive_dir)
-            .map_err(|e| format!("open archive {archive_dir}: {e}"))?;
-        server
-            .attach_archive(
-                std::sync::Arc::new(objects),
-                std::time::Duration::from_millis(interval_ms),
-            )
-            .map_err(|e| format!("attach archive {archive_dir}: {e}"))?;
-        eprintln!("dlog-server {id}: archiving to {archive_dir} every {interval_ms} ms");
+    // One log server per shard, each over its own storage root (the
+    // `--dir` itself when unsharded, `--dir/shard-K` otherwise).
+    let mut servers = Vec::new();
+    let mut obs0 = dlog_obs::Obs::off();
+    for k in 0..shards {
+        let shard_dir = if shards == 1 {
+            dir.clone()
+        } else {
+            format!("{dir}/shard-{k}")
+        };
+        let nvram = NvramDevice::new(nvram_kb * 1024);
+        let store = LogStore::open(&shard_dir, opts.clone(), nvram)
+            .map_err(|e| format!("open store {shard_dir}: {e}"))?;
+        let gens = GenStore::open(format!("{shard_dir}/gens"))
+            .map_err(|e| format!("open generator store: {e}"))?;
+        let mut config = ServerConfig::new(ServerId(id)).for_shard(k, shards);
+        config.coalesce_window = std::time::Duration::from_micros(coalesce_us);
+        config.coalesce_max_batch = coalesce_max.max(1);
+        let mut server =
+            LogServer::new(config, store, gens).map_err(|e| format!("construct server: {e}"))?;
+        let obs = if no_obs {
+            dlog_obs::Obs::off()
+        } else {
+            dlog_obs::Obs::new(&dlog_obs::ObsOptions::on())
+        };
+        server.set_obs(obs.clone());
+        if k == 0 {
+            obs0 = obs;
+        }
+        if let Some(archive_root) = &archive_dir {
+            let shard_archive = if shards == 1 {
+                archive_root.clone()
+            } else {
+                format!("{archive_root}/shard-{k}")
+            };
+            let objects = dlog_archive::LocalDirStore::open(&shard_archive)
+                .map_err(|e| format!("open archive {shard_archive}: {e}"))?;
+            server
+                .attach_archive(
+                    std::sync::Arc::new(objects),
+                    std::time::Duration::from_millis(archive_interval_ms),
+                )
+                .map_err(|e| format!("attach archive {shard_archive}: {e}"))?;
+            eprintln!(
+                "dlog-server {id}: shard {k} archiving to {shard_archive} \
+                 every {archive_interval_ms} ms"
+            );
+        }
+        servers.push(server);
     }
 
     let mut ep =
         UdpEndpoint::bind(NodeAddr(id), listen).map_err(|e| format!("bind {listen}: {e}"))?;
-    ep.set_obs(obs);
+    ep.set_obs(obs0);
     ep.set_promiscuous(true);
     let bound = ep.socket_addr().map_err(|e| e.to_string())?;
-    eprintln!("dlog-server {id}: serving {dir} on {bound} (ctrl-c to stop)");
+    eprintln!("dlog-server {id}: serving {dir} on {bound} with {shards} shard(s) (ctrl-c to stop)");
+
+    if shards > 1 {
+        // Sharded: the supervisor owns the socket's receive side and
+        // routes by logical log; this thread just keeps the process up.
+        let _sup = dlog_server::shard::ShardSupervisor::spawn(servers, ep);
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+    let mut server = servers.pop().expect("one shard");
 
     loop {
         // With forces pending, poll instead of blocking so the group
@@ -170,7 +207,7 @@ fn main() {
     if let Err(e) = run() {
         eprintln!("dlog-server: {e}");
         eprintln!(
-            "usage: dlog-server --dir DIR --listen HOST:PORT [--id N] \
+            "usage: dlog-server --dir DIR --listen HOST:PORT [--id N] [--shards 1] \
              [--track-kb 64] [--nvram-kb 1024] [--no-fsync true] [--no-obs true] \
              [--archive-dir DIR] [--archive-interval-ms 1000] \
              [--force-coalesce-us 0] [--force-coalesce-max 64]"

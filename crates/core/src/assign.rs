@@ -13,7 +13,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use dlog_types::{ClientId, ServerId};
+use dlog_types::{ClientId, LogId, ServerId};
 
 /// A strategy for choosing write targets.
 #[derive(Clone, Debug)]
@@ -33,23 +33,34 @@ pub enum AssignStrategy {
 }
 
 impl AssignStrategy {
-    /// Choose the initial N targets from `servers` for `client`.
+    /// Choose the initial N targets from `servers` for `client` —
+    /// placement is keyed by the client's logical log, so the same
+    /// choice falls out for any holder of that log.
     ///
     /// # Panics
     /// Panics if `n > servers.len()` (configurations are validated before
     /// this point).
     #[must_use]
     pub fn initial(&self, client: ClientId, servers: &[ServerId], n: usize) -> Vec<ServerId> {
+        self.initial_for_log(LogId::for_client(client), servers, n)
+    }
+
+    /// [`AssignStrategy::initial`], keyed directly by logical log.
+    ///
+    /// # Panics
+    /// Panics if `n > servers.len()`.
+    #[must_use]
+    pub fn initial_for_log(&self, log: LogId, servers: &[ServerId], n: usize) -> Vec<ServerId> {
         assert!(n <= servers.len(), "N exceeds M");
         match self {
             AssignStrategy::Fixed => servers[..n].to_vec(),
             AssignStrategy::Striped => {
                 let m = servers.len();
-                let start = (client.0 as usize) % m;
+                let start = (log.0 as usize) % m;
                 (0..n).map(|i| servers[(start + i) % m]).collect()
             }
             AssignStrategy::Random { seed } => {
-                let mut rng = StdRng::seed_from_u64(seed ^ client.0.wrapping_mul(0x9E37_79B9));
+                let mut rng = StdRng::seed_from_u64(seed ^ log.0.wrapping_mul(0x9E37_79B9));
                 let mut pool = servers.to_vec();
                 pool.shuffle(&mut rng);
                 pool.truncate(n);
@@ -68,14 +79,26 @@ impl AssignStrategy {
         current: &[ServerId],
         failed: ServerId,
     ) -> Option<ServerId> {
+        self.replacement_for_log(LogId::for_client(client), servers, current, failed)
+    }
+
+    /// [`AssignStrategy::replacement`], keyed directly by logical log.
+    #[must_use]
+    pub fn replacement_for_log(
+        &self,
+        log: LogId,
+        servers: &[ServerId],
+        current: &[ServerId],
+        failed: ServerId,
+    ) -> Option<ServerId> {
         let m = servers.len();
         let start = servers.iter().position(|&s| s == failed).unwrap_or(0);
         // Walk the ring from the failed server, skipping current targets;
-        // randomized strategies jitter the starting point by client.
+        // randomized strategies jitter the starting point by log.
         let offset = match self {
             AssignStrategy::Fixed => 1,
             AssignStrategy::Striped => 1,
-            AssignStrategy::Random { seed } => 1 + ((seed ^ client.0) as usize % m.max(1)),
+            AssignStrategy::Random { seed } => 1 + ((seed ^ log.0) as usize % m.max(1)),
         };
         for i in 0..m {
             let cand = servers[(start + offset + i) % m];

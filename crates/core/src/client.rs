@@ -948,8 +948,22 @@ impl<E: Endpoint> ReplicatedLog<E> {
     ///
     /// # Errors
     /// [`DlogError::ServerUnavailable`] when the server does not answer.
+    /// A sharded server answers with one gauge row per shard; the rows
+    /// are merged here (counters summed, `last_manifest_lsn` taken as
+    /// the max) so callers see one server-wide snapshot either way. Use
+    /// [`ReplicatedLog::server_status_shards`] for the per-shard rows.
     pub fn server_status(&mut self, server: ServerId) -> Result<Response> {
-        self.net.rpc(server, Request::Status)
+        let rows = self.server_status_shards(server)?;
+        Ok(merge_status_rows(rows))
+    }
+
+    /// Per-shard `Status` rows from `server`, one per shard event loop
+    /// (a single row from an unsharded server).
+    ///
+    /// # Errors
+    /// [`DlogError::ServerUnavailable`] when the server does not answer.
+    pub fn server_status_shards(&mut self, server: ServerId) -> Result<Vec<Response>> {
+        self.net.rpc_all(server, Request::Status)
     }
 
     /// Query a server's observability snapshot (the `Stats` RPC): per-stage
@@ -958,8 +972,12 @@ impl<E: Endpoint> ReplicatedLog<E> {
     ///
     /// # Errors
     /// [`DlogError::ServerUnavailable`] when the server does not answer.
+    /// Per-shard rows are merged: stage entries are concatenated (the
+    /// stage id travels with each entry, so histogram merging stays a
+    /// consumer-side fold) and the trace/alloc counters summed.
     pub fn server_stats(&mut self, server: ServerId) -> Result<Response> {
-        self.net.rpc(server, Request::Stats)
+        let rows = self.net.rpc_all(server, Request::Stats)?;
+        Ok(merge_stats_rows(rows))
     }
 
     // ---- helpers for the repair module (§5.3) ----
@@ -1053,6 +1071,136 @@ impl<E: Endpoint> ReplicatedLog<E> {
             }
         }
     }
+}
+
+/// Fold per-shard `Status` rows into one server-wide row: counters sum
+/// (every gauge but one is a monotone counter), `last_manifest_lsn` is
+/// the max across shards, and the merged row reports `shard: 0` with
+/// the server's true shard count. A single unsharded row passes through
+/// unchanged.
+fn merge_status_rows(rows: Vec<Response>) -> Response {
+    let mut it = rows.into_iter();
+    let Some(mut acc) = it.next() else {
+        return Response::Err {
+            code: 0,
+            detail: "no status rows".into(),
+        };
+    };
+    for row in it {
+        if let (
+            Response::Status {
+                records_stored,
+                duplicates_ignored,
+                naks_sent,
+                writes_shed,
+                rpcs,
+                forces_acked,
+                clients,
+                on_disk_bytes,
+                tracks_flushed,
+                archived_bytes,
+                pending_upload_bytes,
+                last_manifest_lsn,
+                upload_retries,
+                coalesced_forces,
+                group_commits,
+                shard: _,
+                shards,
+            },
+            Response::Status {
+                records_stored: b_records_stored,
+                duplicates_ignored: b_duplicates_ignored,
+                naks_sent: b_naks_sent,
+                writes_shed: b_writes_shed,
+                rpcs: b_rpcs,
+                forces_acked: b_forces_acked,
+                clients: b_clients,
+                on_disk_bytes: b_on_disk_bytes,
+                tracks_flushed: b_tracks_flushed,
+                archived_bytes: b_archived_bytes,
+                pending_upload_bytes: b_pending_upload_bytes,
+                last_manifest_lsn: b_last_manifest_lsn,
+                upload_retries: b_upload_retries,
+                coalesced_forces: b_coalesced_forces,
+                group_commits: b_group_commits,
+                shard: _,
+                shards: b_shards,
+            },
+        ) = (&mut acc, row)
+        {
+            *records_stored += b_records_stored;
+            *duplicates_ignored += b_duplicates_ignored;
+            *naks_sent += b_naks_sent;
+            *writes_shed += b_writes_shed;
+            *rpcs += b_rpcs;
+            *forces_acked += b_forces_acked;
+            *clients += b_clients;
+            *on_disk_bytes += b_on_disk_bytes;
+            *tracks_flushed += b_tracks_flushed;
+            *archived_bytes += b_archived_bytes;
+            *pending_upload_bytes += b_pending_upload_bytes;
+            *last_manifest_lsn = (*last_manifest_lsn).max(b_last_manifest_lsn);
+            *upload_retries += b_upload_retries;
+            *coalesced_forces += b_coalesced_forces;
+            *group_commits += b_group_commits;
+            *shards = (*shards).max(b_shards);
+        }
+    }
+    if let Response::Status { shard, shards, .. } = &mut acc {
+        if *shards > 1 {
+            *shard = 0;
+        }
+    }
+    acc
+}
+
+/// Fold per-shard `Stats` rows: stage entries concatenate (each entry
+/// carries its stage id, so per-stage histogram merging stays a
+/// consumer-side fold) and the trace/alloc counters sum.
+fn merge_stats_rows(rows: Vec<Response>) -> Response {
+    let mut it = rows.into_iter();
+    let Some(mut acc) = it.next() else {
+        return Response::Err {
+            code: 0,
+            detail: "no stats rows".into(),
+        };
+    };
+    for row in it {
+        if let (
+            Response::Stats {
+                stages,
+                trace_events,
+                trace_dropped,
+                ingest_allocs,
+                ingest_records,
+                shard: _,
+                shards,
+            },
+            Response::Stats {
+                stages: b_stages,
+                trace_events: b_trace_events,
+                trace_dropped: b_trace_dropped,
+                ingest_allocs: b_ingest_allocs,
+                ingest_records: b_ingest_records,
+                shard: _,
+                shards: b_shards,
+            },
+        ) = (&mut acc, row)
+        {
+            stages.extend(b_stages);
+            *trace_events += b_trace_events;
+            *trace_dropped += b_trace_dropped;
+            *ingest_allocs += b_ingest_allocs;
+            *ingest_records += b_ingest_records;
+            *shards = (*shards).max(b_shards);
+        }
+    }
+    if let Response::Stats { shard, shards, .. } = &mut acc {
+        if *shards > 1 {
+            *shard = 0;
+        }
+    }
+    acc
 }
 
 #[cfg(test)]

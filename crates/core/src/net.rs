@@ -98,7 +98,7 @@ impl<E: Endpoint> ClientNet<E> {
         let addr = self.addr_of(server)?;
         self.stats.packets_out += 1;
         self.endpoint
-            .send(addr, &Packet::bare(msg))
+            .send(addr, &Packet::stamped(msg))
             .map_err(DlogError::Io)
     }
 
@@ -111,7 +111,7 @@ impl<E: Endpoint> ClientNet<E> {
     pub fn send_many(&mut self, servers: &[ServerId], msg: Message) -> Result<()> {
         let mut addrs = [NodeAddr(0); 16];
         let mut chunk = servers;
-        let packet = Packet::bare(msg);
+        let packet = Packet::stamped(msg);
         // Fixed-size scratch keeps this allocation-free for any realistic
         // replica set; larger sets just fan out in chunks.
         while !chunk.is_empty() {
@@ -186,7 +186,7 @@ impl<E: Endpoint> ClientNet<E> {
             self.endpoint
                 .send(
                     addr,
-                    &Packet::bare(Message::Request {
+                    &Packet::stamped(Message::Request {
                         id,
                         body: req.clone(),
                     }),
@@ -206,6 +206,78 @@ impl<E: Endpoint> ClientNet<E> {
                 if let Some(resp) = hit {
                     return Ok(resp);
                 }
+            }
+        }
+        self.stats.rpc_failures += 1;
+        Err(DlogError::ServerUnavailable { server })
+    }
+
+    /// Perform a shard-agnostic RPC (`Status` / `Stats`) against every
+    /// shard of `server` and collect one response per shard. A sharded
+    /// server broadcasts such requests internally and each shard answers
+    /// stamped with its `shard` / `shards` gauges; the first response
+    /// tells us how many rows to expect, and duplicate rows (datagram
+    /// duplication, retries) are dropped by shard index. An unsharded
+    /// server yields exactly one row, making this a drop-in superset of
+    /// [`ClientNet::rpc`] for these two requests.
+    ///
+    /// # Errors
+    /// [`DlogError::ServerUnavailable`] when no shard answers within the
+    /// retry budget. A partial row set (some shards answered, the rest
+    /// timed out) is returned as-is rather than failing — observability
+    /// must degrade, not disappear.
+    pub fn rpc_all(&mut self, server: ServerId, req: Request) -> Result<Vec<Response>> {
+        let addr = self.addr_of(server)?;
+        let id = self.next_rpc_id;
+        self.next_rpc_id += 1;
+        for attempt in 0..=self.rpc_retries {
+            if attempt > 0 {
+                self.stats.rpc_retries += 1;
+            }
+            self.stats.packets_out += 1;
+            self.endpoint
+                .send(
+                    addr,
+                    &Packet::stamped(Message::Request {
+                        id,
+                        body: req.clone(),
+                    }),
+                )
+                .map_err(DlogError::Io)?;
+            let mut rows: Vec<Response> = Vec::new();
+            let mut seen_shards: Vec<u64> = Vec::new();
+            let mut want = 1usize;
+            let deadline = Instant::now() + self.rpc_timeout;
+            loop {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    break;
+                }
+                let Some((from, pkt)) = self.endpoint.recv(remaining)? else {
+                    break;
+                };
+                let mut hit: Option<Response> = None;
+                self.dispatch(from, pkt.msg, Some((id, &mut hit)));
+                let Some(resp) = hit else { continue };
+                let key = match &resp {
+                    Response::Status { shard, shards, .. }
+                    | Response::Stats { shard, shards, .. } => {
+                        want = (*shards).max(1) as usize;
+                        *shard
+                    }
+                    _ => rows.len() as u64,
+                };
+                if seen_shards.contains(&key) {
+                    continue;
+                }
+                seen_shards.push(key);
+                rows.push(resp);
+                if rows.len() >= want {
+                    return Ok(rows);
+                }
+            }
+            if !rows.is_empty() {
+                return Ok(rows);
             }
         }
         self.stats.rpc_failures += 1;

@@ -56,7 +56,12 @@ pub fn check(ts: &ThreadSafety) -> Vec<Violation> {
                     "`{}` ({}) is loaded with Ordering::Relaxed but guards access to \
                      `{}.{}` at {}:{} with no lock held; a Relaxed flag cannot publish \
                      plain shared data — store with Release and load with Acquire",
-                    info.id, info.role(), hit.strukt, hit.field, hit.file, hit.line
+                    info.id,
+                    info.role(),
+                    hit.strukt,
+                    hit.field,
+                    hit.file,
+                    hit.line
                 ),
             });
         }

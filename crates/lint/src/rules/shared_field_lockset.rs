@@ -41,9 +41,7 @@ pub fn check(ts: &ThreadSafety) -> Vec<Violation> {
             let Some(write) = shared.iter().find(|a| a.write) else {
                 continue;
             };
-            let common = ts
-                .common_lockset(name, &fi.name)
-                .unwrap_or_default();
+            let common = ts.common_lockset(name, &fi.name).unwrap_or_default();
             if !common.is_empty() {
                 continue;
             }
@@ -52,9 +50,7 @@ pub fn check(ts: &ThreadSafety) -> Vec<Violation> {
             let other = shared
                 .iter()
                 .filter(|a| a.token != write.token || a.file != write.file)
-                .min_by_key(|a| {
-                    a.lockset.intersection(&write.lockset).count()
-                })
+                .min_by_key(|a| a.lockset.intersection(&write.lockset).count())
                 .unwrap_or(write);
             let fmt_set = |s: &std::collections::BTreeSet<String>| -> String {
                 if s.is_empty() {

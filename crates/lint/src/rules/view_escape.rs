@@ -33,7 +33,12 @@ const PROMOTIONS: &[&str] = &["to_owned", "to_vec", "clone", "into_owned", "prom
 
 /// Methods that store a value into a collection.
 const STORES: &[&str] = &[
-    "push", "push_back", "push_front", "insert", "extend", "replace",
+    "push",
+    "push_back",
+    "push_front",
+    "insert",
+    "extend",
+    "replace",
 ];
 
 /// The rule as a [`DataflowRule`] instance.
@@ -43,9 +48,7 @@ pub struct ViewEscape;
 fn has_promotion(cx: &StmtCx<'_>) -> bool {
     let toks = cx.tokens();
     (1..toks.len().saturating_sub(1)).any(|i| {
-        toks[i - 1].is(".")
-            && PROMOTIONS.contains(&toks[i].text.as_str())
-            && toks[i + 1].is("(")
+        toks[i - 1].is(".") && PROMOTIONS.contains(&toks[i].text.as_str()) && toks[i + 1].is("(")
     })
 }
 
@@ -76,9 +79,7 @@ fn self_store(cx: &StmtCx<'_>) -> Option<usize> {
             return Some(j);
         }
         // `self.path.push(…)` — the last path segment was the method.
-        if toks.get(j + 1).is_some_and(|t| t.is("("))
-            && STORES.contains(&toks[j].text.as_str())
-        {
+        if toks.get(j + 1).is_some_and(|t| t.is("(")) && STORES.contains(&toks[j].text.as_str()) {
             return Some(j);
         }
     }
@@ -178,7 +179,10 @@ mod tests {
 
     #[test]
     fn promoted_rebinding_is_fine() {
-        assert!(run("let pkt = decode_shared(buf)?; let own = pkt.to_vec(); self.cache.push(own);").is_empty());
+        assert!(run(
+            "let pkt = decode_shared(buf)?; let own = pkt.to_vec(); self.cache.push(own);"
+        )
+        .is_empty());
     }
 
     #[test]

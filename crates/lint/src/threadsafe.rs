@@ -29,14 +29,32 @@ pub const DEFAULT_ROUNDS: usize = 64;
 /// Atomic integer/bool/ptr type names from `std::sync::atomic`. A fixed
 /// list so project structs like `AtomicNetStats` don't misclassify.
 const ATOMIC_TYPES: &[&str] = &[
-    "AtomicBool", "AtomicU8", "AtomicU16", "AtomicU32", "AtomicU64",
-    "AtomicUsize", "AtomicI8", "AtomicI16", "AtomicI32", "AtomicI64",
-    "AtomicIsize", "AtomicPtr",
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+    "AtomicPtr",
 ];
 
 const ATOMIC_METHODS: &[&str] = &[
-    "load", "store", "fetch_add", "fetch_sub", "fetch_max", "fetch_min",
-    "fetch_or", "fetch_and", "fetch_xor", "swap", "compare_exchange",
+    "load",
+    "store",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_max",
+    "fetch_min",
+    "fetch_or",
+    "fetch_and",
+    "fetch_xor",
+    "swap",
+    "compare_exchange",
     "compare_exchange_weak",
 ];
 
@@ -44,10 +62,30 @@ const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"
 
 /// Method names that mutate a container or cell in place.
 const MUTATING_METHODS: &[&str] = &[
-    "push", "push_back", "push_front", "pop", "pop_front", "pop_back",
-    "insert", "remove", "take", "replace", "clear", "extend", "truncate",
-    "resize", "drain", "retain", "append", "get_mut", "entry", "sort",
-    "sort_unstable", "swap", "push_str", "set",
+    "push",
+    "push_back",
+    "push_front",
+    "pop",
+    "pop_front",
+    "pop_back",
+    "insert",
+    "remove",
+    "take",
+    "replace",
+    "clear",
+    "extend",
+    "truncate",
+    "resize",
+    "drain",
+    "retain",
+    "append",
+    "get_mut",
+    "entry",
+    "sort",
+    "sort_unstable",
+    "swap",
+    "push_str",
+    "set",
 ];
 
 /// Concurrency role of a struct field, from its declared type.
@@ -91,7 +129,7 @@ pub struct StructInfo {
     /// Declared fields, in order.
     pub fields: Vec<FieldInfo>,
     /// Why this struct is considered thread-shared, if it is.
-    /// "arc" | "static" | "sync-interior" | "via <S>".
+    /// `"arc" | "static" | "sync-interior" | "via <S>"`.
     pub escape: Option<String>,
 }
 
@@ -314,9 +352,7 @@ fn classify_type(ty_tokens: &[String]) -> (FieldKind, Option<String>) {
         // The protected type is the ident right after the lock's `<`.
         let mut content = None;
         for (i, t) in ty_tokens.iter().enumerate() {
-            if (t == "Mutex" || t == "RwLock")
-                && ty_tokens.get(i + 1).is_some_and(|n| n == "<")
-            {
+            if (t == "Mutex" || t == "RwLock") && ty_tokens.get(i + 1).is_some_and(|n| n == "<") {
                 content = ty_tokens.get(i + 2).cloned();
             }
         }
@@ -400,10 +436,7 @@ fn parse_struct_fields(file: &SourceFile, body_open: usize) -> Vec<FieldInfo> {
             }
         }
         // Field: Ident ':' type-tokens (until ',' at depth 0).
-        if i + 1 < close
-            && toks[i].kind == TokenKind::Ident
-            && toks[i + 1].is(":")
-        {
+        if i + 1 < close && toks[i].kind == TokenKind::Ident && toks[i + 1].is(":") {
             let name = toks[i].text.clone();
             let line = toks[i].line;
             let mut j = i + 2;
@@ -416,9 +449,7 @@ fn parse_struct_fields(file: &SourceFile, body_open: usize) -> Vec<FieldInfo> {
                 }
                 if t.is("<") || t.is("(") || t.is("[") {
                     depth += 1;
-                } else if t.is(")") || t.is("]") {
-                    depth -= 1;
-                } else if t.is(">") && !toks[j - 1].is("-") {
+                } else if t.is(")") || t.is("]") || (t.is(">") && !toks[j - 1].is("-")) {
                     depth -= 1;
                 }
                 ty.push(t.text.clone());
@@ -448,7 +479,9 @@ fn parse_structs(file: &SourceFile, out: &mut BTreeMap<String, StructInfo>) {
             i += 1;
             continue;
         }
-        let Some(name_tok) = toks.get(i + 1) else { break };
+        let Some(name_tok) = toks.get(i + 1) else {
+            break;
+        };
         if name_tok.kind != TokenKind::Ident {
             i += 1;
             continue;
@@ -478,8 +511,7 @@ fn parse_structs(file: &SourceFile, out: &mut BTreeMap<String, StructInfo>) {
                         break;
                     }
                 } else if d == 1 && toks[k].is(",") {
-                    let ty: Vec<String> =
-                        toks[start..k].iter().map(|t| t.text.clone()).collect();
+                    let ty: Vec<String> = toks[start..k].iter().map(|t| t.text.clone()).collect();
                     if !ty.is_empty() {
                         let (kind, content) = classify_type(&ty);
                         fields.push(FieldInfo {
@@ -496,8 +528,7 @@ fn parse_structs(file: &SourceFile, out: &mut BTreeMap<String, StructInfo>) {
                 k += 1;
             }
             if start < k {
-                let ty: Vec<String> =
-                    toks[start..k].iter().map(|t| t.text.clone()).collect();
+                let ty: Vec<String> = toks[start..k].iter().map(|t| t.text.clone()).collect();
                 if !ty.is_empty() {
                     let (kind, content) = classify_type(&ty);
                     fields.push(FieldInfo {
@@ -535,10 +566,7 @@ fn parse_statics(
     let toks = &file.tokens;
     let mut i = 0;
     while i + 2 < toks.len() {
-        if file.test[i]
-            || !toks[i].is("static")
-            || toks.get(i + 1).is_some_and(|t| t.is("mut"))
-        {
+        if file.test[i] || !toks[i].is("static") || toks.get(i + 1).is_some_and(|t| t.is("mut")) {
             i += 1;
             continue;
         }
@@ -634,7 +662,8 @@ fn discover_escapes(
             continue;
         }
         if s.fields.iter().any(|f| f.kind != FieldKind::Plain) {
-            mark.entry(name.clone()).or_insert_with(|| "sync-interior".into());
+            mark.entry(name.clone())
+                .or_insert_with(|| "sync-interior".into());
         }
     }
     // Transitive: escaped S's field types mentioning a known struct T
@@ -710,11 +739,12 @@ fn impl_spans(file: &SourceFile, names: &BTreeSet<String>) -> Vec<(usize, usize,
                 saw_for = true;
                 after_for = true;
                 subject = None;
-            } else if toks[j].kind == TokenKind::Ident && names.contains(&toks[j].text) {
-                if subject.is_none() || (saw_for && after_for) {
-                    subject = Some(toks[j].text.clone());
-                    after_for = false;
-                }
+            } else if toks[j].kind == TokenKind::Ident
+                && names.contains(&toks[j].text)
+                && (subject.is_none() || (saw_for && after_for))
+            {
+                subject = Some(toks[j].text.clone());
+                after_for = false;
             }
             j += 1;
         }
@@ -863,7 +893,12 @@ fn resolve_owner(
                 }
             }
         }
-        if ok && ctx.structs.get(&c).is_some_and(|s| s.field(field).is_some()) {
+        if ok
+            && ctx
+                .structs
+                .get(&c)
+                .is_some_and(|s| s.field(field).is_some())
+        {
             return Some(c);
         }
     }
@@ -932,7 +967,11 @@ fn stmt_acquisitions(
         if name != "lock" && name != "read" && name != "write" {
             continue;
         }
-        let path = if m >= 2 { receiver_path(file, m - 2) } else { None };
+        let path = if m >= 2 {
+            receiver_path(file, m - 2)
+        } else {
+            None
+        };
         if name != "lock" {
             let Some(p) = &path else { continue };
             let last = p.rsplit('.').next().unwrap_or("");
@@ -1178,9 +1217,9 @@ fn atomic_aliases(file: &SourceFile, f: &FnSpan, ctx: &Ctx<'_>) -> BTreeMap<Stri
                                     // `field: value` — only a bare ident or
                                     // `ident.clone()` value is an alias.
                                     if toks.get(j + 2).is_some_and(|v| v.kind == TokenKind::Ident)
-                                        && toks.get(j + 3).is_some_and(|x| {
-                                            x.is(",") || x.is("}") || x.is(".")
-                                        })
+                                        && toks
+                                            .get(j + 3)
+                                            .is_some_and(|x| x.is(",") || x.is("}") || x.is("."))
                                     {
                                         map.insert(toks[j + 2].text.clone(), id);
                                     }
@@ -1345,7 +1384,11 @@ fn collect_stmt(
         let is_call = toks.get(t + 1).is_some_and(|x| x.is("("));
         if is_call {
             if ATOMIC_METHODS.contains(&tok.text.as_str()) {
-                let path = if t >= 2 { receiver_path(file, t - 2) } else { None };
+                let path = if t >= 2 {
+                    receiver_path(file, t - 2)
+                } else {
+                    None
+                };
                 let id = resolve_atomic(ctx, path, g, ictx, aliases, &func.name);
                 // Ordering: first Ordering ident inside the arg parens.
                 let mut ordering = "default".to_string();
@@ -1490,7 +1533,9 @@ fn analyze_fn(
         if passes > MAX_PASSES * n.max(1) {
             break;
         }
-        let Some(mut g) = inn[b].clone() else { continue };
+        let Some(mut g) = inn[b].clone() else {
+            continue;
+        };
         for st in &cfg.blocks[b].stmts {
             transfer(file, f, st, &mut g, ctx, ictx, &local_binds);
         }
@@ -1511,12 +1556,26 @@ fn analyze_fn(
         if !reach[bi] {
             continue;
         }
-        let Some(mut g) = inn[bi].clone() else { continue };
+        let Some(mut g) = inn[bi].clone() else {
+            continue;
+        };
         for st in &block.stmts {
             if st.kind == StmtKind::Plain {
                 collect_stmt(
-                    file, f, st, &g, ctx, ictx, &local_binds, &aliases, conds, fsites, graph,
-                    def_id, exclusive, acc,
+                    file,
+                    f,
+                    st,
+                    &g,
+                    ctx,
+                    ictx,
+                    &local_binds,
+                    &aliases,
+                    conds,
+                    fsites,
+                    graph,
+                    def_id,
+                    exclusive,
+                    acc,
                 );
             }
             transfer(file, f, st, &mut g, ctx, ictx, &local_binds);
@@ -1620,9 +1679,8 @@ pub fn analyze(files: &[&SourceFile], graph: &CallGraph, rounds: Option<usize>) 
     let forced: Vec<bool> = (0..n)
         .map(|i| incoming[i].is_empty() || is_pub_def(files, graph, i))
         .collect();
-    let mut entry: Vec<Option<BTreeSet<String>>> = (0..n)
-        .map(|i| forced[i].then(BTreeSet::new))
-        .collect();
+    let mut entry: Vec<Option<BTreeSet<String>>> =
+        (0..n).map(|i| forced[i].then(BTreeSet::new)).collect();
     let mut parent: Vec<Option<FnId>> = vec![None; n];
     let max_rounds = rounds.unwrap_or(1_000_000).max(1);
     for _ in 0..max_rounds {
@@ -1659,8 +1717,8 @@ pub fn analyze(files: &[&SourceFile], graph: &CallGraph, rounds: Option<usize>) 
     // Fold entry locksets into the recorded accesses; render witness
     // chains for functions that inherit a non-empty lockset.
     let mut entry_chains = BTreeMap::new();
-    for i in 0..n {
-        let Some(e) = &entry[i] else { continue };
+    for (i, slot) in entry.iter().enumerate().take(n) {
+        let Some(e) = slot else { continue };
         if e.is_empty() {
             continue;
         }

@@ -99,7 +99,9 @@ fn render(t: &Topology) -> String {
         src.push_str(&format!("    pub fn m{m}(&self) {{\n"));
         for (l, held) in method.locks.iter().enumerate() {
             if *held {
-                src.push_str(&format!("        let g{l} = self.lock{l}.lock().unwrap();\n"));
+                src.push_str(&format!(
+                    "        let g{l} = self.lock{l}.lock().unwrap();\n"
+                ));
             }
         }
         for (f, a) in method.accesses.iter().enumerate() {

@@ -20,6 +20,7 @@ USAGE:
 OPTIONS:
     --depth N        BFS depth bound in actions (default 7)
     --servers N      log servers (default 2)
+    --shards N       shard event loops per server (default 1)
     --clients N      model clients (default 1)
     --delta N        client window bound δ (default 2)
     --need-n N       servers that must hold a record (default 2)
@@ -68,6 +69,7 @@ fn parse_args() -> Result<Cli, String> {
             "--json" => cli.json = true,
             "--depth" => cli.depth = parse_num(&take("--depth")?)? as usize,
             "--servers" => cli.cfg.servers = parse_num(&take("--servers")?)?,
+            "--shards" => cli.cfg.shards = parse_num(&take("--shards")?)?.max(1),
             "--clients" => cli.cfg.clients = parse_num(&take("--clients")?)?,
             "--delta" => cli.cfg.delta = parse_num(&take("--delta")?)?,
             "--need-n" => cli.cfg.need_n = parse_num(&take("--need-n")?)? as usize,

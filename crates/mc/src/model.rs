@@ -21,7 +21,7 @@ use dlog_net::wire::{Message, NodeAddr, Packet};
 use dlog_obs::{check_force_before_ack, Obs, ObsOptions, Stage};
 use dlog_server::LogServer;
 use dlog_storage::NvramDevice;
-use dlog_types::{ClientId, Epoch, Interval, Lsn, ServerId};
+use dlog_types::{ClientId, Epoch, Interval, LogId, Lsn, ServerId};
 
 /// NVRAM capacity per modelled server — comfortably larger than any
 /// bounded-depth workload, so durability never hinges on fsync (which
@@ -184,6 +184,13 @@ impl FromStr for Action {
 pub struct McConfig {
     /// Number of log servers (ids `1..=servers`).
     pub servers: u64,
+    /// Shard event loops per server. With more than one, every packet a
+    /// server receives is routed to the shard its logical log hashes to
+    /// (the same pure `LogId::shard` the real dispatcher uses), each
+    /// shard owns a private store and obligation table, and the
+    /// `router-stability` invariant checks that a client's records only
+    /// ever land on that client's shard.
+    pub shards: u64,
     /// Number of model clients.
     pub clients: u64,
     /// Each client's scripted workload.
@@ -215,6 +222,7 @@ impl Default for McConfig {
     fn default() -> McConfig {
         McConfig {
             servers: 2,
+            shards: 1,
             clients: 1,
             script: vec![ClientOp::Write, ClientOp::Force],
             delta: 2,
@@ -251,7 +259,7 @@ pub struct Violation {
     /// Stable invariant identifier (`ack-after-force`,
     /// `ack-monotonicity`, `readback-atomicity`, `durable-prefix`,
     /// `delta-window`, `obligation-safety`, `obligation-cap`,
-    /// `recovery-consistency`).
+    /// `recovery-consistency`, `router-stability`).
     pub invariant: &'static str,
     /// Human-readable specifics.
     pub detail: String,
@@ -284,10 +292,11 @@ type ClientImage = (u64, Vec<Interval>, Vec<(u64, Vec<u8>)>);
 
 /// The durable state a server held at the moment it crashed, used both
 /// as that server's fingerprint while down and as the expectation
-/// recovery is checked against.
+/// recovery is checked against. A process crash takes every shard down
+/// at once, so the image is indexed by shard.
 struct CrashImage {
     fp: u64,
-    state: Vec<ClientImage>,
+    state: Vec<Vec<ClientImage>>,
 }
 
 /// A steppable sans-I/O client speaking the wire protocol directly.
@@ -366,13 +375,15 @@ impl ModelClient {
 pub struct McWorld {
     cfg: McConfig,
     dir: PathBuf,
-    servers: BTreeMap<u64, LogServer>,
-    /// Per-server observability; handles survive crashes so a server's
+    /// Live servers: one `LogServer` per shard, indexed by shard — the
+    /// model twin of `ShardSupervisor`'s per-shard event loops.
+    servers: BTreeMap<u64, Vec<LogServer>>,
+    /// Per-shard observability; handles survive crashes so a shard's
     /// trace spans its whole life, crash markers included.
-    obs: BTreeMap<u64, Obs>,
-    /// Each server's NVRAM device handle — the durable buffer a crash
+    obs: BTreeMap<u64, Vec<Obs>>,
+    /// Each shard's NVRAM device handle — the durable buffer a crash
     /// must not lose.
-    nvrams: BTreeMap<u64, NvramDevice>,
+    nvrams: BTreeMap<u64, Vec<NvramDevice>>,
     crashed: BTreeMap<u64, CrashImage>,
     bag: Vec<Envelope>,
     clients: Vec<ModelClient>,
@@ -398,10 +409,18 @@ impl McWorld {
         let mut obs = BTreeMap::new();
         let mut nvrams = BTreeMap::new();
         for sid in 1..=cfg.servers {
-            let (server, handle, nvram) = Self::boot(cfg, dir, sid, None)?;
-            servers.insert(sid, server);
-            obs.insert(sid, handle);
-            nvrams.insert(sid, nvram);
+            let mut shard_servers = Vec::new();
+            let mut shard_obs = Vec::new();
+            let mut shard_nvrams = Vec::new();
+            for k in 0..cfg.shards.max(1) {
+                let (server, handle, nvram) = Self::boot(cfg, dir, sid, k, None)?;
+                shard_servers.push(server);
+                shard_obs.push(handle);
+                shard_nvrams.push(nvram);
+            }
+            servers.insert(sid, shard_servers);
+            obs.insert(sid, shard_obs);
+            nvrams.insert(sid, shard_nvrams);
         }
         let clients = (0..cfg.clients)
             .map(|i| ModelClient::new(i, cfg.max_rexmits))
@@ -422,16 +441,23 @@ impl McWorld {
         })
     }
 
-    /// Open (or reopen) server `sid`. `nvram` is `None` on first boot
-    /// and the surviving device on recovery — except under
-    /// [`Mutation::Amnesia`], which hands recovery a blank device.
+    /// Open (or reopen) shard `shard` of server `sid`. `nvram` is
+    /// `None` on first boot and the surviving device on recovery —
+    /// except under [`Mutation::Amnesia`], which hands recovery a blank
+    /// device.
     fn boot(
         cfg: &McConfig,
         dir: &Path,
         sid: u64,
+        shard: u64,
         nvram: Option<NvramDevice>,
     ) -> Result<(LogServer, Obs, NvramDevice), String> {
-        let d = dir.join(format!("server-{sid}"));
+        let d = if cfg.shards <= 1 {
+            dir.join(format!("server-{sid}"))
+        } else {
+            dir.join(format!("server-{sid}"))
+                .join(format!("shard-{shard}"))
+        };
         let device = nvram.unwrap_or_else(|| NvramDevice::new(NVRAM_CAP));
         let opts = dlog_storage::StoreOptions {
             fsync: false,
@@ -442,7 +468,7 @@ impl McWorld {
             .map_err(|e| format!("open store {sid}: {e}"))?;
         let gens = dlog_server::gen::GenStore::open(d.join("gens"))
             .map_err(|e| format!("open gens {sid}: {e}"))?;
-        let mut config = dlog_server::ServerConfig::new(ServerId(sid));
+        let mut config = dlog_server::ServerConfig::new(ServerId(sid)).for_shard(shard, cfg.shards);
         // Force acks must never happen behind the model's back: lazy
         // acks off, and a coalescing window no transition can outwait —
         // flushing happens only via FlushForces or the batch cap.
@@ -475,11 +501,20 @@ impl McWorld {
         &self.world_obs
     }
 
-    /// Per-server observability handles (alive or crashed), in id
-    /// order.
+    /// Per-shard observability handles (alive or crashed), in (server,
+    /// shard) order; unsharded worlds yield one handle per server.
     #[must_use]
     pub fn server_obs(&self) -> Vec<(u64, Obs)> {
-        self.obs.iter().map(|(sid, o)| (*sid, o.clone())).collect()
+        self.obs
+            .iter()
+            .flat_map(|(sid, handles)| handles.iter().map(|o| (*sid, o.clone())))
+            .collect()
+    }
+
+    /// The shard client `client`'s logical log hashes to — the same
+    /// pure function the real dispatcher applies to the wire packet.
+    fn client_shard(&self, client: ClientId) -> usize {
+        LogId::for_client(client).shard(self.cfg.shards as usize)
     }
 
     /// Every action enabled in this state, in a fixed, deterministic
@@ -499,8 +534,8 @@ impl McWorld {
                 out.push(Action::Retransmit { client: i });
             }
         }
-        for (sid, s) in &self.servers {
-            if s.has_pending_forces() {
+        for (sid, shards) in &self.servers {
+            if shards.iter().any(LogServer::has_pending_forces) {
                 out.push(Action::FlushForces { server: *sid });
             }
         }
@@ -562,10 +597,32 @@ impl McWorld {
             if self.crashed.contains_key(&to) {
                 return Err(format!("deliver to crashed server {to}"));
             }
-            let Some(server) = self.servers.get_mut(&to) else {
+            // The dispatcher's routing decision: hash the packet's
+            // logical log to a shard. Packets with no route key (none
+            // occur in the modelled workload, but keep the dispatcher's
+            // semantics) are broadcast to every shard.
+            let shard = env
+                .pkt
+                .route_key()
+                .map(|l| l.shard(self.cfg.shards as usize));
+            let Some(shards) = self.servers.get_mut(&to) else {
                 return Err(format!("no server {to}"));
             };
-            let out = server.handle(env.from, &env.pkt);
+            let out = match shard {
+                Some(k) => {
+                    let Some(server) = shards.get_mut(k) else {
+                        return Err(format!("no shard {k} on server {to}"));
+                    };
+                    server.handle(env.from, &env.pkt)
+                }
+                None => {
+                    let mut all = Vec::new();
+                    for server in shards.iter_mut() {
+                        all.extend(server.handle(env.from, &env.pkt));
+                    }
+                    all
+                }
+            };
             // Seeded bug: fabricate the force ack the moment the
             // ForceLog arrives, before any durability round.
             let fabricated = if self.cfg.mutation == Mutation::EarlyAck {
@@ -650,13 +707,15 @@ impl McWorld {
         client: ClientId,
         reply_to: NodeAddr,
     ) -> Vec<(NodeAddr, Packet)> {
+        let k = self.client_shard(client);
         let hi = self
             .servers
             .get_mut(&sid)
+            .and_then(|v| v.get_mut(k))
             .and_then(|s| s.store_mut().last_interval(client))
             .map(|iv| iv.hi);
         let Some(hi) = hi else { return Vec::new() };
-        if let Some(obs) = self.obs.get(&sid) {
+        if let Some(obs) = self.obs.get(&sid).and_then(|v| v.get(k)) {
             obs.event(Stage::AckHighLsn, hi.0, (client.0 << 1) | 1);
         }
         self.last_ack.insert((sid, client.0), hi);
@@ -817,51 +876,68 @@ impl McWorld {
     }
 
     fn do_flush(&mut self, sid: u64) -> Result<Option<Violation>, String> {
-        let obligations = {
-            let Some(server) = self.servers.get(&sid) else {
+        // The real supervisor's window expiry drains every shard whose
+        // window is due; model the expiry as one action that flushes
+        // each shard with pending obligations.
+        let pending: Vec<(usize, Vec<ClientId>)> = {
+            let Some(shards) = self.servers.get(&sid) else {
                 return Err(format!("flush: server {sid} not live"));
             };
-            if !server.has_pending_forces() {
+            let p: Vec<(usize, Vec<ClientId>)> = shards
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.has_pending_forces())
+                .map(|(k, s)| (k, s.coalescing_obligations()))
+                .collect();
+            if p.is_empty() {
                 return Err(format!("flush: server {sid} has no pending forces"));
             }
-            server.coalescing_obligations()
+            p
         };
-        if self.cfg.mutation == Mutation::SkipForce {
-            // Seeded bug: ack every obligation without the physical
-            // force round (as if a failed `force_batch` were ignored).
-            // Obligations stay queued server-side; the violation is
-            // already detectable from the fabricated acks.
-            let mut fabricated = Vec::new();
-            for client in obligations {
-                fabricated.extend(self.fabricate_ack(sid, client, NodeAddr(CLIENT_ADDR_BASE)));
+        for (k, obligations) in pending {
+            if self.cfg.mutation == Mutation::SkipForce {
+                // Seeded bug: ack every obligation without the physical
+                // force round (as if a failed `force_batch` were ignored).
+                // Obligations stay queued server-side; the violation is
+                // already detectable from the fabricated acks.
+                let mut fabricated = Vec::new();
+                for client in obligations {
+                    fabricated.extend(self.fabricate_ack(sid, client, NodeAddr(CLIENT_ADDR_BASE)));
+                }
+                for (to, pkt) in fabricated {
+                    self.bag_push(NodeAddr(sid), to, pkt);
+                }
+                continue;
             }
-            for (to, pkt) in fabricated {
-                self.bag_push(NodeAddr(sid), to, pkt);
-            }
-            return Ok(None);
-        }
-        let out = {
-            let Some(server) = self.servers.get_mut(&sid) else {
-                return Err(format!("flush: server {sid} not live"));
+            let out = {
+                let Some(server) = self.servers.get_mut(&sid).and_then(|v| v.get_mut(k)) else {
+                    return Err(format!("flush: server {sid} not live"));
+                };
+                server.flush_pending_forces()
             };
-            server.flush_pending_forces()
-        };
-        if self.cfg.mutation == Mutation::LostAck {
-            // Seeded bug: the durable round ran but every obligation
-            // ack is dropped on the floor — the obligations leak.
-            return Ok(self.obligation_check(sid, &obligations, &[]));
+            if self.cfg.mutation == Mutation::LostAck {
+                // Seeded bug: the durable round ran but every obligation
+                // ack is dropped on the floor — the obligations leak.
+                if let Some(v) = self.obligation_check(sid, k, &obligations, &[]) {
+                    return Ok(Some(v));
+                }
+                continue;
+            }
+            let acked: Vec<u64> = out
+                .iter()
+                .filter_map(|(_, p)| match &p.msg {
+                    Message::NewHighLsn { client, .. } => Some(client.0),
+                    _ => None,
+                })
+                .collect();
+            if let Some(v) = self.emit_server_output(sid, out) {
+                return Ok(Some(v));
+            }
+            if let Some(v) = self.obligation_check(sid, k, &obligations, &acked) {
+                return Ok(Some(v));
+            }
         }
-        let acked: Vec<u64> = out
-            .iter()
-            .filter_map(|(_, p)| match &p.msg {
-                Message::NewHighLsn { client, .. } => Some(client.0),
-                _ => None,
-            })
-            .collect();
-        if let Some(v) = self.emit_server_output(sid, out) {
-            return Ok(Some(v));
-        }
-        Ok(self.obligation_check(sid, &obligations, &acked))
+        Ok(None)
     }
 
     /// Every flushed obligation whose client has stored records must
@@ -870,6 +946,7 @@ impl McWorld {
     fn obligation_check(
         &mut self,
         sid: u64,
+        shard: usize,
         obligations: &[ClientId],
         acked: &[u64],
     ) -> Option<Violation> {
@@ -877,6 +954,7 @@ impl McWorld {
             let stored = self
                 .servers
                 .get_mut(&sid)
+                .and_then(|v| v.get_mut(shard))
                 .and_then(|s| s.store_mut().last_interval(*client))
                 .is_some();
             if stored && !acked.contains(&client.0) {
@@ -901,14 +979,17 @@ impl McWorld {
             return Err(format!("crash: server {sid} not live"));
         }
         let image = self.durable_image(sid)?;
-        let stream_end = self
-            .servers
-            .get_mut(&sid)
-            .map_or(0, |s| s.store_mut().stream_end());
-        if let Some(obs) = self.obs.get(&sid) {
-            obs.event(Stage::Crash, stream_end, sid);
+        let mut last_end = 0;
+        if let Some(shards) = self.servers.get_mut(&sid) {
+            for (k, server) in shards.iter_mut().enumerate() {
+                let stream_end = server.store_mut().stream_end();
+                last_end = stream_end;
+                if let Some(obs) = self.obs.get(&sid).and_then(|v| v.get(k)) {
+                    obs.event(Stage::Crash, stream_end, sid);
+                }
+            }
         }
-        self.world_obs.event(Stage::Crash, stream_end, sid);
+        self.world_obs.event(Stage::Crash, last_end, sid);
         self.servers.remove(&sid);
         self.crashed.insert(sid, image);
         self.crashes_left -= 1;
@@ -919,28 +1000,36 @@ impl McWorld {
         if !self.crashed.contains_key(&sid) {
             return Err(format!("recover: server {sid} not crashed"));
         }
-        let device = if self.cfg.mutation == Mutation::Amnesia {
-            // Seeded bug: recovery forgets the NVRAM tail.
-            NvramDevice::new(NVRAM_CAP)
-        } else {
-            let Some(d) = self.nvrams.get(&sid) else {
-                return Err(format!("recover: no NVRAM handle for {sid}"));
-            };
-            d.clone()
-        };
         let dir = self.dir.clone();
-        let (mut server, _fresh_obs, _device) = Self::boot(&self.cfg, &dir, sid, Some(device))?;
-        if let Some(handle) = self.obs.get(&sid) {
-            // Same handle as before the crash: the server's trace spans
-            // its whole life, with the Crash/Recover markers inline.
-            server.set_obs(handle.clone());
+        let mut shard_servers = Vec::new();
+        let mut last_end = 0;
+        for k in 0..self.cfg.shards.max(1) {
+            let device = if self.cfg.mutation == Mutation::Amnesia {
+                // Seeded bug: recovery forgets the NVRAM tail.
+                NvramDevice::new(NVRAM_CAP)
+            } else {
+                let Some(d) = self.nvrams.get(&sid).and_then(|v| v.get(k as usize)) else {
+                    return Err(format!("recover: no NVRAM handle for {sid}/{k}"));
+                };
+                d.clone()
+            };
+            let (mut server, _fresh_obs, _device) =
+                Self::boot(&self.cfg, &dir, sid, k, Some(device))?;
+            if let Some(handle) = self.obs.get(&sid).and_then(|v| v.get(k as usize)) {
+                // Same handle as before the crash: the shard's trace
+                // spans its whole life, with the Crash/Recover markers
+                // inline.
+                server.set_obs(handle.clone());
+            }
+            let stream_end = server.store_mut().stream_end();
+            last_end = stream_end;
+            if let Some(obs) = self.obs.get(&sid).and_then(|v| v.get(k as usize)) {
+                obs.event(Stage::Recover, stream_end, sid);
+            }
+            shard_servers.push(server);
         }
-        let stream_end = server.store_mut().stream_end();
-        if let Some(obs) = self.obs.get(&sid) {
-            obs.event(Stage::Recover, stream_end, sid);
-        }
-        self.world_obs.event(Stage::Recover, stream_end, sid);
-        self.servers.insert(sid, server);
+        self.world_obs.event(Stage::Recover, last_end, sid);
+        self.servers.insert(sid, shard_servers);
         let Some(image) = self.crashed.remove(&sid) else {
             return Err(format!("recover: lost crash image for {sid}"));
         };
@@ -952,70 +1041,77 @@ impl McWorld {
     /// truncates to the durable index; replay reaches a consistent
     /// prefix").
     fn recovery_check(&mut self, sid: u64, image: &CrashImage) -> Option<Violation> {
-        for (client_id, intervals, records) in &image.state {
-            let client = ClientId(*client_id);
-            let Some(server) = self.servers.get_mut(&sid) else {
-                return Some(Violation {
-                    invariant: "recovery-consistency",
-                    detail: format!("server {sid} vanished during recovery check"),
-                });
-            };
-            let got = server.store_mut().interval_list(client);
-            if got.intervals() != intervals.as_slice() {
-                return Some(Violation {
-                    invariant: "recovery-consistency",
-                    detail: format!(
-                        "server {sid} client {client_id}: intervals {:?} after recovery, \
-                         expected {:?}",
-                        got.intervals(),
-                        intervals
-                    ),
-                });
-            }
-            for (lsn, bytes) in records {
-                let rec = server.store_mut().read(client, Lsn(*lsn)).ok().flatten();
-                let ok = rec
-                    .as_ref()
-                    .is_some_and(|r| r.present && r.data.as_bytes() == bytes.as_slice());
-                if !ok {
+        for (k, shard_state) in image.state.iter().enumerate() {
+            for (client_id, intervals, records) in shard_state {
+                let client = ClientId(*client_id);
+                let Some(server) = self.servers.get_mut(&sid).and_then(|v| v.get_mut(k)) else {
+                    return Some(Violation {
+                        invariant: "recovery-consistency",
+                        detail: format!("server {sid} shard {k} vanished during recovery check"),
+                    });
+                };
+                let got = server.store_mut().interval_list(client);
+                if got.intervals() != intervals.as_slice() {
                     return Some(Violation {
                         invariant: "recovery-consistency",
                         detail: format!(
-                            "server {sid} client {client_id} lsn {lsn}: durable record \
-                             lost or corrupted by recovery"
+                            "server {sid} shard {k} client {client_id}: intervals {:?} after \
+                             recovery, expected {:?}",
+                            got.intervals(),
+                            intervals
                         ),
                     });
+                }
+                for (lsn, bytes) in records {
+                    let rec = server.store_mut().read(client, Lsn(*lsn)).ok().flatten();
+                    let ok = rec
+                        .as_ref()
+                        .is_some_and(|r| r.present && r.data.as_bytes() == bytes.as_slice());
+                    if !ok {
+                        return Some(Violation {
+                            invariant: "recovery-consistency",
+                            detail: format!(
+                                "server {sid} shard {k} client {client_id} lsn {lsn}: durable \
+                                 record lost or corrupted by recovery"
+                            ),
+                        });
+                    }
                 }
             }
         }
         None
     }
 
-    /// Snapshot server `sid`'s durable contents (used at crash time).
+    /// Snapshot server `sid`'s durable contents across every shard
+    /// (used at crash time).
     fn durable_image(&mut self, sid: u64) -> Result<CrashImage, String> {
-        let Some(server) = self.servers.get_mut(&sid) else {
+        let Some(shards) = self.servers.get_mut(&sid) else {
             return Err(format!("no server {sid}"));
         };
-        let store = server.store_mut();
-        let mut clients = store.clients();
-        clients.sort_unstable();
         let mut state = Vec::new();
-        for client in clients {
-            let intervals: Vec<Interval> = store.interval_list(client).intervals().to_vec();
-            let mut records = Vec::new();
-            for iv in &intervals {
-                let mut at = iv.lo;
-                while at <= iv.hi {
-                    if let Ok(Some(rec)) = store.read(client, at) {
-                        records.push((at.0, rec.data.as_bytes().to_vec()));
-                    }
-                    at = at.next();
-                }
-            }
-            state.push((client.0, intervals, records));
-        }
         let mut h = Fnv::new();
-        hash_image(&mut h, &state);
+        for server in shards.iter_mut() {
+            let store = server.store_mut();
+            let mut clients = store.clients();
+            clients.sort_unstable();
+            let mut shard_state = Vec::new();
+            for client in clients {
+                let intervals: Vec<Interval> = store.interval_list(client).intervals().to_vec();
+                let mut records = Vec::new();
+                for iv in &intervals {
+                    let mut at = iv.lo;
+                    while at <= iv.hi {
+                        if let Ok(Some(rec)) = store.read(client, at) {
+                            records.push((at.0, rec.data.as_bytes().to_vec()));
+                        }
+                        at = at.next();
+                    }
+                }
+                shard_state.push((client.0, intervals, records));
+            }
+            hash_image(&mut h, &shard_state);
+            state.push(shard_state);
+        }
         Ok(CrashImage {
             fp: h.finish(),
             state,
@@ -1025,15 +1121,17 @@ impl McWorld {
     /// The global invariants checked after every transition. Returns
     /// the first violation found.
     fn check_invariants(&mut self) -> Option<Violation> {
-        // 1. ack-after-force, per server trace (the runtime twin of the
+        // 1. ack-after-force, per shard trace (the runtime twin of the
         //    lint rule; forced acks carry bit 0 of the detail word).
-        for (sid, obs) in &self.obs {
-            let Some(snap) = obs.snapshot() else { continue };
-            if let Err(e) = check_force_before_ack(&snap.trace) {
-                return Some(Violation {
-                    invariant: "ack-after-force",
-                    detail: format!("server {sid}: {e}"),
-                });
+        for (sid, handles) in &self.obs {
+            for (k, obs) in handles.iter().enumerate() {
+                let Some(snap) = obs.snapshot() else { continue };
+                if let Err(e) = check_force_before_ack(&snap.trace) {
+                    return Some(Violation {
+                        invariant: "ack-after-force",
+                        detail: format!("server {sid} shard {k}: {e}"),
+                    });
+                }
             }
         }
         // 2. WriteLog atomicity / byte-identical read-back: everything
@@ -1050,49 +1148,72 @@ impl McWorld {
                 return Some(v);
             }
         }
-        // 4. Obligation cap: the batch never outgrows its configured
+        // 4. Obligation cap: no shard's batch outgrows its configured
         //    bound (the cap triggers an inline flush).
-        for (sid, server) in &self.servers {
-            let n = server.coalescing_obligations().len();
-            if n > self.cfg.coalesce_max_batch {
-                return Some(Violation {
-                    invariant: "obligation-cap",
-                    detail: format!(
-                        "server {sid}: {n} pending obligations exceed the batch cap {}",
-                        self.cfg.coalesce_max_batch
-                    ),
-                });
+        for (sid, shards) in &self.servers {
+            for (k, server) in shards.iter().enumerate() {
+                let n = server.coalescing_obligations().len();
+                if n > self.cfg.coalesce_max_batch {
+                    return Some(Violation {
+                        invariant: "obligation-cap",
+                        detail: format!(
+                            "server {sid} shard {k}: {n} pending obligations exceed the \
+                             batch cap {}",
+                            self.cfg.coalesce_max_batch
+                        ),
+                    });
+                }
             }
         }
         None
     }
 
     fn readback_check(&mut self, sid: u64) -> Option<Violation> {
-        let server = self.servers.get_mut(&sid)?;
-        let store = server.store_mut();
-        let mut clients = store.clients();
-        clients.sort_unstable();
-        for client in clients {
-            let intervals: Vec<Interval> = store.interval_list(client).intervals().to_vec();
-            for iv in &intervals {
-                let mut at = iv.lo;
-                while at <= iv.hi {
-                    let rec = store.read(client, at).ok().flatten();
-                    let want = mc_payload(client.0, at.0, self.cfg.payload_len);
-                    let ok = rec
-                        .as_ref()
-                        .is_some_and(|r| r.present && r.data.as_bytes() == want.as_slice());
-                    if !ok {
-                        return Some(Violation {
-                            invariant: "readback-atomicity",
-                            detail: format!(
-                                "server {sid} client {} lsn {}: stored record missing or \
-                                 not byte-identical to the write",
-                                client.0, at.0
-                            ),
-                        });
+        let shard_count = self.cfg.shards as usize;
+        let shards = self.servers.get_mut(&sid)?;
+        for (k, server) in shards.iter_mut().enumerate() {
+            let store = server.store_mut();
+            let mut clients = store.clients();
+            clients.sort_unstable();
+            for client in clients {
+                // router-stability: every record a shard holds must be
+                // for a logical log that hashes to that shard. Routing
+                // is a pure function of the log id, so the same client
+                // can never land on two shards — which is exactly what
+                // makes "same-LogId ops never reorder across shards"
+                // hold: one log, one shard, one ordered event loop.
+                let want_shard = LogId::for_client(client).shard(shard_count);
+                if want_shard != k {
+                    return Some(Violation {
+                        invariant: "router-stability",
+                        detail: format!(
+                            "server {sid}: client {}'s records landed on shard {k}, but its \
+                             logical log hashes to shard {want_shard}",
+                            client.0
+                        ),
+                    });
+                }
+                let intervals: Vec<Interval> = store.interval_list(client).intervals().to_vec();
+                for iv in &intervals {
+                    let mut at = iv.lo;
+                    while at <= iv.hi {
+                        let rec = store.read(client, at).ok().flatten();
+                        let want = mc_payload(client.0, at.0, self.cfg.payload_len);
+                        let ok = rec
+                            .as_ref()
+                            .is_some_and(|r| r.present && r.data.as_bytes() == want.as_slice());
+                        if !ok {
+                            return Some(Violation {
+                                invariant: "readback-atomicity",
+                                detail: format!(
+                                    "server {sid} shard {k} client {} lsn {}: stored record \
+                                     missing or not byte-identical to the write",
+                                    client.0, at.0
+                                ),
+                            });
+                        }
+                        at = at.next();
                     }
-                    at = at.next();
                 }
             }
         }
@@ -1131,16 +1252,18 @@ impl McWorld {
             let mut holders = 0usize;
             for sid in 1..=self.cfg.servers {
                 let holds = if let Some(image) = self.crashed.get(&sid) {
-                    image.state.iter().any(|(cid, intervals, _)| {
+                    image.state.iter().flatten().any(|(cid, intervals, _)| {
                         *cid == id.0 && intervals.iter().any(|iv| iv.contains(at))
                     })
-                } else if let Some(server) = self.servers.get_mut(&sid) {
-                    server
-                        .store_mut()
-                        .interval_list(id)
-                        .intervals()
-                        .iter()
-                        .any(|iv| iv.contains(at))
+                } else if let Some(shards) = self.servers.get_mut(&sid) {
+                    shards.iter_mut().any(|server| {
+                        server
+                            .store_mut()
+                            .interval_list(id)
+                            .intervals()
+                            .iter()
+                            .any(|iv| iv.contains(at))
+                    })
                 } else {
                     false
                 };
@@ -1181,50 +1304,57 @@ impl McWorld {
                 continue;
             }
             h.u64(0xa11e);
-            let obligations = self
-                .servers
-                .get(&sid)
-                .map(LogServer::coalescing_obligations)
-                .unwrap_or_default();
-            let grants = self
-                .servers
-                .get(&sid)
-                .map(LogServer::interval_grants)
-                .unwrap_or_default();
-            if let Some(server) = self.servers.get_mut(&sid) {
-                let store = server.store_mut();
-                let mut clients = store.clients();
-                clients.sort_unstable();
-                h.u64(clients.len() as u64);
-                for client in clients {
-                    h.u64(client.0);
-                    let intervals: Vec<Interval> = store.interval_list(client).intervals().to_vec();
-                    h.u64(intervals.len() as u64);
-                    for iv in &intervals {
-                        h.u64(iv.epoch.0);
-                        h.u64(iv.lo.0);
-                        h.u64(iv.hi.0);
-                        let mut at = iv.lo;
-                        while at <= iv.hi {
-                            if let Ok(Some(rec)) = store.read(client, at) {
-                                h.bytes(rec.data.as_bytes());
-                            } else {
-                                h.u64(0xbad);
+            let shard_count = self.servers.get(&sid).map_or(0, Vec::len);
+            h.u64(shard_count as u64);
+            for k in 0..shard_count {
+                let obligations = self
+                    .servers
+                    .get(&sid)
+                    .and_then(|v| v.get(k))
+                    .map(LogServer::coalescing_obligations)
+                    .unwrap_or_default();
+                let grants = self
+                    .servers
+                    .get(&sid)
+                    .and_then(|v| v.get(k))
+                    .map(LogServer::interval_grants)
+                    .unwrap_or_default();
+                if let Some(server) = self.servers.get_mut(&sid).and_then(|v| v.get_mut(k)) {
+                    let store = server.store_mut();
+                    let mut clients = store.clients();
+                    clients.sort_unstable();
+                    h.u64(clients.len() as u64);
+                    for client in clients {
+                        h.u64(client.0);
+                        let intervals: Vec<Interval> =
+                            store.interval_list(client).intervals().to_vec();
+                        h.u64(intervals.len() as u64);
+                        for iv in &intervals {
+                            h.u64(iv.epoch.0);
+                            h.u64(iv.lo.0);
+                            h.u64(iv.hi.0);
+                            let mut at = iv.lo;
+                            while at <= iv.hi {
+                                if let Ok(Some(rec)) = store.read(client, at) {
+                                    h.bytes(rec.data.as_bytes());
+                                } else {
+                                    h.u64(0xbad);
+                                }
+                                at = at.next();
                             }
-                            at = at.next();
                         }
                     }
                 }
-            }
-            h.u64(obligations.len() as u64);
-            for c in obligations {
-                h.u64(c.0);
-            }
-            h.u64(grants.len() as u64);
-            for (c, e, l) in grants {
-                h.u64(c.0);
-                h.u64(e.0);
-                h.u64(l.0);
+                h.u64(obligations.len() as u64);
+                for c in obligations {
+                    h.u64(c.0);
+                }
+                h.u64(grants.len() as u64);
+                for (c, e, l) in grants {
+                    h.u64(c.0);
+                    h.u64(e.0);
+                    h.u64(l.0);
+                }
             }
         }
         // The bag as a multiset: delivery order among slots is already

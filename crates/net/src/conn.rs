@@ -103,6 +103,7 @@ impl Connection {
             conn: self.incarnation,
             seq: self.next_seq,
             alloc: 0,
+            log: 0,
             msg: Message::Syn {
                 incarnation: self.incarnation,
                 isn: self.next_seq,
@@ -158,6 +159,7 @@ impl Connection {
             conn: self.conn_id(),
             seq,
             alloc: self.grant(),
+            log: 0,
             msg,
         }
     }
@@ -190,6 +192,7 @@ impl Connection {
                     conn: self.conn_id(),
                     seq: self.next_seq,
                     alloc: self.grant(),
+                    log: 0,
                     msg: Message::SynAck {
                         incarnation: self.incarnation,
                         isn: self.next_seq,
@@ -215,6 +218,7 @@ impl Connection {
                         conn: self.conn_id(),
                         seq: self.next_seq,
                         alloc: self.grant(),
+                        log: 0,
                         msg: Message::HandshakeAck { ack: *isn },
                     });
                     self.next_seq = self.next_seq.saturating_add(1);

@@ -44,7 +44,7 @@ pub mod pool;
 pub mod udp;
 pub mod wire;
 
-pub use mem::{FaultPlan, MemEndpoint, MemNetwork};
+pub use mem::{FaultPlan, MemEndpoint, MemNetwork, MemShardRx};
 pub use pool::BufPool;
 pub use wire::{Message, NodeAddr, Packet, Request, Response, MAX_PACKET_BYTES};
 
@@ -85,4 +85,33 @@ pub trait Endpoint: Send {
         }
         Ok(())
     }
+}
+
+/// One shard's receive handle on a [`RoutedEndpoint`].
+pub trait ShardRx: Send + 'static {
+    /// Receive the next packet routed to this shard, waiting up to
+    /// `timeout`. `Duration::ZERO` polls without blocking.
+    ///
+    /// # Errors
+    /// Propagates transport failures; a timeout yields `Ok(None)`.
+    fn recv(&mut self, timeout: Duration) -> io::Result<Option<(NodeAddr, Packet)>>;
+}
+
+/// An endpoint whose transport routes inbound frames to per-shard
+/// receive queues *before* decode, from the wire header's log hint
+/// ([`Packet::peek_route_hint`](wire::Packet::peek_route_hint)).
+///
+/// The shard supervisor skips its dispatcher thread on such endpoints:
+/// the sending thread picks the destination queue, so a packet crosses
+/// exactly one thread boundary on its way into a shard loop. Transports
+/// without native routing (UDP) simply don't implement this and get the
+/// dispatcher instead.
+pub trait RoutedEndpoint: Endpoint {
+    /// The per-shard receive handle type.
+    type Rx: ShardRx;
+
+    /// Split the receive side into `shards` routed queues (clamped to at
+    /// least one). The endpoint's own [`Endpoint::recv`] yields nothing
+    /// afterwards; replies still go out through it from any thread.
+    fn shard_rx(&self, shards: usize) -> Vec<Self::Rx>;
 }

@@ -90,6 +90,10 @@ pub struct NetStats {
     pub reordered: u64,
     /// Total encoded bytes offered.
     pub bytes: u64,
+    /// Packets steered to one shard queue by the wire header's log hint
+    /// (only shard-routed endpoints count here; zero-hint control frames
+    /// are broadcast to every shard and counted under `delivered` only).
+    pub routed: u64,
 }
 
 /// One endpoint's delivery queue, with its own lock and condvar so a
@@ -100,6 +104,43 @@ pub struct NetStats {
 struct EndpointQueue {
     inbox: Mutex<Inbox>,
     cv: Condvar,
+}
+
+impl EndpointQueue {
+    fn new() -> Arc<EndpointQueue> {
+        Arc::new(EndpointQueue {
+            inbox: Mutex::new(Inbox::default()),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Push one frame and wake a sleeping receiver (skipping the notify
+    /// syscall entirely when the receiver is running or spin-polling).
+    fn push(&self, from: NodeAddr, bytes: Arc<Vec<u8>>) {
+        let mut b = self.inbox.lock();
+        b.q.push_back((from, bytes));
+        let wake = b.sleepers > 0;
+        drop(b);
+        if wake {
+            self.cv.notify_one();
+        }
+    }
+
+    /// Drop everything in flight (node marked down).
+    fn clear(&self) {
+        self.inbox.lock().q.clear();
+    }
+}
+
+/// Where an endpoint's inbound frames land: one queue, or one queue per
+/// shard with the pick made from the encoded header's log hint at
+/// delivery time. Routed delivery is the transport-level twin of the
+/// shard supervisor's dispatcher — in-process the *sending* thread is
+/// the dispatcher, so a routed frame reaches its shard loop with no
+/// extra thread hop and no second queue transfer.
+enum Route {
+    Single(Arc<EndpointQueue>),
+    Sharded(Arc<[Arc<EndpointQueue>]>),
 }
 
 /// The queue plus a count of receivers blocked on the condvar, guarded
@@ -126,7 +167,7 @@ const SPIN_YIELDS: u32 = 64;
 /// write, so concurrent traffic to different endpoints never serializes
 /// here.
 struct Topology {
-    queues: HashMap<NodeAddr, Arc<EndpointQueue>>,
+    queues: HashMap<NodeAddr, Route>,
     partitions: HashSet<(NodeAddr, NodeAddr)>,
     down: HashSet<NodeAddr>,
 }
@@ -147,6 +188,7 @@ struct AtomicNetStats {
     duplicated: AtomicU64,
     reordered: AtomicU64,
     bytes: AtomicU64,
+    routed: AtomicU64,
 }
 
 struct Inner {
@@ -186,13 +228,11 @@ impl MemNetwork {
     /// Register an endpoint at `addr` (replacing any previous queue).
     #[must_use]
     pub fn endpoint(&self, addr: NodeAddr) -> MemEndpoint {
-        self.inner.topo.write().queues.insert(
-            addr,
-            Arc::new(EndpointQueue {
-                inbox: Mutex::new(Inbox::default()),
-                cv: Condvar::new(),
-            }),
-        );
+        self.inner
+            .topo
+            .write()
+            .queues
+            .insert(addr, Route::Single(EndpointQueue::new()));
         MemEndpoint {
             net: self.clone(),
             addr,
@@ -220,9 +260,16 @@ impl MemNetwork {
         let mut t = self.inner.topo.write();
         if down {
             t.down.insert(addr);
-            // A downed node loses anything in flight to it.
-            if let Some(ep) = t.queues.get(&addr) {
-                ep.inbox.lock().q.clear();
+            // A downed node loses anything in flight to it — every shard
+            // queue of a routed endpoint included.
+            match t.queues.get(&addr) {
+                Some(Route::Single(ep)) => ep.clear(),
+                Some(Route::Sharded(eps)) => {
+                    for ep in eps.iter() {
+                        ep.clear();
+                    }
+                }
+                None => {}
             }
         } else {
             t.down.remove(&addr);
@@ -246,6 +293,7 @@ impl MemNetwork {
             duplicated: s.duplicated.load(Ordering::Relaxed),
             reordered: s.reordered.load(Ordering::Relaxed),
             bytes: s.bytes.load(Ordering::Relaxed),
+            routed: s.routed.load(Ordering::Relaxed),
         }
     }
 
@@ -322,7 +370,7 @@ impl MemNetwork {
                 stats.dropped.fetch_add(1, Ordering::Relaxed);
                 break 'fate;
             }
-            let Some(ep) = topo.queues.get(&to) else {
+            let Some(route) = topo.queues.get(&to) else {
                 stats.dropped.fetch_add(1, Ordering::Relaxed); // a LAN just loses it
                 break 'fate;
             };
@@ -330,15 +378,8 @@ impl MemNetwork {
             if !faulty {
                 // Reliable fast path: no RNG draw, no fault-state lock —
                 // concurrent senders only share this read guard and the
-                // destination's own queue lock.
-                stats.delivered.fetch_add(1, Ordering::Relaxed);
-                let mut b = ep.inbox.lock();
-                b.q.push_back((from, Arc::clone(bytes)));
-                let wake = b.sleepers > 0;
-                drop(b);
-                if wake {
-                    ep.cv.notify_one();
-                }
+                // destination's own queue lock(s).
+                self.enqueue_routed(route, from, bytes);
                 break 'fate;
             }
 
@@ -372,20 +413,41 @@ impl MemNetwork {
                 stats.duplicated.fetch_add(1, Ordering::Relaxed);
                 deliveries.push((from, Arc::clone(bytes)));
             }
-            if !deliveries.is_empty() {
-                stats
-                    .delivered
-                    .fetch_add(deliveries.len() as u64, Ordering::Relaxed);
-                let mut b = ep.inbox.lock();
-                for d in deliveries {
-                    b.q.push_back(d);
-                }
-                let wake = b.sleepers > 0;
-                drop(b);
-                if wake {
-                    ep.cv.notify_one();
-                }
+            for (f, b) in deliveries {
+                self.enqueue_routed(route, f, &b);
             }
+        }
+    }
+
+    /// Enqueue one frame at its resolved destination: straight into a
+    /// single queue, or — for a shard-routed endpoint — into the queue
+    /// the header's log hint hashes to, with zero-hint control frames
+    /// fanned to every shard (the same broadcast rule the supervisor's
+    /// dispatcher applies to `route_key() == None` traffic).
+    fn enqueue_routed(&self, route: &Route, from: NodeAddr, bytes: &Arc<Vec<u8>>) {
+        let stats = &self.inner.stats;
+        match route {
+            Route::Single(ep) => {
+                stats.delivered.fetch_add(1, Ordering::Relaxed);
+                ep.push(from, Arc::clone(bytes));
+            }
+            Route::Sharded(eps) => match Packet::peek_route_hint(bytes) {
+                Some(id) => {
+                    if let Some(ep) = eps.get(id.shard(eps.len())) {
+                        stats.delivered.fetch_add(1, Ordering::Relaxed);
+                        stats.routed.fetch_add(1, Ordering::Relaxed);
+                        ep.push(from, Arc::clone(bytes));
+                    }
+                }
+                None => {
+                    stats
+                        .delivered
+                        .fetch_add(eps.len() as u64, Ordering::Relaxed);
+                    for ep in eps.iter() {
+                        ep.push(from, Arc::clone(bytes));
+                    }
+                }
+            },
         }
     }
 
@@ -394,53 +456,64 @@ impl MemNetwork {
         addr: NodeAddr,
         timeout: Duration,
     ) -> io::Result<Option<(NodeAddr, Packet)>> {
-        let deadline = Instant::now() + timeout;
         // Resolve our queue under the topology read lock, then wait on the
         // queue's own lock/condvar — senders to *other* endpoints never
         // touch it.
-        let ep = self.inner.topo.read().queues.get(&addr).map(Arc::clone);
-        let Some(ep) = ep else {
-            return Err(io::Error::new(
-                io::ErrorKind::NotFound,
-                "endpoint unregistered",
-            ));
-        };
-        let mut spins = 0u32;
-        loop {
-            {
-                let mut b = ep.inbox.lock();
-                loop {
-                    if let Some((from, bytes)) = b.q.pop_front() {
-                        drop(b);
-                        // Zero-copy decode: payloads are views into
-                        // `bytes`; dropping our handle leaves the buffer
-                        // parked in the pool until those views are
-                        // released.
-                        return match Packet::decode_shared(&bytes) {
-                            Ok(p) => Ok(Some((from, p))),
-                            // A corrupt datagram is dropped, as a NIC
-                            // would.
-                            Err(_) => Ok(None),
-                        };
-                    }
-                    if Instant::now() >= deadline {
-                        return Ok(None);
-                    }
-                    if spins < SPIN_YIELDS {
-                        // Cooperative poll: release the lock and cede the
-                        // CPU below so the sender can run, then re-check —
-                        // cheaper than a futex sleep when the packet is
-                        // about to arrive anyway.
-                        break;
-                    }
-                    b.sleepers += 1;
-                    ep.cv.wait_until(&mut b, deadline);
-                    b.sleepers -= 1;
-                }
+        let ep = match self.inner.topo.read().queues.get(&addr) {
+            Some(Route::Single(ep)) => Arc::clone(ep),
+            Some(Route::Sharded(_)) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "endpoint is shard-routed; receive on its shard handles",
+                ));
             }
-            spins += 1;
-            std::thread::yield_now();
+            None => {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    "endpoint unregistered",
+                ));
+            }
+        };
+        Ok(recv_from(&ep, timeout))
+    }
+}
+
+/// Pop one frame from `ep` within `timeout` and decode it zero-copy:
+/// payloads are views into the pooled buffer; dropping the handle leaves
+/// the buffer parked in the pool until those views are released. Shared
+/// by single-queue receive and per-shard receive handles. A corrupt
+/// datagram is dropped (`None`), as a NIC would.
+fn recv_from(ep: &EndpointQueue, timeout: Duration) -> Option<(NodeAddr, Packet)> {
+    let deadline = Instant::now() + timeout;
+    let mut spins = 0u32;
+    loop {
+        {
+            let mut b = ep.inbox.lock();
+            loop {
+                if let Some((from, bytes)) = b.q.pop_front() {
+                    drop(b);
+                    return match Packet::decode_shared(&bytes) {
+                        Ok(p) => Some((from, p)),
+                        Err(_) => None,
+                    };
+                }
+                if Instant::now() >= deadline {
+                    return None;
+                }
+                if spins < SPIN_YIELDS {
+                    // Cooperative poll: release the lock and cede the
+                    // CPU below so the sender can run, then re-check —
+                    // cheaper than a futex sleep when the packet is
+                    // about to arrive anyway.
+                    break;
+                }
+                b.sleepers += 1;
+                ep.cv.wait_until(&mut b, deadline);
+                b.sleepers -= 1;
+            }
         }
+        spins += 1;
+        std::thread::yield_now();
     }
 }
 
@@ -490,6 +563,42 @@ impl Endpoint for MemEndpoint {
         }
         self.obs.sample_since(dlog_obs::Stage::PacketSend, span);
         Ok(())
+    }
+}
+
+/// One shard's receive handle on a routed [`MemEndpoint`]: a cached
+/// reference to that shard's queue, so receiving never takes the
+/// topology lock. Handles go stale when the node reboots (a fresh
+/// endpoint re-registers its queues), matching a socket closed on crash.
+pub struct MemShardRx {
+    queue: Arc<EndpointQueue>,
+}
+
+impl crate::ShardRx for MemShardRx {
+    fn recv(&mut self, timeout: Duration) -> io::Result<Option<(NodeAddr, Packet)>> {
+        Ok(recv_from(&self.queue, timeout))
+    }
+}
+
+impl crate::RoutedEndpoint for MemEndpoint {
+    type Rx = MemShardRx;
+
+    fn shard_rx(&self, shards: usize) -> Vec<MemShardRx> {
+        let queues: Vec<Arc<EndpointQueue>> =
+            (0..shards.max(1)).map(|_| EndpointQueue::new()).collect();
+        let rxs = queues
+            .iter()
+            .map(|q| MemShardRx {
+                queue: Arc::clone(q),
+            })
+            .collect();
+        self.net
+            .inner
+            .topo
+            .write()
+            .queues
+            .insert(self.addr, Route::Sharded(queues.into()));
+        rxs
     }
 }
 

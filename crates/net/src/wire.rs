@@ -17,7 +17,7 @@
 
 use std::sync::Arc;
 
-use dlog_types::{ClientId, Epoch, Interval, IntervalList, LogData, LogRecord, Lsn};
+use dlog_types::{ClientId, Epoch, Interval, IntervalList, LogData, LogId, LogRecord, Lsn};
 
 /// Maximum encoded packet size. The client packs as many log records as
 /// fit below this bound into each `WriteLog`/`ForceLog` message ("client
@@ -49,20 +49,81 @@ pub struct Packet {
     /// Flow-control allocation: the highest sequence number the *other*
     /// party may send without waiting.
     pub alloc: u64,
+    /// Logical-log routing hint: the [`LogId`] this packet is about, or 0
+    /// when the sender has none. The sharded server hashes this id to a
+    /// shard at ingest *before* looking at the body; packets without a
+    /// hint fall back to a body-derived key (see [`Packet::route_key`]).
+    pub log: u64,
     /// The message.
     pub msg: Message,
 }
 
 impl Packet {
-    /// A connectionless packet (LSN-based mode).
+    /// A connectionless packet (LSN-based mode) with no routing hint.
     #[must_use]
     pub fn bare(msg: Message) -> Self {
         Packet {
             conn: 0,
             seq: 0,
             alloc: 0,
+            log: 0,
             msg,
         }
+    }
+
+    /// A connectionless packet stamped with a logical-log routing hint.
+    #[must_use]
+    pub fn routed(log: LogId, msg: Message) -> Self {
+        Packet {
+            conn: 0,
+            seq: 0,
+            alloc: 0,
+            log: log.0,
+            msg,
+        }
+    }
+
+    /// Like [`Packet::bare`], but with the routing hint self-stamped
+    /// from the body via [`Packet::route_key`] — what clients send, so
+    /// a sharded server routes on the header without cracking the body.
+    /// Shard-agnostic messages keep a zero hint.
+    #[must_use]
+    pub fn stamped(msg: Message) -> Self {
+        let mut p = Packet::bare(msg);
+        p.log = p.route_key().map_or(0, |l| l.0);
+        p
+    }
+
+    /// The logical log this packet routes by: the header hint when the
+    /// sender stamped one, otherwise a key derived from the body (the
+    /// owning client for log traffic, the generator id for Appendix-I
+    /// RPCs). `None` means the packet is shard-agnostic control traffic
+    /// (handshake, `Status`, `Stats`) and may be served by any shard.
+    #[must_use]
+    pub fn route_key(&self) -> Option<LogId> {
+        if self.log != 0 {
+            return Some(LogId(self.log));
+        }
+        let client = match &self.msg {
+            Message::WriteLog { client, .. }
+            | Message::ForceLog { client, .. }
+            | Message::NewInterval { client, .. }
+            | Message::NewHighLsn { client, .. }
+            | Message::MissingInterval { client, .. } => *client,
+            Message::Request { body, .. } => match body {
+                Request::IntervalList { client }
+                | Request::ReadLogForward { client, .. }
+                | Request::ReadLogBackward { client, .. }
+                | Request::CopyLog { client, .. }
+                | Request::InstallCopies { client, .. } => *client,
+                Request::GenRead { generator } | Request::GenWrite { generator, .. } => {
+                    return Some(LogId(*generator));
+                }
+                Request::Status | Request::Stats => return None,
+            },
+            _ => return None,
+        };
+        Some(LogId::for_client(client))
     }
 
     /// The LSN this packet is "about", for trace keying (`dlog-obs`
@@ -310,6 +371,10 @@ pub enum Response {
         coalesced_forces: u64,
         /// Physical group-commit rounds flushed.
         group_commits: u64,
+        /// Index of the shard that answered (0 on an unsharded server).
+        shard: u64,
+        /// Number of shards in the answering process (1 when unsharded).
+        shards: u64,
     },
     /// Per-stage latency histograms (see [`StageStats`]) and trace-ring
     /// counters from the server's `dlog-obs` handle, plus the server's
@@ -329,6 +394,11 @@ pub enum Response {
         /// Log records ingested by write/force handling (denominator of
         /// `allocs_per_write`).
         ingest_records: u64,
+        /// Index of the shard that answered (0 on an unsharded server).
+        shard: u64,
+        /// Number of shards in the answering process (1 when unsharded);
+        /// tells a stats collector how many per-shard rows to merge.
+        shards: u64,
     },
 }
 
@@ -418,6 +488,7 @@ impl Packet {
         put_u64(out, self.conn);
         put_u64(out, self.seq);
         put_u64(out, self.alloc);
+        put_u64(out, self.log);
         encode_message(&self.msg, out);
         let crc = crc32(out.get(HEADER_BYTES..).unwrap_or(&[]));
         if let Some(slot) = out.get_mut(4..HEADER_BYTES) {
@@ -429,7 +500,7 @@ impl Packet {
     /// pass): `encoded_len() == encode().len()` for every packet.
     #[must_use]
     pub fn encoded_len(&self) -> usize {
-        HEADER_BYTES + 24 + message_len(&self.msg)
+        HEADER_BYTES + 32 + message_len(&self.msg)
     }
 
     /// Decode from a transient byte slice. Record payloads are copied out
@@ -451,6 +522,19 @@ impl Packet {
     pub fn decode_shared(buf: &Arc<Vec<u8>>) -> Result<Packet, DecodeError> {
         decode_frame(buf.as_slice(), Some(buf))
     }
+
+    /// Read the routing hint straight out of an encoded frame: the
+    /// header's `log` field, with no body decode and no CRC pass.
+    /// Transports with native shard routing use this to pick a receive
+    /// queue at delivery time; `None` (a zero hint, or a frame too short
+    /// to carry one) means shard-agnostic. Offset: magic (2) + reserved
+    /// (2) + crc (4) + conn (8) + seq (8) + alloc (8) = 32.
+    #[must_use]
+    pub fn peek_route_hint(bytes: &[u8]) -> Option<LogId> {
+        let raw: [u8; 8] = bytes.get(32..40)?.try_into().ok()?;
+        let log = u64::from_le_bytes(raw);
+        (log != 0).then_some(LogId(log))
+    }
 }
 
 fn decode_frame(bytes: &[u8], share: Option<&Arc<Vec<u8>>>) -> Result<Packet, DecodeError> {
@@ -470,12 +554,13 @@ fn decode_frame(bytes: &[u8], share: Option<&Arc<Vec<u8>>>) -> Result<Packet, De
     if crc32(bytes.get(HEADER_BYTES..).unwrap_or(&[])) != crc {
         return Err(DecodeError("crc mismatch".into()));
     }
-    if r.remaining() < 24 {
+    if r.remaining() < 32 {
         return Err(DecodeError("short header".into()));
     }
     let conn = r.u64()?;
     let seq = r.u64()?;
     let alloc = r.u64()?;
+    let log = r.u64()?;
     let msg = decode_message(&mut r)?;
     if r.remaining() != 0 {
         return Err(DecodeError("trailing bytes".into()));
@@ -484,16 +569,19 @@ fn decode_frame(bytes: &[u8], share: Option<&Arc<Vec<u8>>>) -> Result<Packet, De
         conn,
         seq,
         alloc,
+        log,
         msg,
     })
 }
 
-// CRC-32 (IEEE polynomial, reflected), table-driven: one lookup per byte
-// instead of eight branchy shifts. Same polynomial as the storage layer;
-// duplicated rather than shared to keep the net crate free of the storage
-// dependency.
-const fn build_crc_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+// CRC-32 (IEEE polynomial, reflected), slice-by-8: the hot loop folds
+// eight bytes per step through eight precomputed tables instead of one
+// dependent lookup per byte — the same digest, ~4-6x the throughput, and
+// the encode + decode passes run over every data-plane packet. Same
+// polynomial as the storage layer; duplicated rather than shared to keep
+// the net crate free of the storage dependency.
+const fn build_crc_tables() -> [[u32; 256]; 8] {
+    let mut t = [[0u32; 256]; 8];
     let mut i = 0usize;
     while i < 256 {
         let mut state = i as u32;
@@ -506,23 +594,57 @@ const fn build_crc_table() -> [u32; 256] {
             };
             k += 1;
         }
-        table[i] = state;
+        t[0][i] = state;
         i += 1;
     }
-    table
+    // t[j][i] extends t[j-1][i] by one zero byte: folding eight bytes
+    // through t[7]..t[0] equals eight sequential t[0] steps.
+    let mut j = 1usize;
+    while j < 8 {
+        let mut i = 0usize;
+        while i < 256 {
+            let prev = t[j - 1][i];
+            t[j][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        j += 1;
+    }
+    t
 }
 
-static CRC_TABLE: [u32; 256] = build_crc_table();
+static CRC_TABLES: [[u32; 256]; 8] = build_crc_tables();
+
+/// Guarded table probe: the index is masked to 0..256 so the `None` arm
+/// is unreachable and the whole call compiles to a plain load.
+#[inline(always)]
+fn lut(table: &[u32; 256], idx: u32) -> u32 {
+    match table.get((idx & 0xFF) as usize) {
+        Some(v) => *v,
+        None => 0,
+    }
+}
 
 fn crc32(data: &[u8]) -> u32 {
+    let [t0, t1, t2, t3, t4, t5, t6, t7] = &CRC_TABLES;
     let mut state = 0xFFFF_FFFFu32;
-    for &b in data {
-        let idx = ((state ^ u32::from(b)) & 0xFF) as usize;
-        let entry = match CRC_TABLE.get(idx) {
-            Some(v) => *v,
-            None => 0, // unreachable: idx is masked to 0..256
+    let mut chunks = data.chunks_exact(8);
+    for c in chunks.by_ref() {
+        let &[b0, b1, b2, b3, b4, b5, b6, b7] = c else {
+            break; // unreachable: chunks_exact yields 8-byte slices
         };
-        state = (state >> 8) ^ entry;
+        let lo = state ^ u32::from_le_bytes([b0, b1, b2, b3]);
+        let hi = u32::from_le_bytes([b4, b5, b6, b7]);
+        state = lut(t7, lo)
+            ^ lut(t6, lo >> 8)
+            ^ lut(t5, lo >> 16)
+            ^ lut(t4, lo >> 24)
+            ^ lut(t3, hi)
+            ^ lut(t2, hi >> 8)
+            ^ lut(t1, hi >> 16)
+            ^ lut(t0, hi >> 24);
+    }
+    for &b in chunks.remainder() {
+        state = (state >> 8) ^ lut(t0, state ^ u32::from(b));
     }
     state ^ 0xFFFF_FFFF
 }
@@ -746,6 +868,8 @@ fn encode_response(body: &Response, out: &mut Vec<u8>) {
             upload_retries,
             coalesced_forces,
             group_commits,
+            shard,
+            shards,
         } => {
             put_u8(out, S_STATUS);
             for v in [
@@ -764,6 +888,8 @@ fn encode_response(body: &Response, out: &mut Vec<u8>) {
                 upload_retries,
                 coalesced_forces,
                 group_commits,
+                shard,
+                shards,
             ] {
                 put_u64(out, *v);
             }
@@ -774,12 +900,16 @@ fn encode_response(body: &Response, out: &mut Vec<u8>) {
             trace_dropped,
             ingest_allocs,
             ingest_records,
+            shard,
+            shards,
         } => {
             put_u8(out, S_STATS);
             put_u64(out, *trace_events);
             put_u64(out, *trace_dropped);
             put_u64(out, *ingest_allocs);
             put_u64(out, *ingest_records);
+            put_u64(out, *shard);
+            put_u64(out, *shards);
             // At most `Stage::COUNT` (9) stages ever travel; u8 is ample.
             put_u8(out, stages.len().min(u8::MAX as usize) as u8);
             for s in stages.iter().take(u8::MAX as usize) {
@@ -856,10 +986,10 @@ fn response_len(body: &Response) -> usize {
         Response::Ok => 0,
         Response::Err { detail, .. } => 6 + detail.len(),
         Response::GenValue { .. } => 8,
-        Response::Status { .. } => 120,
+        Response::Status { .. } => 136,
         Response::Stats { stages, .. } => {
             // Mirrors the writer's caps: at most 255 stages, 65535 buckets.
-            33 + stages
+            49 + stages
                 .iter()
                 .take(u8::MAX as usize)
                 .map(|s| 19 + 9 * s.buckets.len().min(u16::MAX as usize))
@@ -1141,12 +1271,16 @@ fn decode_response(r: &mut Reader<'_>) -> Result<Response, DecodeError> {
             upload_retries: r.u64()?,
             coalesced_forces: r.u64()?,
             group_commits: r.u64()?,
+            shard: r.u64()?,
+            shards: r.u64()?,
         }),
         S_STATS => {
             let trace_events = r.u64()?;
             let trace_dropped = r.u64()?;
             let ingest_allocs = r.u64()?;
             let ingest_records = r.u64()?;
+            let shard = r.u64()?;
+            let shards = r.u64()?;
             let nstages = r.u8()? as usize;
             let mut stages = Vec::with_capacity(nstages.min(16));
             for _ in 0..nstages {
@@ -1171,6 +1305,8 @@ fn decode_response(r: &mut Reader<'_>) -> Result<Response, DecodeError> {
                 trace_dropped,
                 ingest_allocs,
                 ingest_records,
+                shard,
+                shards,
             })
         }
         other => Err(DecodeError(format!("unknown response kind {other}"))),
@@ -1240,6 +1376,7 @@ mod tests {
             conn: 7,
             seq: 42,
             alloc: 100,
+            log: 13,
             msg,
         };
         let bytes = p.encode();
@@ -1378,6 +1515,8 @@ mod tests {
                 trace_dropped: 4,
                 ingest_allocs: 77,
                 ingest_records: 40,
+                shard: 2,
+                shards: 4,
             },
         ] {
             roundtrip(Message::Response { id: 55, body });
@@ -1456,6 +1595,7 @@ mod tests {
         put_u64(&mut body, 0);
         put_u64(&mut body, 0);
         put_u64(&mut body, 0);
+        put_u64(&mut body, 0);
         put_u8(&mut body, K_RESPONSE);
         put_u64(&mut body, 1);
         put_u8(&mut body, S_INTERVALS);
@@ -1520,6 +1660,48 @@ mod tests {
         assert_eq!(
             first_src.as_bytes().as_ptr(),
             first_packed.as_bytes().as_ptr()
+        );
+    }
+
+    #[test]
+    fn route_key_prefers_header_then_body() {
+        let write = Message::WriteLog {
+            client: ClientId(6),
+            epoch: Epoch(1),
+            records: vec![],
+        };
+        // Header hint wins.
+        assert_eq!(
+            Packet::routed(LogId(42), write.clone()).route_key(),
+            Some(LogId(42))
+        );
+        // No hint: log traffic falls back to the owning client's log.
+        assert_eq!(Packet::bare(write).route_key(), Some(LogId(6)));
+        // Generator RPCs key by generator id.
+        assert_eq!(
+            Packet::bare(Message::Request {
+                id: 1,
+                body: Request::GenRead { generator: 9 },
+            })
+            .route_key(),
+            Some(LogId(9))
+        );
+        // Control traffic is shard-agnostic.
+        assert_eq!(
+            Packet::bare(Message::Request {
+                id: 1,
+                body: Request::Status,
+            })
+            .route_key(),
+            None
+        );
+        assert_eq!(
+            Packet::bare(Message::Syn {
+                incarnation: 1,
+                isn: 2,
+            })
+            .route_key(),
+            None
         );
     }
 

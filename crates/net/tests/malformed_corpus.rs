@@ -112,9 +112,9 @@ fn frame(body: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Body prefix shared by every message: conn/seq/alloc, all zero.
+/// Body prefix shared by every message: conn/seq/alloc/log, all zero.
 fn envelope(msg_bytes: &[u8]) -> Vec<u8> {
-    let mut body = vec![0u8; 24];
+    let mut body = vec![0u8; 32];
     body.extend_from_slice(msg_bytes);
     body
 }
@@ -157,10 +157,12 @@ fn corpus() -> Vec<(&'static str, Vec<u8>)> {
     f[last] ^= 0x01; // body bit flip without fixing the crc
     frames.push(("07-body-bitflip", f));
     frames.push(("08-header-only", frame(&[])));
-    frames.push(("09-envelope-short", frame(&[0u8; 16])));
+    // 24 bytes was a full envelope before the `log` routing field; now it
+    // is one u64 short — pins the widened header boundary.
+    frames.push(("09-envelope-short", frame(&[0u8; 24])));
 
     // --- Message-level rejects --------------------------------------------
-    frames.push(("10-no-kind-tag", frame(&[0u8; 24])));
+    frames.push(("10-no-kind-tag", frame(&[0u8; 32])));
     frames.push(("11-kind-zero", frame(&envelope(&[0]))));
     frames.push(("12-kind-eleven", frame(&envelope(&[11]))));
     frames.push(("13-kind-255", frame(&envelope(&[255]))));
@@ -197,7 +199,7 @@ fn corpus() -> Vec<(&'static str, Vec<u8>)> {
     m.extend_from_slice(b"abc");
     frames.push(("18-writelog-data-overrun", frame(&envelope(&m))));
     // Valid message plus trailing garbage.
-    let mut body = vec![0u8; 24];
+    let mut body = vec![0u8; 32];
     let mut m = writelog_hdr(1);
     m.extend_from_slice(&41u64.to_le_bytes());
     m.extend_from_slice(&3u32.to_le_bytes());
@@ -260,22 +262,22 @@ fn corpus() -> Vec<(&'static str, Vec<u8>)> {
     m.extend_from_slice(&100u32.to_le_bytes());
     m.extend_from_slice(b"abc");
     frames.push(("29-err-detail-overrun", response(&m)));
-    // Status (tag 6) with 14 of its 15 counters.
+    // Status (tag 6) with 16 of its 17 counters.
     let mut m = vec![6u8];
-    for i in 0..14u64 {
+    for i in 0..16u64 {
         m.extend_from_slice(&i.to_le_bytes());
     }
     frames.push(("30-status-truncated", response(&m)));
-    // Stats (tag 7): four gauges, then a stage count with no stages.
+    // Stats (tag 7): six gauges, then a stage count with no stages.
     let mut m = vec![7u8];
-    for _ in 0..4 {
+    for _ in 0..6 {
         m.extend_from_slice(&5u64.to_le_bytes());
     }
     m.push(3); // claims three stages, none follow
     frames.push(("31-stats-stage-overrun", response(&m)));
     // Stats with one stage claiming 500 buckets and none present.
     let mut m = vec![7u8];
-    for _ in 0..4 {
+    for _ in 0..6 {
         m.extend_from_slice(&5u64.to_le_bytes());
     }
     m.push(1);

@@ -44,6 +44,7 @@ fn ref_encode(p: &Packet) -> Vec<u8> {
     body.put_u64_le(p.conn);
     body.put_u64_le(p.seq);
     body.put_u64_le(p.alloc);
+    body.put_u64_le(p.log);
     ref_message(&p.msg, &mut body);
 
     let mut out = BytesMut::with_capacity(body.len() + 8);
@@ -253,6 +254,8 @@ fn ref_response(body: &Response, out: &mut BytesMut) {
             upload_retries,
             coalesced_forces,
             group_commits,
+            shard,
+            shards,
         } => {
             out.put_u8(6);
             for v in [
@@ -271,6 +274,8 @@ fn ref_response(body: &Response, out: &mut BytesMut) {
                 upload_retries,
                 coalesced_forces,
                 group_commits,
+                shard,
+                shards,
             ] {
                 out.put_u64_le(*v);
             }
@@ -281,12 +286,16 @@ fn ref_response(body: &Response, out: &mut BytesMut) {
             trace_dropped,
             ingest_allocs,
             ingest_records,
+            shard,
+            shards,
         } => {
             out.put_u8(7);
             out.put_u64_le(*trace_events);
             out.put_u64_le(*trace_dropped);
             out.put_u64_le(*ingest_allocs);
             out.put_u64_le(*ingest_records);
+            out.put_u64_le(*shard);
+            out.put_u64_le(*shards);
             out.put_u8(stages.len().min(u8::MAX as usize) as u8);
             for s in stages.iter().take(u8::MAX as usize) {
                 out.put_u8(s.stage);
@@ -409,7 +418,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
         (1u16..10, "[a-zA-Z0-9 :_-]{0,40}")
             .prop_map(|(code, detail)| Response::Err { code, detail }),
         any::<u64>().prop_map(|value| Response::GenValue { value }),
-        proptest::collection::vec(any::<u64>(), 15).prop_map(|v| Response::Status {
+        proptest::collection::vec(any::<u64>(), 17).prop_map(|v| Response::Status {
             records_stored: v[0],
             duplicates_ignored: v[1],
             naks_sent: v[2],
@@ -425,6 +434,8 @@ fn arb_response() -> impl Strategy<Value = Response> {
             upload_retries: v[12],
             coalesced_forces: v[13],
             group_commits: v[14],
+            shard: v[15],
+            shards: v[16],
         }),
         (
             proptest::collection::vec(arb_stage_stats(), 0..7),
@@ -432,15 +443,27 @@ fn arb_response() -> impl Strategy<Value = Response> {
             any::<u64>(),
             any::<u64>(),
             any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
         )
             .prop_map(
-                |(stages, trace_events, trace_dropped, ingest_allocs, ingest_records)| {
+                |(
+                    stages,
+                    trace_events,
+                    trace_dropped,
+                    ingest_allocs,
+                    ingest_records,
+                    shard,
+                    shards,
+                )| {
                     Response::Stats {
                         stages,
                         trace_events,
                         trace_dropped,
                         ingest_allocs,
                         ingest_records,
+                        shard,
+                        shards,
                     }
                 },
             ),
@@ -498,14 +521,20 @@ fn arb_message() -> impl Strategy<Value = Message> {
 }
 
 fn arb_packet() -> impl Strategy<Value = Packet> {
-    (any::<u64>(), any::<u64>(), any::<u64>(), arb_message()).prop_map(|(conn, seq, alloc, msg)| {
-        Packet {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        arb_message(),
+    )
+        .prop_map(|(conn, seq, alloc, log, msg)| Packet {
             conn,
             seq,
             alloc,
+            log,
             msg,
-        }
-    })
+        })
 }
 
 // ---------------------------------------------------------------------------

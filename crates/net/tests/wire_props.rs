@@ -108,7 +108,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
         Just(Response::Ok),
         (0u16..10, "[a-z ]{0,40}").prop_map(|(code, detail)| Response::Err { code, detail }),
         (0u64..u64::MAX).prop_map(|value| Response::GenValue { value }),
-        proptest::collection::vec(any::<u64>(), 15).prop_map(|v| Response::Status {
+        proptest::collection::vec(any::<u64>(), 17).prop_map(|v| Response::Status {
             records_stored: v[0],
             duplicates_ignored: v[1],
             naks_sent: v[2],
@@ -124,6 +124,8 @@ fn arb_response() -> impl Strategy<Value = Response> {
             upload_retries: v[12],
             coalesced_forces: v[13],
             group_commits: v[14],
+            shard: v[15],
+            shards: v[16],
         }),
         (
             proptest::collection::vec(arb_stage_stats(), 0..7),
@@ -131,15 +133,27 @@ fn arb_response() -> impl Strategy<Value = Response> {
             any::<u64>(),
             any::<u64>(),
             any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
         )
             .prop_map(
-                |(stages, trace_events, trace_dropped, ingest_allocs, ingest_records)| {
+                |(
+                    stages,
+                    trace_events,
+                    trace_dropped,
+                    ingest_allocs,
+                    ingest_records,
+                    shard,
+                    shards,
+                )| {
                     Response::Stats {
                         stages,
                         trace_events,
                         trace_dropped,
                         ingest_allocs,
                         ingest_records,
+                        shard,
+                        shards,
                     }
                 },
             ),
@@ -196,8 +210,8 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
 
     #[test]
-    fn roundtrip(msg in arb_message(), conn in any::<u64>(), seq in any::<u64>(), alloc in any::<u64>()) {
-        let p = Packet { conn, seq, alloc, msg };
+    fn roundtrip(msg in arb_message(), conn in any::<u64>(), seq in any::<u64>(), alloc in any::<u64>(), log in any::<u64>()) {
+        let p = Packet { conn, seq, alloc, log, msg };
         let bytes = p.encode();
         let q = Packet::decode(&bytes).expect("decode own encoding");
         prop_assert_eq!(p, q);

@@ -96,8 +96,7 @@ impl GenStore {
 /// Read as many bytes as `buf` holds (or until EOF), returning the count.
 fn read_up_to(f: &mut File, buf: &mut [u8]) -> io::Result<usize> {
     let mut n = 0;
-    loop {
-        let Some(slot) = buf.get_mut(n..) else { break };
+    while let Some(slot) = buf.get_mut(n..) {
         if slot.is_empty() {
             break;
         }

@@ -29,6 +29,7 @@
 
 pub mod gen;
 pub mod runner;
+pub mod shard;
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -72,6 +73,14 @@ pub struct ServerConfig {
     /// Flush the pending group-commit batch early once this many clients
     /// are waiting, regardless of the window.
     pub coalesce_max_batch: usize,
+    /// Index of the shard this instance serves (0 when unsharded). Only
+    /// identity: routing happens in the [`shard`] supervisor before a
+    /// packet reaches [`LogServer::handle_into`].
+    pub shard: u64,
+    /// Total shards in the owning process (1 when unsharded). Reported in
+    /// `Status`/`Stats` so operators can tell a shard row from a whole
+    /// server.
+    pub shards: u64,
 }
 
 impl ServerConfig {
@@ -84,7 +93,17 @@ impl ServerConfig {
             read_batch: 512,
             coalesce_window: Duration::ZERO,
             coalesce_max_batch: 64,
+            shard: 0,
+            shards: 1,
         }
+    }
+
+    /// The same configuration rebadged for shard `shard` of `shards`.
+    #[must_use]
+    pub fn for_shard(mut self, shard: u64, shards: u64) -> Self {
+        self.shard = shard;
+        self.shards = shards.max(1);
+        self
     }
 }
 
@@ -316,6 +335,20 @@ impl LogServer {
     /// reused buffer adds no per-packet allocation).
     pub fn handle_into(&mut self, from: NodeAddr, pkt: &Packet, out: &mut Vec<(NodeAddr, Packet)>) {
         self.stats.packets_in += 1;
+        // Ownership guard: a shard drops (never answers) traffic for
+        // another shard's logical log. The dispatcher routes such packets
+        // away before they get here; a routing transport, which steers by
+        // the wire header alone, must *broadcast* body-derived RPCs (zero
+        // hint on the wire) — without this guard a non-owning shard would
+        // answer e.g. `IntervalList` with an empty table and race the
+        // owning shard's real reply.
+        if self.config.shards > 1
+            && pkt.route_key().is_some_and(|id| {
+                id.shard(self.config.shards as usize) != self.config.shard as usize
+            })
+        {
+            return;
+        }
         let out_before = out.len();
         match &pkt.msg {
             Message::WriteLog {
@@ -724,6 +757,8 @@ impl LogServer {
                     upload_retries: ar.upload_retries,
                     coalesced_forces: st.coalesced_forces,
                     group_commits: st.group_commits,
+                    shard: self.config.shard,
+                    shards: self.config.shards,
                 }
             }
             Request::Stats => {
@@ -737,6 +772,8 @@ impl LogServer {
                         trace_dropped: 0,
                         ingest_allocs,
                         ingest_records,
+                        shard: self.config.shard,
+                        shards: self.config.shards,
                     };
                 };
                 let stages = snap
@@ -755,6 +792,8 @@ impl LogServer {
                     trace_dropped: snap.trace_dropped,
                     ingest_allocs,
                     ingest_records,
+                    shard: self.config.shard,
+                    shards: self.config.shards,
                 }
             }
             Request::GenRead { generator } => Response::GenValue {

@@ -1,0 +1,577 @@
+//! Shard supervisor: N per-shard event loops behind one endpoint.
+//!
+//! The paper's log server is one sequential loop; this module splits it
+//! into a thin **dispatcher** that owns the endpoint's receive side and N
+//! **shard loops**, each owning a private [`LogServer`] (and therefore a
+//! private `LogStore`, obligation table, and group-commit window). The
+//! dispatcher decodes nothing itself — the endpoint already produced a
+//! [`Packet`] whose record payloads are zero-copy views into the pooled
+//! receive buffer — and moves the decoded packet to the queue of the
+//! shard `LogId → shard` hashes to. The views survive the cross-thread
+//! handoff: `LogData` is `Arc`-backed, so the pool's buffer stays parked
+//! until the owning shard drops the last view.
+//!
+//! Routing rule (must match [`Packet::route_key`] and
+//! [`LogId::shard`](dlog_types::LogId::shard)):
+//!
+//! * a nonzero `log` header field routes by that id;
+//! * log traffic without a hint routes by the owning client's log;
+//! * generator RPCs route by generator id;
+//! * shard-agnostic control traffic (handshake, `Status`, `Stats`) is
+//!   **broadcast** to every shard — each answers with its own `shard` /
+//!   `shards` gauges so a collector can merge the rows.
+//!
+//! Replies go out through the same shared endpoint from every shard
+//! (`Endpoint` sends are `&self`); the transports are `Sync`.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dlog_net::wire::{NodeAddr, Packet};
+use dlog_net::{Endpoint, RoutedEndpoint, ShardRx};
+
+use crate::LogServer;
+
+/// How many queued packets one shard-loop iteration may ingest before
+/// replies are flushed — same bound (and same rationale) as the
+/// single-loop runner's.
+const INGEST_BATCH: usize = 32;
+
+/// One shard's packet queue. The `sleepers` counter lets the dispatcher
+/// skip the condvar syscall entirely while the shard loop is awake — the
+/// common case under load, where the queue never runs dry.
+struct ShardInbox {
+    q: VecDeque<(NodeAddr, Packet)>,
+    sleepers: u32,
+}
+
+struct ShardQueue {
+    inbox: Mutex<ShardInbox>,
+    available: Condvar,
+}
+
+impl ShardQueue {
+    fn new() -> Self {
+        ShardQueue {
+            inbox: Mutex::new(ShardInbox {
+                q: VecDeque::new(),
+                sleepers: 0,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    fn push(&self, from: NodeAddr, pkt: Packet) {
+        let Ok(mut inbox) = self.inbox.lock() else {
+            return; // a poisoned queue means the shard loop died; drop
+        };
+        inbox.q.push_back((from, pkt));
+        if inbox.sleepers > 0 {
+            self.available.notify_one();
+        }
+    }
+
+    /// Pop one packet, waiting up to `timeout`. `Duration::ZERO` never
+    /// blocks (the shard loop polls with it while a group commit is
+    /// pending, exactly like the runner's `recv(ZERO)`).
+    fn pop(&self, timeout: Duration) -> Option<(NodeAddr, Packet)> {
+        let mut inbox = self.inbox.lock().ok()?;
+        if let Some(item) = inbox.q.pop_front() {
+            return Some(item);
+        }
+        if timeout.is_zero() {
+            return None;
+        }
+        inbox.sleepers += 1;
+        let (mut inbox, _timed_out) =
+            self.available
+                .wait_timeout(inbox, timeout)
+                .unwrap_or_else(|e| {
+                    let (g, t) = e.into_inner();
+                    (g, t)
+                });
+        inbox.sleepers = inbox.sleepers.saturating_sub(1);
+        inbox.q.pop_front()
+    }
+
+    /// Wake every sleeper (shutdown path).
+    fn wake_all(&self) {
+        self.available.notify_all();
+    }
+}
+
+/// Handle to a running sharded server: one dispatcher thread plus one
+/// event loop per shard. The single-shard degenerate case behaves like
+/// the plain [`crate::runner::ServerRunner`], with one extra queue hop.
+pub struct ShardSupervisor {
+    stop: Arc<AtomicBool>,
+    queues: Vec<Arc<ShardQueue>>,
+    dispatcher: Option<JoinHandle<()>>,
+    shards: Vec<Option<JoinHandle<LogServer>>>,
+}
+
+impl ShardSupervisor {
+    /// Spawn the dispatcher and one event loop per element of `servers`
+    /// (shard k serves `servers[k]`; the caller stamps each config with
+    /// [`crate::ServerConfig::for_shard`] and opens per-shard storage
+    /// roots). The endpoint is shared: the dispatcher owns its receive
+    /// side, every shard replies through it.
+    ///
+    /// # Panics
+    /// Panics when `servers` is empty or a thread fails to spawn.
+    #[must_use]
+    pub fn spawn<E: Endpoint + Sync + 'static>(
+        servers: Vec<LogServer>,
+        endpoint: E,
+    ) -> ShardSupervisor {
+        assert!(!servers.is_empty(), "a sharded server needs >= 1 shard");
+        let nshards = servers.len();
+        let endpoint = Arc::new(endpoint);
+        let stop = Arc::new(AtomicBool::new(false));
+        let queues: Vec<Arc<ShardQueue>> =
+            (0..nshards).map(|_| Arc::new(ShardQueue::new())).collect();
+
+        let server_id = servers.first().map_or(0, |s| s.id().0);
+        let mut shards = Vec::with_capacity(nshards);
+        for (k, server) in servers.into_iter().enumerate() {
+            let queue = queues.get(k).expect("queue per shard").clone();
+            let ep = endpoint.clone();
+            let stop2 = stop.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("log-server-{server_id}-s{k}"))
+                .spawn(move || shard_loop(server, &stop2, &*ep, |t| queue.pop(t)))
+                .expect("spawn shard thread");
+            shards.push(Some(handle));
+        }
+
+        let stop2 = stop.clone();
+        let routes: Vec<Arc<ShardQueue>> = queues.clone();
+        let dispatcher = std::thread::Builder::new()
+            .name(format!("log-shard-router-{server_id}"))
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    match endpoint.recv(Duration::from_millis(20)) {
+                        Ok(Some((from, pkt))) => match pkt.route_key() {
+                            Some(id) => {
+                                if let Some(q) = routes.get(id.shard(routes.len())) {
+                                    q.push(from, pkt);
+                                }
+                            }
+                            None => {
+                                // Shard-agnostic control traffic: every
+                                // shard sees it. Cloning the packet is a
+                                // refcount bump per payload view, and
+                                // control messages carry no records.
+                                for q in &routes {
+                                    q.push(from, pkt.clone());
+                                }
+                            }
+                        },
+                        Ok(None) => {}
+                        Err(_) => break, // endpoint torn down
+                    }
+                }
+            })
+            .expect("spawn shard dispatcher");
+
+        ShardSupervisor {
+            stop,
+            queues,
+            dispatcher: Some(dispatcher),
+            shards: shards.into_iter().collect(),
+        }
+    }
+
+    /// Spawn one event loop per shard on a transport that routes frames
+    /// itself ([`RoutedEndpoint`]): each shard loop receives straight
+    /// from its own routed queue, so there is no dispatcher thread and a
+    /// packet crosses exactly one thread boundary between sender and
+    /// shard. Semantically identical to [`ShardSupervisor::spawn`] — the
+    /// transport applies the same routing rule from the wire header's
+    /// log hint before decode.
+    ///
+    /// # Panics
+    /// Panics when `servers` is empty or a thread fails to spawn.
+    #[must_use]
+    pub fn spawn_routed<E>(servers: Vec<LogServer>, endpoint: E) -> ShardSupervisor
+    where
+        E: RoutedEndpoint + Sync + 'static,
+    {
+        assert!(!servers.is_empty(), "a sharded server needs >= 1 shard");
+        let endpoint = Arc::new(endpoint);
+        let stop = Arc::new(AtomicBool::new(false));
+        let server_id = servers.first().map_or(0, |s| s.id().0);
+        let rxs = endpoint.shard_rx(servers.len());
+        let mut shards = Vec::with_capacity(servers.len());
+        for (k, (mut rx, server)) in rxs.into_iter().zip(servers).enumerate() {
+            let ep = endpoint.clone();
+            let stop2 = stop.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("log-server-{server_id}-s{k}"))
+                .spawn(move || shard_loop(server, &stop2, &*ep, |t| rx.recv(t).unwrap_or(None)))
+                .expect("spawn shard thread");
+            shards.push(Some(handle));
+        }
+        ShardSupervisor {
+            stop,
+            queues: Vec::new(),
+            dispatcher: None,
+            shards,
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Stop every loop gracefully and recover the per-shard servers, in
+    /// shard order. Each shard finishes its pending group commit and
+    /// syncs its store, exactly like the single-loop runner's stop path.
+    #[must_use]
+    pub fn stop(mut self) -> Vec<LogServer> {
+        self.shutdown();
+        self.shards
+            .iter_mut()
+            .filter_map(|slot| slot.take())
+            .map(|h| h.join().expect("shard thread panicked"))
+            .collect()
+    }
+
+    /// Simulate a hard crash of the whole process: every shard stops
+    /// where it stands (no extra syncing beyond what already happened)
+    /// and its store is dropped. Returns each shard's durable stream end
+    /// at the moment of the crash, in shard order — per-shard recovery
+    /// replays each shard's own storage root independently.
+    pub fn crash(mut self) -> Vec<u64> {
+        self.shutdown();
+        self.shards
+            .iter_mut()
+            .filter_map(|slot| slot.take())
+            .map(|h| {
+                let mut server = h.join().expect("shard thread panicked");
+                let end = server.store_mut().stream_end();
+                drop(server);
+                end
+            })
+            .collect()
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for q in &self.queues {
+            q.wake_all();
+        }
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ShardSupervisor {
+    fn drop(&mut self) {
+        self.shutdown();
+        for slot in &mut self.shards {
+            if let Some(h) = slot.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// One shard's event loop, shared by the dispatcher-fed and
+/// transport-routed spawn paths: `next` yields the shard's next packet
+/// (queue pop or routed receive), everything else — ingest batching,
+/// reply flushing, group-commit ticks, idle archive work, and the
+/// final flush-and-sync on stop — is identical.
+fn shard_loop<E: Endpoint + ?Sized>(
+    mut server: LogServer,
+    stop: &AtomicBool,
+    ep: &E,
+    mut next: impl FnMut(Duration) -> Option<(NodeAddr, Packet)>,
+) -> LogServer {
+    let mut replies = Vec::with_capacity(64);
+    while !stop.load(Ordering::Relaxed) {
+        let timeout = if server.has_pending_forces() {
+            Duration::ZERO
+        } else {
+            Duration::from_millis(20)
+        };
+        match next(timeout) {
+            Some((from, pkt)) => {
+                replies.clear();
+                server.handle_into(from, &pkt, &mut replies);
+                for _ in 0..INGEST_BATCH - 1 {
+                    match next(Duration::ZERO) {
+                        Some((from, pkt)) => {
+                            server.handle_into(from, &pkt, &mut replies);
+                        }
+                        None => break,
+                    }
+                }
+                for (to, reply) in replies.drain(..) {
+                    let _ = ep.send(to, &reply);
+                }
+                for (to, reply) in server.force_tick() {
+                    let _ = ep.send(to, &reply);
+                }
+            }
+            None => {
+                if server.has_pending_forces() {
+                    for (to, reply) in server.flush_pending_forces() {
+                        let _ = ep.send(to, &reply);
+                    }
+                } else {
+                    let _ = server.archive_tick();
+                }
+            }
+        }
+    }
+    for (to, reply) in server.flush_pending_forces() {
+        let _ = ep.send(to, &reply);
+    }
+    let _ = server.store_mut().sync();
+    server
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GenStore;
+    use crate::ServerConfig;
+    use dlog_net::wire::{Message, Request, Response};
+    use dlog_net::{FaultPlan, MemNetwork};
+    use dlog_storage::{LogStore, NvramDevice, StoreOptions};
+    use dlog_types::{ClientId, Epoch, LogData, LogId, Lsn, ServerId};
+
+    fn shard_server(root: &std::path::Path, shard: u64, shards: u64) -> LogServer {
+        let dir = root.join(format!("shard-{shard}"));
+        let opts = StoreOptions {
+            fsync: false,
+            ..StoreOptions::default()
+        };
+        let store = LogStore::open(&dir, opts, NvramDevice::new(1 << 20)).unwrap();
+        let gens = GenStore::open(dir.join("gens")).unwrap();
+        LogServer::new(
+            ServerConfig::new(ServerId(1)).for_shard(shard, shards),
+            store,
+            gens,
+        )
+        .unwrap()
+    }
+
+    fn tmproot(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir()
+            .join("dlog-shard-tests")
+            .join(format!("{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn force_pkt(client: u64, lo: u64, hi: u64) -> Packet {
+        let records: Vec<(Lsn, LogData)> = (lo..=hi)
+            .map(|i| (Lsn(i), LogData::from(vec![i as u8; 10])))
+            .collect();
+        Packet::routed(
+            LogId::for_client(ClientId(client)),
+            Message::ForceLog {
+                client: ClientId(client),
+                epoch: Epoch(1),
+                records,
+            },
+        )
+    }
+
+    #[test]
+    fn routes_clients_to_distinct_shards_and_acks() {
+        let root = tmproot("route");
+        let servers = vec![shard_server(&root, 0, 2), shard_server(&root, 1, 2)];
+        let net = MemNetwork::new(FaultPlan::reliable());
+        let sup = ShardSupervisor::spawn(servers, net.endpoint(NodeAddr(1)));
+
+        // Find two clients that hash to different shards.
+        let c0 = 1u64;
+        let c1 = (2..64)
+            .find(|&c| LogId(c).shard(2) != LogId(c0).shard(2))
+            .expect("some client maps to the other shard");
+
+        let ep = net.endpoint(NodeAddr(100));
+        ep.send(NodeAddr(1), &force_pkt(c0, 1, 3)).unwrap();
+        ep.send(NodeAddr(1), &force_pkt(c1, 1, 5)).unwrap();
+        let mut acks = std::collections::HashMap::new();
+        for _ in 0..2 {
+            let (_, pkt) = ep.recv(Duration::from_secs(5)).unwrap().expect("ack");
+            if let Message::NewHighLsn { client, lsn } = pkt.msg {
+                acks.insert(client.0, lsn.0);
+            }
+        }
+        assert_eq!(acks.get(&c0), Some(&3));
+        assert_eq!(acks.get(&c1), Some(&5));
+
+        // Graceful stop: each shard holds exactly its own client's log,
+        // under its own storage root.
+        let recovered = sup.stop();
+        assert_eq!(recovered.len(), 2);
+        let total: u64 = recovered.iter().map(|s| s.stats().records_stored).sum();
+        assert_eq!(total, 8);
+        for s in &recovered {
+            for c in s.store_stats().tracks_flushed..=0 {
+                // no-op loop; records checked below via per-shard stats
+                let _ = c;
+            }
+        }
+        let per_shard: Vec<u64> = recovered.iter().map(|s| s.stats().records_stored).collect();
+        assert!(
+            per_shard.iter().all(|&n| n > 0),
+            "both shards must have ingested: {per_shard:?}"
+        );
+    }
+
+    #[test]
+    fn routed_endpoint_path_matches_dispatcher_semantics() {
+        // Same traffic as the dispatcher test, but over spawn_routed:
+        // the transport steers frames from the wire header, no
+        // dispatcher thread exists, and the acks and per-shard
+        // placement come out identical.
+        let root = tmproot("routed");
+        let servers = vec![shard_server(&root, 0, 2), shard_server(&root, 1, 2)];
+        let net = MemNetwork::new(FaultPlan::reliable());
+        let sup = ShardSupervisor::spawn_routed(servers, net.endpoint(NodeAddr(1)));
+
+        let c0 = 1u64;
+        let c1 = (2..64)
+            .find(|&c| LogId(c).shard(2) != LogId(c0).shard(2))
+            .expect("some client maps to the other shard");
+
+        let ep = net.endpoint(NodeAddr(100));
+        ep.send(NodeAddr(1), &force_pkt(c0, 1, 3)).unwrap();
+        ep.send(NodeAddr(1), &force_pkt(c1, 1, 5)).unwrap();
+        let mut acks = std::collections::HashMap::new();
+        for _ in 0..2 {
+            let (_, pkt) = ep.recv(Duration::from_secs(5)).unwrap().expect("ack");
+            if let Message::NewHighLsn { client, lsn } = pkt.msg {
+                acks.insert(client.0, lsn.0);
+            }
+        }
+        assert_eq!(acks.get(&c0), Some(&3));
+        assert_eq!(acks.get(&c1), Some(&5));
+
+        // A shard-agnostic Status request still fans out to every shard.
+        ep.send(
+            NodeAddr(1),
+            &Packet::bare(Message::Request {
+                id: 11,
+                body: Request::Status,
+            }),
+        )
+        .unwrap();
+        let mut rows = std::collections::BTreeSet::new();
+        for _ in 0..2 {
+            let (_, pkt) = ep.recv(Duration::from_secs(5)).unwrap().expect("row");
+            if let Message::Response {
+                id: 11,
+                body: Response::Status { shard, shards, .. },
+            } = pkt.msg
+            {
+                assert_eq!(shards, 2);
+                rows.insert(shard);
+            }
+        }
+        assert_eq!(rows, [0u64, 1].into_iter().collect());
+
+        let recovered = sup.stop();
+        let per_shard: Vec<u64> = recovered.iter().map(|s| s.stats().records_stored).collect();
+        assert_eq!(per_shard.iter().sum::<u64>(), 8);
+        assert!(
+            per_shard.iter().all(|&n| n > 0),
+            "both shards must have ingested: {per_shard:?}"
+        );
+    }
+
+    #[test]
+    fn status_broadcast_returns_one_row_per_shard() {
+        let root = tmproot("status");
+        let servers = vec![
+            shard_server(&root, 0, 3),
+            shard_server(&root, 1, 3),
+            shard_server(&root, 2, 3),
+        ];
+        let net = MemNetwork::new(FaultPlan::reliable());
+        let sup = ShardSupervisor::spawn(servers, net.endpoint(NodeAddr(1)));
+
+        let ep = net.endpoint(NodeAddr(100));
+        ep.send(
+            NodeAddr(1),
+            &Packet::bare(Message::Request {
+                id: 7,
+                body: Request::Status,
+            }),
+        )
+        .unwrap();
+        let mut rows = std::collections::BTreeSet::new();
+        for _ in 0..3 {
+            let (_, pkt) = ep.recv(Duration::from_secs(5)).unwrap().expect("row");
+            match pkt.msg {
+                Message::Response {
+                    id: 7,
+                    body: Response::Status { shard, shards, .. },
+                } => {
+                    assert_eq!(shards, 3);
+                    rows.insert(shard);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(rows, [0u64, 1, 2].into_iter().collect());
+        drop(sup);
+    }
+
+    #[test]
+    fn crash_and_per_shard_recovery_keep_forced_records() {
+        let root = tmproot("crash");
+        let servers = vec![shard_server(&root, 0, 2), shard_server(&root, 1, 2)];
+        let net = MemNetwork::new(FaultPlan::reliable());
+        let sup = ShardSupervisor::spawn(servers, net.endpoint(NodeAddr(1)));
+        let ep = net.endpoint(NodeAddr(100));
+        ep.send(NodeAddr(1), &force_pkt(1, 1, 4)).unwrap();
+        let _ = ep.recv(Duration::from_secs(5)).unwrap().expect("ack");
+        let ends = sup.crash();
+        assert_eq!(ends.len(), 2);
+
+        // Reboot: each shard recovers from its own root; the forced
+        // records are there.
+        let servers = vec![shard_server(&root, 0, 2), shard_server(&root, 1, 2)];
+        let net = MemNetwork::new(FaultPlan::reliable());
+        let sup = ShardSupervisor::spawn(servers, net.endpoint(NodeAddr(1)));
+        let ep = net.endpoint(NodeAddr(100));
+        ep.send(
+            NodeAddr(1),
+            &Packet::routed(
+                LogId::for_client(ClientId(1)),
+                Message::Request {
+                    id: 9,
+                    body: Request::ReadLogForward {
+                        client: ClientId(1),
+                        lsn: Lsn(1),
+                        max_records: 16,
+                    },
+                },
+            ),
+        )
+        .unwrap();
+        let (_, pkt) = ep.recv(Duration::from_secs(5)).unwrap().expect("resp");
+        match pkt.msg {
+            Message::Response {
+                id: 9,
+                body: Response::Records { records },
+            } => assert_eq!(records.len(), 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        drop(sup);
+    }
+}

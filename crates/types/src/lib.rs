@@ -31,6 +31,6 @@ pub mod record;
 
 pub use config::ReplicationConfig;
 pub use error::{DlogError, Result};
-pub use ids::{ClientId, ServerId};
+pub use ids::{ClientId, LogId, ServerId};
 pub use interval::{Interval, IntervalList};
 pub use record::{Epoch, LogData, LogRecord, Lsn, RecordId};

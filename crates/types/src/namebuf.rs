@@ -21,7 +21,10 @@ impl<const N: usize> NameBuf<N> {
     /// An empty buffer.
     #[must_use]
     pub fn new() -> NameBuf<N> {
-        NameBuf { buf: [0; N], len: 0 }
+        NameBuf {
+            buf: [0; N],
+            len: 0,
+        }
     }
 
     /// Format `args` into a fresh buffer. Returns `None` when the
@@ -130,7 +133,7 @@ mod tests {
     #[test]
     fn as_ref_path_joins() {
         let n: NameBuf<32> = namebuf!(32, "gen-{}.val", 7u64);
-        let p = std::path::Path::new("/tmp").join(&n);
+        let p = std::path::Path::new("/tmp").join(n);
         assert_eq!(p, std::path::Path::new("/tmp/gen-7.val"));
     }
 }

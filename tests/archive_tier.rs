@@ -25,13 +25,15 @@ fn archive_opts(servers: u64) -> ClusterOptions {
 fn archive_and_prune(cluster: &mut Cluster, max_bytes: u64) -> u64 {
     let mut pruned = 0;
     for sid in cluster.servers.clone() {
-        let Some(mut server) = cluster.stop_server(sid) else {
+        let servers = cluster.stop_server(sid);
+        if servers.is_empty() {
             continue;
-        };
-        server.archive_tick().unwrap();
-        let report = server.store_mut().enforce_retention(max_bytes).unwrap();
-        pruned += report.freed;
-        drop(server);
+        }
+        for mut server in servers {
+            server.archive_tick().unwrap();
+            let report = server.store_mut().enforce_retention(max_bytes).unwrap();
+            pruned += report.freed;
+        }
         cluster.boot_server(sid);
     }
     pruned

@@ -27,15 +27,30 @@ fn reads_fail_over_past_rotted_replica_and_repair_heals() {
     // restart it. (Its in-memory state is rebuilt from the *corrupt*
     // disk; the scan stops at the rot, so it now serves a shorter log.)
     {
-        let server = cluster.stop_server(t0).expect("server running");
-        drop(server); // store synced on graceful stop
+        let servers = cluster.stop_server(t0);
+        assert!(!servers.is_empty(), "server running");
+        drop(servers); // stores synced on graceful stop
+                       // Find the segment holding the client's records: the largest
+                       // `.seg` anywhere under the server's root (sharded servers keep
+                       // per-shard stores in `shard-K/` subdirectories; the client's
+                       // whole log lives in exactly one of them).
         let seg_dir = root.join(format!("server-{}", t0.0));
-        let seg = std::fs::read_dir(&seg_dir)
-            .unwrap()
-            .filter_map(|e| e.ok())
-            .find(|e| e.file_name().to_string_lossy().ends_with(".seg"))
-            .expect("segment file")
-            .path();
+        let mut stack = vec![seg_dir];
+        let mut seg: Option<(u64, std::path::PathBuf)> = None;
+        while let Some(d) = stack.pop() {
+            for e in std::fs::read_dir(&d).unwrap().filter_map(|e| e.ok()) {
+                let p = e.path();
+                if p.is_dir() {
+                    stack.push(p);
+                } else if p.extension().is_some_and(|x| x == "seg") {
+                    let len = e.metadata().map_or(0, |m| m.len());
+                    if seg.as_ref().is_none_or(|(best, _)| len > *best) {
+                        seg = Some((len, p));
+                    }
+                }
+            }
+        }
+        let (_, seg) = seg.expect("segment file");
         let mut bytes = std::fs::read(&seg).unwrap();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x55;

@@ -1,0 +1,77 @@
+//! Shard-count transparency: the number of shard event loops a server
+//! runs is a deployment knob, not a semantic one. For any workload, the
+//! bytes a client reads back per logical log must be identical whether
+//! the servers run one shard or four — the router only partitions logs
+//! across event loops, it never reorders or rewrites anything within
+//! one log.
+
+use dlog_bench::{payload, Cluster, ClusterOptions};
+use dlog_types::Lsn;
+use proptest::prelude::*;
+
+/// Run the same deterministic workload against a fresh cluster with
+/// `shards` shard loops per server and return every record read back,
+/// per client in id order.
+fn readback_with_shards(
+    shards: u64,
+    case_tag: &str,
+    clients: u64,
+    records: u64,
+    len: usize,
+) -> Vec<Vec<Vec<u8>>> {
+    let mut opts = ClusterOptions::new(3);
+    opts.shards = shards;
+    let cluster = Cluster::start(case_tag, opts);
+    for c in 1..=clients {
+        let mut log = cluster.client(c, 2, 8);
+        log.initialize().expect("initialize");
+        for i in 1..=records {
+            // Distinct bytes per (client, lsn) so a cross-log mixup
+            // (the bug sharding could introduce) changes the output.
+            log.write(payload(i.wrapping_mul(31).wrapping_add(c), len))
+                .expect("write");
+        }
+        log.force().expect("force");
+    }
+    let mut out = Vec::new();
+    for c in 1..=clients {
+        let mut log = cluster.client(c, 2, 8);
+        log.initialize().expect("re-initialize");
+        let mut rows = Vec::new();
+        for i in 1..=records {
+            rows.push(
+                log.read(Lsn(i))
+                    .unwrap_or_else(|e| panic!("read client {c} lsn {i}: {e}"))
+                    .as_bytes()
+                    .to_vec(),
+            );
+        }
+        out.push(rows);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    fn readback_is_byte_identical_at_1_and_4_shards(
+        clients in 1u64..=3,
+        records in 1u64..=10,
+        len in 1usize..=64,
+    ) {
+        let tag1 = format!("shard-eq-1-{clients}-{records}-{len}");
+        let tag4 = format!("shard-eq-4-{clients}-{records}-{len}");
+        let flat = readback_with_shards(1, &tag1, clients, records, len);
+        let sharded = readback_with_shards(4, &tag4, clients, records, len);
+        prop_assert_eq!(&flat, &sharded);
+        // And both match ground truth, not just each other.
+        for (ci, rows) in flat.iter().enumerate() {
+            let c = ci as u64 + 1;
+            for (ri, row) in rows.iter().enumerate() {
+                let i = ri as u64 + 1;
+                let want = payload(i.wrapping_mul(31).wrapping_add(c), len);
+                prop_assert_eq!(row.as_slice(), want.as_slice());
+            }
+        }
+    }
+}
